@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one of the paper's tables or figures:
+the ``test_*`` functions print the paper-style rows/series (captured by
+``-s`` or visible in the benchmark summary) and time the computation via
+``pytest-benchmark``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Expensive multi-run experiments (Figure 6's full sweep) are computed once
+per session and shared across the benches that report on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): benchmark regenerating a paper figure/table"
+    )
+
+
+@pytest.fixture(scope="session")
+def fig6_result():
+    """The Figure 6 sweep, computed once per benchmark session."""
+    from repro.experiments.fig6_sweep import compute_fig6
+    return compute_fig6()
+
+
+@pytest.fixture(scope="session")
+def fig45_data():
+    from repro.experiments.fig45_objects import compute_fig45
+    return compute_fig45()
+
+
+@pytest.fixture(scope="session")
+def tab8_rows():
+    from repro.experiments.tab8_full_apps import compute_tab8
+    return compute_tab8()

@@ -1,0 +1,100 @@
+"""Ablation benches: the design-choice sweeps DESIGN.md calls out.
+
+Not paper tables — these probe the knobs behind the paper's choices:
+Section V's store coefficient, Table IV's thresholds, the 100 Hz PEBS
+rate, input sensitivity (deferred future work), and the proposed
+proactive+reactive combination.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    combined_policy_comparison,
+    input_sensitivity,
+    sampling_frequency_sweep,
+    store_coefficient_sweep,
+    threshold_sweep,
+)
+from repro.experiments.reporting import render_table
+
+
+@pytest.mark.figure("ablation-stores")
+def test_store_coefficient_ablation(benchmark):
+    points = benchmark.pedantic(store_coefficient_sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["store coefficient", "speedup"],
+        [[p.knob, p.speedup] for p in points],
+        title="Ablation: PMem store coefficient (CloverLeaf3D, 12 GB)",
+    ))
+    by_coef = {p.knob: p.speedup for p in points}
+    # 0 reproduces the Loads configuration; the paper default (6) beats it
+    assert by_coef[6.0] > by_coef[0.0] + 0.03
+    # the gain saturates rather than growing without bound
+    assert by_coef[12.0] <= by_coef[6.0] + 0.05
+
+
+@pytest.mark.figure("ablation-thresholds")
+def test_threshold_ablation(benchmark):
+    points = benchmark.pedantic(threshold_sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["T_PMEMHIGH", "speedup", "swaps"],
+        [[p.knob, p.speedup, p.detail] for p in points],
+        title="Ablation: Table IV T_PMEMHIGH (OpenFOAM, bw-aware, 11 GB)",
+    ))
+    by_t = {p.knob: p.speedup for p in points}
+    # the paper's default region is flat...
+    assert by_t[0.40] == pytest.approx(by_t[0.70], abs=0.05)
+    # ...but an extreme threshold misses real thrashers and falls off
+    assert by_t[0.97] < by_t[0.40] - 0.1
+
+
+@pytest.mark.figure("ablation-sampling")
+def test_sampling_frequency_ablation(benchmark):
+    points = benchmark.pedantic(sampling_frequency_sweep, rounds=1,
+                                iterations=1)
+    print()
+    print(render_table(
+        ["PEBS Hz", "speedup", "report"],
+        [[p.knob, p.speedup, p.detail] for p in points],
+        title="Ablation: PEBS sampling frequency (MiniFE, 12 GB)",
+    ))
+    speedups = [p.speedup for p in points]
+    # the top-ranked objects dominate the sample mass, so the placement is
+    # robust across two orders of magnitude of sampling rate — consistent
+    # with the paper's single-100 Hz-profiling-run workflow sufficing
+    assert max(speedups) - min(speedups) < 0.25
+    assert all(s > 1.8 for s in speedups)
+
+
+@pytest.mark.figure("ablation-input")
+def test_input_sensitivity(benchmark):
+    points = benchmark.pedantic(input_sensitivity, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["configuration", "speedup"],
+        [[p.detail, p.speedup] for p in points],
+        title="Ablation: profile nominal input, run scaled input (MiniFE)",
+    ))
+    # the nominal-profile placement keeps winning on scaled inputs
+    assert all(p.speedup > 1.5 for p in points)
+    # size growth beyond the DRAM budget trips the capacity fallback
+    assert any("1 capacity" in p.detail or "2 capacity" in p.detail
+               for p in points)
+
+
+@pytest.mark.figure("ablation-combined")
+def test_combined_policy(benchmark):
+    results = benchmark.pedantic(combined_policy_comparison, rounds=1,
+                                 iterations=1)
+    print()
+    print(render_table(
+        ["policy", "speedup"],
+        sorted(results.items(), key=lambda kv: kv[1]),
+        title="Ablation: proactive + reactive combination (MiniFE)",
+    ))
+    # the combination keeps nearly all of the proactive win and crushes
+    # reactive-only tiering (the paper's motivation for proposing it)
+    assert results["combined"] > results["kernel-tiering"] + 0.5
+    assert results["combined"] > 0.95 * results["ecohmem"]

@@ -1,0 +1,51 @@
+"""Figure 2 bench: bandwidth vs latency curves for DRAM and PMem."""
+
+import pytest
+
+from repro.experiments.fig2_latency import (
+    compute_fig2, latency_gap_at, paper_anchor_checks,
+)
+from repro.experiments.reporting import render_table
+from repro.units import GB
+
+
+@pytest.mark.figure("fig2")
+def test_fig2_latency_curves(benchmark):
+    curves = benchmark(compute_fig2, points=15)
+
+    rows = []
+    for label, (bw, lat) in curves.items():
+        for b, l in list(zip(bw, lat))[::3]:
+            rows.append([label, f"{b / 1e9:.1f}", l])
+    print()
+    print(render_table(["curve", "GB/s", "latency (ns)"], rows,
+                       title="Figure 2: bandwidth vs latency (model)"))
+
+    # paper anchors reproduced exactly
+    for label, bw, got, paper in paper_anchor_checks():
+        assert got == pytest.approx(paper, abs=0.01), label
+
+    # shape: the absolute PMem-DRAM latency gap widens with bandwidth,
+    # and PMem costs ~2x DRAM at 22 GB/s (paper: 2.3x)
+    from repro.memsim.latency import DDR4_READ, PMEM_READ
+    gap_lo = PMEM_READ.latency_ns(8 * GB) - DDR4_READ.latency_ns(8 * GB)
+    gap_hi = PMEM_READ.latency_ns(22 * GB) - DDR4_READ.latency_ns(22 * GB)
+    assert gap_hi > gap_lo
+    assert 1.9 < latency_gap_at(22 * GB) < 2.4
+
+    # 1R1W curves are strictly above their read-only counterparts
+    for mem in ("DRAM", "PMem"):
+        ro = curves[f"{mem} (R)"][1]
+        rw = curves[f"{mem} (1R1W)"][1]
+        assert (rw >= ro).all()
+
+    # closed loop: MLC-style *measurements* through the execution engine
+    # land back on the analytic curves (the whole timing fixed point is
+    # self-consistent, not just the curve arithmetic)
+    from repro.memsim.mlc import measure_loaded_latency, verify_against_curve
+    from repro.memsim.subsystem import pmem6_system
+    system = pmem6_system()
+    for sub in ("dram", "pmem"):
+        points = measure_loaded_latency(system, sub, [4 * GB, 10 * GB])
+        errors = verify_against_curve(points, system, sub)
+        assert all(e < 0.02 for e in errors.values())

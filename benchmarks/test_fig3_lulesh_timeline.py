@@ -1,0 +1,41 @@
+"""Figure 3 bench: LULESH PMem bandwidth + allocations in one phase."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3_lulesh import compute_fig3
+from repro.experiments.reporting import render_series
+from repro.units import fmt_bandwidth, fmt_size
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_lulesh_timeline(benchmark):
+    data = benchmark.pedantic(compute_fig3, rounds=1, iterations=1)
+
+    print()
+    print(render_series(
+        data.times, data.pmem_bandwidth / 1e9,
+        x_label="t (s)", y_label="PMem GB/s",
+        title="Figure 3: LULESH PMem bandwidth over one recurring phase",
+        max_points=24,
+    ))
+    big = [a for a in data.allocations if a[1] > 2**28]
+    print(f"{len(data.allocations)} allocations in the window, "
+          f"{len(big)} above 256 MiB")
+
+    # the window carries real traffic and real allocation churn
+    assert data.pmem_bandwidth.size > 10
+    assert data.allocations, "no allocations inside the phase window"
+
+    # shape: bandwidth varies across the phase (the low/high regions the
+    # bandwidth-aware categorization depends on)
+    lo, hi = data.pmem_bandwidth.min(), data.pmem_bandwidth.max()
+    assert hi > 1.15 * lo
+
+    # allocation sizes span a wide range (paper: few KB to hundreds of MB)
+    sizes = np.array([a[1] for a in data.allocations], dtype=float)
+    assert sizes.max() / sizes.min() > 10
+
+    # allocations happen in both DRAM and PMem during the phase
+    subsystems = {a[2] for a in data.allocations}
+    assert "pmem" in subsystems

@@ -1,0 +1,100 @@
+"""Figures 4 & 5 bench: lifetime and bandwidth of the LULESH census."""
+
+import pytest
+
+from repro.experiments.reporting import render_table
+from repro.units import fmt_bandwidth
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_pmem_objects(benchmark, fig45_data):
+    data = benchmark.pedantic(lambda: fig45_data, rounds=1, iterations=1)
+    objs = data.pmem_objects
+
+    print()
+    rows = [[r.site, r.alloc_count, f"{r.mean_lifetime_s:.0f}",
+             fmt_bandwidth(r.mean_bandwidth)] for r in objs]
+    print(render_table(
+        ["object", "allocs", "lifetime (s)", "bandwidth"],
+        rows, title="Figure 4: PMem objects in the high-bandwidth region",
+    ))
+
+    # the paper's census: ~12 frequently re-allocated scratch sites
+    assert 8 <= len(objs) <= 16
+    assert all(r.alloc_count > 100 for r in objs)
+
+    # bandwidth spread ~6x (paper: 33-206 MB/s)
+    bws = sorted(r.mean_bandwidth for r in objs)
+    assert bws[-1] / bws[0] > 4
+
+    # lifetimes are a small fraction of the run (paper: ~25% of a phase)
+    total = max(r.last_dealloc_s for r in objs)
+    assert all(r.mean_lifetime_s < 0.05 * total for r in objs)
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_dram_objects(benchmark, fig45_data):
+    data = benchmark.pedantic(lambda: fig45_data, rounds=1, iterations=1)
+    objs = data.dram_objects
+
+    print()
+    rows = [[r.site, r.alloc_count, f"{r.mean_lifetime_s:.0f}",
+             fmt_bandwidth(r.mean_bandwidth)] for r in objs]
+    print(render_table(
+        ["object", "allocs", "lifetime (s)", "bandwidth"],
+        rows, title="Figure 5: DRAM objects in the low-bandwidth region",
+    ))
+
+    assert len(objs) >= 12  # paper: 33 singletons
+    assert all(r.alloc_count == 1 for r in objs)
+
+    # lifetimes ~ the whole run (paper: ~23 min of a ~23 min run)
+    run_end = max(r.last_dealloc_s for r in objs)
+    assert all(r.mean_lifetime_s > 0.8 * run_end for r in objs)
+
+    # bandwidth spread is wide (paper: 50 KB/s - 10.5 MB/s, ~200x; our
+    # knapsack leaves the weakest perms in PMem, truncating the tail)
+    bws = sorted(r.mean_bandwidth for r in objs)
+    assert bws[-1] / bws[0] > 10
+
+    # the key contrast (paper: "the peak consumption is less than the
+    # minimum consumed per object in PMem"): the bulk of the DRAM census
+    # sits below the weakest PMem object
+    weakest_pmem = min(r.mean_bandwidth for r in data.pmem_objects)
+    below = sum(1 for r in objs if r.mean_bandwidth < weakest_pmem)
+    assert below >= 0.75 * len(objs)
+    assert min(r.mean_bandwidth for r in objs) < 0.1 * weakest_pmem
+
+
+@pytest.mark.figure("tab2")
+def test_tab2_bandwidth_regions(benchmark, fig45_data):
+    from repro.experiments.fig45_objects import table2_rows
+    rows = benchmark.pedantic(table2_rows, args=(fig45_data,),
+                              rounds=1, iterations=1)
+    print()
+    print(render_table(["objects", "alloc regions", "exec regions"], rows,
+                       title="Table II: bandwidth regions"))
+    by_group = {r[0]: r for r in rows}
+    temps = by_group["168-179 (PMem temps)"]
+    perms = by_group["114-146 (DRAM perms)"]
+    # temps allocate in (and stay in) the high region
+    assert "B_high" in temps[1] and "B_high" in temps[2]
+    # perms allocate in the low region
+    assert "B_low" in perms[1]
+
+
+@pytest.mark.figure("tab3")
+def test_tab3_alloc_counts(benchmark, fig45_data):
+    from repro.experiments.fig45_objects import table3_rows
+    rows = benchmark.pedantic(table3_rows, args=(fig45_data,),
+                              rounds=1, iterations=1)
+    print()
+    print(render_table(["objects", "allocs/object", "lifetime (s)"], rows,
+                       title="Table III: allocations and lifetimes"))
+    by_group = {r[0]: r for r in rows}
+    perms = by_group["114-146 (DRAM perms)"]
+    temps = by_group["168-179 (PMem temps)"]
+    # paper: 1 alloc + run-length lifetime vs 200 allocs + short lifetime
+    assert perms[1] == 1.0
+    assert temps[1] > 100
+    assert perms[2] > 20 * temps[2]

@@ -1,0 +1,61 @@
+"""Figure 6 bench: the miniapp speedup sweep vs memory mode.
+
+Regenerates every bar of the figure — 5 miniapps x {Loads, Loads+stores}
+x DRAM limits {4, 8, 12 GB} x {PMem-6, PMem-2} — plus the kernel-tiering
+and best-of-four ProfDP comparison rows, and asserts the paper's shape.
+"""
+
+import pytest
+
+from repro.experiments.fig6_sweep import fig6_rows
+from repro.experiments.reporting import render_table
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_speedup_sweep(benchmark, fig6_result):
+    result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["app", "pmem", "dram", "metrics", "speedup"],
+        fig6_rows(result),
+        title="Figure 6: speedup vs memory mode",
+    ))
+
+    g = result.lookup
+    # headline numbers (paper: MiniFE 2.1-2.22x, HPCG 1.67x, Clover 1.39x)
+    assert 1.8 < g("minife", 6, 12, "loads") < 2.6
+    assert 1.4 < g("hpcg", 6, 12, "loads") < 2.1
+    assert 1.15 < g("cloverleaf3d", 6, 12, "loads+stores") < 1.6
+
+    # app ordering at the fairest configuration
+    assert (g("minife", 6, 12, "loads") > g("hpcg", 6, 12, "loads")
+            > g("cloverleaf3d", 6, 12, "loads") > g("minimd", 6, 12, "loads")
+            > 1.0)
+    assert g("lulesh", 6, 12, "loads") > 1.0
+
+    # store-metric effects: helps CloverLeaf3D, hurts MiniMD at 8 GB
+    assert (g("cloverleaf3d", 6, 12, "loads+stores")
+            > g("cloverleaf3d", 6, 12, "loads"))
+    assert g("minimd", 6, 8, "loads+stores") < g("minimd", 6, 8, "loads")
+
+    # DRAM restriction: MiniFE robust, CloverLeaf3D dips below baseline
+    assert g("minife", 6, 4, "loads") > 1.5
+    assert g("cloverleaf3d", 6, 4, "loads+stores") < 1.0
+
+    # PMem-2 never helps
+    for app in ("minife", "hpcg", "lulesh"):
+        assert g(app, 2, 12, "loads") <= g(app, 6, 12, "loads") * 1.1
+
+    # tiering: above baseline only for MiniFE/HPCG, always below ecoHMEM
+    assert result.tiering["minife"] > 1.0
+    assert result.tiering["hpcg"] > 1.0
+    assert result.tiering["minife"] < g("minife", 6, 12, "loads")
+    assert result.tiering["cloverleaf3d"] < 1.0
+
+    # ProfDP: comparable to ecoHMEM, unavailable for MiniMD (paper: crash)
+    assert result.profdp["minimd"] is None
+    for app in ("minife", "hpcg", "lulesh", "cloverleaf3d"):
+        s = result.profdp[app]
+        assert s is not None
+        assert s == pytest.approx(g(app, 6, 12, "loads"), rel=0.25)

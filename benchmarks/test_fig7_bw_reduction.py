@@ -1,0 +1,30 @@
+"""Figure 7 bench: PMem bandwidth, main vs bandwidth-aware algorithm."""
+
+import pytest
+
+from repro.experiments.fig7_bandwidth import compute_fig7
+from repro.units import fmt_bandwidth
+
+
+@pytest.mark.figure("fig7")
+@pytest.mark.parametrize("app", ["lulesh", "openfoam"])
+def test_fig7_bw_reduction(benchmark, app):
+    series = benchmark.pedantic(compute_fig7, args=(app,),
+                                rounds=1, iterations=1)
+
+    print()
+    print(f"Figure 7 [{app}]: PMem bandwidth, density vs bandwidth-aware")
+    print(f"  peak: {fmt_bandwidth(series.peak_base)} -> "
+          f"{fmt_bandwidth(series.peak_aware)} "
+          f"(-{100 * series.peak_reduction:.0f}%)")
+    print(f"  mean: {fmt_bandwidth(series.mean_base)} -> "
+          f"{fmt_bandwidth(series.mean_aware)}")
+
+    # the bandwidth-aware placement sheds PMem demand (the figure's point)
+    assert series.peak_aware < series.peak_base
+    assert series.mean_aware < series.mean_base
+    assert series.peak_reduction > 0.05
+
+    # both timelines carry real traffic
+    assert series.pmem_base.max() > 0
+    assert series.pmem_aware.max() > 0

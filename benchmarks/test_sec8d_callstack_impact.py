@@ -1,0 +1,33 @@
+"""Section VIII-D bench: call-stack format impact on OpenFOAM."""
+
+import pytest
+
+from repro.experiments.sec8d_callstack import compute_sec8d
+from repro.units import GiB, fmt_size
+
+
+@pytest.mark.figure("sec8d")
+def test_sec8d_callstack_impact(benchmark):
+    r = benchmark.pedantic(compute_sec8d, rounds=1, iterations=1)
+
+    print()
+    print("Section VIII-D: call-stack format impact (OpenFOAM, bw-aware)")
+    print(f"  BOM speedup            : {r.speedup_bom:.2f}x   (paper: 1.06x)")
+    print(f"  human-readable speedup : {r.speedup_human:.2f}x (paper: 0.66x)")
+    print(f"  debug info per rank    : {fmt_size(r.debug_info_bytes_per_rank)}")
+    print(f"  human DRAM limit       : {fmt_size(r.human_dram_limit)} "
+          f"(paper: 11 GB -> 9 GB)")
+    print(f"  matcher time BOM/human : {r.matcher_time_bom_ns / 1e6:.2f} / "
+          f"{r.matcher_time_human_ns / 1e6:.2f} ms")
+
+    # BOM keeps the bandwidth-aware win; human-readable loses it
+    assert r.speedup_bom > 1.0
+    assert r.speedup_human < r.speedup_bom - 0.05
+
+    # the debug-info footprint shrinks the limit to the paper's ballpark
+    assert 8 * GiB <= r.human_dram_limit <= 10 * GiB
+    assert r.debug_info_bytes_per_rank > 50 * 2**20
+
+    # matching itself is far cheaper with BOM
+    assert r.matcher_time_human_ns > 10 * r.matcher_time_bom_ns
+    assert r.matcher_resident_human > r.matcher_resident_bom

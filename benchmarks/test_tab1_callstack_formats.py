@@ -1,0 +1,29 @@
+"""Table I bench: the supported call-stack formats."""
+
+import pytest
+
+from repro.experiments.tab1_callstack import compute_tab1
+from repro.experiments.reporting import render_table
+
+
+@pytest.mark.figure("tab1")
+def test_tab1_callstack_formats(benchmark):
+    rows = benchmark(compute_tab1)
+
+    print()
+    print(render_table(
+        ["format", "call stack", "subsystem", "stable across runs"],
+        [[r.fmt, r.rendered[:70], r.subsystem,
+          "yes" if r.stable_across_runs else "NO"] for r in rows],
+        title="Table I: call-stack formats",
+    ))
+
+    by_fmt = {r.fmt: r for r in rows}
+    # raw addresses change under ASLR; the two stable formats do not
+    assert not by_fmt["raw"].stable_across_runs
+    assert by_fmt["human"].stable_across_runs
+    assert by_fmt["bom"].stable_across_runs
+
+    # renderings look like the paper's examples
+    assert "+0x" in by_fmt["bom"].rendered
+    assert ".cpp:" in by_fmt["human"].rendered

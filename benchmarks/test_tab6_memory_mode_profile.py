@@ -1,0 +1,41 @@
+"""Table VI bench: memory-mode profiling of the five miniapps."""
+
+import pytest
+
+from repro.experiments.tab6_memmode import compute_tab6
+from repro.experiments.reporting import render_table
+
+
+@pytest.mark.figure("tab6")
+def test_tab6_memory_mode_profile(benchmark):
+    rows = benchmark.pedantic(compute_tab6, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["app", "mem-bound %", "hit %", "paper mb %", "paper hit %"],
+        [[r.app, r.memory_bound_pct, r.hit_ratio_pct,
+          r.paper_memory_bound_pct, r.paper_hit_ratio_pct] for r in rows],
+        title="Table VI: memory-mode profiling",
+    ))
+
+    by_app = {r.app: r for r in rows}
+
+    # ordering of memory-boundedness: CloverLeaf/MiniFE most bound,
+    # MiniMD least among the five (the paper's qualitative ranking)
+    assert by_app["minife"].memory_bound_pct > 80
+    assert by_app["cloverleaf3d"].memory_bound_pct > 75
+    assert by_app["hpcg"].memory_bound_pct > 75
+    assert by_app["minimd"].memory_bound_pct < 60
+    assert (by_app["minimd"].memory_bound_pct
+            < by_app["hpcg"].memory_bound_pct)
+
+    # hit-ratio ordering: MiniFE thrashes hardest; MiniMD caches best
+    assert by_app["minife"].hit_ratio_pct == min(
+        r.hit_ratio_pct for r in rows
+    )
+    assert by_app["minimd"].hit_ratio_pct > by_app["hpcg"].hit_ratio_pct
+
+    # everything in a sane percentage range
+    for r in rows:
+        assert 0 < r.memory_bound_pct < 100
+        assert 0 < r.hit_ratio_pct < 100

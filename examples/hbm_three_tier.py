@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Three memory tiers: HBM + DRAM + PMem (the paper's outlook section).
+
+The conclusion expects the methodology to carry over to HBM- and
+CXL-based systems unchanged.  This example runs the same pipeline on a
+three-tier node: the greedy multiple knapsack fills HBM first, then DRAM,
+with PMem as the fallback — only the machine description and the
+coefficient table change.
+
+    python examples/hbm_three_tier.py [workload]
+"""
+
+import sys
+from collections import Counter
+
+from repro import GiB, get_workload, run_ecohmem
+from repro.baselines.memory_mode import run_memory_mode
+from repro.memsim import hbm_dram_pmem_system, pmem6_system
+from repro.units import fmt_size, fmt_time
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "hpcg"
+
+    two_tier = pmem6_system()
+    three_tier = hbm_dram_pmem_system(hbm_capacity=16 * GiB,
+                                      dram_capacity=64 * GiB)
+
+    baseline = run_memory_mode(get_workload(app), two_tier)
+    eco2 = run_ecohmem(get_workload(app), two_tier, dram_limit=12 * GiB)
+    eco3 = run_ecohmem(get_workload(app), three_tier, dram_limit=48 * GiB)
+
+    print(f"workload: {app}")
+    print(f"\nmemory mode (2-tier baseline) : {fmt_time(baseline.total_time)}")
+    print(f"ecoHMEM, DRAM+PMem            : {fmt_time(eco2.run.total_time)} "
+          f"({eco2.run.speedup_vs(baseline):.2f}x)")
+    print(f"ecoHMEM, HBM+DRAM+PMem        : {fmt_time(eco3.run.total_time)} "
+          f"({eco3.run.speedup_vs(baseline):.2f}x)")
+
+    print("\nthree-tier placement:")
+    by_tier = Counter(eco3.site_placement.values())
+    for tier in three_tier.names:
+        print(f"  {tier:5s}: {by_tier.get(tier, 0):3d} sites")
+    wl = get_workload(app)
+    for name, tier in sorted(eco3.site_placement.items()):
+        size = wl.object_by_site(name).size
+        print(f"    {name:42s} {fmt_size(size):>10s} -> {tier}")
+
+    print("\nthe knapsack order came straight from the machine description;")
+    print("no placement code changed between the two runs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Drive the profiling stack by hand: trace, store, analyze, advise.
+
+The Figure 1 workflow with every artefact made visible: an Extrae-style
+profiling run producing a trace file on disk, Paramedir-style analysis of
+that file, and the Advisor's report — the text FlexMalloc would read.
+
+    python examples/profile_and_inspect.py [workload] [trace.jsonl]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import GiB, get_workload, pmem6_system
+from repro.advisor import HMemAdvisor
+from repro.advisor.config import default_config
+from repro.binary.callstack import StackFormat
+from repro.profiling.paramedir import Paramedir
+from repro.profiling.trace import Trace
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.units import fmt_size
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "hpcg"
+    path = Path(sys.argv[2]) if len(sys.argv) > 2 else \
+        Path(tempfile.gettempdir()) / f"{app}.trace.jsonl"
+
+    workload = get_workload(app)
+
+    # 1. profiling run (LD_PRELOAD-style interception + PEBS sampling)
+    tracer = ExtraeTracer(workload, TracerConfig(seed=1))
+    trace = tracer.run(rank=0, aslr_seed=1)
+    trace.dump(path)
+    print(f"profiling run of {app!r}: {trace.num_events} events "
+          f"-> {path} ({fmt_size(path.stat().st_size)})")
+
+    # 2. analyze the stored trace (not the in-memory one: the file is the
+    #    interface, exactly like Extrae -> Paramedir)
+    profiles = Paramedir().analyze(Trace.load(path))
+    print(f"\ntop allocation sites by LLC load misses:")
+    for prof in Paramedir().top_sites(profiles, n=8):
+        print(f"  {fmt_size(prof.largest_alloc):>10s}  "
+              f"{prof.load_misses:12.3e} loads  "
+              f"{prof.store_misses:12.3e} stores  "
+              f"{prof.alloc_count:4d} allocs")
+
+    # 3. the Advisor turns profiles into the placement report
+    advisor = HMemAdvisor(pmem6_system(),
+                          default_config(12 * GiB, ranks=workload.ranks))
+    objects = advisor.objects_from_profiles(profiles)
+    placement = advisor.advise_density(objects)
+    report = advisor.to_report(placement, StackFormat.BOM)
+
+    print(f"\nAdvisor report ({len(report)} DRAM rows, "
+          f"fallback={report.fallback}):")
+    for line in report.dumps().splitlines()[:8]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: place MiniFE's objects and beat memory mode.
+
+Runs the complete ecoHMEM workflow on the MiniFE model — profile,
+analyze, advise, match, replay, time — and compares against the Optane
+memory-mode baseline, like the paper's Figure 6 headline bar.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    GiB,
+    get_workload,
+    pmem6_system,
+    run_ecohmem,
+    run_memory_mode,
+)
+from repro.units import fmt_size, fmt_time
+
+
+def main() -> None:
+    workload = get_workload("minife")
+    system = pmem6_system()
+
+    print(f"workload : {workload.name} "
+          f"({workload.ranks} ranks x {workload.threads} threads, "
+          f"high-water {fmt_size(workload.heap_high_water())}/rank)")
+    print(f"memory   : DRAM {fmt_size(system.get('dram').capacity)} + "
+          f"PMem {fmt_size(system.get('pmem').capacity)}")
+
+    # 1. the baseline: DRAM as a hardware-managed cache of PMem
+    baseline = run_memory_mode(workload, system)
+    print(f"\nmemory mode        : {fmt_time(baseline.total_time)} "
+          f"(DRAM cache hit ratio "
+          f"{100 * baseline.dram_cache_hit_ratio:.1f}%)")
+
+    # 2. the full ecoHMEM pipeline with a 12 GB DRAM budget
+    eco = run_ecohmem(get_workload("minife"), system, dram_limit=12 * GiB)
+    print(f"ecoHMEM (density)  : {fmt_time(eco.run.total_time)}")
+    print(f"speedup            : {eco.run.speedup_vs(baseline):.2f}x")
+
+    # 3. where did everything go?
+    print("\nplacement:")
+    for site, subsystem in sorted(eco.site_placement.items()):
+        size = workload.object_by_site(site).size
+        print(f"  {site:45s} {fmt_size(size):>10s}/rank -> {subsystem}")
+
+    # 4. the report FlexMalloc consumed (the workflow's artefact)
+    print("\nthe placement report (first lines):")
+    for line in eco.report.dumps().splitlines()[:5]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""ecoHMEM reproduction: object placement for hybrid DRAM+PMem systems.
+
+A from-scratch Python reproduction of *"ecoHMEM: Improving Object
+Placement Methodology for Hybrid Memory Systems in HPC"* (IEEE CLUSTER
+2022), built on a simulated hybrid-memory substrate -- see DESIGN.md for
+the substitution map.
+
+Quickstart::
+
+    from repro import (
+        get_workload, pmem6_system, run_ecohmem, run_memory_mode, GiB,
+    )
+
+    workload = get_workload("minife")
+    system = pmem6_system()
+    baseline = run_memory_mode(workload, system)
+    eco = run_ecohmem(workload, system, dram_limit=12 * GiB)
+    print(eco.run.speedup_vs(baseline))
+
+The main subpackages:
+
+- :mod:`repro.memsim` -- memory subsystems, latency curves, caches;
+- :mod:`repro.binary` -- binaries, ASLR, call-stack formats;
+- :mod:`repro.alloc` -- heap managers, FlexMalloc, report matching;
+- :mod:`repro.profiling` -- the Extrae/PEBS/Paramedir pipeline;
+- :mod:`repro.advisor` -- the HMem Advisor placement algorithms;
+- :mod:`repro.runtime` -- the execution engine;
+- :mod:`repro.apps` -- the seven application models;
+- :mod:`repro.baselines` -- memory mode, kernel tiering, ProfDP;
+- :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.units import GiB, GB, MiB, MB, KiB, KB
+from repro.errors import ReproError
+from repro.memsim import (
+    MemorySystem,
+    MemorySubsystem,
+    pmem2_system,
+    pmem6_system,
+)
+from repro.apps import get_workload, list_workloads, Workload
+from repro.advisor import AdvisorConfig, HMemAdvisor, Placement
+from repro.alloc import FlexMalloc, PlacementReport
+from repro.binary import StackFormat
+from repro.baselines import run_memory_mode, run_tiering
+from repro.runtime import ExecutionEngine, PlacementTraffic, RunResult
+from repro.experiments import run_ecohmem, run_profdp_best
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GiB", "GB", "MiB", "MB", "KiB", "KB",
+    "ReproError",
+    "MemorySystem", "MemorySubsystem", "pmem2_system", "pmem6_system",
+    "get_workload", "list_workloads", "Workload",
+    "AdvisorConfig", "HMemAdvisor", "Placement",
+    "FlexMalloc", "PlacementReport", "StackFormat",
+    "run_memory_mode", "run_tiering",
+    "ExecutionEngine", "PlacementTraffic", "RunResult",
+    "run_ecohmem", "run_profdp_best",
+    "__version__",
+]

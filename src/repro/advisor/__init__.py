@@ -1,0 +1,42 @@
+"""The HMem Advisor: the paper's placement optimizer (sections IV-B, V, VII).
+
+Two placement algorithms over per-site profiles:
+
+- :mod:`~repro.advisor.density` — the base algorithm: a greedy relaxation
+  of the 0/1 multiple knapsack, object value = coefficient-weighted misses
+  per byte, filling subsystems in performance order under capacity limits.
+- :mod:`~repro.advisor.bandwidth_aware` — the Section VII refinement:
+  classify density-placed objects into Fitting / Streaming-D / Thrashing
+  (Table IV) using allocation counts and bandwidth regions, then apply
+  Algorithm 1 (Streaming-D to PMem; swap each Thrashing object with the
+  smallest Fitting object that covers its lifetime).
+
+:class:`~repro.advisor.advisor.HMemAdvisor` is the facade gluing profiles,
+configuration and report emission together.
+"""
+
+from repro.advisor.model import BandwidthObservation, MemObject, Placement
+from repro.advisor.config import AdvisorConfig
+from repro.advisor.knapsack import KnapsackItem, greedy_knapsack, greedy_multiple_knapsack
+from repro.advisor.density import density_placement
+from repro.advisor.bandwidth_aware import (
+    Category,
+    bandwidth_aware_placement,
+    categorize,
+)
+from repro.advisor.advisor import HMemAdvisor
+
+__all__ = [
+    "BandwidthObservation",
+    "MemObject",
+    "Placement",
+    "AdvisorConfig",
+    "KnapsackItem",
+    "greedy_knapsack",
+    "greedy_multiple_knapsack",
+    "density_placement",
+    "Category",
+    "categorize",
+    "bandwidth_aware_placement",
+    "HMemAdvisor",
+]

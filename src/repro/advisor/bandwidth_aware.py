@@ -1,0 +1,150 @@
+"""The memory-bandwidth-aware placement algorithm (Section VII-B).
+
+Step 1 — categorization (Table IV).  Starting from the density placement
+and bandwidth observations from a run using it:
+
+=============  =======  ===========================================================
+category       initial  criteria
+=============  =======  ===========================================================
+Fitting        DRAM     < ``T_ALLOC`` allocations, PMem bandwidth at allocation
+                        below ``T_PMEMLOW``
+Streaming-D    DRAM     no writes, > ``T_ALLOC`` allocations, bandwidth demand
+                        below ``T_PMEMLOW``
+Thrashing      PMem     > ``T_ALLOC`` allocations, PMem bandwidth at allocation
+                        above ``T_PMEMHIGH``
+=============  =======  ===========================================================
+
+Step 2 — placement (Algorithm 1).  Every Streaming-D object moves to PMem
+(releasing DRAM).  Thrashing objects, sorted by bandwidth consumption and
+then by allocation/deallocation time, each search the Fitting set for the
+smallest object that can accommodate them for their entire lifetime; on
+success the pair swaps subsystems.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlacementError
+from repro.advisor.config import AdvisorConfig
+from repro.advisor.model import BandwidthObservation, MemObject, Placement, SiteKey
+
+
+class Category(enum.Enum):
+    """Table IV object categories (plus the untouched remainder)."""
+
+    FITTING = "fitting"
+    STREAMING_D = "streaming-d"
+    THRASHING = "thrashing"
+    OTHER = "other"
+
+
+def categorize(
+    obj: MemObject,
+    placement_subsystem: str,
+    obs: BandwidthObservation,
+    config: AdvisorConfig,
+) -> Category:
+    """Classify one object per Table IV."""
+    if placement_subsystem == "dram":
+        if (
+            obj.alloc_count < config.t_alloc
+            and obs.pmem_frac_at_alloc < config.t_pmem_low
+        ):
+            return Category.FITTING
+        if (
+            not obj.has_writes
+            and obj.alloc_count > config.t_alloc
+            and obs.pmem_frac_at_alloc < config.t_pmem_low
+        ):
+            return Category.STREAMING_D
+    elif placement_subsystem == "pmem":
+        if (
+            obj.alloc_count > config.t_alloc
+            and obs.pmem_frac_at_alloc > config.t_pmem_high
+        ):
+            return Category.THRASHING
+    return Category.OTHER
+
+
+@dataclass
+class BandwidthAwareResult:
+    """The refined placement plus the decisions taken (for reporting)."""
+
+    placement: Placement
+    categories: Dict[SiteKey, Category]
+    streaming_moved: List[SiteKey]
+    swaps: List[Tuple[SiteKey, SiteKey]]  # (thrashing -> DRAM, fitting -> PMem)
+
+
+def bandwidth_aware_placement(
+    objects: Dict[SiteKey, MemObject],
+    base: Placement,
+    observations: Dict[SiteKey, BandwidthObservation],
+    config: AdvisorConfig,
+) -> BandwidthAwareResult:
+    """Run Step 1 + Step 2 over a density placement.
+
+    ``observations`` must cover every object; missing keys raise, because a
+    silent default would quietly disable the algorithm for those sites.
+    """
+    missing = [k for k in objects if k not in observations]
+    if missing:
+        raise PlacementError(
+            f"bandwidth observations missing for {len(missing)} site(s), "
+            f"e.g. {missing[0]!r}"
+        )
+
+    categories = {
+        key: categorize(obj, base.get(key), observations[key], config)
+        for key, obj in objects.items()
+    }
+
+    placement = base.copy()
+    streaming_moved: List[SiteKey] = []
+    swaps: List[Tuple[SiteKey, SiteKey]] = []
+
+    # Step 2a: all Streaming-D objects move to PMem.
+    for key, cat in categories.items():
+        if cat is Category.STREAMING_D:
+            placement.assign(key, "pmem")
+            streaming_moved.append(key)
+
+    # Step 2b: Thrashing objects, by descending bandwidth then by
+    # allocation/deallocation time, try to displace a Fitting object.
+    thrashing = [k for k, c in categories.items() if c is Category.THRASHING]
+    thrashing.sort(
+        key=lambda k: (
+            -observations[k].own_bandwidth,
+            objects[k].first_alloc,
+            objects[k].last_free,
+        )
+    )
+    fitting = {k for k, c in categories.items() if c is Category.FITTING}
+
+    for t_key in thrashing:
+        t_obj = objects[t_key]
+        # smallest Fitting object that can host t for its entire lifetime:
+        # it must be at least as large (so the freed DRAM fits t) and live
+        # throughout t's lifespan (so the space exists when t needs it).
+        candidates = [
+            f_key
+            for f_key in fitting
+            if objects[f_key].size >= t_obj.size and objects[f_key].covers(t_obj)
+        ]
+        if not candidates:
+            continue
+        f_key = min(candidates, key=lambda k: (objects[k].size, str(k)))
+        placement.assign(t_key, "dram")
+        placement.assign(f_key, "pmem")
+        fitting.discard(f_key)
+        swaps.append((t_key, f_key))
+
+    return BandwidthAwareResult(
+        placement=placement,
+        categories=categories,
+        streaming_moved=streaming_moved,
+        swaps=swaps,
+    )

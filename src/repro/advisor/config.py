@@ -1,0 +1,190 @@
+"""Advisor configuration (the paper's configuration file).
+
+Carries the per-subsystem load/store cost coefficients (Section V: "the
+Advisor's configuration file requires now separate load and store
+coefficients per memory subsystem"), the DRAM limit for dynamic
+allocations (Section VIII-A), and the bandwidth-aware thresholds of
+Table IV.  Parses from/serializes to a simple INI-like text format so the
+workflow has a tangible config artefact like the real tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.units import parse_size
+
+
+@dataclass(frozen=True)
+class AdvisorConfig:
+    """All knobs of the HMem Advisor.
+
+    Attributes
+    ----------
+    coefficients:
+        ``subsystem -> (load_coefficient, store_coefficient)``.  Loads-only
+        configurations set every store coefficient to zero
+        (:meth:`loads_only`).
+    dram_limit:
+        Bytes of DRAM usable for dynamic allocations, node level.
+    ranks:
+        Process count; per-rank profile sizes are scaled by this for
+        capacity accounting.
+    t_alloc:
+        Allocation-count threshold separating long-lived singletons from
+        frequently re-allocated objects (Table IV; paper default 2).
+    t_pmem_low / t_pmem_high:
+        Bandwidth-region thresholds as fractions of peak PMem bandwidth
+        (paper defaults 20% / 40%).
+    """
+
+    coefficients: Dict[str, Tuple[float, float]]
+    dram_limit: int
+    ranks: int = 1
+    t_alloc: int = 2
+    t_pmem_low: float = 0.20
+    t_pmem_high: float = 0.40
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise ConfigError("advisor config needs at least one subsystem coefficient")
+        for name, (lc, sc) in self.coefficients.items():
+            if lc < 0 or sc < 0:
+                raise ConfigError(f"subsystem {name!r}: negative coefficient")
+        if self.dram_limit <= 0:
+            raise ConfigError(f"dram_limit must be > 0, got {self.dram_limit}")
+        if self.ranks < 1:
+            raise ConfigError(f"ranks must be >= 1, got {self.ranks}")
+        if self.t_alloc < 1:
+            raise ConfigError(f"t_alloc must be >= 1, got {self.t_alloc}")
+        if not 0 < self.t_pmem_low < self.t_pmem_high < 1:
+            raise ConfigError(
+                f"need 0 < t_pmem_low < t_pmem_high < 1, got "
+                f"{self.t_pmem_low}, {self.t_pmem_high}"
+            )
+
+    def loads_only(self) -> "AdvisorConfig":
+        """The paper's *Loads* configuration: ignore store data."""
+        return replace(
+            self,
+            coefficients={k: (lc, 0.0) for k, (lc, sc) in self.coefficients.items()},
+        )
+
+    def with_dram_limit(self, limit: int) -> "AdvisorConfig":
+        return replace(self, dram_limit=limit)
+
+    def coefficient(self, subsystem: str) -> Tuple[float, float]:
+        try:
+            return self.coefficients[subsystem]
+        except KeyError:
+            raise ConfigError(
+                f"no coefficients for subsystem {subsystem!r} "
+                f"(have {sorted(self.coefficients)})"
+            ) from None
+
+    # -- text round-trip ---------------------------------------------------
+
+    def dumps(self) -> str:
+        lines = [
+            "[advisor]",
+            f"dram_limit = {self.dram_limit}",
+            f"ranks = {self.ranks}",
+            f"t_alloc = {self.t_alloc}",
+            f"t_pmem_low = {self.t_pmem_low}",
+            f"t_pmem_high = {self.t_pmem_high}",
+        ]
+        for name, (lc, sc) in self.coefficients.items():
+            lines += [f"[subsystem.{name}]", f"load_coefficient = {lc}",
+                      f"store_coefficient = {sc}"]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "AdvisorConfig":
+        section = None
+        top: Dict[str, str] = {}
+        coeffs: Dict[str, Dict[str, str]] = {}
+        for raw in text.splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+                if section.startswith("subsystem."):
+                    coeffs.setdefault(section.split(".", 1)[1], {})
+                elif section != "advisor":
+                    raise ConfigError(f"unknown section [{section}]")
+                continue
+            if "=" not in line:
+                raise ConfigError(f"malformed config line: {raw!r}")
+            key, value = (part.strip() for part in line.split("=", 1))
+            if section == "advisor":
+                top[key] = value
+            elif section and section.startswith("subsystem."):
+                coeffs[section.split(".", 1)[1]][key] = value
+            else:
+                raise ConfigError(f"config entry outside a section: {raw!r}")
+        try:
+            coefficients = {
+                name: (float(vals["load_coefficient"]), float(vals["store_coefficient"]))
+                for name, vals in coeffs.items()
+            }
+            limit_text = top["dram_limit"]
+            dram_limit = (
+                int(limit_text) if limit_text.isdigit() else parse_size(limit_text)
+            )
+            return cls(
+                coefficients=coefficients,
+                dram_limit=dram_limit,
+                ranks=int(top.get("ranks", "1")),
+                t_alloc=int(top.get("t_alloc", "2")),
+                t_pmem_low=float(top.get("t_pmem_low", "0.20")),
+                t_pmem_high=float(top.get("t_pmem_high", "0.40")),
+            )
+        except KeyError as exc:
+            raise ConfigError(f"missing config key: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigError(f"bad config value: {exc}") from exc
+
+
+def default_config(dram_limit: int, ranks: int = 1) -> AdvisorConfig:
+    """The paper's testbed coefficients: PMem reads ~2x, stores ~6x DRAM."""
+    return AdvisorConfig(
+        coefficients={"dram": (1.0, 1.0), "pmem": (2.1, 6.0)},
+        dram_limit=dram_limit,
+        ranks=ranks,
+    )
+
+
+def config_for_system(system, dram_limit: int, ranks: int = 1) -> AdvisorConfig:
+    """Derive a config from a :class:`~repro.memsim.subsystem.MemorySystem`.
+
+    Uses the subsystems' own advisor coefficients, so any tier layout
+    (two-tier Optane, three-tier HBM, CXL pools) gets a working config
+    without hand-writing one.
+    """
+    return AdvisorConfig(
+        coefficients=dict(system.coefficients()),
+        dram_limit=dram_limit,
+        ranks=ranks,
+    )
+
+
+def three_tier_config(dram_limit: int, ranks: int = 1) -> AdvisorConfig:
+    """Coefficients for the HBM + DRAM + PMem outlook configuration.
+
+    HBM serves loads cheaper than DRAM under load (its knee is far out),
+    so its coefficients sit below DRAM's; the framework's "coefficients
+    per memory subsystem in a configuration file" design (Section IV-B)
+    is what makes this a config change rather than a code change.
+    """
+    return AdvisorConfig(
+        coefficients={
+            "hbm": (0.75, 0.6),
+            "dram": (1.0, 1.0),
+            "pmem": (2.1, 6.0),
+        },
+        dram_limit=dram_limit,
+        ranks=ranks,
+    )

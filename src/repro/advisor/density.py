@@ -1,0 +1,77 @@
+"""The base (access-density) placement algorithm (Section IV-B + V).
+
+Object value for a subsystem = the stall cost *avoided* by placing the
+object there instead of in the fallback:
+
+    value(obj, m) = (load_coef_fb - load_coef_m) * load_misses
+                  + (store_coef_fb - store_coef_m) * store_misses
+
+divided by the object's size when ranking (the knapsack density), which
+for the two-tier DRAM/PMem case reduces exactly to the paper's "ratio of
+cache misses divided by object size" weighted by the per-subsystem load
+and store coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import PlacementError
+from repro.advisor.config import AdvisorConfig
+from repro.advisor.knapsack import KnapsackItem, greedy_multiple_knapsack
+from repro.advisor.model import MemObject, Placement, SiteKey
+from repro.memsim.subsystem import MemorySystem
+
+
+def density_placement(
+    objects: Dict[SiteKey, MemObject],
+    system: MemorySystem,
+    config: AdvisorConfig,
+) -> Placement:
+    """Run the greedy multiple-knapsack placement.
+
+    Subsystems are filled in the order ``system`` lists them (highest
+    performance first); the fallback (last) subsystem is unbounded for
+    assignment purposes — FlexMalloc's capacity fallback handles overflow
+    at runtime, mirroring the real division of labour.
+    """
+    if not objects:
+        raise PlacementError("no objects to place")
+    names = system.names
+    fallback = system.fallback.name
+    if names[-1] != fallback:
+        # keep the fallback last in fill order
+        names = [n for n in names if n != fallback] + [fallback]
+
+    fb_load, fb_store = config.coefficient(fallback)
+    values: Dict[str, Dict[object, float]] = {}
+    for name in names[:-1]:
+        load_c, store_c = config.coefficient(name)
+        values[name] = {
+            key: max(
+                (fb_load - load_c) * obj.load_misses
+                + (fb_store - store_c) * obj.store_misses,
+                0.0,
+            )
+            for key, obj in objects.items()
+        }
+
+    capacities: Dict[str, Optional[int]] = {}
+    for name in names:
+        sub = system.get(name)
+        cap: Optional[int] = sub.capacity
+        if name == "dram":
+            cap = min(cap, config.dram_limit)
+        capacities[name] = cap
+    capacities[names[-1]] = None  # fallback absorbs the rest
+
+    items = [
+        KnapsackItem(key=key, value=0.0, weight=obj.size * config.ranks)
+        for key, obj in objects.items()
+    ]
+    assignment = greedy_multiple_knapsack(items, capacities, names, values)
+
+    placement = Placement(subsystems=names, fallback=fallback)
+    for key, subsystem in assignment.items():
+        placement.assign(key, subsystem)
+    return placement

@@ -1,0 +1,122 @@
+"""Greedy relaxation of the 0/1 multiple knapsack problem.
+
+The base Advisor algorithm (Section IV-B): distribute memory objects among
+the memory subsystems by solving a knapsack per subsystem in descending
+order of provided performance.  The greedy relaxation sorts items by value
+density (value / weight) and packs while capacity lasts — the classical
+2-approximation's core loop, which is what the real tool ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One placeable object: an opaque key, a value and a weight (bytes)."""
+
+    key: object
+    value: float
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise PlacementError(f"item {self.key!r}: weight must be > 0")
+        if self.value < 0:
+            raise PlacementError(f"item {self.key!r}: negative value")
+
+    @property
+    def density(self) -> float:
+        return self.value / self.weight
+
+
+def greedy_knapsack(
+    items: Sequence[KnapsackItem], capacity: int
+) -> Tuple[List[KnapsackItem], List[KnapsackItem]]:
+    """Pack items by descending value density under a capacity.
+
+    Returns ``(taken, rejected)``.  Zero-value items are never taken (they
+    gain nothing from the faster subsystem and would waste its capacity).
+    Ties in density break toward higher total value, then insertion order
+    (stable sort), keeping results deterministic.
+    """
+    if capacity < 0:
+        raise PlacementError(f"negative capacity {capacity}")
+    order = sorted(
+        range(len(items)),
+        key=lambda i: (-items[i].density, -items[i].value, i),
+    )
+    taken: List[KnapsackItem] = []
+    rejected: List[KnapsackItem] = []
+    remaining = capacity
+    for i in order:
+        item = items[i]
+        if item.value > 0 and item.weight <= remaining:
+            taken.append(item)
+            remaining -= item.weight
+        else:
+            rejected.append(item)
+    return taken, rejected
+
+
+def greedy_multiple_knapsack(
+    items: Sequence[KnapsackItem],
+    capacities: "Dict[str, Optional[int]]",
+    order: Sequence[str],
+    values: "Dict[str, Dict[object, float]]",
+) -> Dict[object, str]:
+    """Distribute items over several knapsacks in performance order.
+
+    Parameters
+    ----------
+    items:
+        Items with their weights; ``value`` fields are ignored here in
+        favour of the per-knapsack ``values`` table.
+    capacities:
+        Per-knapsack byte capacity; ``None`` = unbounded (the fallback).
+    order:
+        Knapsack names from the highest-performance subsystem down.  The
+        last one must be unbounded or big enough for the leftovers.
+    values:
+        ``knapsack -> key -> value``: the benefit of placing that item in
+        that knapsack (relative to the fallback).
+
+    Returns the ``key -> knapsack`` assignment covering every item.
+    """
+    if not order:
+        raise PlacementError("need at least one knapsack")
+    for name in order:
+        if name not in capacities:
+            raise PlacementError(f"no capacity entry for knapsack {name!r}")
+    assignment: Dict[object, str] = {}
+    pending = list(items)
+    for name in order[:-1]:
+        capacity = capacities[name]
+        if capacity is None:
+            raise PlacementError(
+                f"only the last knapsack may be unbounded, {name!r} is not last"
+            )
+        revalued = [
+            KnapsackItem(key=i.key, value=values.get(name, {}).get(i.key, 0.0),
+                         weight=i.weight)
+            for i in pending
+        ]
+        taken, rejected = greedy_knapsack(revalued, capacity)
+        for t in taken:
+            assignment[t.key] = name
+        pending = [i for i in pending if i.key in {r.key for r in rejected}]
+    last = order[-1]
+    last_cap = capacities[last]
+    if last_cap is not None:
+        total = sum(i.weight for i in pending)
+        if total > last_cap:
+            raise PlacementError(
+                f"fallback knapsack {last!r} overflows: {total} > {last_cap} bytes"
+            )
+    for item in pending:
+        assignment[item.key] = last
+    return assignment

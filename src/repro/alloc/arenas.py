@@ -1,0 +1,166 @@
+"""Size-class arena allocator (jemalloc/memkind style).
+
+memkind's PMEM kinds run jemalloc arenas over the DAX mapping; the plain
+free list in :mod:`repro.alloc.heap` models capacity behaviour but not the
+*speed* structure of such an allocator.  :class:`SizeClassArena` adds it:
+
+- small requests are rounded up to a size class and served from per-class
+  **slabs** carved out of the backing region — O(1) pop/push from a free
+  stack, no coalescing on the hot path;
+- large requests (above :attr:`large_threshold`) fall through to a
+  first-fit free list;
+- internal fragmentation (class rounding + unused slab tails) is tracked
+  explicitly, since placement capacity math feels it.
+
+The class implements the same interface as :class:`FreeListHeap`, so a
+:class:`~repro.alloc.memkind.HeapRegistry` can mix both kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AddressError, AllocationError, ConfigError
+from repro.alloc.heap import Allocation, FreeListHeap, HeapManager, HeapStats
+
+#: jemalloc-style class ladder: 16 B steps up to 128, then 1.25x-ish groups
+_BASE_CLASSES = [16, 32, 48, 64, 80, 96, 112, 128,
+                 160, 192, 224, 256, 320, 384, 448, 512,
+                 640, 768, 896, 1024, 1280, 1536, 1792, 2048,
+                 2560, 3072, 3584, 4096, 5120, 6144, 7168, 8192,
+                 10240, 12288, 14336, 16384]
+
+
+class SizeClassArena(HeapManager):
+    """An arena allocator over a contiguous backing region."""
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        capacity: int,
+        subsystem: str = "",
+        *,
+        slab_size: int = 1 << 20,
+        large_threshold: int = 16384,
+        alloc_cost_ns: float = 45.0,
+        free_cost_ns: float = 30.0,
+    ):
+        if slab_size <= 0 or slab_size > capacity:
+            raise ConfigError(f"arena {name!r}: bad slab size {slab_size}")
+        if large_threshold not in _BASE_CLASSES:
+            raise ConfigError(
+                f"arena {name!r}: large_threshold must be a size class"
+            )
+        self.name = name
+        self.subsystem = subsystem or name
+        self.base = base
+        self.slab_size = slab_size
+        self.large_threshold = large_threshold
+        self.alloc_cost_ns = alloc_cost_ns
+        self.free_cost_ns = free_cost_ns
+        self.classes = [c for c in _BASE_CLASSES if c <= large_threshold]
+        # the backing region is itself a free list; slabs and large blocks
+        # are carved from it
+        self._backing = FreeListHeap(f"{name}-backing", base=base,
+                                     capacity=capacity, subsystem=subsystem)
+        self._free_slots: Dict[int, List[int]] = {c: [] for c in self.classes}
+        self._slot_class: Dict[int, int] = {}      # live slot addr -> class
+        self._slot_request: Dict[int, int] = {}    # live slot addr -> asked size
+        self._large: Dict[int, Allocation] = {}    # large allocs by address
+        self._slab_tail_waste = 0
+        self.stats = HeapStats()
+
+    # -- size classes -------------------------------------------------------
+
+    def size_class(self, size: int) -> Optional[int]:
+        """The class a request rounds to; ``None`` for large requests."""
+        if size <= 0:
+            raise AllocationError(f"arena {self.name!r}: size must be > 0")
+        for c in self.classes:
+            if size <= c:
+                return c
+        return None
+
+    def _refill(self, klass: int) -> None:
+        slab = self._backing.allocate(self.slab_size)
+        count = self.slab_size // klass
+        self._slab_tail_waste += self.slab_size - count * klass
+        slots = self._free_slots[klass]
+        for i in range(count):
+            slots.append(slab.address + i * klass)
+
+    # -- interface ------------------------------------------------------------
+
+    def allocate(self, size: int) -> Allocation:
+        klass = self.size_class(size)
+        if klass is None:
+            alloc = self._backing.allocate(size)
+            self._large[alloc.address] = alloc
+            self.stats.allocations += 1
+            self.stats.bytes_allocated += size
+            self.stats.high_water = max(self.stats.high_water, self.used)
+            return Allocation(address=alloc.address, size=size,
+                              padded_size=alloc.padded_size,
+                              heap_name=self.name)
+        slots = self._free_slots[klass]
+        if not slots:
+            self._refill(klass)  # may raise AllocationError: arena is full
+        address = slots.pop()
+        self._slot_class[address] = klass
+        self._slot_request[address] = size
+        self.stats.allocations += 1
+        self.stats.bytes_allocated += size
+        self.stats.high_water = max(self.stats.high_water, self.used)
+        return Allocation(address=address, size=size, padded_size=klass,
+                          heap_name=self.name)
+
+    def free(self, address: int) -> int:
+        klass = self._slot_class.pop(address, None)
+        if klass is not None:
+            size = self._slot_request.pop(address)
+            self._free_slots[klass].append(address)
+            self.stats.frees += 1
+            return size
+        alloc = self._large.pop(address, None)
+        if alloc is not None:
+            self._backing.free(address)
+            self.stats.frees += 1
+            return alloc.size
+        raise AddressError(
+            f"arena {self.name!r}: free of unknown address {address:#x}"
+        )
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._backing.capacity
+
+    @property
+    def used(self) -> int:
+        """Bytes reserved from the backing region (slabs + large blocks)."""
+        return self._backing.used
+
+    def owns(self, address: int) -> bool:
+        return self._backing.owns(address)
+
+    def lookup(self, address: int) -> Optional[Allocation]:
+        klass = self._slot_class.get(address)
+        if klass is not None:
+            return Allocation(address=address,
+                              size=self._slot_request[address],
+                              padded_size=klass, heap_name=self.name)
+        return self._large.get(address)
+
+    def live_bytes_requested(self) -> int:
+        """Bytes the application actually asked for (vs reserved)."""
+        return (sum(self._slot_request.values())
+                + sum(a.size for a in self._large.values()))
+
+    def internal_fragmentation(self) -> float:
+        """1 - requested/reserved over the live slots and slab overheads."""
+        reserved = self.used
+        if reserved == 0:
+            return 0.0
+        return 1.0 - self.live_bytes_requested() / reserved

@@ -1,0 +1,154 @@
+"""FlexMalloc: the runtime allocation interposer (Section IV-C).
+
+Intercepts the application's heap calls (in the simulation: the workload
+replayer's calls), captures the call stack, matches it against the Advisor
+report, and forwards the request to the heap manager of the designated
+memory subsystem.  Two behaviours from the paper are modelled exactly:
+
+- **fallback**: sites absent from the report go to the fallback subsystem;
+  so do allocations whose designated heap is out of space;
+- **overhead**: every interception charges the matcher's cost plus the
+  target heap's call cost, so experiments can compare the BOM and
+  human-readable formats end to end (Section VIII-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+from repro.errors import AllocationError, AddressError
+from repro.alloc.heap import Allocation
+from repro.alloc.memkind import HeapRegistry
+from repro.binary.callstack import CallStack
+
+
+class Matcher(Protocol):
+    """Anything that maps a call stack to a subsystem name (or None)."""
+
+    def match(self, stack: CallStack) -> Optional[str]: ...  # pragma: no cover
+
+
+@dataclass
+class InterposerStats:
+    """End-to-end FlexMalloc accounting."""
+
+    calls: int = 0
+    matched: int = 0
+    fallback_unmatched: int = 0
+    fallback_capacity: int = 0
+    frees: int = 0
+    reallocs: int = 0
+    overhead_ns: float = 0.0
+    bytes_by_subsystem: Dict[str, int] = field(default_factory=dict)
+
+    def _account(self, subsystem: str, nbytes: int) -> None:
+        self.bytes_by_subsystem[subsystem] = (
+            self.bytes_by_subsystem.get(subsystem, 0) + nbytes
+        )
+
+
+class FlexMalloc:
+    """The interposition library: report-driven allocation routing.
+
+    Parameters
+    ----------
+    heaps:
+        Per-subsystem heap managers for this process.
+    matcher:
+        A :class:`~repro.alloc.matching.BOMMatcher` or
+        :class:`~repro.alloc.matching.HumanReadableMatcher`; ``None`` sends
+        everything to the fallback (profiling runs work this way).
+    fallback:
+        Subsystem name for unmatched sites and capacity overflow.
+    """
+
+    def __init__(
+        self,
+        heaps: HeapRegistry,
+        matcher: Optional[Matcher] = None,
+        fallback: str = "pmem",
+    ):
+        if fallback not in heaps.subsystems:
+            raise AllocationError(
+                f"fallback subsystem {fallback!r} has no heap "
+                f"(have {heaps.subsystems})"
+            )
+        self.heaps = heaps
+        self.matcher = matcher
+        self.fallback = fallback
+        self.stats = InterposerStats()
+        #: where each live allocation actually landed, keyed by address
+        self._placement: Dict[int, str] = {}
+
+    # -- the interposed entry points ----------------------------------------
+
+    def malloc(self, size: int, stack: CallStack) -> Allocation:
+        """Intercept one allocation call."""
+        self.stats.calls += 1
+        target = None
+        if self.matcher is not None:
+            target = self.matcher.match(stack)
+            # matcher cost is tracked in its own stats; mirror into ours
+        if target is None:
+            target = self.fallback
+            self.stats.fallback_unmatched += 1
+        else:
+            self.stats.matched += 1
+
+        alloc = self._allocate_with_fallback(target, size)
+        self._placement[alloc.address] = alloc.heap_name
+        return alloc
+
+    def _allocate_with_fallback(self, target: str, size: int) -> Allocation:
+        heap = self.heaps.get(target)
+        try:
+            alloc = heap.allocate(size)
+            self.stats.overhead_ns += heap.alloc_cost_ns
+            self.stats._account(heap.subsystem, size)
+            return alloc
+        except AllocationError:
+            if target == self.fallback:
+                raise  # nothing left to try
+        # designated subsystem full: route to the fallback (Section IV-C)
+        self.stats.fallback_capacity += 1
+        fb = self.heaps.get(self.fallback)
+        alloc = fb.allocate(size)  # may legitimately raise if also full
+        self.stats.overhead_ns += fb.alloc_cost_ns
+        self.stats._account(fb.subsystem, size)
+        return alloc
+
+    def free(self, address: int) -> int:
+        """Intercept one free; routed to the owning heap by address range."""
+        heap = self.heaps.heap_of_address(address)
+        if heap is None:
+            raise AddressError(f"free of address {address:#x} owned by no heap")
+        size = heap.free(address)
+        self.stats.frees += 1
+        self.stats.overhead_ns += heap.free_cost_ns
+        self._placement.pop(address, None)
+        return size
+
+    def realloc(self, address: int, new_size: int, stack: CallStack) -> Allocation:
+        """Free + re-malloc through the same routing rules."""
+        self.free(address)
+        self.stats.reallocs += 1
+        self.stats.calls -= 1  # malloc below will recount
+        return self.malloc(new_size, stack)
+
+    # -- introspection ----------------------------------------------------------
+
+    def subsystem_of(self, address: int) -> str:
+        """Which subsystem a live allocation landed in."""
+        heap = self.heaps.heap_of_address(address)
+        if heap is None or heap.lookup(address) is None:
+            raise AddressError(f"address {address:#x} is not a live allocation")
+        return heap.subsystem
+
+    def matcher_overhead_ns(self) -> float:
+        """Total time spent matching (0 without a matcher)."""
+        return self.matcher.stats.time_ns if self.matcher is not None else 0.0
+
+    def total_overhead_ns(self) -> float:
+        """Heap-call plus matching overhead for the whole run."""
+        return self.stats.overhead_ns + self.matcher_overhead_ns()

@@ -1,0 +1,155 @@
+"""Call-stack matching against a placement report (Section VI).
+
+Two matchers implement the same interface:
+
+- :class:`BOMMatcher` — at process initialization, every BOM site in the
+  report is translated to the absolute addresses *of this process* using
+  the image load bases (one add per frame).  A runtime match is then a
+  hash lookup over integer tuples: a handful of nanoseconds per frame.
+- :class:`HumanReadableMatcher` — every intercepted call stack must first
+  be translated to ``file:line`` via :class:`BinutilsResolver` (charging
+  parse + lookup costs and the debug-info memory footprint), then compared
+  as strings against the report.
+
+Both record a :class:`MatcherStats` so experiments can quantify the
+overhead gap the paper reports in Section VIII-D.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError, MatchError
+from repro.binary.aslr import AddressSpace
+from repro.binary.callstack import CallStack, StackFormat
+from repro.binary.resolver import BinutilsResolver
+from repro.alloc.report import PlacementReport
+
+
+class MatchOutcome(enum.Enum):
+    """What happened to an intercepted allocation's call stack."""
+
+    MATCHED = "matched"
+    UNMATCHED = "unmatched"
+
+
+@dataclass
+class MatcherStats:
+    """Cost and hit accounting for one matcher instance."""
+
+    lookups: int = 0
+    matches: int = 0
+    time_ns: float = 0.0
+    init_time_ns: float = 0.0
+    resident_bytes: int = 0  # debug info and tables held in DRAM
+
+    @property
+    def match_ratio(self) -> float:
+        return self.matches / self.lookups if self.lookups else 0.0
+
+
+class BOMMatcher:
+    """Binary Object Matching: integer address comparison per frame.
+
+    Parameters
+    ----------
+    report:
+        A BOM-format placement report.
+    space:
+        This process's address space (provides image load bases).
+    compare_ns_per_frame:
+        Simulated cost of one address comparison during lookup.
+    """
+
+    def __init__(
+        self,
+        report: PlacementReport,
+        space: AddressSpace,
+        *,
+        compare_ns_per_frame: float = 4.0,
+        hash_ns: float = 18.0,
+    ):
+        if report.fmt is not StackFormat.BOM:
+            raise ConfigError(f"BOMMatcher needs a BOM report, got {report.fmt}")
+        self.space = space
+        self.compare_ns_per_frame = compare_ns_per_frame
+        self.hash_ns = hash_ns
+        self.stats = MatcherStats()
+        self._table: Dict[Tuple[int, ...], str] = {}
+        # Initialization: compute absolute addresses for each report site
+        # in this process (one base-address add per frame).
+        for entry in report:
+            addrs = []
+            skip = False
+            for frame in entry.site:
+                try:
+                    addrs.append(space.absolute(frame.object_name, frame.offset))
+                except Exception:
+                    # Image not loaded in this process (e.g. rank without a
+                    # plugin); that site simply can never match here.
+                    skip = True
+                    break
+                self.stats.init_time_ns += 2.0  # one add + bounds check
+            if not skip:
+                self._table[tuple(addrs)] = entry.subsystem
+        # table memory: ~8 B per frame address + dict overhead
+        self.stats.resident_bytes = sum(
+            len(k) * 8 + 64 for k in self._table
+        )
+
+    def match(self, stack: CallStack) -> Optional[str]:
+        """Return the target subsystem for a captured stack, or ``None``."""
+        self.stats.lookups += 1
+        key = tuple(f.address for f in stack.frames)
+        self.stats.time_ns += self.hash_ns + self.compare_ns_per_frame * len(key)
+        subsystem = self._table.get(key)
+        if subsystem is not None:
+            self.stats.matches += 1
+        return subsystem
+
+
+class HumanReadableMatcher:
+    """file:line matching: addr2line translation + string comparisons.
+
+    Each lookup resolves every frame through the resolver (binary search
+    over the image's line table, debug info parsed and held resident on
+    first touch) and then compares the rendered strings against the
+    report's site table.
+    """
+
+    def __init__(
+        self,
+        report: PlacementReport,
+        space: AddressSpace,
+        *,
+        string_compare_ns_per_frame: float = 45.0,
+        resolver: Optional[BinutilsResolver] = None,
+    ):
+        if report.fmt is not StackFormat.HUMAN:
+            raise ConfigError(
+                f"HumanReadableMatcher needs a HUMAN report, got {report.fmt}"
+            )
+        self.space = space
+        self.resolver = resolver or BinutilsResolver(space)
+        self.string_compare_ns_per_frame = string_compare_ns_per_frame
+        self.stats = MatcherStats()
+        self._table: Dict[Tuple, str] = {entry.site: entry.subsystem for entry in report}
+
+    def match(self, stack: CallStack) -> Optional[str]:
+        self.stats.lookups += 1
+        before = self.resolver.cost.time_ns
+        try:
+            human = self.resolver.resolve_stack(stack)
+        except Exception as exc:
+            raise MatchError(
+                f"cannot translate call stack to human-readable form: {exc}"
+            ) from exc
+        self.stats.time_ns += self.resolver.cost.time_ns - before
+        self.stats.time_ns += self.string_compare_ns_per_frame * len(stack)
+        self.stats.resident_bytes = self.resolver.cost.debug_info_bytes_loaded
+        subsystem = self._table.get(human)
+        if subsystem is not None:
+            self.stats.matches += 1
+        return subsystem

@@ -1,0 +1,140 @@
+"""The Advisor placement report consumed by FlexMalloc.
+
+The report maps allocation-site call stacks to target memory subsystems,
+in either of the two stable formats (Table I).  It round-trips through a
+simple line-oriented text form so the workflow mirrors the real tool
+chain (Advisor writes a file, FlexMalloc reads it):
+
+.. code-block:: text
+
+    # ecohmem-placement format=bom fallback=pmem
+    dram    lulesh2.0+0x0001a2b0 > lulesh2.0+0x00003c40
+    pmem    libmpi.so.12+0x00041100 > lulesh2.0+0x00008f20
+
+or, human-readable::
+
+    # ecohmem-placement format=human fallback=pmem
+    dram    lulesh.cc:1205 > lulesh.cc:2817
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError, PlacementError
+from repro.binary.callstack import BOMFrame, HumanFrame, StackFormat
+
+SiteKey = Tuple  # tuple of BOMFrame or HumanFrame
+
+
+@dataclass(frozen=True)
+class PlacementEntry:
+    """One report row: a call-stack site and its assigned subsystem."""
+
+    site: SiteKey
+    subsystem: str
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ConfigError("placement entry with empty site key")
+        if not self.subsystem:
+            raise ConfigError("placement entry with empty subsystem")
+
+
+class PlacementReport:
+    """An ordered set of placement entries in one call-stack format."""
+
+    def __init__(
+        self,
+        fmt: StackFormat,
+        entries: Iterable[PlacementEntry] = (),
+        fallback: str = "pmem",
+    ):
+        if fmt is StackFormat.RAW:
+            raise ConfigError(
+                "RAW call stacks are not stable across runs (ASLR); "
+                "reports must use BOM or HUMAN format"
+            )
+        self.fmt = fmt
+        self.fallback = fallback
+        self._entries: Dict[SiteKey, str] = {}
+        for e in entries:
+            self.add(e)
+
+    def add(self, entry: PlacementEntry) -> None:
+        existing = self._entries.get(entry.site)
+        if existing is not None and existing != entry.subsystem:
+            raise PlacementError(
+                f"conflicting placement for site {entry.site!r}: "
+                f"{existing!r} vs {entry.subsystem!r}"
+            )
+        self._entries[entry.site] = entry.subsystem
+
+    def lookup(self, site: SiteKey) -> Optional[str]:
+        return self._entries.get(site)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(PlacementEntry(site=k, subsystem=v) for k, v in self._entries.items())
+
+    def sites_for(self, subsystem: str) -> List[SiteKey]:
+        return [k for k, v in self._entries.items() if v == subsystem]
+
+    # -- serialization -------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Render the report in the line-oriented text format."""
+        lines = [f"# ecohmem-placement format={self.fmt.value} fallback={self.fallback}"]
+        for site, subsystem in self._entries.items():
+            rendered = " > ".join(self._render_frame(f) for f in site)
+            lines.append(f"{subsystem}\t{rendered}")
+        return "\n".join(lines) + "\n"
+
+    def _render_frame(self, frame) -> str:
+        if self.fmt is StackFormat.BOM:
+            return f"{frame.object_name}+{frame.offset:#x}"
+        return f"{frame.source_file}:{frame.line}"
+
+    @classmethod
+    def loads(cls, text: str) -> "PlacementReport":
+        """Parse the text format back into a report."""
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines or not lines[0].startswith("# ecohmem-placement"):
+            raise ConfigError("missing ecohmem-placement header")
+        header = dict(
+            part.split("=", 1) for part in lines[0].split()[2:] if "=" in part
+        )
+        try:
+            fmt = StackFormat(header["format"])
+        except (KeyError, ValueError) as exc:
+            raise ConfigError(f"bad or missing format in header: {lines[0]!r}") from exc
+        report = cls(fmt=fmt, fallback=header.get("fallback", "pmem"))
+        for ln in lines[1:]:
+            if ln.startswith("#"):
+                continue
+            try:
+                subsystem, stack_text = ln.split("\t", 1)
+            except ValueError:
+                raise ConfigError(f"malformed report line: {ln!r}") from None
+            frames = tuple(
+                cls._parse_frame(fmt, tok.strip()) for tok in stack_text.split(">")
+            )
+            report.add(PlacementEntry(site=frames, subsystem=subsystem.strip()))
+        return report
+
+    @staticmethod
+    def _parse_frame(fmt: StackFormat, token: str):
+        if fmt is StackFormat.BOM:
+            try:
+                obj, off = token.rsplit("+", 1)
+                return BOMFrame(object_name=obj, offset=int(off, 16))
+            except ValueError as exc:
+                raise ConfigError(f"bad BOM frame {token!r}") from exc
+        try:
+            src, line = token.rsplit(":", 1)
+            return HumanFrame(source_file=src, line=int(line))
+        except ValueError as exc:
+            raise ConfigError(f"bad human frame {token!r}") from exc

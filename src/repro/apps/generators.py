@@ -1,0 +1,111 @@
+"""Synthetic memory-access stream generators.
+
+The analytic engine works with per-phase miss *rates*; these generators
+produce actual address streams with controllable locality so that the
+cache simulator (:mod:`repro.memsim.cache`) can validate the rate
+assumptions — e.g. that a streaming pass over an object misses once per
+line, or that a hot working set smaller than the LLC stops missing.
+
+Used by the validation tests and available to users building
+microbenchmark-style workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Region:
+    """An address region an access pattern operates on."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WorkloadError(f"region size must be > 0, got {self.size}")
+        if self.base < 0:
+            raise WorkloadError(f"region base must be >= 0, got {self.base}")
+
+
+def sequential_stream(region: Region, *, passes: int = 1,
+                      stride: int = 8) -> np.ndarray:
+    """Pure streaming: walk the region ``passes`` times at ``stride``.
+
+    A region larger than the cache misses exactly once per line per pass.
+    """
+    if passes < 1 or stride < 1:
+        raise WorkloadError("passes and stride must be >= 1")
+    one = np.arange(region.base, region.base + region.size, stride,
+                    dtype=np.int64)
+    return np.tile(one, passes)
+
+
+def random_access(region: Region, count: int, *,
+                  seed: int = 0, align: int = 8) -> np.ndarray:
+    """Uniformly random accesses: the worst case for any cache."""
+    if count < 1:
+        raise WorkloadError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+    slots = max(region.size // align, 1)
+    return region.base + rng.integers(0, slots, size=count) * align
+
+
+def hot_cold_stream(hot: Region, cold: Region, count: int, *,
+                    hot_fraction: float = 0.9, seed: int = 0) -> np.ndarray:
+    """A classic 90/10 pattern: most accesses hit a small hot region.
+
+    Models the reuse/streaming mix behind the memory-mode hit-ratio
+    parameters: the hot region caches, the cold one streams.
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise WorkloadError(f"hot_fraction must be in (0,1), got {hot_fraction}")
+    rng = np.random.default_rng(seed)
+    pick_hot = rng.random(count) < hot_fraction
+    hot_addrs = random_access(hot, count, seed=seed + 1)
+    cold_addrs = random_access(cold, count, seed=seed + 2)
+    return np.where(pick_hot, hot_addrs, cold_addrs)
+
+
+def strided_gather(region: Region, count: int, *, stride: int = 4096,
+                   seed: int = 0) -> np.ndarray:
+    """Large-stride gather (sparse matrix style): one line per access,
+    defeating spatial locality but staying within the region."""
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, max(region.size - stride, 1), size=count)
+    return region.base + (starts // stride) * stride
+
+
+def pointer_chase(region: Region, count: int, *, node: int = 64,
+                  seed: int = 0) -> np.ndarray:
+    """A dependent chain over shuffled nodes: serial misses (MLP = 1).
+
+    The permutation is a single cycle, so the chase visits every node
+    before repeating — maximal temporal distance between reuses.
+    """
+    rng = np.random.default_rng(seed)
+    n = max(region.size // node, 2)
+    perm = rng.permutation(n)
+    order = np.empty(n, dtype=np.int64)
+    # build a single cycle from the permutation order
+    for i in range(n):
+        order[perm[i - 1]] = perm[i]
+    out = np.empty(count, dtype=np.int64)
+    cur = int(perm[0])
+    for i in range(count):
+        out[i] = region.base + cur * node
+        cur = int(order[cur])
+    return out
+
+
+def expected_stream_misses(region: Region, passes: int,
+                           line_size: int = 64) -> int:
+    """The analytic miss count the engine assumes for a streaming pass."""
+    lines = (region.size + line_size - 1) // line_size
+    return lines * passes

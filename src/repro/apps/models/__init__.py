@@ -1,0 +1,11 @@
+"""Application model modules; importing this package registers them all."""
+
+from repro.apps.models import (  # noqa: F401
+    minife,
+    minimd,
+    lulesh,
+    hpcg,
+    cloverleaf,
+    lammps,
+    openfoam,
+)

@@ -1,0 +1,127 @@
+"""CloverLeaf3D 1.2-beta model — Lagrangian-Eulerian hydrodynamics (Table V).
+
+24 ranks x 1 thread, (512,512,512), high-water ~1467 MB/rank.  The most
+memory-bound code of the suite (Table VI: 93.5% memory-bound slots, 59.2%
+hit ratio).  Two object families drive the paper's store-heuristic result
+(Section VIII-A: +19% from Loads+stores at the 12 GB limit):
+
+- **read fields** (density, energy, pressure, soundspeed, velocities...):
+  streamed by the advection/PdV kernels with high load-miss density — the
+  loads-only advisor ranks them correctly.
+- **flux/work fields**: *written* by ``flux_calc``/``advec`` with true
+  streaming store misses (l1d ~= off-chip), but few load misses — the
+  loads-only advisor leaves them in PMem, where store bursts pay the
+  write penalty; including stores pulls them into DRAM.
+
+Per-field accessor functions carry Table VII's function breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.registry import register_workload
+from repro.apps.workload import ObjectSpec, Phase, Workload
+from repro.apps.models.common import access, mb, site, stream_rate
+
+_IMG = "clover_leaf"
+_FIELD = mb(45)  # one 512^3 double field / 24 ranks
+
+#: read-mostly fields: (name, load passes/s, accessor)
+_READ_FIELDS = [
+    ("density0", 7.15, "advec_cell_kernel"),
+    ("density1", 5.20, "advec_cell_kernel"),
+    ("energy0", 7.15, "calc_dt_kernel"),
+    ("energy1", 5.20, "calc_dt_kernel"),
+    ("pressure", 6.76, "pdv_kernel"),
+    ("viscosity", 4.68, "viscosity_kernel"),
+    ("soundspeed", 4.42, "calc_dt_kernel"),
+    ("xvel0", 4.16, "advec_mom_kernel"),
+    ("yvel0", 4.16, "advec_mom_kernel"),
+    ("zvel0", 4.16, "advec_mom_kernel"),
+    ("xvel1", 3.38, "advec_mom_kernel"),
+    ("yvel1", 3.38, "advec_mom_kernel"),
+    ("zvel1", 3.38, "advec_mom_kernel"),
+    ("volume", 2.86, "ideal_gas_kernel"),
+]
+
+#: written fields: (name, store passes/s, load passes/s, accessor)
+_WORK_FIELDS = [
+    ("vol_flux_x", 2.2, 0.6, "flux_calc_kernel"),
+    ("vol_flux_y", 2.2, 0.6, "flux_calc_kernel"),
+    ("vol_flux_z", 2.2, 0.6, "flux_calc_kernel"),
+    ("mass_flux_x", 2.0, 0.6, "advec_cell_kernel"),
+    ("mass_flux_y", 2.0, 0.6, "advec_cell_kernel"),
+    ("mass_flux_z", 2.0, 0.6, "advec_cell_kernel"),
+    ("work_array1", 1.8, 0.5, "pdv_kernel"),
+]
+
+
+def build() -> Workload:
+    setup, step = "setup", "step"
+    objects: List[ObjectSpec] = []
+
+    for name, passes, accessor in _READ_FIELDS:
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"allocate_{name}", "build_field", "clover_init",
+                      name=f"clover::{name}"),
+            size=_FIELD,
+            access={
+                step: access(loads=stream_rate(_FIELD, passes),
+                             stores=stream_rate(_FIELD, 0.3),
+                             accessor=accessor),
+            },
+        ))
+
+    for name, store_passes, load_passes, accessor in _WORK_FIELDS:
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"allocate_{name}", "build_field", "clover_init",
+                      name=f"clover::{name}"),
+            size=_FIELD,
+            access={
+                step: access(loads=stream_rate(_FIELD, load_passes),
+                             stores=stream_rate(_FIELD, store_passes),
+                             accessor=accessor),
+            },
+        ))
+
+    # halo exchange buffers (clover_pack_message_* in Table VII)
+    for direction in ("top", "front", "right"):
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"pack_{direction}", "update_halo", "hydro",
+                      name=f"clover::halo_{direction}"),
+            size=mb(18),
+            alloc_count=30,
+            first_alloc=6.0,
+            lifetime=1.2,
+            period=1.6,
+            sampling_visibility=0.5,
+            serial_fraction=0.35,
+            access={step: access(loads=stream_rate(mb(18), 2.0),
+                                 stores=stream_rate(mb(18), 2.0),
+                                 accessor=f"clover_pack_message_{direction}")},
+        ))
+
+    objects.append(ObjectSpec(
+        site=site(_IMG, "initialise_chunk", "clover_init", name="clover::setup"),
+        size=mb(300),
+        lifetime=6.0,
+        access={setup: access(loads=stream_rate(mb(300), 1.5),
+                              stores=stream_rate(mb(300), 1.0),
+                              accessor="initialise_chunk")},
+    ))
+
+    return Workload(
+        name="cloverleaf3d",
+        phases=[Phase(setup, compute_time=6.0), Phase(step, compute_time=1.0, repeat=48)],
+        objects=objects,
+        ranks=24,
+        threads=1,
+        mlp=5.0,
+        locality=0.82,
+        conflict_pressure=0.26,
+        ws_factor=0.80,
+    )
+
+
+register_workload("cloverleaf3d", build)

@@ -1,0 +1,59 @@
+"""Shared helpers for the application model modules.
+
+Sizes are bytes per rank (Table V's per-rank high-water marks are the
+budgets each model reconciles against).  Rates are LLC-load-miss /
+L1D-store-miss events per nominal second per live instance per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.workload import AccessStats, AllocationSite, ObjectSpec
+from repro.units import KiB, MiB
+
+#: images shared by every model: the main binary plus common libraries
+LIBC = "libc.so.6"
+LIBMPI = "libmpi.so.12"
+
+
+def site(image: str, *stack: str, name: Optional[str] = None) -> AllocationSite:
+    """Shorthand for an allocation site; name defaults to the inner frame."""
+    return AllocationSite(
+        name=name or f"{image.split('.')[0]}::{stack[0]}",
+        image=image,
+        stack=tuple(stack),
+    )
+
+
+def access(
+    loads: float = 0.0,
+    stores: float = 0.0,
+    l1d_store_rate: Optional[float] = None,
+    accessor: str = "",
+) -> AccessStats:
+    """Shorthand for per-phase access statistics."""
+    return AccessStats(
+        load_rate=loads,
+        store_rate=stores,
+        l1d_store_rate=l1d_store_rate,
+        accessor=accessor,
+    )
+
+
+def stream_rate(size: int, passes_per_second: float) -> float:
+    """LLC miss rate of streaming ``size`` bytes ``passes_per_second`` times.
+
+    A streaming pass over an array larger than the LLC misses once per
+    64 B line.
+    """
+    return size / 64.0 * passes_per_second
+
+
+def mb(x: float) -> int:
+    """Mebibytes to bytes (model sizes read naturally)."""
+    return int(x * MiB)
+
+
+def kb(x: float) -> int:
+    return int(x * KiB)

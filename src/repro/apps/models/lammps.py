@@ -1,0 +1,111 @@
+"""LAMMPS (stable_Oct20) model — rhodopsin benchmark, scaled (Table V).
+
+12 ranks x 2 threads, var=(8,8,8) rhodo.scaled, 25 iterations, high-water
+~4240 MB/rank.  The paper's analysis (Section VIII-C): the bulk of each
+compute iteration fits in L2 (only 29.2% of stalls are memory-related;
+DRAM-cache hit ratio 63.5%), so placement has almost nothing to win — and
+ecoHMEM actually loses a few percent because the *MPI communication
+buffers* sit on the critical path but are under-sampled (communication
+phases are short), so the Advisor never ranks them into DRAM and the
+fallback sends them to PMem.
+
+Modelled accordingly: low overall miss rates, plus frequently-reallocated
+comm buffers with high ``serial_fraction`` and low ``sampling_visibility``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.registry import register_workload
+from repro.apps.workload import ObjectSpec, Phase, Workload
+from repro.apps.models.common import access, mb, site, stream_rate
+
+_IMG = "lmp_intel"
+
+
+def build() -> Workload:
+    setup, it = "setup", "iteration"
+    objects: List[ObjectSpec] = []
+
+    # neighbor lists: big, moderate streaming (mostly prefetched well)
+    objects.append(ObjectSpec(
+        site=site(_IMG, "NeighList::grow", "Neighbor::build", "main",
+                  name="lammps::neighbor"),
+        size=mb(1850),
+        alloc_count=12,
+        first_alloc=0.0,
+        lifetime=4.5,
+        period=4.65,
+        access={
+            it: access(loads=stream_rate(mb(1850), 0.09), accessor="pair_compute"),
+            setup: access(loads=stream_rate(mb(1850), 0.08),
+                          stores=stream_rate(mb(1850), 0.04),
+                          accessor="neighbor_build"),
+        },
+    ))
+
+    # per-atom arrays: mostly cache-resident per iteration chunk
+    for name, loads_p, stores_p in [("x", 0.45, 0.05), ("v", 0.2, 0.1), ("f", 0.15, 0.15)]:
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"Atom::grow_{name}", "Atom::grow", "main",
+                      name=f"lammps::atom_{name}"),
+            size=mb(360),
+            access={
+                it: access(loads=stream_rate(mb(360), loads_p),
+                           stores=stream_rate(mb(360), stores_p),
+                           l1d_store_rate=stream_rate(mb(360), stores_p * 4.0),
+                           accessor="pair_compute"),
+            },
+        ))
+
+    # long-range (PPPM) FFT grids: periodic moderate traffic
+    objects.append(ObjectSpec(
+        site=site(_IMG, "PPPM::allocate", "KSpace::setup", "main",
+                  name="lammps::pppm_grid"),
+        size=mb(540),
+        access={it: access(loads=stream_rate(mb(540), 0.28),
+                           stores=stream_rate(mb(540), 0.14),
+                           accessor="pppm_compute")},
+    ))
+
+    # MPI communication buffers: critical path, badly sampled
+    for name in ("send", "recv"):
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"Comm::grow_{name}", "Comm::borders", "main",
+                      name=f"lammps::comm_{name}"),
+            size=mb(48),
+            alloc_count=50,
+            first_alloc=1.0,
+            lifetime=0.5,
+            period=1.05,
+            sampling_visibility=0.01,
+            serial_fraction=0.65,
+            access={it: access(loads=stream_rate(mb(48), 0.7),
+                               stores=stream_rate(mb(48), 0.7),
+                               accessor="comm_exchange")},
+        ))
+
+    objects.append(ObjectSpec(
+        site=site(_IMG, "read_data", "main", name="lammps::setup"),
+        size=mb(640),
+        lifetime=7.0,
+        access={setup: access(loads=stream_rate(mb(640), 0.45),
+                              stores=stream_rate(mb(640), 0.2),
+                              accessor="read_data")},
+    ))
+
+    return Workload(
+        name="lammps",
+        phases=[Phase(setup, compute_time=7.0), Phase(it, compute_time=1.05, repeat=50)],
+        objects=objects,
+        ranks=12,
+        threads=2,
+        mlp=8.0,
+        locality=0.84,
+        conflict_pressure=0.20,
+        ws_factor=0.60,
+    )
+
+
+register_workload("lammps", build)

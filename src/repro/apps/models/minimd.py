@@ -1,0 +1,111 @@
+"""MiniMD 2.0 model — Lennard-Jones molecular dynamics proxy (Table V).
+
+12 ranks x 2 threads, high-water ~2196 MB/rank.  The force kernel has good
+cache behaviour (Table VI: only 41.5% memory-bound, 61.5% DRAM-cache hit
+ratio), so the ceiling for placement gains is low (~8%).
+
+The model also encodes the paper's store-heuristic regression: the force
+accumulation array misses L1D on nearly every store (high *sampled* store
+rate) but the lines are re-read and written back from cache, so its true
+off-chip store traffic is small.  With the 8 GB DRAM limit, the
+Loads+stores advisor overvalues it, displacing the genuinely hot velocity
+array from DRAM — the paper's "4% improvement turns into a 2% slowdown".
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import register_workload
+from repro.apps.workload import ObjectSpec, Phase, Workload
+from repro.apps.models.common import access, mb, site, stream_rate
+
+_IMG = "minimd.x"
+
+
+def build() -> Workload:
+    setup = "setup"
+    ts = "timestep"
+
+    neighbors = ObjectSpec(
+        site=site(_IMG, "Neighbor::growlist", "Neighbor::build", "main"),
+        size=mb(700),
+        alloc_count=24,
+        first_alloc=0.0,
+        lifetime=2.5,
+        period=2.5,
+        access={
+            ts: access(loads=stream_rate(mb(880), 0.55), accessor="force_compute"),
+            setup: access(loads=stream_rate(mb(700), 0.5),
+                          stores=stream_rate(mb(700), 0.5),
+                          accessor="neighbor_build"),
+        },
+    )
+    positions = ObjectSpec(
+        site=site(_IMG, "Atom::growarray_x", "Atom::growarray", "main"),
+        size=mb(260),
+        access={
+            ts: access(loads=stream_rate(mb(260), 1.6),
+                       stores=stream_rate(mb(260), 0.4),
+                       accessor="force_compute"),
+        },
+    )
+    velocities = ObjectSpec(
+        site=site(_IMG, "Atom::growarray_v", "Atom::growarray", "main"),
+        size=mb(260),
+        access={
+            ts: access(loads=stream_rate(mb(260), 0.9),
+                       stores=stream_rate(mb(260), 0.7),
+                       accessor="integrate"),
+        },
+    )
+    # forces: cache-resident accumulation — sampled L1D store misses are
+    # ~16x the true off-chip store traffic
+    forces = ObjectSpec(
+        site=site(_IMG, "Atom::growarray_f", "Atom::growarray", "main"),
+        size=mb(260),
+        access={
+            ts: access(
+                loads=stream_rate(mb(260), 0.5),
+                stores=stream_rate(mb(260), 0.5),
+                l1d_store_rate=stream_rate(mb(260), 8.0),
+                accessor="force_compute",
+            ),
+        },
+    )
+    comm_buffers = ObjectSpec(
+        site=site(_IMG, "Comm::growsend", "Comm::communicate", "main"),
+        size=mb(36),
+        alloc_count=48,
+        first_alloc=0.2,
+        lifetime=1.0,
+        period=1.25,
+        sampling_visibility=0.3,
+        serial_fraction=0.4,
+        access={
+            ts: access(loads=stream_rate(mb(36), 2.0),
+                       stores=stream_rate(mb(36), 2.0),
+                       accessor="communicate"),
+        },
+    )
+    setup_buf = ObjectSpec(
+        site=site(_IMG, "create_atoms", "main"),
+        size=mb(250),
+        lifetime=5.5,
+        access={setup: access(loads=stream_rate(mb(250), 1.0),
+                              stores=stream_rate(mb(250), 1.0),
+                              accessor="create_atoms")},
+    )
+
+    return Workload(
+        name="minimd",
+        phases=[Phase(setup, compute_time=6.0), Phase(ts, compute_time=1.0, repeat=54)],
+        objects=[neighbors, positions, velocities, forces, comm_buffers, setup_buf],
+        ranks=12,
+        threads=2,
+        mlp=7.0,
+        locality=0.74,
+        conflict_pressure=0.22,
+        ws_factor=0.85,
+    )
+
+
+register_workload("minimd", build)

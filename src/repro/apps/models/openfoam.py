@@ -1,0 +1,167 @@
+"""OpenFOAM v1906 model — 3D compressible CFD, depth charge case (Table V).
+
+16 ranks x 1 thread, (240,480,240), high-water ~3360 MB/rank.  The paper's
+flagship production result (Table VIII): the density algorithm *halves*
+performance versus memory mode, while the bandwidth-aware algorithm turns
+that into a 6.1% win.
+
+The object population encodes the Section VII A/B failure mode at
+production scale:
+
+- **permanents** (~60 sites): mesh, matrix and field storage allocated at
+  start-up and streamed by every solver iteration — the highest load-miss
+  density, so the density knapsack fills the 11 GB DRAM limit with them.
+- **temps** (~20 sites): per-iteration scratch fields (flux/coefficient
+  workspaces) allocated at the start of each `solve` sub-phase, living a
+  couple of seconds, write-dominated, and *collectively* pushing PMem far
+  into its saturated 1R1W regime while they live.  Their load-miss
+  density sits just below the permanents', so the density advisor leaves
+  them in PMem — the 2x slowdown.  The bandwidth-aware pass classifies
+  them Thrashing and swaps them against covering permanents (Fitting).
+- **snapshot writers** (~8 sites): read-only, repeatedly allocated output
+  staging buffers — Streaming-D candidates that release DRAM.
+- **background** (~30 sites): tiny dictionary/IO allocations with barely
+  any traffic, exercising report size and matching at production scale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.registry import register_workload
+from repro.apps.workload import ObjectSpec, Phase, Workload
+from repro.apps.models.common import access, kb, mb, site
+
+_IMG = "rhoPimpleFoam"
+_RANKS = 16
+_ITERS = 40
+_SETUP_S = 15.0
+_ASSEMBLE_S = 2.0
+_SOLVE_S = 3.0
+_WRITE_S = 1.0
+
+_LINE = 64.0
+
+
+def _loads_rank(bw_node: float, share: float) -> float:
+    return share * bw_node / (_LINE * _RANKS)
+
+
+def _stores_rank(bw_node: float, share: float) -> float:
+    return share * bw_node / (2.0 * _LINE * _RANKS)
+
+
+def build() -> Workload:
+    setup, asm, solve, wr = "setup", "assemble", "solve", "write"
+    objects: List[ObjectSpec] = []
+
+    # permanents: streamed every iteration, ~60 MB/s node each
+    for i in range(60):
+        bw = 120_000_000 * (0.75 + 0.01 * i)
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"Field_new_{i:02d}", "fvMatrix::fvMatrix", "main",
+                      name=f"foam::perm{i:02d}"),
+            size=mb(44),
+            access={
+                asm: access(loads=_loads_rank(bw, 0.85),
+                            stores=_stores_rank(bw, 0.15),
+                            accessor="fvMatrix_assemble"),
+                solve: access(loads=_loads_rank(bw, 0.85),
+                              stores=_stores_rank(bw, 0.15),
+                              accessor="PCG_solve"),
+                wr: access(loads=_loads_rank(bw * 0.3, 1.0),
+                           accessor="write_fields"),
+            },
+        ))
+
+    # temps: write-dominated scratch alive during each solve burst
+    for i in range(20):
+        bw = 3_100_000_000 * (0.7 + 0.03 * i)  # per-instance node bandwidth
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"tmpField_{i:02d}", "fvc::grad", "PimpleLoop",
+                      name=f"foam::temp{i:02d}"),
+            size=mb(30),
+            alloc_count=_ITERS,
+            first_alloc=_SETUP_S + _ASSEMBLE_S + 0.02 * i,
+            lifetime=2.5,
+            period=_ASSEMBLE_S + _SOLVE_S + _WRITE_S,
+            access={
+                # write-streaming scratch: loads and L1D store misses both
+                # nearly invisible to the profiler (cache-held reads, line
+                # fill buffers), while eviction writes hammer the device
+                solve: access(loads=_loads_rank(bw, 0.01),
+                              stores=_stores_rank(bw, 0.99),
+                              l1d_store_rate=_stores_rank(bw, 0.99) * 0.02,
+                              accessor="fvc_grad"),
+                asm: access(loads=_loads_rank(bw * 0.1, 0.01),
+                            stores=_stores_rank(bw * 0.1, 0.99),
+                            l1d_store_rate=_stores_rank(bw * 0.1, 0.99) * 0.02,
+                            accessor="fvc_grad"),
+                wr: access(loads=_loads_rank(bw * 0.05, 0.5),
+                           accessor="fvc_grad"),
+            },
+        ))
+
+    # snapshot/staging buffers: read-only repeated allocations, low bw
+    for i in range(8):
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"snapshotBuf_{i}", "OFstream::write", "main",
+                      name=f"foam::snap{i}"),
+            size=mb(24),
+            alloc_count=_ITERS // 2,
+            first_alloc=_SETUP_S + _ASSEMBLE_S + _SOLVE_S + 0.05 * i,
+            lifetime=0.9,
+            period=2.0 * (_ASSEMBLE_S + _SOLVE_S + _WRITE_S),
+            access={
+                wr: access(loads=_loads_rank(130_000_000, 1.0),
+                           accessor="write_fields"),
+            },
+        ))
+
+    # background: production noise — tiny allocations, negligible traffic
+    for i in range(30):
+        objects.append(ObjectSpec(
+            site=site(_IMG, f"dictEntry_{i:02d}", "dictionary::add", "main",
+                      name=f"foam::bg{i:02d}"),
+            size=kb(64 + 16 * i),
+            alloc_count=6,
+            first_alloc=0.5 + 0.1 * i,
+            lifetime=30.0,
+            period=40.0,
+            access={
+                asm: access(loads=2_000.0, accessor="dictionary_lookup"),
+            },
+        ))
+
+    objects.append(ObjectSpec(
+        site=site(_IMG, "readMesh", "main", name="foam::setup"),
+        size=mb(120),
+        lifetime=_SETUP_S,
+        access={setup: access(loads=mb(120) * 3 / 64.0,
+                              stores=mb(120) * 1.2 / 64.0,
+                              accessor="readMesh")},
+    ))
+
+    iteration = [
+        Phase(asm, compute_time=_ASSEMBLE_S),
+        Phase(solve, compute_time=_SOLVE_S),
+        Phase(wr, compute_time=_WRITE_S),
+    ]
+    phases = [Phase(setup, compute_time=_SETUP_S)]
+    for _ in range(_ITERS):
+        phases.extend(iteration)
+
+    return Workload(
+        name="openfoam",
+        phases=phases,
+        objects=objects,
+        ranks=_RANKS,
+        threads=1,
+        mlp=3.0,
+        locality=0.91,
+        conflict_pressure=0.16,
+        ws_factor=0.30,
+    )
+
+
+register_workload("openfoam", build)

@@ -1,0 +1,46 @@
+"""Workload registry: the paper's applications by name.
+
+Application model modules register a factory at import time; users fetch
+fresh :class:`~repro.apps.workload.Workload` instances with
+:func:`get_workload`.  Factories (not singletons) because experiments
+mutate nothing but still deserve isolated objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.apps.workload import Workload
+
+_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+
+
+def register_workload(name: str, factory: Callable[[], Workload]) -> None:
+    """Register a workload factory under a unique name."""
+    if name in _REGISTRY:
+        raise WorkloadError(f"workload {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_workload(name: str) -> Workload:
+    """Build a fresh instance of a registered workload."""
+    _ensure_models_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no workload named {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def list_workloads() -> List[str]:
+    """Names of every registered workload, sorted."""
+    _ensure_models_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_models_loaded() -> None:
+    """Import the model modules lazily to avoid import cycles."""
+    import repro.apps.models  # noqa: F401  (registers on import)

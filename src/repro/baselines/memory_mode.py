@@ -1,0 +1,187 @@
+"""Optane memory mode: the hardware-managed DRAM cache baseline.
+
+Every off-chip access first probes the direct-mapped DRAM cache; hits are
+served at DRAM latency, misses additionally pay PMem latency plus a fill
+penalty and generate PMem traffic.  The hit ratio is the analytic model of
+:func:`repro.memsim.dram_cache.memory_mode_hit_ratio`, evaluated per
+segment from the working set actually accessed in that segment — so
+applications whose active working set exceeds the DRAM (MiniFE, HPCG)
+thrash exactly as Table VI reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.apps.workload import InstanceSpan, Workload
+from repro.memsim.dram_cache import memory_mode_hit_ratio
+from repro.memsim.subsystem import MemorySystem
+from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.stats import RunResult
+from repro.runtime.traffic import SegmentTraffic
+
+#: extra per-load penalty of a DRAM-cache miss: the fill round-trip the
+#: memory controller inserts before data reaches the core (measured
+#: memory-mode miss paths are worse than raw PMem reads [18]).
+FILL_PENALTY_NS = 60.0
+
+#: extra per-access penalty on the DRAM cache itself: the controller's
+#: tag/metadata check sits on every access path in memory mode, so even
+#: hits are slower than app-direct DRAM reads.
+CACHE_PROBE_NS = 22.0
+
+#: fraction of store misses that eventually write back to PMem: the
+#: write-back DRAM cache coalesces repeated writes to a line, so only the
+#: final eviction reaches the PMem media — the reason memory mode weathers
+#: reduced PMem write bandwidth (PMem-2) better than app-direct placement.
+WRITEBACK_COALESCING = 0.5
+
+
+class MemoryModeTraffic:
+    """Traffic model for memory mode."""
+
+    def __init__(self, workload: Workload, dram_cache_bytes: int):
+        self.workload = workload
+        self.dram_cache_bytes = dram_cache_bytes
+        self._hit_ratios: list = []
+
+    @property
+    def label(self) -> str:
+        return "memory-mode"
+
+    def _per_object_hits(self, contributions, dt: float):
+        """LRU-competition hit ratios: hot-per-byte objects stay resident.
+
+        The hardware cache keeps whatever is re-referenced most often per
+        byte; we model that by granting residence in descending access
+        density until the (conflict-discounted) capacity runs out.  The
+        resident share of an object hits at the workload's reuse locality;
+        the evicted share retains only short streaming reuse.
+        """
+        wl = self.workload
+        ranks = wl.ranks
+        order = sorted(
+            range(len(contributions)),
+            key=lambda i: -(
+                (contributions[i][1].load_rate + contributions[i][1].store_rate)
+                / contributions[i][0].spec.size
+            ),
+        )
+        budget = self.dram_cache_bytes * (1.0 - wl.conflict_pressure)
+        residency = [0.0] * len(contributions)
+        for i in order:
+            inst, _stats = contributions[i]
+            footprint = inst.spec.size * ranks * wl.ws_factor
+            if footprint <= budget:
+                residency[i] = 1.0
+                budget -= footprint
+            elif budget > 0:
+                residency[i] = budget / footprint
+                budget = 0.0
+
+        # Direct-mapped conflict thrash: streams flowing through the cache
+        # evict resident lines at random index collisions, so residence
+        # protects less the more of the segment's traffic is streaming.
+        total_rate = sum(s.load_rate + s.store_rate for _, s in contributions)
+        stream_rate = sum(
+            (s.load_rate + s.store_rate) * (1.0 - residency[i])
+            for i, (_inst, s) in enumerate(contributions)
+        )
+        stream_share = stream_rate / total_rate if total_rate > 0 else 0.0
+        thrash = 1.0 - 2.0 * wl.conflict_pressure * stream_share
+
+        hits = [0.0] * len(contributions)
+        for i, (inst, _stats) in enumerate(contributions):
+            footprint = inst.spec.size * ranks * wl.ws_factor
+            streaming = memory_mode_hit_ratio(
+                footprint, self.dram_cache_bytes,
+                reuse_locality=wl.locality * 0.15,
+                conflict_pressure=wl.conflict_pressure,
+            )
+            resident = residency[i]
+            hits[i] = max(
+                resident * wl.locality * thrash + (1.0 - resident) * streaming, 0.0
+            )
+        return hits
+
+    def segment_traffic(
+        self,
+        lo: float,
+        hi: float,
+        phase_name: str,
+        live: Sequence[InstanceSpan],
+    ) -> SegmentTraffic:
+        wl = self.workload
+        ranks = wl.ranks
+        dt = hi - lo
+        traffic = SegmentTraffic()
+
+        contributions = []
+        for inst in live:
+            stats = inst.spec.access.get(phase_name)
+            if stats is None or (stats.load_rate == 0 and stats.store_rate == 0):
+                continue
+            contributions.append((inst, stats))
+        if not contributions:
+            return traffic
+
+        hits = self._per_object_hits(contributions, dt)
+
+        dram = traffic.subsystem("dram")
+        pmem = traffic.subsystem("pmem")
+        dram.extra_latency_ns = CACHE_PROBE_NS
+        pmem.extra_latency_ns = FILL_PENALTY_NS
+        for (inst, stats), hit in zip(contributions, hits):
+            loads = stats.load_rate * dt * ranks
+            stores = stats.store_rate * dt * ranks
+            serial = loads * inst.spec.serial_fraction
+            self._hit_ratios.append((loads + stores, hit))
+            # every access probes the DRAM cache; misses additionally fill
+            # a line into DRAM (counted as half a store: one 64 B write,
+            # no RFO) — the memory-mode write-amplification effect
+            fill_stores = 0.5 * (loads + stores) * (1.0 - hit)
+            dram.add(loads=loads, stores=stores + fill_stores, serial_loads=serial)
+            # ...and the (1-hit) fraction continues to PMem; store misses
+            # reach the media only on (coalesced) dirty evictions
+            pmem_stores = stores * (1.0 - hit) * WRITEBACK_COALESCING
+            pmem.add(
+                loads=loads * (1.0 - hit),
+                stores=pmem_stores,
+                serial_loads=serial * (1.0 - hit),
+            )
+            traffic.record_object(inst.spec.site.name, "dram", loads * hit, stores * hit)
+            traffic.record_object(
+                inst.spec.site.name, "pmem", loads * (1.0 - hit), pmem_stores
+            )
+        return traffic
+
+    def mean_hit_ratio(self) -> Optional[float]:
+        """Traffic-weighted DRAM cache hit ratio over the run."""
+        if not self._hit_ratios:
+            return None
+        total = sum(w for w, _ in self._hit_ratios)
+        if total == 0:
+            return None
+        return sum(w * h for w, h in self._hit_ratios) / total
+
+
+def run_memory_mode(
+    workload: Workload,
+    system: MemorySystem,
+    *,
+    dram_cache_bytes: Optional[int] = None,
+    params: EngineParams = EngineParams(),
+) -> RunResult:
+    """Convenience: execute a workload in memory mode.
+
+    ``dram_cache_bytes`` defaults to the system's full DRAM capacity (in
+    memory mode *all* DRAM serves as cache — the paper's baseline has the
+    full 16 GB, more than the Advisor's DRAM limit ever gets).
+    """
+    cache = dram_cache_bytes if dram_cache_bytes is not None else system.get("dram").capacity
+    model = MemoryModeTraffic(workload, cache)
+    engine = ExecutionEngine(workload, system, params)
+    result = engine.run(model, label="memory-mode")
+    result.dram_cache_hit_ratio = model.mean_hit_ratio()
+    return result

@@ -1,0 +1,295 @@
+"""Kernel-level page migration (Intel tiering-0.71).
+
+The kernel exposes PMem as a NUMA node and reactively promotes hot pages
+to DRAM / demotes cold ones.  Two effects the paper highlights are
+modelled:
+
+1. **Metadata cost** — enabling the PMem NUMA node costs DRAM for
+   ``struct page`` metadata proportional to PMem capacity ("~15 GB in our
+   case"), which shrinks the DRAM usable by applications
+   (:func:`tiering_effective_dram`).
+2. **Reactivity** — promotion happens only after access-bit scans identify
+   a hot page, so every phase starts with its hot data in PMem and only
+   enjoys DRAM after a reaction delay, modelled as a per-phase-occurrence
+   warm-up during which promoted objects' traffic still goes to PMem.
+   Promotion also generates migration traffic on both devices.
+
+Objects are promoted hottest-first (true access density — the kernel sees
+real access bits, not samples) until the effective DRAM fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.apps.workload import InstanceSpan, Workload
+from repro.memsim.subsystem import MemorySystem
+from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.stats import RunResult
+from repro.runtime.traffic import SegmentTraffic
+from repro.units import GiB
+
+#: struct page is 64 B per 4 KiB page -> ~1.56% of device capacity.
+METADATA_FRACTION = 64.0 / 4096.0
+
+
+def tiering_effective_dram(dram_bytes: int, pmem_bytes: int,
+                           *, reserve_bytes: int = 1 * GiB) -> int:
+    """DRAM left for application data after page metadata.
+
+    The kernel keeps at least ``reserve_bytes`` usable (it would refuse to
+    boot otherwise); the paper's 6-DIMM node computes to roughly the
+    ~15 GB metadata figure it quotes, leaving about 1 GB.
+    """
+    metadata = int(pmem_bytes * METADATA_FRACTION * 0.31)
+    # 0.31: only pages in the active zones get full metadata resident; the
+    # factor lands the paper's quoted ~15 GB for 3 TB of PMem per node.
+    return max(dram_bytes - metadata, reserve_bytes)
+
+
+class TieringTraffic:
+    """Traffic model for reactive kernel page migration."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        effective_dram: int,
+        *,
+        reaction_s: float = 1.5,
+        scan_overhead: float = 0.015,
+    ):
+        self.workload = workload
+        self.effective_dram = effective_dram
+        self.reaction_s = reaction_s
+        self.scan_overhead = scan_overhead
+        self._promoted_cache: Dict[Tuple[str, int], Set[str]] = {}
+
+    @property
+    def label(self) -> str:
+        return "kernel-tiering"
+
+    def _promoted_set(self, phase_key: Tuple[str, int],
+                      live: Sequence[InstanceSpan], phase_name: str) -> Set[str]:
+        """Hottest-first promotion under the effective DRAM budget."""
+        cached = self._promoted_cache.get(phase_key)
+        if cached is not None:
+            return cached
+        ranks = self.workload.ranks
+        candidates = []
+        for inst in live:
+            stats = inst.spec.access.get(phase_name)
+            if stats is None:
+                continue
+            rate = stats.load_rate + stats.store_rate
+            if rate <= 0:
+                continue
+            density = rate / inst.spec.size
+            candidates.append((density, inst.spec.site.name, inst.spec.size * ranks))
+        candidates.sort(key=lambda c: (-c[0], c[1]))
+        promoted: Set[str] = set()
+        budget = self.effective_dram
+        for _density, name, nbytes in candidates:
+            if name in promoted:
+                continue
+            if nbytes <= budget:
+                promoted.add(name)
+                budget -= nbytes
+        self._promoted_cache[phase_key] = promoted
+        return promoted
+
+    def segment_traffic(
+        self,
+        lo: float,
+        hi: float,
+        phase_name: str,
+        live: Sequence[InstanceSpan],
+    ) -> SegmentTraffic:
+        wl = self.workload
+        ranks = wl.ranks
+        dt = hi - lo
+        traffic = SegmentTraffic()
+
+        # find the phase occurrence this segment belongs to, for warm-up
+        phase_start = None
+        phase_key = None
+        for span in wl.spans:
+            if span.start <= lo < span.end:
+                phase_start = span.start
+                phase_key = (span.name, span.iteration)
+                break
+        if phase_key is None:
+            return traffic
+        promoted = self._promoted_set(phase_key, live, phase_name)
+
+        # fraction of this segment inside the reaction window
+        warm_end = phase_start + self.reaction_s
+        cold = max(0.0, min(hi, warm_end) - lo) / dt if dt > 0 else 0.0
+
+        for inst in live:
+            stats = inst.spec.access.get(phase_name)
+            if stats is None:
+                continue
+            loads = stats.load_rate * dt * ranks * (1.0 + self.scan_overhead)
+            stores = stats.store_rate * dt * ranks * (1.0 + self.scan_overhead)
+            if loads == 0.0 and stores == 0.0:
+                continue
+            serial = loads * inst.spec.serial_fraction
+            name = inst.spec.site.name
+            if name in promoted:
+                # cold share still in PMem, warm share promoted to DRAM
+                traffic.subsystem("pmem").add(
+                    loads=loads * cold, stores=stores * cold,
+                    serial_loads=serial * cold,
+                )
+                traffic.subsystem("dram").add(
+                    loads=loads * (1 - cold), stores=stores * (1 - cold),
+                    serial_loads=serial * (1 - cold),
+                )
+                traffic.record_object(name, "dram", loads * (1 - cold), stores * (1 - cold))
+                traffic.record_object(name, "pmem", loads * cold, stores * cold)
+            else:
+                traffic.subsystem("pmem").add(
+                    loads=loads, stores=stores, serial_loads=serial
+                )
+                traffic.record_object(name, "pmem", loads, stores)
+
+        # migration traffic: promoted bytes cross both devices once per
+        # phase occurrence, charged to the segment(s) in the warm-up window
+        if cold > 0.0:
+            window = max(warm_end - phase_start, 1e-9)
+            share = (max(0.0, min(hi, warm_end) - lo)) / window
+            moved = sum(
+                inst.spec.size * ranks
+                for inst in live
+                if inst.spec.site.name in promoted and inst.spec.access.get(phase_name)
+            ) * share
+            # a page migration reads PMem and writes DRAM: count as loads
+            # on pmem and stores on dram at line granularity
+            traffic.subsystem("pmem").add(loads=moved / 64.0)
+            traffic.subsystem("dram").add(stores=moved / 128.0)
+        return traffic
+
+
+def run_tiering(
+    workload: Workload,
+    system: MemorySystem,
+    *,
+    reaction_s: float = 1.5,
+    params: EngineParams = EngineParams(),
+) -> RunResult:
+    """Convenience: execute a workload under kernel tiering."""
+    dram = system.get("dram").capacity
+    pmem = system.get("pmem").capacity
+    model = TieringTraffic(
+        workload,
+        tiering_effective_dram(dram, pmem),
+        reaction_s=reaction_s,
+    )
+    engine = ExecutionEngine(workload, system, params)
+    return engine.run(model, label="kernel-tiering")
+
+
+class CombinedTraffic(TieringTraffic):
+    """Proactive initial placement + reactive page migration.
+
+    The paper's stated future work (Section III): start each phase from
+    ecoHMEM's *static* placement instead of everything-in-PMem, and let
+    the kernel's reactive migration adjust from there.  Two consequences:
+
+    - objects the Advisor already put in DRAM skip the warm-up entirely
+      (their pages are hot from the first access);
+    - the migration budget only moves objects the Advisor missed, so the
+      page-copy traffic shrinks.
+    """
+
+    def __init__(self, workload: Workload, effective_dram: int,
+                 initial_placement: "Dict[str, str]",
+                 *, reaction_s: float = 1.5, scan_overhead: float = 0.015):
+        super().__init__(workload, effective_dram,
+                         reaction_s=reaction_s, scan_overhead=scan_overhead)
+        self.initial_placement = dict(initial_placement)
+
+    @property
+    def label(self) -> str:
+        return "combined-proactive-reactive"
+
+    def segment_traffic(self, lo, hi, phase_name, live):
+        wl = self.workload
+        ranks = wl.ranks
+        dt = hi - lo
+        traffic = SegmentTraffic()
+        phase_start = None
+        phase_key = None
+        for span in wl.spans:
+            if span.start <= lo < span.end:
+                phase_start = span.start
+                phase_key = (span.name, span.iteration)
+                break
+        if phase_key is None:
+            return traffic
+        promoted = self._promoted_set(phase_key, live, phase_name)
+        warm_end = phase_start + self.reaction_s
+        cold = max(0.0, min(hi, warm_end) - lo) / dt if dt > 0 else 0.0
+
+        migrated_bytes = 0.0
+        for inst in live:
+            stats = inst.spec.access.get(phase_name)
+            if stats is None:
+                continue
+            loads = stats.load_rate * dt * ranks * (1.0 + self.scan_overhead)
+            stores = stats.store_rate * dt * ranks * (1.0 + self.scan_overhead)
+            if loads == 0.0 and stores == 0.0:
+                continue
+            serial = loads * inst.spec.serial_fraction
+            name = inst.spec.site.name
+            statically_dram = self.initial_placement.get(name) == "dram"
+            if statically_dram or (name in promoted and cold == 0.0):
+                # proactively placed, or already promoted: pure DRAM
+                traffic.subsystem("dram").add(loads=loads, stores=stores,
+                                              serial_loads=serial)
+                traffic.record_object(name, "dram", loads, stores)
+            elif name in promoted:
+                traffic.subsystem("pmem").add(
+                    loads=loads * cold, stores=stores * cold,
+                    serial_loads=serial * cold)
+                traffic.subsystem("dram").add(
+                    loads=loads * (1 - cold), stores=stores * (1 - cold),
+                    serial_loads=serial * (1 - cold))
+                traffic.record_object(name, "dram", loads * (1 - cold),
+                                      stores * (1 - cold))
+                traffic.record_object(name, "pmem", loads * cold, stores * cold)
+                migrated_bytes += inst.spec.size * ranks
+            else:
+                traffic.subsystem("pmem").add(loads=loads, stores=stores,
+                                              serial_loads=serial)
+                traffic.record_object(name, "pmem", loads, stores)
+
+        if cold > 0.0 and migrated_bytes > 0:
+            window = max(warm_end - phase_start, 1e-9)
+            share = (max(0.0, min(hi, warm_end) - lo)) / window
+            moved = migrated_bytes * share
+            traffic.subsystem("pmem").add(loads=moved / 64.0)
+            traffic.subsystem("dram").add(stores=moved / 128.0)
+        return traffic
+
+
+def run_combined(
+    workload: Workload,
+    system: MemorySystem,
+    initial_placement: "Dict[str, str]",
+    *,
+    reaction_s: float = 1.5,
+    params: EngineParams = EngineParams(),
+) -> RunResult:
+    """Execute under the combined proactive + reactive policy."""
+    dram = system.get("dram").capacity
+    pmem = system.get("pmem").capacity
+    model = CombinedTraffic(
+        workload,
+        tiering_effective_dram(dram, pmem),
+        initial_placement,
+        reaction_s=reaction_s,
+    )
+    engine = ExecutionEngine(workload, system, params)
+    return engine.run(model, label="combined-proactive-reactive")

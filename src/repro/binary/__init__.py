@@ -1,0 +1,46 @@
+"""Simulated binaries, address spaces and call stacks.
+
+ecoHMEM's BOM contribution (Section VI) is about *how call-stack frames are
+identified* across the profiling run and the production run:
+
+- frames captured at runtime are absolute virtual addresses, which ASLR
+  shuffles between runs;
+- the *human-readable* format translates each frame to ``file:line`` using
+  the binary's debug info (binutils) — slow, and the debug info occupies
+  DRAM in every rank;
+- the *BOM* format translates each frame to ``(binary object, offset)`` —
+  a pair of integers computed from the load base, needing neither debug
+  info nor string work.
+
+This package provides binary images with symbols and debug info
+(:mod:`~repro.binary.image`), per-process ASLR'd address spaces
+(:mod:`~repro.binary.aslr`), call-stack objects and their three formats
+(:mod:`~repro.binary.callstack`), and the addr2line-style resolver with an
+explicit cost model (:mod:`~repro.binary.resolver`).
+"""
+
+from repro.binary.image import BinaryImage, Symbol, synth_image
+from repro.binary.aslr import AddressSpace, Mapping
+from repro.binary.callstack import (
+    Frame,
+    CallStack,
+    BOMFrame,
+    HumanFrame,
+    StackFormat,
+)
+from repro.binary.resolver import BinutilsResolver, ResolutionCost
+
+__all__ = [
+    "BinaryImage",
+    "Symbol",
+    "synth_image",
+    "AddressSpace",
+    "Mapping",
+    "Frame",
+    "CallStack",
+    "BOMFrame",
+    "HumanFrame",
+    "StackFormat",
+    "BinutilsResolver",
+    "ResolutionCost",
+]

@@ -1,0 +1,144 @@
+"""Call stacks and their three identifier formats (paper Table I).
+
+A call stack captured at an allocation site is a sequence of return
+addresses.  Three representations are supported:
+
+=============  =====================================  ==========================
+format         frame identity                         stability across runs
+=============  =====================================  ==========================
+``RAW``        absolute virtual address               broken by ASLR
+``HUMAN``      ``source.cpp:123`` via debug info      stable; needs debug info
+``BOM``        ``(binary object, offset)``            stable; needs only bases
+=============  =====================================  ==========================
+
+The :class:`CallStack` carries raw frames plus the address space they were
+captured in, and can render/convert itself into either stable format.
+Matching keys (hashable tuples) are what the FlexMalloc matcher and the
+Advisor report use to identify allocation sites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AddressError, ConfigError
+from repro.binary.aslr import AddressSpace
+
+
+class StackFormat(enum.Enum):
+    """Call-stack identifier format selector."""
+
+    RAW = "raw"
+    HUMAN = "human"
+    BOM = "bom"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A raw runtime frame: one return address."""
+
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigError(f"negative frame address {self.address:#x}")
+
+
+@dataclass(frozen=True)
+class BOMFrame:
+    """Binary Object Matching frame: ``object_name + offset``."""
+
+    object_name: str
+    offset: int
+
+    def render(self) -> str:
+        return f"{self.object_name}+{self.offset:#010x}"
+
+
+@dataclass(frozen=True)
+class HumanFrame:
+    """Human-readable frame: ``file:line``."""
+
+    source_file: str
+    line: int
+
+    def render(self) -> str:
+        return f"{self.source_file}:{self.line}"
+
+
+class CallStack:
+    """An allocation-site call stack captured in some address space.
+
+    Frames are ordered innermost (the allocation wrapper's caller) first,
+    matching how Extrae records them.
+    """
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Sequence[Frame]):
+        if not frames:
+            raise ConfigError("a call stack needs at least one frame")
+        self.frames: Tuple[Frame, ...] = tuple(frames)
+
+    @classmethod
+    def from_addresses(cls, addresses: Sequence[int]) -> "CallStack":
+        return cls([Frame(a) for a in addresses])
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CallStack) and self.frames == other.frames
+
+    def __hash__(self) -> int:
+        return hash(self.frames)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = " > ".join(f"{f.address:#x}" for f in self.frames[:4])
+        more = f" (+{len(self.frames) - 4})" if len(self.frames) > 4 else ""
+        return f"CallStack[{inner}{more}]"
+
+    # -- conversions -------------------------------------------------------
+
+    def to_bom(self, space: AddressSpace) -> Tuple[BOMFrame, ...]:
+        """Translate raw frames to BOM form using the load bases only."""
+        out: List[BOMFrame] = []
+        for f in self.frames:
+            image, offset = space.resolve(f.address)
+            out.append(BOMFrame(object_name=image.name, offset=offset))
+        return tuple(out)
+
+    def to_human(self, space: AddressSpace) -> Tuple[HumanFrame, ...]:
+        """Translate raw frames to ``file:line`` using debug info.
+
+        Raises :class:`~repro.errors.AddressError` if any frame's image was
+        built without debug info — the situation BOM removes.
+        """
+        out: List[HumanFrame] = []
+        for f in self.frames:
+            image, offset = space.resolve(f.address)
+            src, line = image.source_location(offset)
+            out.append(HumanFrame(source_file=src, line=line))
+        return tuple(out)
+
+    def key(self, space: AddressSpace, fmt: StackFormat) -> Tuple:
+        """A hashable site identity in the requested format."""
+        if fmt is StackFormat.RAW:
+            return tuple(f.address for f in self.frames)
+        if fmt is StackFormat.BOM:
+            return self.to_bom(space)
+        if fmt is StackFormat.HUMAN:
+            return self.to_human(space)
+        raise ConfigError(f"unknown stack format {fmt!r}")
+
+    def render(self, space: AddressSpace, fmt: StackFormat) -> str:
+        """Human-facing rendering, as in the paper's Table I examples."""
+        if fmt is StackFormat.RAW:
+            return " > ".join(f"{f.address:#014x}" for f in self.frames)
+        if fmt is StackFormat.BOM:
+            return " > ".join(fr.render() for fr in self.to_bom(space))
+        if fmt is StackFormat.HUMAN:
+            return " > ".join(fr.render() for fr in self.to_human(space))
+        raise ConfigError(f"unknown stack format {fmt!r}")

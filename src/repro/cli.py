@@ -1,0 +1,264 @@
+"""Command-line interface: ``ecohmem <command>``.
+
+Commands
+--------
+``list``
+    List available workloads and experiments.
+``run``
+    Run the ecoHMEM pipeline on one workload and print the speedup.
+``experiment``
+    Regenerate one of the paper's tables/figures.
+``report``
+    Print the Advisor placement report for a workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import get_workload, list_workloads
+from repro.baselines.memory_mode import run_memory_mode
+from repro.binary.callstack import StackFormat
+from repro.experiments.harness import run_ecohmem
+from repro.experiments.reporting import render_table
+from repro.memsim.subsystem import pmem2_system, pmem6_system
+from repro.units import GiB, fmt_bandwidth, fmt_size
+
+EXPERIMENTS = [
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "tab1", "tab2", "tab3", "tab6", "tab7", "tab8", "sec8c", "sec8d",
+    "ablation-stores", "ablation-thresholds", "ablation-sampling",
+    "ablation-input", "ablation-combined",
+]
+
+
+def _system(pmem_dimms: int):
+    if pmem_dimms == 6:
+        return pmem6_system()
+    if pmem_dimms == 2:
+        return pmem2_system()
+    raise SystemExit(f"unsupported PMem configuration: {pmem_dimms} DIMMs")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in list_workloads():
+        wl = get_workload(name)
+        print(f"  {name:14s} {wl.ranks:3d} ranks x {wl.threads} threads, "
+              f"{len(wl.objects):4d} sites, HWM {fmt_size(wl.heap_high_water())}/rank")
+    print("experiments:", " ".join(EXPERIMENTS))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    system = _system(args.pmem)
+    wl = get_workload(args.workload)
+    baseline = run_memory_mode(get_workload(args.workload), system)
+    eco = run_ecohmem(
+        wl, system,
+        dram_limit=int(args.dram_limit_gb * GiB),
+        use_stores=not args.loads_only,
+        algorithm=args.algorithm,
+        stack_format=StackFormat.HUMAN if args.human_stacks else StackFormat.BOM,
+    )
+    speedup = eco.run.speedup_vs(baseline)
+    print(f"workload       : {args.workload}")
+    print(f"memory         : PMem-{args.pmem}, DRAM limit {args.dram_limit_gb} GB")
+    print(f"algorithm      : {args.algorithm} "
+          f"({'loads' if args.loads_only else 'loads+stores'})")
+    print(f"memory mode    : {baseline.total_time:10.1f} s "
+          f"(hit ratio {100 * (baseline.dram_cache_hit_ratio or 0):.1f}%)")
+    print(f"ecoHMEM        : {eco.run.total_time:10.1f} s")
+    print(f"speedup        : {speedup:10.2f}x")
+    if eco.swaps is not None:
+        print(f"bw-aware swaps : {len(eco.swaps):10d}")
+    placed = eco.placement
+    for sub in placed.subsystems:
+        n = len(placed.sites_in(sub))
+        print(f"  sites in {sub:5s}: {n}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    system = _system(args.pmem)
+    wl = get_workload(args.workload)
+    eco = run_ecohmem(
+        wl, system,
+        dram_limit=int(args.dram_limit_gb * GiB),
+        algorithm=args.algorithm,
+    )
+    sys.stdout.write(eco.report.dumps())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig2":
+        from repro.experiments.fig2_latency import compute_fig2
+        rows = []
+        for label, (bw, lat) in compute_fig2(points=8).items():
+            for b, l in zip(bw, lat):
+                rows.append([label, f"{b / 1e9:.1f} GB/s", l])
+        print(render_table(["curve", "bandwidth", "latency (ns)"], rows,
+                           title="Figure 2: bandwidth vs latency"))
+    elif name == "fig6":
+        from repro.experiments.fig6_sweep import compute_fig6, fig6_rows
+        result = compute_fig6(apps=args.apps or None)
+        print(render_table(
+            ["app", "pmem", "dram", "metrics", "speedup"],
+            fig6_rows(result), title="Figure 6: speedup vs memory mode",
+        ))
+    elif name == "tab6":
+        from repro.experiments.tab6_memmode import compute_tab6
+        rows = [[r.app, r.memory_bound_pct, r.hit_ratio_pct,
+                 r.paper_memory_bound_pct, r.paper_hit_ratio_pct]
+                for r in compute_tab6()]
+        print(render_table(
+            ["app", "mem-bound %", "hit %", "paper mb %", "paper hit %"],
+            rows, title="Table VI: memory-mode profiling",
+        ))
+    elif name == "tab8":
+        from repro.experiments.tab8_full_apps import compute_tab8
+        rows = [[r.app, r.algorithm, f"{r.dram_limit_gb} GB", r.speedup,
+                 r.paper_speedup] for r in compute_tab8()]
+        print(render_table(
+            ["app", "algorithm", "dram", "speedup", "paper"],
+            rows, title="Table VIII: full applications",
+        ))
+    elif name == "tab1":
+        from repro.experiments.tab1_callstack import compute_tab1
+        rows = [[r.fmt, r.rendered, r.subsystem,
+                 "yes" if r.stable_across_runs else "NO"]
+                for r in compute_tab1()]
+        print(render_table(["format", "call stack", "subsystem", "stable"],
+                           rows, title="Table I: call-stack formats"))
+    elif name in ("tab2", "tab3", "fig4", "fig5"):
+        from repro.experiments.fig45_objects import (
+            compute_fig45, table2_rows, table3_rows,
+        )
+        data = compute_fig45()
+        if name == "tab2":
+            print(render_table(["objects", "alloc regions", "exec regions"],
+                               table2_rows(data), title="Table II"))
+        elif name == "tab3":
+            print(render_table(["objects", "allocs/object", "lifetime (s)"],
+                               table3_rows(data), title="Table III"))
+        else:
+            objs = data.pmem_objects if name == "fig4" else data.dram_objects
+            rows = [[r.site, r.alloc_count, r.mean_lifetime_s,
+                     fmt_bandwidth(r.mean_bandwidth)] for r in objs]
+            print(render_table(["object", "allocs", "lifetime (s)", "bandwidth"],
+                               rows, title=f"Figure {name[-1]}"))
+    elif name == "fig3":
+        from repro.experiments.fig3_lulesh import compute_fig3
+        from repro.experiments.reporting import render_series
+        data = compute_fig3()
+        print(render_series(data.times, data.pmem_bandwidth / 1e9,
+                            x_label="t (s)", y_label="PMem GB/s",
+                            title="Figure 3: LULESH PMem bandwidth"))
+    elif name == "fig7":
+        from repro.experiments.fig7_bandwidth import compute_fig7
+        for app in args.apps or ["lulesh", "openfoam"]:
+            s = compute_fig7(app)
+            print(f"{app}: peak {fmt_bandwidth(s.peak_base)} -> "
+                  f"{fmt_bandwidth(s.peak_aware)} "
+                  f"(-{100 * s.peak_reduction:.0f}%), mean "
+                  f"{fmt_bandwidth(s.mean_base)} -> {fmt_bandwidth(s.mean_aware)}")
+    elif name == "tab7":
+        from repro.experiments.tab7_functions import compute_tab7
+        rows = [[r.function, r.ipc_pct, r.latency_pct] for r in compute_tab7()]
+        print(render_table(["function", "IPC %", "latency %"], rows,
+                           title="Table VII: CloverLeaf3D function breakdown"))
+    elif name.startswith("ablation-"):
+        from repro.experiments import ablations
+        kind = name.split("-", 1)[1]
+        if kind == "combined":
+            results = ablations.combined_policy_comparison()
+            print(render_table(["policy", "speedup"],
+                               sorted(results.items(), key=lambda kv: kv[1]),
+                               title="Ablation: proactive + reactive"))
+        else:
+            sweep = {
+                "stores": ablations.store_coefficient_sweep,
+                "thresholds": ablations.threshold_sweep,
+                "sampling": ablations.sampling_frequency_sweep,
+                "input": ablations.input_sensitivity,
+            }[kind]
+            points = sweep()
+            print(render_table(
+                ["knob", "speedup", "detail"],
+                [[p.knob, p.speedup, p.detail] for p in points],
+                title=f"Ablation: {kind}",
+            ))
+    elif name == "sec8c":
+        from repro.experiments.sec8c_lammps import compute_sec8c
+        r = compute_sec8c()
+        print("Section VIII-C: LAMMPS analysis")
+        print(f"  memory-bound stalls : {r.memory_bound_pct:.1f}% (paper 29.2%)")
+        print(f"  DRAM cache hit ratio: {r.dram_cache_hit_pct:.1f}% (paper 63.5%)")
+        print(f"  ecoHMEM speedup     : {r.speedup:.2f}x (paper ~0.97x)")
+        print(f"  serialized stalls   : {100 * r.comm.serial_share:.1f}% "
+              f"from {len(r.comm.comm_sites)} comm sites -> "
+              f"{r.comm_placement}")
+    elif name == "sec8d":
+        from repro.experiments.sec8d_callstack import compute_sec8d
+        r = compute_sec8d()
+        print("Section VIII-D: call-stack format impact (OpenFOAM)")
+        print(f"  BOM speedup            : {r.speedup_bom:.2f}x")
+        print(f"  human-readable speedup : {r.speedup_human:.2f}x")
+        print(f"  debug info per rank    : {fmt_size(r.debug_info_bytes_per_rank)}")
+        print(f"  human DRAM limit       : {fmt_size(r.human_dram_limit)}")
+        print(f"  matcher time BOM/human : "
+              f"{r.matcher_time_bom_ns / 1e6:.2f} / "
+              f"{r.matcher_time_human_ns / 1e6:.2f} ms")
+    else:
+        raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ecohmem", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments")
+
+    run_p = sub.add_parser("run", help="run the pipeline on one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument("--dram-limit-gb", type=float, default=12.0)
+    run_p.add_argument("--pmem", type=int, default=6, choices=(2, 6))
+    run_p.add_argument("--algorithm", default="density",
+                       choices=("density", "bw-aware"))
+    run_p.add_argument("--loads-only", action="store_true")
+    run_p.add_argument("--human-stacks", action="store_true")
+
+    rep_p = sub.add_parser("report", help="print the placement report")
+    rep_p.add_argument("workload")
+    rep_p.add_argument("--dram-limit-gb", type=float, default=12.0)
+    rep_p.add_argument("--pmem", type=int, default=6, choices=(2, 6))
+    rep_p.add_argument("--algorithm", default="density",
+                       choices=("density", "bw-aware"))
+
+    exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp_p.add_argument("name", choices=EXPERIMENTS)
+    exp_p.add_argument("--apps", nargs="*", default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "report": cmd_report,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

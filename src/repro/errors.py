@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ecoHMEM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the most specific
+subclass available; error messages carry enough context (sizes, names,
+addresses) to diagnose a failure without re-running under a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration file or config object is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A memory subsystem or heap ran out of space and no fallback applies."""
+
+
+class AllocationError(ReproError):
+    """A heap-level allocation request could not be satisfied."""
+
+
+class AddressError(ReproError):
+    """An address does not belong to any live mapping or allocation."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace event stream is malformed."""
+
+
+class MatchError(ReproError):
+    """A call stack could not be matched against a placement report."""
+
+
+class PlacementError(ReproError):
+    """The advisor produced (or was given) an inconsistent placement."""
+
+
+class WorkloadError(ReproError):
+    """A workload/application model definition is invalid."""
+
+
+class SimulationError(ReproError):
+    """The execution engine hit an inconsistent internal state."""

@@ -1,0 +1,57 @@
+"""Figure 2: bandwidth vs latency for DRAM and PMem (R and 1R1W traffic).
+
+The paper measures these curves with Intel MLC; we regenerate them from
+the calibrated loaded-latency models, sweeping the same 8-22 GB/s range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.memsim.latency import DDR4_1R1W, DDR4_READ, PMEM_1R1W, PMEM_READ
+from repro.units import GB
+
+#: the sweep the paper plots
+BW_RANGE = (8.0 * GB, 22.0 * GB)
+
+
+def compute_fig2(points: int = 15) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Latency curves over the Figure 2 bandwidth sweep.
+
+    Returns ``label -> (bandwidth_bytes_per_s, latency_ns)``.  The 1R1W
+    PMem curve saturates inside the sweep (its pole is ~13 GB/s), exactly
+    the blow-up the figure shows; points beyond the curve's cap are
+    clamped like the engine clamps them.
+    """
+    bw = np.linspace(BW_RANGE[0], BW_RANGE[1], points)
+    out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for label, curve in [
+        ("DRAM (R)", DDR4_READ),
+        ("DRAM (1R1W)", DDR4_1R1W),
+        ("PMem (R)", PMEM_READ),
+        ("PMem (1R1W)", PMEM_1R1W),
+    ]:
+        capped = np.minimum(bw, curve.peak_bw * 0.92)
+        out[label] = (bw.copy(), curve.latency_ns_vec(capped))
+    return out
+
+
+def paper_anchor_checks() -> List[Tuple[str, float, float, float]]:
+    """(label, bandwidth, model latency, paper latency) at the quoted points.
+
+    The Section VII worked example uses DRAM 90/117 ns and PMem 185/239 ns
+    at 8 and 22 GB/s; the model reproduces them exactly by construction.
+    """
+    return [
+        ("DRAM @8GB/s", 8 * GB, DDR4_READ.latency_ns(8 * GB), 90.0),
+        ("DRAM @22GB/s", 22 * GB, DDR4_READ.latency_ns(22 * GB), 117.0),
+        ("PMem @8GB/s", 8 * GB, PMEM_READ.latency_ns(8 * GB), 185.0),
+        ("PMem @22GB/s", 22 * GB, PMEM_READ.latency_ns(22 * GB), 239.0),
+    ]
+
+
+def latency_gap_at(bw: float) -> float:
+    """PMem/DRAM read-latency ratio at a bandwidth (paper: ~2x at 22 GB/s)."""
+    return PMEM_READ.latency_ns(bw) / DDR4_READ.latency_ns(bw)

@@ -1,0 +1,116 @@
+"""Figures 4 & 5 + Tables II & III: per-object lifetime/bandwidth census.
+
+From the density-placement LULESH run:
+
+- Figure 4: PMem-resident objects in the high-bandwidth region — lifetime
+  bars and per-object bandwidth (the paper's objects 168-179).
+- Figure 5: DRAM-resident objects in the low-bandwidth region — near
+  run-length lifetimes, bandwidths spanning ~200x (objects 114-146).
+- Table II: B_low/B_mid/B_high membership at allocation vs execution.
+- Table III: allocations per object and mean lifetime per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps import get_workload
+from repro.experiments.harness import EcoHMEMResult, run_ecohmem
+from repro.memsim.subsystem import pmem6_system
+from repro.profiling.metrics import BandwidthRegion, bandwidth_region
+from repro.units import GiB
+
+
+@dataclass
+class ObjectCensusRow:
+    """One object (site) in the figures' census."""
+
+    site: str
+    subsystem: str
+    alloc_count: int
+    mean_lifetime_s: float
+    mean_bandwidth: float        # bytes/s while alive
+    first_alloc_s: float
+    last_dealloc_s: float
+    region_at_alloc: BandwidthRegion
+    region_exec: BandwidthRegion
+
+
+@dataclass
+class Fig45Data:
+    pmem_objects: List[ObjectCensusRow]   # Figure 4
+    dram_objects: List[ObjectCensusRow]   # Figure 5
+    observed_peak: float
+
+
+def compute_fig45(*, seed: int = 11, min_bandwidth: float = 1.0,
+                  dram_low_bw_fraction: float = 0.005) -> Fig45Data:
+    """Census of simultaneously-living LULESH objects per subsystem.
+
+    Figure 5 plots the *low-bandwidth* DRAM objects (the paper's census
+    peaks at 10.5 MB/s); DRAM objects demanding more than
+    ``dram_low_bw_fraction`` of the observed PMem peak (the hot bulk
+    arrays the knapsack also promoted) are outside that figure's scope.
+    """
+    wl = get_workload("lulesh")
+    system = pmem6_system()
+    eco = run_ecohmem(wl, system, dram_limit=12 * GiB, seed=seed)
+    run = eco.run
+    peak = run.observed_pmem_peak()
+
+    pmem_rows: List[ObjectCensusRow] = []
+    dram_rows: List[ObjectCensusRow] = []
+    for name, st in sorted(run.objects.items()):
+        if st.mean_bandwidth < min_bandwidth or not st.alloc_times:
+            continue
+        row = ObjectCensusRow(
+            site=name,
+            subsystem=st.subsystem,
+            alloc_count=st.alloc_count,
+            mean_lifetime_s=st.mean_lifetime,
+            mean_bandwidth=st.mean_bandwidth,
+            first_alloc_s=min(st.alloc_times),
+            last_dealloc_s=max(st.dealloc_times) if st.dealloc_times else run.total_time,
+            region_at_alloc=bandwidth_region(st.pmem_bw_at_alloc, peak),
+            region_exec=bandwidth_region(st.pmem_bw_exec, peak),
+        )
+        if st.subsystem == "pmem" and st.alloc_count > 1:
+            pmem_rows.append(row)
+        elif (
+            st.subsystem == "dram"
+            and st.alloc_count == 1
+            and st.mean_bandwidth < dram_low_bw_fraction * max(peak, 1.0)
+        ):
+            dram_rows.append(row)
+    return Fig45Data(pmem_objects=pmem_rows, dram_objects=dram_rows,
+                     observed_peak=peak)
+
+
+def table2_rows(data: Fig45Data) -> List[List[object]]:
+    """Table II: allocation-time vs execution-time region membership."""
+    rows: List[List[object]] = []
+    for group, objs in [("168-179 (PMem temps)", data.pmem_objects),
+                        ("114-146 (DRAM perms)", data.dram_objects)]:
+        at_alloc = {r.region_at_alloc for r in objs}
+        at_exec = {r.region_exec for r in objs}
+        rows.append([
+            group,
+            "/".join(sorted(r.value for r in at_alloc)) or "-",
+            "/".join(sorted(r.value for r in at_exec)) or "-",
+        ])
+    return rows
+
+
+def table3_rows(data: Fig45Data) -> List[List[object]]:
+    """Table III: allocations/object and lifetime per group."""
+    rows: List[List[object]] = []
+    for group, objs in [("114-146 (DRAM perms)", data.dram_objects),
+                        ("168-179 (PMem temps)", data.pmem_objects)]:
+        if not objs:
+            rows.append([group, 0, 0.0])
+            continue
+        allocs = sum(r.alloc_count for r in objs) / len(objs)
+        life = sum(r.mean_lifetime_s for r in objs) / len(objs)
+        rows.append([group, round(allocs, 1), life])
+    return rows

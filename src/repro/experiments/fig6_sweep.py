@@ -1,0 +1,117 @@
+"""Figure 6: the miniapp speedup sweep.
+
+Five miniapps x {Loads, Loads+stores} x DRAM limits {4, 8, 12 GB} x
+{PMem-6, PMem-2}, all against the memory-mode baseline of the same memory
+configuration — plus the kernel-tiering and best-of-four ProfDP rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps import get_workload
+from repro.baselines.memory_mode import run_memory_mode
+from repro.baselines.tiering import run_tiering
+from repro.experiments.harness import run_ecohmem, run_profdp_best
+from repro.memsim.subsystem import MemorySystem, pmem2_system, pmem6_system
+from repro.units import GiB
+
+MINIAPPS = ["minife", "minimd", "lulesh", "hpcg", "cloverleaf3d"]
+DRAM_LIMITS_GB = [4, 8, 12]
+METRIC_CONFIGS = ["loads", "loads+stores"]
+
+
+@dataclass
+class Fig6Cell:
+    """One bar of Figure 6."""
+
+    app: str
+    pmem_dimms: int
+    dram_limit_gb: int
+    metrics: str
+    speedup: float
+
+
+@dataclass
+class Fig6Result:
+    cells: List[Fig6Cell] = field(default_factory=list)
+    tiering: Dict[str, float] = field(default_factory=dict)
+    profdp: Dict[str, Optional[float]] = field(default_factory=dict)
+    profdp_variant: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def lookup(self, app: str, pmem: int, limit_gb: int, metrics: str) -> float:
+        for c in self.cells:
+            if (c.app, c.pmem_dimms, c.dram_limit_gb, c.metrics) == (
+                app, pmem, limit_gb, metrics
+            ):
+                return c.speedup
+        raise KeyError((app, pmem, limit_gb, metrics))
+
+
+def compute_fig6(
+    apps: Optional[List[str]] = None,
+    *,
+    pmem_configs: Tuple[int, ...] = (6, 2),
+    dram_limits_gb: Optional[List[int]] = None,
+    include_baseline_rows: bool = True,
+    seed: int = 11,
+) -> Fig6Result:
+    """Run the full sweep (or a subset) and collect speedups."""
+    apps = apps or MINIAPPS
+    dram_limits_gb = dram_limits_gb or DRAM_LIMITS_GB
+    result = Fig6Result()
+
+    systems: Dict[int, MemorySystem] = {}
+    if 6 in pmem_configs:
+        systems[6] = pmem6_system()
+    if 2 in pmem_configs:
+        systems[2] = pmem2_system()
+
+    for app in apps:
+        for dimms, system in systems.items():
+            baseline = run_memory_mode(get_workload(app), system)
+            for limit_gb in dram_limits_gb:
+                for metrics in METRIC_CONFIGS:
+                    eco = run_ecohmem(
+                        get_workload(app), system,
+                        dram_limit=limit_gb * GiB,
+                        use_stores=(metrics == "loads+stores"),
+                        seed=seed,
+                    )
+                    result.cells.append(Fig6Cell(
+                        app=app, pmem_dimms=dimms, dram_limit_gb=limit_gb,
+                        metrics=metrics, speedup=eco.run.speedup_vs(baseline),
+                    ))
+            if dimms == 6 and include_baseline_rows:
+                tier = run_tiering(get_workload(app), system)
+                result.tiering[app] = tier.speedup_vs(baseline)
+                variant, run = run_profdp_best(
+                    get_workload(app), system,
+                    dram_limit=12 * GiB, baseline=baseline, seed=seed,
+                )
+                result.profdp[app] = None if run is None else run.speedup_vs(baseline)
+                result.profdp_variant[app] = None if variant is None else variant.label
+    return result
+
+
+def fig6_rows(result: Fig6Result) -> List[List[object]]:
+    """Flatten to printable rows (app, PMem, DRAM, metrics, speedup)."""
+    rows: List[List[object]] = []
+    for c in sorted(
+        result.cells,
+        key=lambda c: (c.app, -c.pmem_dimms, c.dram_limit_gb, c.metrics),
+    ):
+        rows.append([
+            c.app, f"PMem-{c.pmem_dimms}", f"{c.dram_limit_gb} GB",
+            c.metrics, c.speedup,
+        ])
+    for app, s in sorted(result.tiering.items()):
+        rows.append([app, "PMem-6", "-", "kernel-tiering", s])
+    for app, s in sorted(result.profdp.items()):
+        rows.append([
+            app, "PMem-6", "12 GB",
+            f"profdp ({result.profdp_variant.get(app)})",
+            s if s is not None else "n/a",
+        ])
+    return rows

@@ -1,0 +1,63 @@
+"""Figure 7: PMem bandwidth usage, main vs bandwidth-aware algorithm.
+
+For LULESH and OpenFOAM: the PMem bandwidth timeline of the density
+placement against the bandwidth-aware placement's, showing how moving the
+Thrashing objects to DRAM shaves the demand peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps import get_workload
+from repro.experiments.harness import run_ecohmem
+from repro.memsim.subsystem import pmem6_system
+from repro.units import GiB
+
+#: per-app DRAM limits, matching the paper's setups
+LIMITS_GB = {"lulesh": 12, "openfoam": 11}
+
+
+@dataclass
+class Fig7Series:
+    times_base: np.ndarray
+    pmem_base: np.ndarray      # bytes/s, density placement
+    times_aware: np.ndarray
+    pmem_aware: np.ndarray     # bytes/s, bandwidth-aware placement
+    peak_base: float
+    peak_aware: float
+    mean_base: float
+    mean_aware: float
+
+    @property
+    def peak_reduction(self) -> float:
+        """Fraction of the density placement's peak shaved off."""
+        if self.peak_base <= 0:
+            return 0.0
+        return 1.0 - self.peak_aware / self.peak_base
+
+
+def compute_fig7(app: str, *, seed: int = 11) -> Fig7Series:
+    if app not in LIMITS_GB:
+        raise ValueError(f"Figure 7 covers {sorted(LIMITS_GB)}, not {app!r}")
+    system = pmem6_system()
+    limit = LIMITS_GB[app] * GiB
+    base = run_ecohmem(get_workload(app), system, dram_limit=limit,
+                       algorithm="density", seed=seed)
+    aware = run_ecohmem(get_workload(app), system, dram_limit=limit,
+                        algorithm="bw-aware", seed=seed)
+    tb = base.run.timeline
+    ta = aware.run.timeline
+    return Fig7Series(
+        times_base=tb.times,
+        pmem_base=tb.bandwidth("pmem"),
+        times_aware=ta.times,
+        pmem_aware=ta.bandwidth("pmem"),
+        peak_base=tb.peak("pmem"),
+        peak_aware=ta.peak("pmem"),
+        mean_base=tb.mean("pmem"),
+        mean_aware=ta.mean("pmem"),
+    )

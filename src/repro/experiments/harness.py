@@ -1,0 +1,278 @@
+"""The end-to-end ecoHMEM pipeline and baseline runners.
+
+``run_ecohmem`` is the paper's Figure 1 workflow, executed faithfully:
+
+1. **Profiling run** (Extrae): the workload's allocations replayed with
+   PEBS-style sampling into a trace, call stacks in the configured format.
+2. **Paramedir**: the trace analyzed into per-site profiles.
+3. **HMem Advisor**: density placement — and, for the bandwidth-aware
+   algorithm, an intermediate run *using the density placement* to gather
+   the bandwidth observations Section VII requires, then Step 1 + 2.
+4. **Report**: serialized and re-parsed (the artefact FlexMalloc reads).
+5. **Production run**: a *different* ASLR layout, matching through
+   :class:`BOMMatcher`/:class:`HumanReadableMatcher`, allocations replayed
+   through FlexMalloc (capacity fallback live), and the engine timing the
+   result with the interposer's overhead charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.advisor import AdvisorConfig, HMemAdvisor, Placement
+from repro.advisor.config import config_for_system, default_config
+from repro.alloc import (
+    BOMMatcher,
+    FlexMalloc,
+    HumanReadableMatcher,
+    PlacementReport,
+    build_heaps,
+)
+from repro.apps.sites import SiteRegistry
+from repro.apps.workload import Workload
+from repro.baselines.profdp import ALL_VARIANTS, ProfDPVariant, profdp_placement
+from repro.binary.callstack import StackFormat
+from repro.errors import SimulationError
+from repro.memsim.subsystem import MemorySystem
+from repro.profiling.paramedir import Paramedir
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.replay import ReplayResult, replay_allocations
+from repro.runtime.stats import RunResult
+from repro.runtime.traffic import PlacementTraffic
+
+
+@dataclass
+class EcoHMEMResult:
+    """Everything one pipeline execution produced."""
+
+    run: RunResult
+    placement: Placement
+    report: PlacementReport
+    replay: ReplayResult
+    site_placement: Dict[str, str]
+    #: density placement when the bandwidth-aware algorithm refined it
+    base_placement: Optional[Placement] = None
+    categories: Optional[dict] = None
+    swaps: Optional[list] = None
+
+
+def _production_run(
+    workload: Workload,
+    system: MemorySystem,
+    registry: SiteRegistry,
+    report: PlacementReport,
+    *,
+    dram_limit: int,
+    stack_format: StackFormat,
+    aslr_seed: int,
+    engine_params: EngineParams,
+    label: str,
+    charge_overhead: bool = True,
+) -> Tuple[RunResult, ReplayResult]:
+    """Match + replay + time one production execution."""
+    process = registry.make_process(rank=0, aslr_seed=aslr_seed)
+    if stack_format is StackFormat.BOM:
+        matcher = BOMMatcher(report, process.space)
+    else:
+        matcher = HumanReadableMatcher(report, process.space)
+    heaps = build_heaps(system, dram_limit=dram_limit)
+    flex = FlexMalloc(heaps, matcher=matcher, fallback=report.fallback)
+    replay = replay_allocations(workload, process, flex)
+
+    # sites whose every instance fell back still need a default mapping
+    site_placement = dict(replay.site_placement)
+    for obj in workload.objects:
+        site_placement.setdefault(obj.site.name, report.fallback)
+
+    model = PlacementTraffic(
+        workload, site_placement, instance_placement=replay.instance_placement
+    )
+    engine = ExecutionEngine(workload, system, engine_params)
+    run = engine.run(
+        model,
+        label=label,
+        interposer_overhead_s=replay.overhead_s if charge_overhead else 0.0,
+    )
+    return run, replay
+
+
+def run_ecohmem(
+    workload: Workload,
+    system: MemorySystem,
+    *,
+    dram_limit: int,
+    use_stores: bool = True,
+    algorithm: str = "density",
+    stack_format: StackFormat = StackFormat.BOM,
+    config: Optional[AdvisorConfig] = None,
+    engine_params: EngineParams = EngineParams(),
+    seed: int = 11,
+    registry: Optional[SiteRegistry] = None,
+    pebs_hz: float = 100.0,
+    production_workload: Optional[Workload] = None,
+    profile_ranks: int = 1,
+    rank_jitter: float = 0.0,
+) -> EcoHMEMResult:
+    """The full ecoHMEM workflow for one configuration.
+
+    Parameters mirror the paper's experiment grid: the Advisor DRAM limit,
+    the *Loads* vs *Loads+stores* profile metrics, the base (density) vs
+    bandwidth-aware algorithm, and the call-stack format.  ``registry``
+    overrides the binary images (e.g. for heavy-debug-info experiments);
+    ``pebs_hz`` sets the profiling sampling rate (the paper uses 100 Hz);
+    ``production_workload`` lets the production run differ from the
+    profiled one (the input-sensitivity study the paper defers to future
+    work) — it must share the profiled workload's allocation sites.
+    ``profile_ranks > 1`` profiles several ranks (optionally with
+    ``rank_jitter`` load imbalance) and sums the per-rank profiles, the
+    way a real multi-process Extrae trace is aggregated.
+    """
+    if algorithm not in ("density", "bw-aware"):
+        raise SimulationError(f"unknown algorithm {algorithm!r}")
+
+    from repro.profiling.pebs import PEBSConfig
+
+    registry = registry or SiteRegistry(workload)
+    tracer = ExtraeTracer(
+        workload,
+        TracerConfig(stack_format=stack_format, seed=seed,
+                     pebs=PEBSConfig(frequency_hz=pebs_hz, seed=seed * 7 + 1),
+                     rank_jitter=rank_jitter),
+        registry,
+    )
+    paramedir = Paramedir()
+    if profile_ranks > 1:
+        traces = tracer.run_all_ranks(ranks=profile_ranks,
+                                      aslr_base_seed=1000 + seed)
+        per_rank = [paramedir.analyze(t) for t in traces]
+        profiles = paramedir.merge(per_rank, mode="sum")
+        # cross-rank sums describe profile_ranks processes; the advisor's
+        # density ranking is scale-invariant, so no renormalization needed
+        for prof in profiles.values():
+            prof.load_misses /= profile_ranks
+            prof.store_misses /= profile_ranks
+    else:
+        trace = tracer.run(rank=0, aslr_seed=1000 + seed)
+        profiles = paramedir.analyze(trace)
+
+    advisor_config = config or config_for_system(
+        system, dram_limit, ranks=workload.ranks
+    )
+    advisor_config = advisor_config.with_dram_limit(dram_limit)
+    if not use_stores:
+        advisor_config = advisor_config.loads_only()
+    advisor = HMemAdvisor(system, advisor_config)
+    objects = advisor.objects_from_profiles(profiles)
+    placement = advisor.advise_density(objects)
+
+    base_placement = None
+    categories = None
+    swaps = None
+    if algorithm == "bw-aware":
+        base_placement = placement
+        # intermediate run with the density placement to observe bandwidth
+        density_report = advisor.to_report(placement, stack_format)
+        density_run, _ = _production_run(
+            workload, system, registry, density_report,
+            dram_limit=dram_limit, stack_format=stack_format,
+            aslr_seed=2000 + seed, engine_params=engine_params,
+            label="density-observation", charge_overhead=False,
+        )
+        # bridge site names <-> stable site keys
+        probe = registry.make_process(rank=0, aslr_seed=3000 + seed)
+        name_to_key = {
+            obj.site.name: probe.site_key(obj.site, stack_format)
+            for obj in workload.objects
+        }
+        by_name = density_run.observations()
+        observations = {}
+        for name, obs in by_name.items():
+            key = name_to_key.get(name)
+            if key is not None and key in objects:
+                observations[key] = obs
+        # sites that never went live in the observation run get zeros
+        from repro.advisor.model import BandwidthObservation
+        for key in objects:
+            observations.setdefault(key, BandwidthObservation(0.0, 0.0, 0.0))
+        result = advisor.advise_bandwidth_aware(objects, observations, base=placement)
+        placement = result.placement
+        categories = result.categories
+        swaps = result.swaps
+
+    report = advisor.to_report(placement, stack_format)
+    # serialize + parse round trip: run exactly what FlexMalloc would read
+    report = PlacementReport.loads(report.dumps())
+
+    prod_wl = production_workload or workload
+    run, replay = _production_run(
+        prod_wl, system, registry, report,
+        dram_limit=dram_limit, stack_format=stack_format,
+        aslr_seed=4000 + seed, engine_params=engine_params,
+        label=f"ecohmem-{algorithm}" + ("" if use_stores else "-loads"),
+    )
+    site_placement = dict(replay.site_placement)
+    for obj in prod_wl.objects:
+        site_placement.setdefault(obj.site.name, report.fallback)
+
+    return EcoHMEMResult(
+        run=run,
+        placement=placement,
+        report=report,
+        replay=replay,
+        site_placement=site_placement,
+        base_placement=base_placement,
+        categories=categories,
+        swaps=swaps,
+    )
+
+
+def run_profdp_best(
+    workload: Workload,
+    system: MemorySystem,
+    *,
+    dram_limit: int,
+    baseline: RunResult,
+    stack_format: StackFormat = StackFormat.BOM,
+    engine_params: EngineParams = EngineParams(),
+    seed: int = 11,
+) -> Tuple[Optional[ProfDPVariant], Optional[RunResult]]:
+    """Run all four ProfDP variants, return the fastest (paper's method).
+
+    Returns ``(None, None)`` if the workload is flagged as unavailable for
+    ProfDP (the paper could not profile MiniMD because HPCToolkit crashed;
+    we honour that as a documented substitution).
+    """
+    if workload.name == "minimd":
+        return None, None
+
+    registry = SiteRegistry(workload)
+    tracer = ExtraeTracer(
+        workload, TracerConfig(stack_format=stack_format, seed=seed), registry
+    )
+    trace = tracer.run(rank=0, aslr_seed=1000 + seed)
+    profiles = Paramedir().analyze(trace)
+    advisor = HMemAdvisor(system, default_config(dram_limit, ranks=workload.ranks))
+    objects = advisor.objects_from_profiles(profiles)
+
+    best: Tuple[Optional[ProfDPVariant], Optional[RunResult]] = (None, None)
+    for variant in ALL_VARIANTS:
+        placement = profdp_placement(
+            objects, system, variant, dram_limit, ranks=workload.ranks, seed=seed
+        )
+        report = advisor.to_report(placement, stack_format)
+        run, _ = _production_run(
+            workload, system, registry, report,
+            dram_limit=dram_limit, stack_format=stack_format,
+            aslr_seed=5000 + seed, engine_params=engine_params,
+            label=variant.label,
+        )
+        if best[1] is None or run.total_time < best[1].total_time:
+            best = (variant, run)
+    return best
+
+
+def speedup_table(results: Dict[str, RunResult], baseline: RunResult) -> Dict[str, float]:
+    """Speedups of several runs against one baseline."""
+    return {label: run.speedup_vs(baseline) for label, run in results.items()}

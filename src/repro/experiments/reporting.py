@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module returns plain data structures; these helpers turn
+them into the table/series text the benches print, so the output of
+``pytest benchmarks/`` reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    width: int = 50,
+    max_points: int = 40,
+) -> str:
+    """A crude ASCII line/bar rendering of a series (for figure benches)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) == 0:
+        return f"{title}\n(empty series)"
+    step = max(len(xs) // max_points, 1)
+    xs = list(xs)[::step]
+    ys = list(ys)[::step]
+    y_max = max(ys) or 1.0
+    lines = [title] if title else []
+    lines.append(f"{x_label:>12s} | {y_label}")
+    for x, y in zip(xs, ys):
+        bar = "#" * int(width * y / y_max)
+        lines.append(f"{x:12.2f} | {bar} {y:.3g}")
+    return "\n".join(lines)
+
+
+def fmt_speedup(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.2f}x"

@@ -1,0 +1,58 @@
+"""Section VIII-C: why LAMMPS resists placement (the Paraver analysis).
+
+The paper inspects LAMMPS with VTune and Paraver and concludes:
+
+1. only ~29% of stalls are memory-related and the DRAM cache hits 63.5% —
+   the least memory-bound code of the suite, so little headroom;
+2. the bulk of each compute iteration fits in L2;
+3. ecoHMEM's small slowdown originates in the MPI communication phases:
+   the message buffers sit on the critical path but are under-sampled,
+   so the Advisor leaves them to the PMem fallback.
+
+This experiment reproduces that diagnosis from the simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps import get_workload
+from repro.baselines.memory_mode import run_memory_mode
+from repro.experiments.harness import run_ecohmem
+from repro.memsim.subsystem import pmem6_system
+from repro.profiling.paraver import (
+    CommunicationAnalysis, FunctionRow, communication_share, function_profile,
+)
+from repro.units import GiB
+
+
+@dataclass
+class Sec8CResult:
+    memory_bound_pct: float          # VTune: memory-related stall share
+    dram_cache_hit_pct: float        # VTune: DRAM cache hit ratio
+    speedup: float                   # ecoHMEM vs memory mode
+    comm: CommunicationAnalysis      # Paraver: serialized-stall diagnosis
+    functions: List[FunctionRow]     # Paraver: per-function traffic
+    comm_placement: Dict[str, str]   # where the comm buffers landed
+
+
+def compute_sec8c(*, seed: int = 11) -> Sec8CResult:
+    system = pmem6_system()
+    wl = get_workload("lammps")
+    baseline = run_memory_mode(get_workload("lammps"), system)
+    eco = run_ecohmem(get_workload("lammps"), system, dram_limit=14 * GiB,
+                      seed=seed)
+
+    comm_placement = {
+        name: sub for name, sub in eco.site_placement.items()
+        if "comm" in name
+    }
+    return Sec8CResult(
+        memory_bound_pct=100.0 * baseline.memory_bound_fraction,
+        dram_cache_hit_pct=100.0 * (baseline.dram_cache_hit_ratio or 0.0),
+        speedup=eco.run.speedup_vs(baseline),
+        comm=communication_share(eco.run, wl),
+        functions=function_profile(eco.run, wl),
+        comm_placement=comm_placement,
+    )

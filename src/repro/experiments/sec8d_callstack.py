@@ -1,0 +1,90 @@
+"""Section VIII-D: impact of the call-stack format (BOM vs human-readable).
+
+Two costs of the human-readable format are measured on OpenFOAM with the
+bandwidth-aware Loads+stores configuration:
+
+1. **DRAM footprint** — every one of the 16 ranks loads the binaries'
+   debug info to translate frames, shrinking the Advisor DRAM limit from
+   11 GB to ~9 GB (the paper's numbers).  We build OpenFOAM's images at a
+   production scale of debug information so the footprint computes to the
+   same ballpark, then *re-run the advisor with the reduced limit*.
+2. **Matching time** — addr2line translation plus string comparisons per
+   intercepted allocation vs BOM's integer comparisons; both matchers'
+   cost accounts are reported.
+
+The paper measures 0.66x for human-readable vs 1.06x for BOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.apps import get_workload
+from repro.apps.sites import SiteRegistry
+from repro.baselines.memory_mode import run_memory_mode
+from repro.binary.callstack import StackFormat
+from repro.experiments.harness import run_ecohmem
+from repro.memsim.subsystem import pmem6_system
+from repro.units import GiB
+
+#: paper DRAM limit with BOM (no debug info resident)
+BOM_LIMIT = 11 * GiB
+
+#: production-scale debug info: ~3k functions per image, DWARF entries
+#: amortizing string/abbrev tables (~1.3 KB per line entry in -g builds
+#: of template-heavy C++)
+_DEBUG_FUNCS = 3000
+_DEBUG_BYTES_PER_ENTRY = 1344
+
+
+@dataclass
+class Sec8DResult:
+    speedup_bom: float
+    speedup_human: float
+    debug_info_bytes_per_rank: int
+    human_dram_limit: int
+    matcher_time_bom_ns: float
+    matcher_time_human_ns: float
+    matcher_resident_bom: int
+    matcher_resident_human: int
+
+
+def compute_sec8d(*, seed: int = 11) -> Sec8DResult:
+    system = pmem6_system()
+    wl = get_workload("openfoam")
+    baseline = run_memory_mode(get_workload("openfoam"), system)
+
+    # BOM: stripped-binary matching at the full 11 GB limit
+    bom = run_ecohmem(
+        get_workload("openfoam"), system, dram_limit=BOM_LIMIT,
+        algorithm="bw-aware", stack_format=StackFormat.BOM, seed=seed,
+    )
+
+    # human-readable: debug info resident in every rank reduces the limit
+    wl_human = get_workload("openfoam")
+    registry = SiteRegistry(
+        wl_human,
+        functions_per_image=_DEBUG_FUNCS,
+        debug_bytes_per_entry=_DEBUG_BYTES_PER_ENTRY,
+    )
+    debug_per_rank = registry.total_debug_info_bytes()
+    human_limit = max(BOM_LIMIT - debug_per_rank * wl.ranks, 1 * GiB)
+    human = run_ecohmem(
+        wl_human, system, dram_limit=human_limit,
+        algorithm="bw-aware", stack_format=StackFormat.HUMAN, seed=seed,
+        registry=registry,
+    )
+
+    bom_matcher = bom.replay.flexmalloc.matcher
+    human_matcher = human.replay.flexmalloc.matcher
+    return Sec8DResult(
+        speedup_bom=bom.run.speedup_vs(baseline),
+        speedup_human=human.run.speedup_vs(baseline),
+        debug_info_bytes_per_rank=debug_per_rank,
+        human_dram_limit=human_limit,
+        matcher_time_bom_ns=bom_matcher.stats.time_ns,
+        matcher_time_human_ns=human_matcher.stats.time_ns,
+        matcher_resident_bom=bom_matcher.stats.resident_bytes,
+        matcher_resident_human=human_matcher.stats.resident_bytes,
+    )

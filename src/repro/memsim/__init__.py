@@ -1,0 +1,65 @@
+"""Hybrid memory hardware substrate.
+
+This package models the memory hardware the paper's testbed provides:
+
+- :mod:`repro.memsim.latency` — bandwidth-dependent loaded-latency curves
+  (the Figure 2 measurements, encoded analytically and re-derivable).
+- :mod:`repro.memsim.subsystem` — DRAM / Optane PMem subsystems with
+  capacity, peak bandwidths and latency curves; the paper's PMem-6 and
+  PMem-2 machine configurations.
+- :mod:`repro.memsim.cache` — a vectorised set-associative cache simulator
+  used by microbenchmarks and to validate the analytic miss-rate models.
+- :mod:`repro.memsim.dram_cache` — the direct-mapped, write-back DRAM cache
+  that Optane *memory mode* implements in hardware.
+- :mod:`repro.memsim.bandwidth` — per-subsystem bandwidth timelines.
+- :mod:`repro.memsim.numa` — NUMA topology and pinning.
+"""
+
+from repro.memsim.latency import (
+    LoadedLatencyCurve,
+    calibrate_curve,
+    DDR4_READ,
+    DDR4_1R1W,
+    PMEM_READ,
+    PMEM_1R1W,
+)
+from repro.memsim.subsystem import (
+    MemorySubsystem,
+    MemorySystem,
+    dram_ddr4,
+    hbm_stack,
+    hbm_dram_pmem_system,
+    pmem_optane,
+    pmem6_system,
+    pmem2_system,
+)
+from repro.memsim.cache import SetAssociativeCache, CacheStats
+from repro.memsim.hierarchy import CacheHierarchy, cascade_lake_hierarchy
+from repro.memsim.dram_cache import DirectMappedDRAMCache
+from repro.memsim.bandwidth import BandwidthTimeline
+from repro.memsim.numa import NumaNode, NumaTopology
+
+__all__ = [
+    "LoadedLatencyCurve",
+    "calibrate_curve",
+    "DDR4_READ",
+    "DDR4_1R1W",
+    "PMEM_READ",
+    "PMEM_1R1W",
+    "MemorySubsystem",
+    "MemorySystem",
+    "dram_ddr4",
+    "hbm_stack",
+    "hbm_dram_pmem_system",
+    "pmem_optane",
+    "pmem6_system",
+    "pmem2_system",
+    "SetAssociativeCache",
+    "CacheStats",
+    "CacheHierarchy",
+    "cascade_lake_hierarchy",
+    "DirectMappedDRAMCache",
+    "BandwidthTimeline",
+    "NumaNode",
+    "NumaTopology",
+]

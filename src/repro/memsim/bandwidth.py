@@ -1,0 +1,121 @@
+"""Per-subsystem bandwidth timelines.
+
+The Section VII analysis (figures 3, 4, 5, 7) is all about *when* bandwidth
+is consumed: which objects are alive and how much traffic each contributes
+over a phase.  :class:`BandwidthTimeline` accumulates per-interval byte
+counts per subsystem and answers region queries (the `B_low`/`B_mid`/
+`B_high` classification of Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class BandwidthTimeline:
+    """Bytes-per-interval accumulator with fixed-width bins.
+
+    Parameters
+    ----------
+    duration:
+        Total timeline length in seconds.
+    resolution:
+        Bin width in seconds.
+    """
+
+    duration: float
+    resolution: float = 0.5
+    _bins: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be > 0, got {self.duration}")
+        if self.resolution <= 0 or self.resolution > self.duration:
+            raise ConfigError(
+                f"resolution must be in (0, duration], got {self.resolution}"
+            )
+        self._nbins = int(np.ceil(self.duration / self.resolution))
+
+    @property
+    def nbins(self) -> int:
+        return self._nbins
+
+    @property
+    def times(self) -> np.ndarray:
+        """Bin-centre timestamps in seconds."""
+        return (np.arange(self._nbins) + 0.5) * self.resolution
+
+    def _series(self, subsystem: str) -> np.ndarray:
+        if subsystem not in self._bins:
+            self._bins[subsystem] = np.zeros(self._nbins, dtype=float)
+        return self._bins[subsystem]
+
+    def add_traffic(self, subsystem: str, start: float, end: float, nbytes: float) -> None:
+        """Spread ``nbytes`` of traffic uniformly over ``[start, end)``.
+
+        Partial bin overlap is handled proportionally so total bytes are
+        conserved regardless of alignment.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative traffic: {nbytes}")
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        # rate over the *original* interval: traffic outside the timeline
+        # horizon is dropped proportionally, not squeezed into the window
+        rate = nbytes / (end - start)
+        start = max(0.0, start)
+        end = min(self.duration, end)
+        if end <= start or nbytes == 0:
+            return
+        series = self._series(subsystem)
+        first = int(start / self.resolution)
+        last = min(int(np.ceil(end / self.resolution)), self._nbins)
+        for b in range(first, last):
+            lo = max(start, b * self.resolution)
+            hi = min(end, (b + 1) * self.resolution)
+            if hi > lo:
+                series[b] += rate * (hi - lo)
+
+    def bandwidth(self, subsystem: str) -> np.ndarray:
+        """Bytes/second per bin for a subsystem (zeros if no traffic)."""
+        return self._series(subsystem) / self.resolution
+
+    def peak(self, subsystem: str) -> float:
+        return float(self.bandwidth(subsystem).max(initial=0.0))
+
+    def mean(self, subsystem: str) -> float:
+        return float(self.bandwidth(subsystem).mean()) if self._nbins else 0.0
+
+    def total_bytes(self, subsystem: str) -> float:
+        return float(self._series(subsystem).sum())
+
+    def region_fractions(
+        self, subsystem: str, peak_bw: float, low: float = 0.20, high: float = 0.40
+    ) -> Tuple[float, float, float]:
+        """Fraction of time spent in the B_low / B_mid / B_high regions.
+
+        Regions follow Table II: demand <``low``, between, and >``high`` of
+        ``peak_bw``.  Returns (f_low, f_mid, f_high), summing to 1.
+        """
+        if peak_bw <= 0:
+            raise ConfigError(f"peak_bw must be > 0, got {peak_bw}")
+        if not 0 < low < high < 1:
+            raise ConfigError(f"need 0 < low < high < 1, got {low}, {high}")
+        bw = self.bandwidth(subsystem) / peak_bw
+        f_low = float((bw < low).mean())
+        f_high = float((bw > high).mean())
+        return f_low, 1.0 - f_low - f_high, f_high
+
+    def window(
+        self, subsystem: str, start: float, end: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, bandwidth) restricted to ``[start, end)``."""
+        times = self.times
+        mask = (times >= start) & (times < end)
+        return times[mask], self.bandwidth(subsystem)[mask]

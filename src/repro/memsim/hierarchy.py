@@ -1,0 +1,125 @@
+"""Multi-level cache hierarchy (L1D -> L2 -> LLC).
+
+The tracer samples two hardware events: LLC load misses and L1D store
+misses.  :class:`CacheHierarchy` wires :class:`SetAssociativeCache` levels
+inclusively and reports, per access, which levels missed — exactly the
+information PEBS-style sampling exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.memsim.cache import SetAssociativeCache
+from repro.units import KiB, MiB
+
+
+@dataclass
+class AccessOutcome:
+    """Result of pushing one access through the hierarchy."""
+
+    l1_hit: bool
+    l2_hit: bool
+    llc_hit: bool
+
+    @property
+    def llc_miss(self) -> bool:
+        return not self.llc_hit
+
+    @property
+    def l1_miss(self) -> bool:
+        return not self.l1_hit
+
+
+class CacheHierarchy:
+    """An inclusive cache hierarchy over an ordered list of levels.
+
+    An access probes levels in order; the first hit stops the walk, and the
+    line is filled into every level above (and including) the hit level,
+    modelling an inclusive hierarchy.  Misses at the last level count as
+    memory accesses.
+    """
+
+    def __init__(self, levels: List[SetAssociativeCache]):
+        if not levels:
+            raise ConfigError("hierarchy needs at least one cache level")
+        self.levels = levels
+
+    @property
+    def l1(self) -> SetAssociativeCache:
+        return self.levels[0]
+
+    @property
+    def llc(self) -> SetAssociativeCache:
+        return self.levels[-1]
+
+    def access(self, addr: int, is_write: bool = False) -> AccessOutcome:
+        """Push one access through the hierarchy."""
+        hits = []
+        for level in self.levels:
+            hit = level.access(addr, is_write=is_write)
+            hits.append(hit)
+            if hit:
+                # Upper levels were already filled by their own misses above;
+                # nothing further to probe below the hit level.
+                break
+        # Levels we never reached count as (trivially) hit for reporting.
+        while len(hits) < len(self.levels):
+            hits.append(True)
+        l1_hit = hits[0]
+        l2_hit = hits[1] if len(hits) > 1 else hits[0]
+        llc_hit = hits[-1]
+        return AccessOutcome(l1_hit=l1_hit, l2_hit=l2_hit, llc_hit=llc_hit)
+
+    def access_stream(
+        self, addrs: np.ndarray, writes: "np.ndarray | None" = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bulk access; returns ``(llc_miss_mask, l1_miss_mask)``.
+
+        The per-level filtering mirrors real hardware: only L1 misses reach
+        L2, only L2 misses reach the LLC.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if writes is None:
+            writes = np.zeros(addrs.shape, dtype=bool)
+        writes = np.asarray(writes, dtype=bool)
+
+        miss_mask = np.ones(addrs.shape, dtype=bool)  # accesses still in flight
+        l1_miss = np.zeros(addrs.shape, dtype=bool)
+        for idx, level in enumerate(self.levels):
+            pending = np.nonzero(miss_mask)[0]
+            if pending.size == 0:
+                break
+            hits = level.access_stream(addrs[pending], writes[pending])
+            resolved = pending[hits]
+            miss_mask[resolved] = False
+            if idx == 0:
+                l1_miss[pending[~hits]] = True
+        return miss_mask, l1_miss  # whatever is still pending missed the LLC
+
+    def reset_stats(self) -> None:
+        for level in self.levels:
+            level.stats.__init__()
+
+
+def cascade_lake_hierarchy(llc_slice_mb: int = 33, cores: int = 24) -> CacheHierarchy:
+    """A (scaled) Cascade Lake-like hierarchy for microbenchmarks.
+
+    The real Xeon Platinum 8260L has 32 KiB L1D / 1 MiB L2 per core and a
+    ~35.75 MiB shared non-inclusive LLC.  Full-size simulation is
+    unnecessary for the validation workloads; ``llc_slice_mb`` lets tests
+    scale the LLC while keeping the shape (8-way L1, 16-way L2, 11-way LLC).
+    """
+    del cores  # single simulated core; kept for interface stability
+    llc_size = 1 << (llc_slice_mb * MiB).bit_length() - 1  # round down to pow2
+    return CacheHierarchy(
+        [
+            SetAssociativeCache(32 * KiB, line_size=64, ways=8, name="L1D"),
+            SetAssociativeCache(1 * MiB, line_size=64, ways=16, name="L2"),
+            SetAssociativeCache(llc_size, line_size=64, ways=16, name="LLC"),
+        ]
+    )

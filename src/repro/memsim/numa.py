@@ -1,0 +1,96 @@
+"""NUMA topology and pinning.
+
+The paper pins threads and memory to a single NUMA node to control the DRAM
+cache size and avoid cross-socket variability.  This module models just
+enough of that: nodes with local subsystems, CPU lists, a remote-access
+penalty factor, and a pinning policy that restricts a run to one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.memsim.subsystem import MemorySystem, pmem6_system
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One NUMA node: a CPU set plus its local memory system."""
+
+    node_id: int
+    cpus: Sequence[int]
+    memory: MemorySystem
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigError(f"node id must be >= 0, got {self.node_id}")
+        if not self.cpus:
+            raise ConfigError(f"node {self.node_id} has no CPUs")
+
+
+@dataclass
+class NumaTopology:
+    """A machine as a list of NUMA nodes and a remote-access penalty.
+
+    ``remote_penalty`` multiplies memory latency for accesses that cross
+    node boundaries (typical Cascade Lake UPI factors are ~1.6x-1.8x).
+    """
+
+    nodes: List[NumaNode]
+    remote_penalty: float = 1.7
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigError("topology needs at least one node")
+        ids = [n.node_id for n in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate node ids: {ids}")
+        if self.remote_penalty < 1.0:
+            raise ConfigError(f"remote penalty must be >= 1, got {self.remote_penalty}")
+
+    def node(self, node_id: int) -> NumaNode:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(f"no NUMA node {node_id}")
+
+    def node_of_cpu(self, cpu: int) -> NumaNode:
+        for n in self.nodes:
+            if cpu in n.cpus:
+                return n
+        raise KeyError(f"cpu {cpu} not in any node")
+
+    def pin_to(self, node_id: int) -> "PinnedContext":
+        """Pin execution and allocation to one node (the paper's setup)."""
+        return PinnedContext(topology=self, node=self.node(node_id))
+
+
+@dataclass(frozen=True)
+class PinnedContext:
+    """Execution pinned to a single node: all memory traffic is local."""
+
+    topology: NumaTopology
+    node: NumaNode
+
+    @property
+    def memory(self) -> MemorySystem:
+        return self.node.memory
+
+    def latency_factor(self, target_node: int) -> float:
+        """1.0 for local accesses, the remote penalty otherwise."""
+        return 1.0 if target_node == self.node.node_id else self.topology.remote_penalty
+
+
+def dual_socket_topology(memory_factory=pmem6_system, cpus_per_node: int = 24) -> NumaTopology:
+    """The testbed: two sockets, each with its own DRAM+PMem system."""
+    nodes = [
+        NumaNode(
+            node_id=i,
+            cpus=tuple(range(i * cpus_per_node, (i + 1) * cpus_per_node)),
+            memory=memory_factory(),
+        )
+        for i in range(2)
+    ]
+    return NumaTopology(nodes=nodes)

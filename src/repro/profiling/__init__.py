@@ -1,0 +1,56 @@
+"""Data-oriented profiling substrate (Extrae + PEBS + Paramedir analogues).
+
+The offline half of the ecoHMEM workflow (Section IV-A):
+
+- :mod:`~repro.profiling.events` — trace event records (alloc/free and
+  PEBS samples).
+- :mod:`~repro.profiling.object_table` — live-object interval index that
+  matches sampled data addresses to the object they fall in.
+- :mod:`~repro.profiling.pebs` — the sampling model: 100 Hz frequency-based
+  sampling of ``MEM_LOAD_RETIRED.L3_MISS`` and
+  ``MEM_INST_RETIRED.ALL_STORES`` with multinomial attribution noise.
+- :mod:`~repro.profiling.tracer` — the Extrae-like tracer that drives a
+  profiling run over a workload and emits a :class:`Trace`.
+- :mod:`~repro.profiling.trace` — trace container with (de)serialization.
+- :mod:`~repro.profiling.paramedir` — the trace analyzer producing
+  per-allocation-site statistics for the Advisor.
+- :mod:`~repro.profiling.metrics` — derived metrics (per-object bandwidth,
+  lifetimes, bandwidth regions).
+"""
+
+from repro.profiling.events import (
+    AllocEvent,
+    FreeEvent,
+    SampleEvent,
+    HardwareCounter,
+)
+from repro.profiling.object_table import LiveObjectTable, LiveInterval
+from repro.profiling.pebs import PEBSConfig, PEBSSampler
+from repro.profiling.trace import Trace, TraceMeta
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.profiling.paramedir import Paramedir, SiteProfile
+from repro.profiling.metrics import (
+    object_bandwidth,
+    bandwidth_region,
+    BandwidthRegion,
+)
+
+__all__ = [
+    "AllocEvent",
+    "FreeEvent",
+    "SampleEvent",
+    "HardwareCounter",
+    "LiveObjectTable",
+    "LiveInterval",
+    "PEBSConfig",
+    "PEBSSampler",
+    "Trace",
+    "TraceMeta",
+    "ExtraeTracer",
+    "TracerConfig",
+    "Paramedir",
+    "SiteProfile",
+    "object_bandwidth",
+    "bandwidth_region",
+    "BandwidthRegion",
+]

@@ -1,0 +1,84 @@
+"""Trace event records.
+
+Extrae's memory instrumentation produces three kinds of events we care
+about (Sections IV-A and V): allocation events (size, call stack, returned
+address), deallocation events, and PEBS samples for the two configured
+hardware counters.  Events are plain frozen dataclasses ordered by
+timestamp inside a :class:`~repro.profiling.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import TraceError
+
+
+class HardwareCounter(enum.Enum):
+    """The PEBS events the paper's Extrae configuration samples."""
+
+    #: load instructions that missed the last-level cache
+    LLC_LOAD_MISS = "MEM_LOAD_RETIRED.L3_MISS"
+    #: all retired store instructions (L1D store misses are derived; PEBS
+    #: has no LLC store-miss event — Section V)
+    ALL_STORES = "MEM_INST_RETIRED.ALL_STORES"
+
+
+@dataclass(frozen=True)
+class AllocEvent:
+    """A heap allocation intercepted by the tracer."""
+
+    time: float          # seconds since run start
+    address: int         # address returned by the allocator
+    size: int            # requested bytes
+    site_key: Tuple      # stable call-stack key (BOM or HUMAN frames)
+    rank: int = 0        # MPI rank
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise TraceError(f"alloc event with size {self.size}")
+        if self.time < 0:
+            raise TraceError(f"alloc event with negative time {self.time}")
+
+
+@dataclass(frozen=True)
+class FreeEvent:
+    """A heap deallocation."""
+
+    time: float
+    address: int
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceError(f"free event with negative time {self.time}")
+
+
+@dataclass(frozen=True)
+class SampleEvent:
+    """One PEBS sample: a counter firing with an associated data address.
+
+    ``latency_ns`` is only present for load samples (PEBS store records
+    carry no access latency — Section VIII-B).  ``weight`` is the number
+    of true events the sample stands for: in frequency mode the kernel
+    adapts the event period to hit the target rate and reports it per
+    sample, which is what allows scaling sample counts back to estimated
+    event counts.
+    """
+
+    time: float
+    counter: HardwareCounter
+    data_address: int
+    rank: int = 0
+    latency_ns: Optional[float] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceError(f"sample event with negative time {self.time}")
+        if self.counter is HardwareCounter.ALL_STORES and self.latency_ns is not None:
+            raise TraceError("PEBS store samples carry no latency data")
+        if self.weight <= 0:
+            raise TraceError(f"sample weight must be > 0, got {self.weight}")

@@ -1,0 +1,60 @@
+"""Derived profiling metrics.
+
+Bandwidth per object (Section VII-B: "Bandwidth consumption is derived
+from load and store hardware counters divided by object's lifetime") and
+the B_low / B_mid / B_high region classification of Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.profiling.paramedir import SiteProfile
+
+#: Every off-chip miss moves one cache line.
+LINE_BYTES = 64
+
+
+class BandwidthRegion(enum.Enum):
+    """Table II's bandwidth regions, as fractions of peak PMem bandwidth."""
+
+    LOW = "B_low"    # demand below T_PMEMLOW (default 20% of peak)
+    MID = "B_mid"    # between the thresholds
+    HIGH = "B_high"  # demand above T_PMEMHIGH (default 40% of peak)
+
+
+def object_bandwidth(profile: SiteProfile, *, ranks: int = 1) -> float:
+    """Mean bandwidth one site's objects consume while alive (bytes/s).
+
+    ``(loads + stores) * 64 B / total_live_time``, scaled by ``ranks``
+    because profiles describe one representative rank while bandwidth
+    regions are a node-level quantity.
+    """
+    if ranks < 1:
+        raise ConfigError(f"ranks must be >= 1, got {ranks}")
+    if profile.total_live_time <= 0:
+        return 0.0
+    traffic = (profile.load_misses + profile.store_misses) * LINE_BYTES * ranks
+    return traffic / profile.total_live_time
+
+
+def bandwidth_region(
+    demand: float,
+    peak: float,
+    *,
+    low: float = 0.20,
+    high: float = 0.40,
+) -> BandwidthRegion:
+    """Classify a bandwidth demand against Table II's thresholds."""
+    if peak <= 0:
+        raise ConfigError(f"peak bandwidth must be > 0, got {peak}")
+    if not 0 < low < high < 1:
+        raise ConfigError(f"need 0 < low < high < 1, got {low}, {high}")
+    frac = demand / peak
+    if frac < low:
+        return BandwidthRegion.LOW
+    if frac > high:
+        return BandwidthRegion.HIGH
+    return BandwidthRegion.MID

@@ -1,0 +1,97 @@
+"""Live-object interval index: data address -> owning allocation.
+
+PEBS samples carry a data linear address; Extrae matches it to the
+instrumented data object whose ``[address, address+size)`` interval
+contains it (Section IV-A).  :class:`LiveObjectTable` maintains the set of
+live intervals with a sorted-key index so both point lookups and the
+alloc/free churn of long traces stay cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import AddressError, TraceError
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """One live allocation interval."""
+
+    address: int
+    size: int
+    site_key: Tuple
+    alloc_time: float
+    instance: int  # per-site allocation sequence number
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.address <= addr < self.end
+
+
+class LiveObjectTable:
+    """Sorted index over live, non-overlapping allocation intervals."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._intervals: List[LiveInterval] = []
+        self._per_site_count: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def insert(self, address: int, size: int, site_key: Tuple, time: float) -> LiveInterval:
+        """Register a new live object; overlap with a live one is an error."""
+        if size <= 0:
+            raise TraceError(f"interval with size {size}")
+        idx = bisect.bisect_right(self._starts, address)
+        if idx > 0 and self._intervals[idx - 1].end > address:
+            raise AddressError(
+                f"new interval {address:#x}+{size:#x} overlaps live "
+                f"{self._intervals[idx - 1]}"
+            )
+        if idx < len(self._starts) and address + size > self._starts[idx]:
+            raise AddressError(
+                f"new interval {address:#x}+{size:#x} overlaps live "
+                f"{self._intervals[idx]}"
+            )
+        instance = self._per_site_count.get(site_key, 0)
+        self._per_site_count[site_key] = instance + 1
+        interval = LiveInterval(
+            address=address, size=size, site_key=site_key,
+            alloc_time=time, instance=instance,
+        )
+        self._starts.insert(idx, address)
+        self._intervals.insert(idx, interval)
+        return interval
+
+    def remove(self, address: int) -> LiveInterval:
+        """Remove the live object starting at ``address`` (a free)."""
+        idx = bisect.bisect_left(self._starts, address)
+        if idx >= len(self._starts) or self._starts[idx] != address:
+            raise AddressError(f"no live object starts at {address:#x}")
+        del self._starts[idx]
+        return self._intervals.pop(idx)
+
+    def lookup(self, data_address: int) -> Optional[LiveInterval]:
+        """The live object containing a sampled data address, if any.
+
+        Samples that land outside any instrumented object (stack, static
+        data, allocator metadata) return ``None`` — real traces have those
+        too, and Paramedir ignores them.
+        """
+        idx = bisect.bisect_right(self._starts, data_address) - 1
+        if idx >= 0 and self._intervals[idx].contains(data_address):
+            return self._intervals[idx]
+        return None
+
+    def live_intervals(self) -> List[LiveInterval]:
+        return list(self._intervals)
+
+    def live_bytes(self) -> int:
+        return sum(iv.size for iv in self._intervals)

@@ -1,0 +1,197 @@
+"""Paramedir: the trace analyzer.
+
+Reconstructs per-allocation-site statistics from a raw :class:`Trace`,
+exactly the quantities the paper's workflow extracts (Section IV-A and
+Section VII-B):
+
+- the largest allocation observed at each site,
+- the number of allocations and per-instance alloc/dealloc timestamps,
+- estimated LLC load misses and L1D store misses (sample weights summed),
+- total live time, used to derive per-object bandwidth.
+
+The analyzer replays alloc/free events through a
+:class:`~repro.profiling.object_table.LiveObjectTable` and attributes every
+sample to the object containing its data address — it does *not* trust any
+side channel from the tracer, so a malformed trace (overlapping objects,
+samples outside any object, frees without allocs) is detected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.profiling.events import HardwareCounter
+from repro.profiling.object_table import LiveObjectTable
+from repro.profiling.trace import Trace
+
+SiteKey = Tuple
+
+
+@dataclass
+class SiteProfile:
+    """Aggregated profile of one allocation site."""
+
+    site_key: SiteKey
+    largest_alloc: int = 0
+    alloc_count: int = 0
+    free_count: int = 0
+    load_misses: float = 0.0    # estimated true LLC load misses
+    store_misses: float = 0.0   # estimated true L1D store misses
+    load_samples: int = 0
+    store_samples: int = 0
+    first_alloc: float = float("inf")
+    last_free: float = 0.0
+    total_live_time: float = 0.0
+    #: per-instance (alloc_time, free_time); free may be the run end
+    spans: List[Tuple[float, float]] = field(default_factory=list)
+    #: mean sampled load latency (ns); None if no latency data
+    mean_load_latency_ns: Optional[float] = None
+
+    @property
+    def mean_lifetime(self) -> float:
+        return self.total_live_time / self.alloc_count if self.alloc_count else 0.0
+
+    @property
+    def miss_density(self) -> float:
+        """Misses per byte — the knapsack value numerator (loads only)."""
+        return self.load_misses / self.largest_alloc if self.largest_alloc else 0.0
+
+
+class Paramedir:
+    """Analyze a trace into per-site profiles."""
+
+    def analyze(self, trace: Trace) -> Dict[SiteKey, SiteProfile]:
+        """Replay the trace and aggregate per-site statistics."""
+        profiles: Dict[SiteKey, SiteProfile] = {}
+        table = LiveObjectTable()
+        # merge alloc/free/sample streams in time order; allocs precede
+        # frees and samples at equal timestamps so lookups succeed
+        events: List[Tuple[float, int, object]] = []
+        for ev in trace.allocs:
+            events.append((ev.time, 0, ev))
+        for ev in trace.samples:
+            events.append((ev.time, 1, ev))
+        for ev in trace.frees:
+            events.append((ev.time, 2, ev))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        open_allocs: Dict[int, Tuple[SiteKey, float]] = {}
+        lat_sum: Dict[SiteKey, float] = {}
+        lat_n: Dict[SiteKey, int] = {}
+
+        for time_, kind, ev in events:
+            if kind == 0:  # alloc
+                prof = profiles.setdefault(ev.site_key, SiteProfile(site_key=ev.site_key))
+                prof.largest_alloc = max(prof.largest_alloc, ev.size)
+                prof.alloc_count += 1
+                prof.first_alloc = min(prof.first_alloc, ev.time)
+                table.insert(ev.address, ev.size, ev.site_key, ev.time)
+                open_allocs[ev.address] = (ev.site_key, ev.time)
+            elif kind == 1:  # sample
+                iv = table.lookup(ev.data_address)
+                if iv is None:
+                    # samples in stacks/statics are legal; just not attributed
+                    continue
+                prof = profiles[iv.site_key]
+                if ev.counter is HardwareCounter.LLC_LOAD_MISS:
+                    prof.load_samples += 1
+                    prof.load_misses += ev.weight
+                    if ev.latency_ns is not None:
+                        lat_sum[iv.site_key] = lat_sum.get(iv.site_key, 0.0) + ev.latency_ns
+                        lat_n[iv.site_key] = lat_n.get(iv.site_key, 0) + 1
+                elif ev.counter is HardwareCounter.ALL_STORES:
+                    prof.store_samples += 1
+                    prof.store_misses += ev.weight
+                else:  # pragma: no cover - enum is closed
+                    raise TraceError(f"unknown counter {ev.counter!r}")
+            else:  # free
+                info = open_allocs.pop(ev.address, None)
+                if info is None:
+                    raise TraceError(f"free at {ev.address:#x} without matching alloc")
+                site_key, t_alloc = info
+                table.remove(ev.address)
+                prof = profiles[site_key]
+                prof.free_count += 1
+                prof.last_free = max(prof.last_free, ev.time)
+                prof.total_live_time += ev.time - t_alloc
+                prof.spans.append((t_alloc, ev.time))
+
+        # objects never freed live until the end of the run
+        run_end = trace.meta.duration
+        for address, (site_key, t_alloc) in open_allocs.items():
+            prof = profiles[site_key]
+            prof.total_live_time += run_end - t_alloc
+            prof.spans.append((t_alloc, run_end))
+            prof.last_free = max(prof.last_free, run_end)
+
+        for key, prof in profiles.items():
+            if lat_n.get(key):
+                prof.mean_load_latency_ns = lat_sum[key] / lat_n[key]
+            prof.spans.sort()
+        return profiles
+
+    def merge(
+        self,
+        per_rank: List[Dict[SiteKey, SiteProfile]],
+        mode: str = "sum",
+    ) -> Dict[SiteKey, SiteProfile]:
+        """Aggregate per-rank profiles across an MPI job.
+
+        ``mode="sum"`` adds miss estimates across ranks (total work the
+        site causes on the node); ``mode="average"`` divides by the number
+        of ranks that *observed* the site.  The two produce different
+        rankings when sites appear in different rank subsets — precisely
+        the ambiguity the paper faced when reproducing ProfDP and resolved
+        by trying both (Section VIII).
+
+        Structural fields merge naturally: ``largest_alloc`` is the max,
+        ``alloc_count`` the per-rank mean (the advisor reasons per
+        process), spans are pooled, timestamps take the envelope.
+        """
+        if mode not in ("sum", "average"):
+            raise ValueError(f"unknown aggregation mode {mode!r}")
+        if not per_rank:
+            raise ValueError("need at least one rank's profiles")
+        merged: Dict[SiteKey, SiteProfile] = {}
+        seen_by: Dict[SiteKey, int] = {}
+        for profiles in per_rank:
+            for key, prof in profiles.items():
+                seen_by[key] = seen_by.get(key, 0) + 1
+                out = merged.get(key)
+                if out is None:
+                    out = SiteProfile(site_key=key)
+                    merged[key] = out
+                out.largest_alloc = max(out.largest_alloc, prof.largest_alloc)
+                out.alloc_count += prof.alloc_count
+                out.free_count += prof.free_count
+                out.load_misses += prof.load_misses
+                out.store_misses += prof.store_misses
+                out.load_samples += prof.load_samples
+                out.store_samples += prof.store_samples
+                out.first_alloc = min(out.first_alloc, prof.first_alloc)
+                out.last_free = max(out.last_free, prof.last_free)
+                out.total_live_time += prof.total_live_time
+                out.spans.extend(prof.spans)
+        for key, out in merged.items():
+            n_ranks = seen_by[key]
+            # per-process structural quantities: average over observers
+            out.alloc_count = max(out.alloc_count // n_ranks, 1)
+            out.free_count = out.free_count // n_ranks
+            out.total_live_time /= n_ranks
+            if mode == "average":
+                out.load_misses /= n_ranks
+                out.store_misses /= n_ranks
+            out.spans.sort()
+        return merged
+
+    def top_sites(
+        self, profiles: Dict[SiteKey, SiteProfile], n: int = 10,
+        by: str = "load_misses",
+    ) -> List[SiteProfile]:
+        """The ``n`` sites with the largest value of ``by``."""
+        valid = {"load_misses", "store_misses", "largest_alloc", "miss_density"}
+        if by not in valid:
+            raise ValueError(f"unknown sort key {by!r}; choose from {sorted(valid)}")
+        return sorted(profiles.values(), key=lambda p: getattr(p, by), reverse=True)[:n]

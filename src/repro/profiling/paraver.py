@@ -1,0 +1,124 @@
+"""Paraver-style post-mortem analysis of run results.
+
+The paper uses BSC's Paraver to diagnose *why* LAMMPS resists placement
+(Section VIII-C): the compute iterations fit in cache, and the overhead
+ecoHMEM introduces concentrates in the MPI communication phases.  This
+module reproduces that style of analysis over :class:`RunResult`s:
+
+- :func:`function_profile` — time/traffic attribution per accessor
+  function (which kernels carry the misses);
+- :func:`communication_share` — how much of the run's stall is carried by
+  serialized (critical-path) objects, i.e. communication buffers;
+- :func:`subsystem_utilization` — per-subsystem bandwidth utilization
+  timelines, the Paraver "views" equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.workload import Workload
+from repro.runtime.stats import RunResult
+
+
+@dataclass(frozen=True)
+class FunctionRow:
+    """One accessor function's share of the run's off-chip activity."""
+
+    function: str
+    load_misses: float
+    store_misses: float
+    traffic_bytes: float
+    mean_latency_ns: float
+    traffic_share: float
+
+
+def function_profile(run: RunResult, workload: Workload) -> List[FunctionRow]:
+    """Attribute the run's misses and traffic to accessor functions."""
+    loads: Dict[str, float] = {}
+    stores: Dict[str, float] = {}
+    lat_weighted: Dict[str, float] = {}
+    for obj in workload.objects:
+        st = run.objects.get(obj.site.name)
+        if st is None:
+            continue
+        total_rate = sum(a.load_rate + a.store_rate
+                         for a in obj.access.values()) or 1.0
+        for stats in obj.access.values():
+            fn = stats.accessor or obj.site.name
+            share = (stats.load_rate + stats.store_rate) / total_rate
+            loads[fn] = loads.get(fn, 0.0) + st.load_misses * share
+            stores[fn] = stores.get(fn, 0.0) + st.store_misses * share
+            lat_weighted[fn] = (lat_weighted.get(fn, 0.0)
+                                + st.mean_load_latency_ns * st.load_misses * share)
+    total_traffic = sum((loads[f] + 2.0 * stores.get(f, 0.0)) * 64.0
+                        for f in loads) or 1.0
+    rows = []
+    for fn in loads:
+        traffic = (loads[fn] + 2.0 * stores.get(fn, 0.0)) * 64.0
+        rows.append(FunctionRow(
+            function=fn,
+            load_misses=loads[fn],
+            store_misses=stores.get(fn, 0.0),
+            traffic_bytes=traffic,
+            mean_latency_ns=(lat_weighted[fn] / loads[fn]) if loads[fn] else 0.0,
+            traffic_share=traffic / total_traffic,
+        ))
+    rows.sort(key=lambda r: -r.traffic_bytes)
+    return rows
+
+
+@dataclass(frozen=True)
+class CommunicationAnalysis:
+    """The LAMMPS-style diagnosis: where serialized stalls live."""
+
+    serial_stall_s: float      # stall carried by critical-path objects
+    total_stall_s: float
+    comm_sites: Tuple[str, ...]
+
+    @property
+    def serial_share(self) -> float:
+        return self.serial_stall_s / self.total_stall_s if self.total_stall_s else 0.0
+
+
+def communication_share(run: RunResult, workload: Workload,
+                        *, latency_ns_hint: float = 200.0) -> CommunicationAnalysis:
+    """Estimate the stall share of serialized (communication) objects.
+
+    An object with ``serial_fraction > 0`` models critical-path accesses
+    (MPI buffers); their misses stall without MLP overlap.  The estimate
+    uses each object's measured misses and latency against the workload's
+    MLP, the same arithmetic the engine applied.
+    """
+    total_stall = sum(p.stall_time for p in run.phases)
+    serial_stall = 0.0
+    comm_sites = []
+    for obj in workload.objects:
+        if obj.serial_fraction <= 0.0:
+            continue
+        st = run.objects.get(obj.site.name)
+        if st is None:
+            continue
+        comm_sites.append(obj.site.name)
+        lat = st.mean_load_latency_ns or latency_ns_hint
+        serial_loads = st.load_misses * obj.serial_fraction / workload.ranks
+        serial_stall += serial_loads * lat * 1e-9
+    return CommunicationAnalysis(
+        serial_stall_s=serial_stall,
+        total_stall_s=total_stall,
+        comm_sites=tuple(comm_sites),
+    )
+
+
+def subsystem_utilization(run: RunResult, peaks: Dict[str, float]
+                          ) -> Dict[str, np.ndarray]:
+    """Per-subsystem utilization series (bandwidth / device peak)."""
+    out: Dict[str, np.ndarray] = {}
+    for name, peak in peaks.items():
+        if peak <= 0:
+            raise ValueError(f"peak for {name!r} must be > 0")
+        out[name] = run.timeline.bandwidth(name) / peak
+    return out

@@ -1,0 +1,172 @@
+"""Trace container and serialization.
+
+A :class:`Trace` is the product of one profiling run: time-ordered alloc/
+free events, PEBS samples, and run metadata.  It serializes to a JSON-lines
+format (one event per line) so traces can be stored, inspected and re-
+analyzed without re-running the profiling — mirroring the Extrae trace-file
+-> Paramedir workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.errors import TraceError
+from repro.binary.callstack import BOMFrame, HumanFrame, StackFormat
+from repro.profiling.events import AllocEvent, FreeEvent, HardwareCounter, SampleEvent
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Run metadata recorded in the trace header."""
+
+    workload: str
+    ranks: int
+    duration: float
+    stack_format: StackFormat
+    sampling_hz: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise TraceError(f"trace duration must be > 0, got {self.duration}")
+
+
+class Trace:
+    """An ordered event log plus metadata."""
+
+    def __init__(self, meta: TraceMeta):
+        self.meta = meta
+        self.allocs: List[AllocEvent] = []
+        self.frees: List[FreeEvent] = []
+        self.samples: List[SampleEvent] = []
+
+    def add_alloc(self, event: AllocEvent) -> None:
+        self.allocs.append(event)
+
+    def add_free(self, event: FreeEvent) -> None:
+        self.frees.append(event)
+
+    def add_sample(self, event: SampleEvent) -> None:
+        self.samples.append(event)
+
+    def sort(self) -> None:
+        """Time-order each stream (tracers may emit per phase)."""
+        self.allocs.sort(key=lambda e: e.time)
+        self.frees.sort(key=lambda e: e.time)
+        self.samples.sort(key=lambda e: e.time)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.allocs) + len(self.frees) + len(self.samples)
+
+    def samples_for(self, counter: HardwareCounter) -> List[SampleEvent]:
+        return [s for s in self.samples if s.counter is counter]
+
+    # -- serialization -------------------------------------------------------
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines (header first)."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(json.dumps({
+                "kind": "header",
+                "workload": self.meta.workload,
+                "ranks": self.meta.ranks,
+                "duration": self.meta.duration,
+                "stack_format": self.meta.stack_format.value,
+                "sampling_hz": self.meta.sampling_hz,
+            }) + "\n")
+            for ev in self.allocs:
+                fh.write(json.dumps({
+                    "kind": "alloc", "t": ev.time, "addr": ev.address,
+                    "size": ev.size, "rank": ev.rank,
+                    "site": _encode_site(ev.site_key),
+                }) + "\n")
+            for ev in self.frees:
+                fh.write(json.dumps({
+                    "kind": "free", "t": ev.time, "addr": ev.address,
+                    "rank": ev.rank,
+                }) + "\n")
+            for ev in self.samples:
+                fh.write(json.dumps({
+                    "kind": "sample", "t": ev.time, "addr": ev.data_address,
+                    "counter": ev.counter.value, "rank": ev.rank,
+                    "lat": ev.latency_ns, "w": ev.weight,
+                }) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace written by :meth:`dump`."""
+        path = Path(path)
+        with path.open() as fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}: bad header line") from exc
+            if header.get("kind") != "header":
+                raise TraceError(f"{path}: first line is not a trace header")
+            fmt = StackFormat(header["stack_format"])
+            trace = cls(TraceMeta(
+                workload=header["workload"],
+                ranks=header["ranks"],
+                duration=header["duration"],
+                stack_format=fmt,
+                sampling_hz=header["sampling_hz"],
+            ))
+            for lineno, line in enumerate(fh, start=2):
+                if not line.strip():
+                    continue
+                rec = json.loads(line)
+                kind = rec.get("kind")
+                if kind == "alloc":
+                    trace.add_alloc(AllocEvent(
+                        time=rec["t"], address=rec["addr"], size=rec["size"],
+                        site_key=_decode_site(rec["site"], fmt), rank=rec["rank"],
+                    ))
+                elif kind == "free":
+                    trace.add_free(FreeEvent(
+                        time=rec["t"], address=rec["addr"], rank=rec["rank"],
+                    ))
+                elif kind == "sample":
+                    trace.add_sample(SampleEvent(
+                        time=rec["t"], counter=HardwareCounter(rec["counter"]),
+                        data_address=rec["addr"], rank=rec["rank"],
+                        latency_ns=rec.get("lat"), weight=rec.get("w", 1.0),
+                    ))
+                else:
+                    raise TraceError(f"{path}:{lineno}: unknown event kind {kind!r}")
+        return trace
+
+
+def _encode_site(site_key: Tuple) -> list:
+    frames = []
+    for f in site_key:
+        if isinstance(f, BOMFrame):
+            frames.append(["bom", f.object_name, f.offset])
+        elif isinstance(f, HumanFrame):
+            frames.append(["human", f.source_file, f.line])
+        else:
+            raise TraceError(f"cannot serialize frame {f!r}")
+    return frames
+
+
+def _decode_site(frames: list, fmt: StackFormat) -> Tuple:
+    out = []
+    for kind, a, b in frames:
+        if kind == "bom":
+            out.append(BOMFrame(object_name=a, offset=b))
+        elif kind == "human":
+            out.append(HumanFrame(source_file=a, line=b))
+        else:
+            raise TraceError(f"unknown frame kind {kind!r}")
+    decoded = tuple(out)
+    expect = BOMFrame if fmt is StackFormat.BOM else HumanFrame
+    if decoded and not isinstance(decoded[0], expect):
+        raise TraceError(
+            f"trace header says {fmt.value} but frames are {type(decoded[0]).__name__}"
+        )
+    return decoded

@@ -1,0 +1,230 @@
+"""The Extrae-like tracer: profile a workload run into a :class:`Trace`.
+
+The tracer replays a workload's allocation schedule through a real heap
+(the profiling run needs actual addresses so that sampled data addresses
+can be matched back to objects through the live-object table, as Extrae
+does), translates each site's captured call stack into the configured
+stable format, and drives the PEBS sampler over the run's phases.
+
+The profiling run itself uses the fallback placement (everything in the
+largest subsystem) — the sampled counters (LLC load misses, retired
+stores) are properties of the cache hierarchy above the placement, so the
+profile is placement-independent, exactly the property the paper's
+workflow relies on (profile once, place, run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.binary.callstack import StackFormat
+from repro.alloc.heap import FreeListHeap
+from repro.apps.sites import ProcessImage, SiteRegistry
+from repro.apps.workload import InstanceSpan, Workload
+from repro.profiling.events import AllocEvent, FreeEvent, HardwareCounter, SampleEvent
+from repro.profiling.object_table import LiveObjectTable
+from repro.profiling.pebs import PEBSConfig, PEBSSampler
+from repro.profiling.trace import Trace, TraceMeta
+
+#: Profiling heap: one large region; base far from the real heaps so tests
+#: can tell profiling-run addresses from production-run ones.
+_PROFILING_HEAP_BASE = 0x0800_0000_0000
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """Extrae configuration file analogue."""
+
+    stack_format: StackFormat = StackFormat.BOM
+    pebs: PEBSConfig = PEBSConfig()
+    #: sampling window; one PEBS batch is drawn per window per counter
+    window: float = 1.0
+    seed: int = 7
+    #: per-rank load-imbalance jitter (lognormal sigma) applied to the
+    #: true event counts a rank's sampler sees; 0 = perfectly symmetric
+    rank_jitter: float = 0.0
+
+
+class ExtraeTracer:
+    """Profiles one rank of a workload (ranks are symmetric in the model)."""
+
+    def __init__(self, workload: Workload, config: TracerConfig = TracerConfig(),
+                 registry: Optional[SiteRegistry] = None):
+        self.workload = workload
+        self.config = config
+        self.registry = registry or SiteRegistry(workload)
+        self._rng = np.random.default_rng(config.seed)
+
+    def run_all_ranks(self, ranks: Optional[int] = None,
+                      aslr_base_seed: int = 5000) -> List[Trace]:
+        """Profile every rank (each with its own ASLR layout and sampler).
+
+        With ``rank_jitter > 0`` the ranks see lognormally perturbed event
+        counts — the load imbalance that makes cross-rank *sum* and
+        *average* aggregation genuinely different (the ambiguity the paper
+        hits when reproducing ProfDP, Section VIII).
+        """
+        n = ranks if ranks is not None else self.workload.ranks
+        return [
+            self.run(rank=r, aslr_seed=aslr_base_seed + r) for r in range(n)
+        ]
+
+    def run(self, rank: int = 0, aslr_seed: Optional[int] = None) -> Trace:
+        """Execute the profiling run and return the trace."""
+        self._rank_rng = np.random.default_rng(self.config.seed * 131 + rank)
+        wl = self.workload
+        process = self.registry.make_process(
+            rank=rank, aslr_seed=aslr_seed if aslr_seed is not None else 1000 + rank
+        )
+        fmt = self.config.stack_format
+        trace = Trace(TraceMeta(
+            workload=wl.name,
+            ranks=wl.ranks,
+            duration=wl.nominal_duration,
+            stack_format=fmt,
+            sampling_hz=self.config.pebs.frequency_hz,
+        ))
+
+        heap = FreeListHeap(
+            name="profiling-heap",
+            base=_PROFILING_HEAP_BASE,
+            capacity=max(wl.heap_high_water() * 4, 1 << 20),
+        )
+        table = LiveObjectTable()
+        sampler = PEBSSampler(self.config.pebs)
+
+        # Timeline of alloc/free edges, processed in time order so the live
+        # table is correct at every sampling window.
+        instances = wl.instances()
+        edges: List[Tuple[float, int, InstanceSpan]] = []
+        for inst in instances:
+            edges.append((inst.start, 0, inst))  # 0 = alloc sorts before free
+            edges.append((inst.end, 1, inst))
+        edges.sort(key=lambda e: (e[0], e[1]))
+
+        addr_of: Dict[Tuple[str, int], int] = {}  # (site, instance) -> address
+        edge_i = 0
+        t = 0.0
+        duration = wl.nominal_duration
+        window = self.config.window
+        live: Dict[Tuple[str, int], InstanceSpan] = {}
+
+        while t < duration:
+            w_end = min(t + window, duration)
+            # apply all edges up to the *start* of the window, then sample,
+            # then apply intra-window edges at window end (coarse but keeps
+            # the live table consistent with overlap-based counts below)
+            while edge_i < len(edges) and edges[edge_i][0] <= t:
+                self._apply_edge(edges[edge_i], heap, table, trace, process,
+                                 addr_of, live, fmt, rank)
+                edge_i += 1
+            self._sample_window(t, w_end, live, addr_of, table, sampler, trace, rank)
+            # edges strictly inside the window
+            while edge_i < len(edges) and edges[edge_i][0] < w_end:
+                self._apply_edge(edges[edge_i], heap, table, trace, process,
+                                 addr_of, live, fmt, rank)
+                edge_i += 1
+            t = w_end
+        # drain remaining frees at the end of the run
+        while edge_i < len(edges):
+            self._apply_edge(edges[edge_i], heap, table, trace, process,
+                             addr_of, live, fmt, rank)
+            edge_i += 1
+
+        trace.sort()
+        return trace
+
+    # -- internals ------------------------------------------------------------
+
+    def _apply_edge(self, edge, heap, table, trace, process, addr_of, live,
+                    fmt, rank) -> None:
+        time_, kind, inst = edge
+        key = (inst.spec.site.name, inst.index)
+        if kind == 0:
+            alloc = heap.allocate(inst.spec.size)
+            site_key = process.site_key(inst.spec.site, fmt)
+            table.insert(alloc.address, inst.spec.size, site_key, time_)
+            addr_of[key] = alloc.address
+            live[key] = inst
+            trace.add_alloc(AllocEvent(
+                time=time_, address=alloc.address, size=inst.spec.size,
+                site_key=site_key, rank=rank,
+            ))
+        else:
+            address = addr_of.pop(key, None)
+            if address is None:
+                raise TraceError(f"free of never-allocated instance {key}")
+            heap.free(address)
+            table.remove(address)
+            live.pop(key, None)
+            trace.add_free(FreeEvent(time=time_, address=address, rank=rank))
+
+    def _window_phase_rates(self, lo: float, hi: float, inst: InstanceSpan
+                            ) -> Tuple[float, float]:
+        """True (load, store) events of one instance inside ``[lo, hi)``."""
+        loads = stores = 0.0
+        for span in self.workload.spans:
+            seg_lo = max(lo, span.start, inst.start)
+            seg_hi = min(hi, span.end, inst.end)
+            if seg_hi <= seg_lo:
+                continue
+            stats = inst.spec.access.get(span.name)
+            if stats is None:
+                continue
+            dt = seg_hi - seg_lo
+            loads += stats.load_rate * dt
+            stores += stats.sampled_store_rate * dt
+        return loads, stores
+
+    def _sample_window(self, lo, hi, live, addr_of, table, sampler, trace, rank) -> None:
+        for counter in (HardwareCounter.LLC_LOAD_MISS, HardwareCounter.ALL_STORES):
+            true_counts: Dict[Tuple[str, int], float] = {}
+            for key, inst in live.items():
+                loads, stores = self._window_phase_rates(lo, hi, inst)
+                events = loads if counter is HardwareCounter.LLC_LOAD_MISS else stores
+                events *= inst.spec.sampling_visibility
+                if self.config.rank_jitter > 0.0:
+                    events *= float(self._rank_rng.lognormal(
+                        0.0, self.config.rank_jitter))
+                if events > 0:
+                    true_counts[key] = events
+            if not true_counts:
+                continue
+            batch = sampler.sample_interval(counter, lo, hi, true_counts)
+            if batch.total_samples == 0:
+                continue
+            # adaptive period: events represented per delivered sample
+            weight = batch.total_true_events / batch.total_samples
+            stamps = sampler.sample_timestamps(batch)
+            for key, ts in stamps.items():
+                # clip timestamps to the instance's live span inside the
+                # window: a sample on a freed object would be unmatchable
+                inst = live[key]
+                t_lo = max(lo, inst.start)
+                t_hi = min(hi, inst.end)
+                if t_hi <= t_lo:
+                    continue
+                ts = t_lo + (ts - lo) * (t_hi - t_lo) / (hi - lo)
+                base = addr_of[key]
+                size = live[key].spec.size
+                offsets = self._rng.integers(0, max(size - 8, 1), size=len(ts))
+                for time_, off in zip(ts, offsets):
+                    addr = base + int(off)
+                    # the address must resolve through the live table, like
+                    # Extrae matching PEBS linear addresses to objects
+                    iv = table.lookup(addr)
+                    if iv is None:
+                        raise TraceError(
+                            f"sample address {addr:#x} fell outside live objects"
+                        )
+                    lat = None
+                    if counter is HardwareCounter.LLC_LOAD_MISS:
+                        lat = float(self._rng.normal(200.0, 40.0))
+                    trace.add_sample(SampleEvent(
+                        time=float(time_), counter=counter, data_address=addr,
+                        rank=rank, latency_ns=lat, weight=weight,
+                    ))

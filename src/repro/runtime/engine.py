@@ -1,0 +1,318 @@
+"""The execution engine (see package docstring for the model).
+
+The engine is deliberately analytic rather than cycle-accurate: the paper's
+evaluation hinges on *where* off-chip traffic goes and *what latency it
+sees there under load*, which the segment/fixed-point model captures, while
+keeping full-application simulations fast enough for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.apps.workload import InstanceSpan, PhaseSpan, Workload
+from repro.memsim.bandwidth import BandwidthTimeline
+from repro.memsim.subsystem import MemorySystem
+from repro.runtime.stats import ObjectRunStats, PhaseResult, RunResult
+from repro.runtime.traffic import SegmentTraffic, TrafficModel
+
+_NS = 1e-9
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Numerical knobs of the timing model."""
+
+    fixed_point_iters: int = 24
+    damping: float = 0.5
+    timeline_bins: int = 600
+    #: convergence tolerance on segment duration (relative)
+    tolerance: float = 1e-6
+    #: utilization at which the latency curve is clamped; beyond it the
+    #: throughput constraint (duration >= bytes/peak) governs, so letting
+    #: the curve approach its pole would double-count queueing
+    latency_util_cap: float = 0.92
+
+    def __post_init__(self) -> None:
+        if self.fixed_point_iters < 1:
+            raise SimulationError("fixed_point_iters must be >= 1")
+        if not 0.0 < self.damping <= 1.0:
+            raise SimulationError("damping must be in (0, 1]")
+
+
+@dataclass
+class _Segment:
+    """A maximal nominal interval with a constant live set."""
+
+    lo: float
+    hi: float
+    phase: PhaseSpan
+    live: List[InstanceSpan]
+
+    @property
+    def nominal(self) -> float:
+        return self.hi - self.lo
+
+
+class ExecutionEngine:
+    """Runs a workload under a traffic model on a memory system."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        system: MemorySystem,
+        params: EngineParams = EngineParams(),
+    ):
+        self.workload = workload
+        self.system = system
+        self.params = params
+        self._segments = self._build_segments()
+
+    # -- segmentation -----------------------------------------------------------
+
+    def _build_segments(self) -> List[_Segment]:
+        wl = self.workload
+        instances = wl.instances()
+        cuts = {0.0, wl.nominal_duration}
+        for span in wl.spans:
+            cuts.add(span.start)
+            cuts.add(span.end)
+        for inst in instances:
+            cuts.add(inst.start)
+            cuts.add(inst.end)
+        ordered = sorted(c for c in cuts if 0.0 <= c <= wl.nominal_duration)
+
+        # map each segment to its phase span and live instances via sweeps
+        segments: List[_Segment] = []
+        spans = wl.spans
+        span_i = 0
+        starts = sorted(instances, key=lambda i: i.start)
+        ends = sorted(instances, key=lambda i: i.end)
+        live: Dict[Tuple[str, int], InstanceSpan] = {}
+        si = ei = 0
+        for lo, hi in zip(ordered, ordered[1:]):
+            if hi <= lo:
+                continue
+            while si < len(starts) and starts[si].start <= lo:
+                inst = starts[si]
+                live[(inst.spec.site.name, inst.index)] = inst
+                si += 1
+            while ei < len(ends) and ends[ei].end <= lo:
+                inst = ends[ei]
+                live.pop((inst.spec.site.name, inst.index), None)
+                ei += 1
+            while span_i < len(spans) and spans[span_i].end <= lo:
+                span_i += 1
+            if span_i >= len(spans):
+                raise SimulationError(f"segment [{lo}, {hi}) beyond last phase span")
+            segments.append(
+                _Segment(lo=lo, hi=hi, phase=spans[span_i], live=list(live.values()))
+            )
+        if not segments:
+            raise SimulationError("workload produced no timeline segments")
+        return segments
+
+    # -- the timing fixed point -------------------------------------------------
+
+    def _segment_time(
+        self, seg: _Segment, traffic: SegmentTraffic
+    ) -> Tuple[float, float, Dict[str, float]]:
+        """(actual_duration, stall_time, latency per subsystem) for a segment."""
+        wl = self.workload
+        compute = seg.nominal
+        if not traffic.by_subsystem:
+            return compute, 0.0, {}
+
+        duration = compute
+        lat_by_sub: Dict[str, float] = {}
+        for _ in range(self.params.fixed_point_iters):
+            stall = 0.0
+            for name, t in traffic.by_subsystem.items():
+                sub = self.system.get(name)
+                bw = t.total_bytes / duration
+                lat = sub.read_latency_ns(
+                    bw, t.write_fraction, util_cap=self.params.latency_util_cap
+                )
+                lat += t.extra_latency_ns
+                lat_by_sub[name] = lat
+                # store_stall_factor already encodes what write buffering
+                # absorbs, so stores are NOT additionally divided by MLP —
+                # PMem's backed-up store buffers stall the pipeline directly
+                store_cost = sub.store_stall_factor * lat
+                loads_rank = t.loads / wl.ranks
+                serial_rank = t.serial_loads / wl.ranks
+                stores_rank = t.stores / wl.ranks
+                overlapped = (loads_rank - serial_rank) / wl.mlp + serial_rank
+                stall += (overlapped * lat + stores_rank * store_cost) * _NS
+            new_duration = compute + stall
+            # bandwidth saturation: the segment cannot move bytes faster
+            # than each device's peak
+            for name, t in traffic.by_subsystem.items():
+                sub = self.system.get(name)
+                new_duration = max(
+                    new_duration,
+                    t.read_bytes / sub.peak_read_bw + t.write_bytes / sub.peak_write_bw,
+                )
+            if abs(new_duration - duration) <= self.params.tolerance * duration:
+                duration = new_duration
+                break
+            duration = (
+                self.params.damping * new_duration
+                + (1.0 - self.params.damping) * duration
+            )
+        stall_time = duration - compute
+        return duration, stall_time, lat_by_sub
+
+    # -- the run ------------------------------------------------------------------
+
+    def run(
+        self,
+        model: TrafficModel,
+        *,
+        label: Optional[str] = None,
+        interposer_overhead_s: float = 0.0,
+        dram_cache_hit_ratio: Optional[float] = None,
+    ) -> RunResult:
+        """Execute the workload under ``model`` and collect statistics."""
+        wl = self.workload
+        has_pmem = "pmem" in self.system.names
+
+        seg_results = []
+        actual_t = 0.0
+        objects: Dict[str, ObjectRunStats] = {}
+        # per-site accumulators for latency and pmem-region stats
+        lat_weight: Dict[str, float] = {}
+        exec_bw_weight: Dict[str, float] = {}
+        exec_time_weight: Dict[str, float] = {}
+        alloc_pending: Dict[Tuple[str, int], float] = {}
+
+        # instances begin exactly at segment boundaries; track which
+        # instances start at each segment's lo for alloc-time stats
+        for seg in self._segments:
+            traffic = model.segment_traffic(seg.lo, seg.hi, seg.phase.name, seg.live)
+            duration, stall, lat_by_sub = self._segment_time(seg, traffic)
+            pmem_bw = 0.0
+            if has_pmem and "pmem" in traffic.by_subsystem:
+                pmem_bw = traffic.by_subsystem["pmem"].total_bytes / duration
+            seg_results.append((seg, traffic, actual_t, duration, stall, lat_by_sub,
+                                pmem_bw))
+
+            for inst in seg.live:
+                name = inst.spec.site.name
+                st = objects.get(name)
+                if st is None:
+                    st = ObjectRunStats(
+                        site_name=name,
+                        subsystem="",
+                        size=inst.spec.size,
+                        alloc_count=inst.spec.alloc_count,
+                    )
+                    objects[name] = st
+                if inst.start == seg.lo:
+                    key = (name, inst.index)
+                    if key not in alloc_pending:
+                        alloc_pending[key] = pmem_bw
+                        st.alloc_times.append(actual_t)
+                if inst.end == seg.hi:
+                    st.dealloc_times.append(actual_t + duration)
+                st.live_time += duration
+                exec_bw_weight[name] = exec_bw_weight.get(name, 0.0) + pmem_bw * duration
+                exec_time_weight[name] = exec_time_weight.get(name, 0.0) + duration
+
+            for (site_name, subsystem), (loads, stores) in traffic.by_object.items():
+                st = objects.get(site_name)
+                if st is None:
+                    continue
+                st.subsystem = st.subsystem or subsystem
+                st.load_misses += loads
+                st.store_misses += stores
+                st.bytes_total += (loads + 2.0 * stores) * 64.0
+                lat = lat_by_sub.get(subsystem, 0.0)
+                st.mean_load_latency_ns += loads * lat
+                lat_weight[site_name] = lat_weight.get(site_name, 0.0) + loads
+
+            actual_t += duration
+
+        # finalize per-object statistics
+        alloc_bws: Dict[str, List[float]] = {}
+        for (name, _idx), bw in alloc_pending.items():
+            alloc_bws.setdefault(name, []).append(bw)
+        for name, st in objects.items():
+            if lat_weight.get(name):
+                st.mean_load_latency_ns /= lat_weight[name]
+            bws = alloc_bws.get(name, [])
+            st.pmem_bw_at_alloc = sum(bws) / len(bws) if bws else 0.0
+            if exec_time_weight.get(name):
+                st.pmem_bw_exec = exec_bw_weight[name] / exec_time_weight[name]
+            if not st.subsystem:
+                # never generated traffic; report where its placement sends it
+                st.subsystem = getattr(model, "placement_of", {}).get(name, "")
+
+        total_time = actual_t + interposer_overhead_s
+        # aggregate segments into per-phase-span results
+        phases = self._phase_results(seg_results)
+        timeline = self._timeline(seg_results, total_time)
+
+        return RunResult(
+            workload_name=wl.name,
+            config_label=label or model.label,
+            total_time=total_time,
+            phases=phases,
+            objects=objects,
+            timeline=timeline,
+            interposer_overhead_s=interposer_overhead_s,
+            dram_cache_hit_ratio=dram_cache_hit_ratio,
+        )
+
+    # -- aggregation helpers --------------------------------------------------------
+
+    def _phase_results(self, seg_results) -> List[PhaseResult]:
+        phases: Dict[Tuple[str, int], PhaseResult] = {}
+        order: List[Tuple[str, int]] = []
+        for seg, traffic, start, duration, stall, lat_by_sub, _pf in seg_results:
+            key = (seg.phase.name, seg.phase.iteration)
+            pr = phases.get(key)
+            if pr is None:
+                pr = PhaseResult(
+                    name=seg.phase.name,
+                    iteration=seg.phase.iteration,
+                    nominal_start=seg.phase.start,
+                    nominal_end=seg.phase.end,
+                    actual_start=start,
+                    actual_duration=0.0,
+                    compute_time=0.0,
+                    stall_time=0.0,
+                )
+                phases[key] = pr
+                order.append(key)
+            pr.actual_duration += duration
+            pr.compute_time += seg.nominal
+            pr.stall_time += stall
+            for name, t in traffic.by_subsystem.items():
+                pr.loads_by_subsystem[name] = pr.loads_by_subsystem.get(name, 0.0) + t.loads
+                pr.stores_by_subsystem[name] = (
+                    pr.stores_by_subsystem.get(name, 0.0) + t.stores
+                )
+                pr.bytes_by_subsystem[name] = (
+                    pr.bytes_by_subsystem.get(name, 0.0) + t.total_bytes
+                )
+                prev = pr.mean_latency_by_subsystem.get(name, 0.0)
+                # duration-weighted mean latency within the phase
+                pr.mean_latency_by_subsystem[name] = prev + lat_by_sub.get(name, 0.0) * duration
+        for pr in phases.values():
+            for name in list(pr.mean_latency_by_subsystem):
+                pr.mean_latency_by_subsystem[name] /= max(pr.actual_duration, 1e-12)
+        return [phases[k] for k in order]
+
+    def _timeline(self, seg_results, total_time: float) -> BandwidthTimeline:
+        resolution = max(total_time / self.params.timeline_bins, 1e-6)
+        timeline = BandwidthTimeline(duration=total_time, resolution=resolution)
+        for seg, traffic, start, duration, _stall, _lat, _pf in seg_results:
+            if start + duration <= start:  # sub-epsilon segment
+                continue
+            for name, t in traffic.by_subsystem.items():
+                if t.total_bytes > 0:
+                    timeline.add_traffic(name, start, start + duration, t.total_bytes)
+        return timeline

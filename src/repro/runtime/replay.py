@@ -1,0 +1,78 @@
+"""Allocation replay through FlexMalloc.
+
+The production half of the workflow: every allocation instance of a
+workload is replayed *chronologically* through the interposer, so the
+placement each instance actually receives reflects both the report
+matching and the runtime capacity fallback (a DRAM heap that fills up
+bounces later allocations to the fallback subsystem, exactly when the
+paper's "running out of memory" footnotes bite).
+
+Returns the per-instance placement map the engine's
+:class:`~repro.runtime.traffic.PlacementTraffic` consumes, plus the
+interposer and matcher statistics used by the call-stack-format
+experiments (Section VIII-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.alloc.interposer import FlexMalloc
+from repro.apps.sites import ProcessImage
+from repro.apps.workload import Workload
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a workload's allocations through FlexMalloc."""
+
+    #: (site_name, instance_index) -> subsystem actually used
+    instance_placement: Dict[Tuple[str, int], str]
+    #: site_name -> subsystem of its first instance (engine default map)
+    site_placement: Dict[str, str]
+    flexmalloc: FlexMalloc
+    #: simulated seconds spent in allocation calls + matching, per rank
+    overhead_s: float
+
+
+def replay_allocations(
+    workload: Workload,
+    process: ProcessImage,
+    flexmalloc: FlexMalloc,
+) -> ReplayResult:
+    """Replay the nominal allocation schedule through the interposer."""
+    instances = workload.instances()
+    # chronological edges: allocs and frees interleaved; frees first at a
+    # tie so back-to-back reallocation at the same site reuses the space
+    edges = []
+    for inst in instances:
+        edges.append((inst.start, 1, inst))
+        edges.append((inst.end, 0, inst))
+    edges.sort(key=lambda e: (e[0], e[1]))
+
+    instance_placement: Dict[Tuple[str, int], str] = {}
+    site_placement: Dict[str, str] = {}
+    addr_of: Dict[Tuple[str, int], int] = {}
+
+    for _time, kind, inst in edges:
+        key = (inst.spec.site.name, inst.index)
+        if kind == 1:
+            stack = process.callstack(inst.spec.site)
+            alloc = flexmalloc.malloc(inst.spec.size * workload.ranks, stack)
+            addr_of[key] = alloc.address
+            subsystem = flexmalloc.subsystem_of(alloc.address)
+            instance_placement[key] = subsystem
+            site_placement.setdefault(inst.spec.site.name, subsystem)
+        else:
+            address = addr_of.pop(key, None)
+            if address is not None:
+                flexmalloc.free(address)
+
+    overhead_s = flexmalloc.total_overhead_ns() * 1e-9
+    return ReplayResult(
+        instance_placement=instance_placement,
+        site_placement=site_placement,
+        flexmalloc=flexmalloc,
+        overhead_s=overhead_s,
+    )

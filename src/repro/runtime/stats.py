@@ -1,0 +1,146 @@
+"""Run results: what one simulated execution produces.
+
+Everything the experiments need downstream: total runtime, per-phase
+breakdowns, an actual-time bandwidth timeline per subsystem, per-object
+statistics (for figures 4/5 and the bandwidth-aware advisor's
+observations), and VTune-style aggregates (memory-bound fraction, hit
+ratios) for Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.advisor.model import BandwidthObservation
+from repro.memsim.bandwidth import BandwidthTimeline
+
+
+@dataclass
+class PhaseResult:
+    """One phase span's outcome."""
+
+    name: str
+    iteration: int
+    nominal_start: float
+    nominal_end: float
+    actual_start: float
+    actual_duration: float
+    compute_time: float
+    stall_time: float
+    loads_by_subsystem: Dict[str, float] = field(default_factory=dict)
+    stores_by_subsystem: Dict[str, float] = field(default_factory=dict)
+    bytes_by_subsystem: Dict[str, float] = field(default_factory=dict)
+    mean_latency_by_subsystem: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        return self.stall_time / self.actual_duration if self.actual_duration else 0.0
+
+
+@dataclass
+class ObjectRunStats:
+    """Per-site statistics of one run (node level, actual time)."""
+
+    site_name: str
+    subsystem: str
+    size: int
+    alloc_count: int
+    load_misses: float = 0.0
+    store_misses: float = 0.0
+    bytes_total: float = 0.0
+    live_time: float = 0.0               # total actual live seconds
+    alloc_times: List[float] = field(default_factory=list)   # actual
+    dealloc_times: List[float] = field(default_factory=list)
+    pmem_bw_at_alloc: float = 0.0        # bytes/s, mean over instances
+    pmem_bw_exec: float = 0.0            # bytes/s, time-weighted over lifetime
+    mean_load_latency_ns: float = 0.0
+
+    @property
+    def mean_bandwidth(self) -> float:
+        """Bytes/s this site's objects consume while alive."""
+        return self.bytes_total / self.live_time if self.live_time > 0 else 0.0
+
+    @property
+    def mean_lifetime(self) -> float:
+        return self.live_time / self.alloc_count if self.alloc_count else 0.0
+
+
+@dataclass
+class RunResult:
+    """The complete outcome of one simulated execution."""
+
+    workload_name: str
+    config_label: str
+    total_time: float
+    phases: List[PhaseResult]
+    objects: Dict[str, ObjectRunStats]
+    timeline: BandwidthTimeline
+    interposer_overhead_s: float = 0.0
+    dram_cache_hit_ratio: Optional[float] = None  # memory-mode runs only
+
+    def __post_init__(self) -> None:
+        if self.total_time <= 0:
+            raise SimulationError(
+                f"run {self.workload_name}/{self.config_label}: "
+                f"non-positive total time {self.total_time}"
+            )
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Stall share of the whole run (VTune's memory-bound slots proxy)."""
+        stall = sum(p.stall_time for p in self.phases)
+        return stall / self.total_time if self.total_time else 0.0
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        """How much faster this run is than a baseline run."""
+        if baseline.workload_name != self.workload_name:
+            raise SimulationError(
+                f"comparing different workloads: {self.workload_name} vs "
+                f"{baseline.workload_name}"
+            )
+        return baseline.total_time / self.total_time
+
+    def observed_pmem_peak(self) -> float:
+        """Peak PMem bandwidth this run reached (the Table II reference).
+
+        The paper's B_low/B_mid/B_high regions are fractions of the
+        *application's* peak demand, not the device limit — LULESH's whole
+        Figure 3 plays out around 1.3 GB/s on a 30 GB/s device.
+        """
+        return self.timeline.peak("pmem")
+
+    def observations(
+        self, reference_bw: Optional[float] = None
+    ) -> Dict[str, BandwidthObservation]:
+        """Per-site bandwidth observations for the bandwidth-aware advisor.
+
+        ``reference_bw`` sets the normalization for the bandwidth-region
+        fractions; it defaults to this run's observed PMem peak.
+        """
+        ref = reference_bw if reference_bw is not None else self.observed_pmem_peak()
+        if ref <= 0:
+            ref = 1.0  # no PMem traffic at all: every fraction is 0
+        return {
+            name: BandwidthObservation(
+                own_bandwidth=st.mean_bandwidth,
+                pmem_frac_at_alloc=st.pmem_bw_at_alloc / ref,
+                pmem_frac_exec=st.pmem_bw_exec / ref,
+            )
+            for name, st in self.objects.items()
+        }
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Total actual seconds per phase name."""
+        out: Dict[str, float] = {}
+        for p in self.phases:
+            out[p.name] = out.get(p.name, 0.0) + p.actual_duration
+        return out
+
+    def subsystem_bytes(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for p in self.phases:
+            for name, b in p.bytes_by_subsystem.items():
+                out[name] = out.get(name, 0.0) + b
+        return out

@@ -1,0 +1,161 @@
+"""Traffic models: who sends which misses to which subsystem.
+
+A :class:`TrafficModel` answers, for one timeline segment with a known set
+of live instances, how the segment's off-chip events map onto memory
+subsystems.  :class:`PlacementTraffic` implements the app-direct case (an
+object's traffic goes to the subsystem its site was placed in); the
+baselines package provides memory-mode and tiering models with the same
+interface, so the engine core is shared by every configuration the paper
+compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Protocol, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.apps.workload import InstanceSpan, Workload
+from repro.profiling.metrics import LINE_BYTES
+
+
+@dataclass
+class SubsystemTraffic:
+    """Node-level traffic one segment sends to one subsystem.
+
+    ``serial_loads`` is the subset of ``loads`` whose latency is serialized
+    (no MLP overlap); it is included in ``loads``.
+    """
+
+    loads: float = 0.0          # LLC load misses (node total)
+    stores: float = 0.0         # L1D store misses (node total)
+    serial_loads: float = 0.0
+    extra_latency_ns: float = 0.0  # per-load additive penalty (cache fill...)
+
+    @property
+    def read_bytes(self) -> float:
+        return self.loads * LINE_BYTES
+
+    @property
+    def write_bytes(self) -> float:
+        # a store miss raises an RFO read plus an eventual writeback
+        return self.stores * LINE_BYTES * 2.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def write_fraction(self) -> float:
+        total = self.total_bytes
+        return self.write_bytes / total if total > 0 else 0.0
+
+    def add(self, loads: float = 0.0, stores: float = 0.0,
+            serial_loads: float = 0.0) -> None:
+        if loads < 0 or stores < 0 or serial_loads < 0:
+            raise SimulationError("negative traffic contribution")
+        if serial_loads > loads:
+            raise SimulationError("serial_loads cannot exceed loads")
+        self.loads += loads
+        self.stores += stores
+        self.serial_loads += serial_loads
+
+
+@dataclass
+class SegmentTraffic:
+    """All subsystems' traffic for one segment, plus per-object splits."""
+
+    by_subsystem: Dict[str, SubsystemTraffic] = field(default_factory=dict)
+    #: (site_name, subsystem) -> (loads, stores), node level
+    by_object: Dict[Tuple[str, str], Tuple[float, float]] = field(default_factory=dict)
+
+    def subsystem(self, name: str) -> SubsystemTraffic:
+        if name not in self.by_subsystem:
+            self.by_subsystem[name] = SubsystemTraffic()
+        return self.by_subsystem[name]
+
+    def record_object(self, site_name: str, subsystem: str,
+                      loads: float, stores: float) -> None:
+        key = (site_name, subsystem)
+        prev = self.by_object.get(key, (0.0, 0.0))
+        self.by_object[key] = (prev[0] + loads, prev[1] + stores)
+
+
+class TrafficModel(Protocol):
+    """Maps one segment's events onto memory subsystems."""
+
+    def segment_traffic(
+        self,
+        lo: float,
+        hi: float,
+        phase_name: str,
+        live: Sequence[InstanceSpan],
+    ) -> SegmentTraffic: ...  # pragma: no cover - protocol
+
+    @property
+    def label(self) -> str: ...  # pragma: no cover - protocol
+
+
+class PlacementTraffic:
+    """App-direct traffic: objects send misses where their site lives.
+
+    ``placement_of`` maps a site *name* to a subsystem name.
+    ``instance_placement`` optionally overrides placement per concrete
+    instance ``(site_name, index)`` — the experiment harness fills it from
+    a FlexMalloc replay, so capacity-fallback decisions (a full DRAM heap
+    bouncing an allocation to PMem mid-run) are honoured exactly.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        placement_of: Mapping[str, str],
+        instance_placement: "Mapping[Tuple[str, int], str] | None" = None,
+    ):
+        self.workload = workload
+        self.placement_of = dict(placement_of)
+        self.instance_placement = dict(instance_placement or {})
+        missing = [
+            obj.site.name for obj in workload.objects
+            if obj.site.name not in self.placement_of
+        ]
+        if missing:
+            raise SimulationError(
+                f"placement missing for sites {missing[:3]}"
+                + ("..." if len(missing) > 3 else "")
+            )
+
+    @property
+    def label(self) -> str:
+        return "app-direct"
+
+    def segment_traffic(
+        self,
+        lo: float,
+        hi: float,
+        phase_name: str,
+        live: Sequence[InstanceSpan],
+    ) -> SegmentTraffic:
+        ranks = self.workload.ranks
+        dt = hi - lo
+        traffic = SegmentTraffic()
+        for inst in live:
+            stats = inst.spec.access.get(phase_name)
+            if stats is None:
+                continue
+            loads = stats.load_rate * dt * ranks
+            stores = stats.store_rate * dt * ranks
+            if loads == 0.0 and stores == 0.0:
+                continue
+            site_name = inst.spec.site.name
+            subsystem = self.instance_placement.get(
+                (site_name, inst.index), self.placement_of[site_name]
+            )
+            bucket = traffic.subsystem(subsystem)
+            bucket.add(
+                loads=loads,
+                stores=stores,
+                serial_loads=loads * inst.spec.serial_fraction,
+            )
+            traffic.record_object(inst.spec.site.name, subsystem, loads, stores)
+        return traffic

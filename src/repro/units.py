@@ -1,0 +1,103 @@
+"""Size/time/bandwidth unit helpers.
+
+All internal computations use **bytes**, **seconds**, **bytes/second** and
+**nanoseconds** for latencies.  These helpers exist so that module code and
+configuration stay readable (``4 * GiB`` rather than ``4294967296``) and so
+that human-facing reports format quantities consistently.
+"""
+
+from __future__ import annotations
+
+# -- binary sizes -----------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# -- decimal sizes (bandwidth vendors use powers of ten) --------------------
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+# -- time -------------------------------------------------------------------
+NS_PER_S = 1_000_000_000
+US_PER_S = 1_000_000
+MS_PER_S = 1_000
+
+_SIZE_SUFFIXES = ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB"))
+_BW_SUFFIXES = ((GB, "GB/s"), (MB, "MB/s"), (KB, "KB/s"))
+
+
+def fmt_size(nbytes: float) -> str:
+    """Format a byte count using binary suffixes, e.g. ``fmt_size(3 * GiB)``.
+
+    >>> fmt_size(1536)
+    '1.50 KiB'
+    >>> fmt_size(17)
+    '17 B'
+    """
+    if nbytes < 0:
+        return "-" + fmt_size(-nbytes)
+    for factor, suffix in _SIZE_SUFFIXES:
+        if nbytes >= factor:
+            return f"{nbytes / factor:.2f} {suffix}"
+    return f"{int(nbytes)} B"
+
+
+def fmt_bandwidth(bytes_per_s: float) -> str:
+    """Format a bandwidth in decimal units, matching vendor conventions.
+
+    >>> fmt_bandwidth(22 * GB)
+    '22.00 GB/s'
+    """
+    if bytes_per_s < 0:
+        return "-" + fmt_bandwidth(-bytes_per_s)
+    for factor, suffix in _BW_SUFFIXES:
+        if bytes_per_s >= factor:
+            return f"{bytes_per_s / factor:.2f} {suffix}"
+    return f"{bytes_per_s:.0f} B/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration adaptively (ns up to minutes).
+
+    >>> fmt_time(0.0000021)
+    '2.10 us'
+    >>> fmt_time(95)
+    '1m35.0s'
+    """
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds >= 60:
+        minutes = int(seconds // 60)
+        return f"{minutes}m{seconds - 60 * minutes:.1f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * MS_PER_S:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * US_PER_S:.2f} us"
+    return f"{seconds * NS_PER_S:.1f} ns"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``"12 GiB"``, ``"4GB"``, ``"512"``) to bytes.
+
+    Binary suffixes (KiB/MiB/GiB/TiB) and decimal ones (KB/MB/GB/TB) are both
+    accepted; a bare number means bytes.  Raises ``ValueError`` on junk.
+    """
+    text = text.strip()
+    table = {
+        "tib": TiB, "gib": GiB, "mib": MiB, "kib": KiB,
+        "tb": TB, "gb": GB, "mb": MB, "kb": KB, "b": 1, "": 1,
+    }
+    idx = len(text)
+    while idx > 0 and not (text[idx - 1].isdigit() or text[idx - 1] == "."):
+        idx -= 1
+    number, suffix = text[:idx].strip(), text[idx:].strip().lower()
+    if suffix not in table:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    if not number:
+        raise ValueError(f"no numeric part in size {text!r}")
+    return int(float(number) * table[suffix])

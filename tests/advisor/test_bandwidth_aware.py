@@ -1,0 +1,189 @@
+"""Tests for the bandwidth-aware algorithm (Table IV + Algorithm 1)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.advisor.bandwidth_aware import (
+    Category, bandwidth_aware_placement, categorize,
+)
+from repro.advisor.config import default_config
+from repro.advisor.model import BandwidthObservation, MemObject, Placement
+from repro.units import GiB, MiB
+
+
+def obj(key, size_mb=64, alloc_count=1, loads=1e6, stores=0.0,
+        first=0.0, last=100.0):
+    return MemObject(
+        site_key=(key,), size=int(size_mb * MiB), alloc_count=alloc_count,
+        load_misses=loads, store_misses=stores,
+        first_alloc=first, last_free=last, total_live_time=last - first,
+    )
+
+
+def obs(own_bw=1e6, at_alloc=0.1, exec_=0.1):
+    return BandwidthObservation(own_bandwidth=own_bw,
+                                pmem_frac_at_alloc=at_alloc,
+                                pmem_frac_exec=exec_)
+
+
+CFG = default_config(dram_limit=12 * GiB)
+
+
+class TestCategorize:
+    def test_fitting(self):
+        o = obj("a", alloc_count=1)
+        assert categorize(o, "dram", obs(at_alloc=0.05), CFG) is Category.FITTING
+
+    def test_fitting_requires_low_alloc_bw(self):
+        o = obj("a", alloc_count=1)
+        assert categorize(o, "dram", obs(at_alloc=0.5), CFG) is Category.OTHER
+
+    def test_streaming_d(self):
+        o = obj("a", alloc_count=10, stores=0.0)
+        assert categorize(o, "dram", obs(at_alloc=0.05), CFG) is Category.STREAMING_D
+
+    def test_streaming_d_requires_no_writes(self):
+        o = obj("a", alloc_count=10, stores=100.0)
+        assert categorize(o, "dram", obs(at_alloc=0.05), CFG) is Category.OTHER
+
+    def test_thrashing(self):
+        o = obj("a", alloc_count=10)
+        assert categorize(o, "pmem", obs(at_alloc=0.8), CFG) is Category.THRASHING
+
+    def test_thrashing_requires_high_alloc_bw(self):
+        o = obj("a", alloc_count=10)
+        assert categorize(o, "pmem", obs(at_alloc=0.3), CFG) is Category.OTHER
+
+    def test_thrashing_requires_many_allocs(self):
+        o = obj("a", alloc_count=1)
+        assert categorize(o, "pmem", obs(at_alloc=0.8), CFG) is Category.OTHER
+
+    def test_t_alloc_boundary_is_strict(self):
+        """Table IV uses strict comparisons: exactly T_ALLOC matches
+        neither 'less than' nor 'more than'."""
+        o = obj("a", alloc_count=CFG.t_alloc)
+        assert categorize(o, "dram", obs(at_alloc=0.05), CFG) is Category.OTHER
+        assert categorize(o, "pmem", obs(at_alloc=0.8), CFG) is Category.OTHER
+
+
+def build_placement(assignments):
+    p = Placement(subsystems=["dram", "pmem"], fallback="pmem")
+    for key, sub in assignments.items():
+        p.assign(key, sub)
+    return p
+
+
+class TestAlgorithm1:
+    def test_streaming_moves_to_pmem(self):
+        objects = {("s",): obj("s", alloc_count=10, stores=0.0)}
+        base = build_placement({("s",): "dram"})
+        observations = {("s",): obs(at_alloc=0.05)}
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert result.placement.get(("s",)) == "pmem"
+        assert ("s",) in result.streaming_moved
+
+    def test_thrashing_swaps_with_covering_fitting(self):
+        objects = {
+            ("fit",): obj("fit", size_mb=128, alloc_count=1, first=0, last=100),
+            ("thrash",): obj("thrash", size_mb=64, alloc_count=10, first=10, last=50),
+        }
+        base = build_placement({("fit",): "dram", ("thrash",): "pmem"})
+        observations = {
+            ("fit",): obs(at_alloc=0.05),
+            ("thrash",): obs(own_bw=1e9, at_alloc=0.8),
+        }
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert result.placement.get(("thrash",)) == "dram"
+        assert result.placement.get(("fit",)) == "pmem"
+        assert result.swaps == [(("thrash",), ("fit",))]
+
+    def test_no_swap_if_fitting_too_small(self):
+        objects = {
+            ("fit",): obj("fit", size_mb=16, alloc_count=1),
+            ("thrash",): obj("thrash", size_mb=64, alloc_count=10, first=10, last=50),
+        }
+        base = build_placement({("fit",): "dram", ("thrash",): "pmem"})
+        observations = {
+            ("fit",): obs(at_alloc=0.05),
+            ("thrash",): obs(own_bw=1e9, at_alloc=0.8),
+        }
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert result.placement.get(("thrash",)) == "pmem"
+        assert not result.swaps
+
+    def test_no_swap_if_lifetime_not_covered(self):
+        objects = {
+            ("fit",): obj("fit", size_mb=128, alloc_count=1, first=20, last=40),
+            ("thrash",): obj("thrash", size_mb=64, alloc_count=10, first=10, last=50),
+        }
+        base = build_placement({("fit",): "dram", ("thrash",): "pmem"})
+        observations = {
+            ("fit",): obs(at_alloc=0.05),
+            ("thrash",): obs(own_bw=1e9, at_alloc=0.8),
+        }
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert not result.swaps
+
+    def test_smallest_adequate_fitting_chosen(self):
+        objects = {
+            ("big",): obj("big", size_mb=256, alloc_count=1),
+            ("small",): obj("small", size_mb=128, alloc_count=1),
+            ("thrash",): obj("thrash", size_mb=64, alloc_count=10, first=10, last=50),
+        }
+        base = build_placement({
+            ("big",): "dram", ("small",): "dram", ("thrash",): "pmem",
+        })
+        observations = {
+            ("big",): obs(at_alloc=0.05),
+            ("small",): obs(at_alloc=0.05),
+            ("thrash",): obs(own_bw=1e9, at_alloc=0.8),
+        }
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert result.swaps == [(("thrash",), ("small",))]
+
+    def test_hottest_thrashing_served_first(self):
+        """With one Fitting slot and two Thrashing objects, the higher-
+        bandwidth one gets the swap (Algorithm 1's sort order)."""
+        objects = {
+            ("fit",): obj("fit", size_mb=128, alloc_count=1),
+            ("warm",): obj("warm", size_mb=64, alloc_count=10, first=10, last=50),
+            ("hot",): obj("hot", size_mb=64, alloc_count=10, first=10, last=50),
+        }
+        base = build_placement({
+            ("fit",): "dram", ("warm",): "pmem", ("hot",): "pmem",
+        })
+        observations = {
+            ("fit",): obs(at_alloc=0.05),
+            ("warm",): obs(own_bw=1e8, at_alloc=0.8),
+            ("hot",): obs(own_bw=1e9, at_alloc=0.8),
+        }
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert result.placement.get(("hot",)) == "dram"
+        assert result.placement.get(("warm",)) == "pmem"
+
+    def test_each_fitting_used_once(self):
+        objects = {
+            ("fit",): obj("fit", size_mb=128, alloc_count=1),
+            ("t1",): obj("t1", size_mb=64, alloc_count=10, first=10, last=50),
+            ("t2",): obj("t2", size_mb=64, alloc_count=10, first=10, last=50),
+        }
+        base = build_placement({
+            ("fit",): "dram", ("t1",): "pmem", ("t2",): "pmem",
+        })
+        observations = {k: obs(own_bw=1e9, at_alloc=0.8) for k in objects}
+        observations[("fit",)] = obs(at_alloc=0.05)
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        assert len(result.swaps) == 1
+
+    def test_missing_observation_rejected(self):
+        objects = {("a",): obj("a")}
+        base = build_placement({("a",): "dram"})
+        with pytest.raises(PlacementError):
+            bandwidth_aware_placement(objects, base, {}, CFG)
+
+    def test_base_placement_not_mutated(self):
+        objects = {("s",): obj("s", alloc_count=10, stores=0.0)}
+        base = build_placement({("s",): "dram"})
+        observations = {("s",): obs(at_alloc=0.05)}
+        bandwidth_aware_placement(objects, base, observations, CFG)
+        assert base.get(("s",)) == "dram"

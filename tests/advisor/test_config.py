@@ -1,0 +1,95 @@
+"""Tests for the advisor configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.advisor.config import AdvisorConfig, default_config
+from repro.units import GiB
+
+
+class TestValidation:
+    def test_defaults(self):
+        c = default_config(12 * GiB, ranks=8)
+        assert c.t_alloc == 2
+        assert c.t_pmem_low == 0.20
+        assert c.t_pmem_high == 0.40
+        assert c.ranks == 8
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig(coefficients={}, dram_limit=1)
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig(coefficients={"dram": (-1, 0)}, dram_limit=1)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig(coefficients={"d": (1, 1)}, dram_limit=1,
+                          t_pmem_low=0.5, t_pmem_high=0.3)
+
+    def test_rejects_zero_limit(self):
+        with pytest.raises(ConfigError):
+            default_config(0)
+
+    def test_coefficient_lookup(self):
+        c = default_config(1 * GiB)
+        assert c.coefficient("pmem")[1] > c.coefficient("dram")[1]
+        with pytest.raises(ConfigError):
+            c.coefficient("hbm")
+
+
+class TestTransforms:
+    def test_loads_only_zeroes_store_coefficients(self):
+        c = default_config(1 * GiB).loads_only()
+        for name in c.coefficients:
+            assert c.coefficient(name)[1] == 0.0
+        # load coefficients untouched
+        assert c.coefficient("pmem")[0] == default_config(1 * GiB).coefficient("pmem")[0]
+
+    def test_with_dram_limit(self):
+        c = default_config(12 * GiB).with_dram_limit(4 * GiB)
+        assert c.dram_limit == 4 * GiB
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self):
+        c = AdvisorConfig(
+            coefficients={"dram": (1.0, 1.0), "pmem": (2.1, 6.0)},
+            dram_limit=12 * GiB, ranks=16, t_alloc=3,
+            t_pmem_low=0.25, t_pmem_high=0.5,
+        )
+        c2 = AdvisorConfig.loads(c.dumps())
+        assert c2 == c
+
+    def test_parse_human_size(self):
+        text = """
+        [advisor]
+        dram_limit = 12 GiB
+        [subsystem.dram]
+        load_coefficient = 1.0
+        store_coefficient = 1.0
+        """
+        c = AdvisorConfig.loads(text)
+        assert c.dram_limit == 12 * GiB
+
+    def test_comments_stripped(self):
+        text = ("[advisor]\ndram_limit = 100  # bytes\n"
+                "[subsystem.dram]\nload_coefficient = 1\nstore_coefficient = 2\n")
+        assert AdvisorConfig.loads(text).coefficient("dram") == (1.0, 2.0)
+
+    def test_missing_key(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig.loads("[advisor]\nranks = 2\n")
+
+    def test_unknown_section(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig.loads("[mystery]\nx = 1\n")
+
+    def test_entry_outside_section(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig.loads("dram_limit = 5\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(ConfigError):
+            AdvisorConfig.loads("[advisor]\nnot a key value\n")

@@ -1,0 +1,87 @@
+"""Tests for the access-density placement algorithm."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.advisor.config import AdvisorConfig, default_config
+from repro.advisor.density import density_placement
+from repro.advisor.model import MemObject
+from repro.memsim.subsystem import pmem6_system
+from repro.units import GiB, MiB
+
+
+def obj(key, size_mb, loads, stores=0.0, alloc_count=1):
+    return MemObject(
+        site_key=(key,), size=int(size_mb * MiB), alloc_count=alloc_count,
+        load_misses=loads, store_misses=stores,
+        first_alloc=0.0, last_free=10.0, total_live_time=10.0,
+    )
+
+
+@pytest.fixture
+def system():
+    return pmem6_system()
+
+
+class TestBasicPlacement:
+    def test_hottest_density_wins_dram(self, system):
+        objects = {
+            ("hot",): obj("hot", 64, loads=1e9),
+            ("cold",): obj("cold", 64, loads=1e3),
+        }
+        cfg = default_config(dram_limit=100 * MiB)
+        p = density_placement(objects, system, cfg)
+        assert p.get(("hot",)) == "dram"
+        assert p.get(("cold",)) == "pmem"
+
+    def test_density_not_absolute_misses(self, system):
+        """A small object with fewer total misses but higher misses/byte
+        beats a big one — the knapsack value is a *density*."""
+        objects = {
+            ("small",): obj("small", 10, loads=5e8),    # 50 misses/B
+            ("big",): obj("big", 1000, loads=1e9),      # 1 miss/B
+        }
+        cfg = default_config(dram_limit=500 * MiB)
+        p = density_placement(objects, system, cfg)
+        assert p.get(("small",)) == "dram"
+        assert p.get(("big",)) == "pmem"
+
+    def test_capacity_respected(self, system):
+        objects = {(f"o{i}",): obj(f"o{i}", 64, loads=1e6) for i in range(10)}
+        cfg = default_config(dram_limit=200 * MiB)
+        p = density_placement(objects, system, cfg)
+        placed_bytes = sum(
+            objects[k].size for k in objects if p.get(k) == "dram"
+        )
+        assert placed_bytes <= 200 * MiB
+
+    def test_ranks_scale_weights(self, system):
+        objects = {("a",): obj("a", 64, loads=1e6)}
+        cfg = default_config(dram_limit=100 * MiB, ranks=4)  # 4x64 > 100
+        p = density_placement(objects, system, cfg)
+        assert p.get(("a",)) == "pmem"
+
+    def test_zero_miss_objects_fall_back(self, system):
+        objects = {("idle",): obj("idle", 1, loads=0.0)}
+        cfg = default_config(dram_limit=1 * GiB)
+        p = density_placement(objects, system, cfg)
+        assert p.get(("idle",)) == "pmem"
+
+    def test_empty_objects_rejected(self, system):
+        with pytest.raises(PlacementError):
+            density_placement({}, system, default_config(1 * GiB))
+
+
+class TestStoreCoefficients:
+    def test_stores_change_ranking(self, system):
+        """Section V: with store coefficients, a write-heavy object can
+        displace a read-heavy one; loads-only cannot see it."""
+        objects = {
+            ("reader",): obj("reader", 64, loads=5e6, stores=0),
+            ("writer",): obj("writer", 64, loads=1e6, stores=4e6),
+        }
+        cfg = default_config(dram_limit=64 * MiB)  # room for exactly one
+        with_stores = density_placement(objects, system, cfg)
+        loads_only = density_placement(objects, system, cfg.loads_only())
+        assert with_stores.get(("writer",)) == "dram"
+        assert loads_only.get(("reader",)) == "dram"

@@ -1,0 +1,131 @@
+"""Tests for the greedy multiple-knapsack placement core."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.advisor.knapsack import KnapsackItem, greedy_knapsack, greedy_multiple_knapsack
+
+
+def item(key, value, weight):
+    return KnapsackItem(key=key, value=value, weight=weight)
+
+
+class TestGreedyKnapsack:
+    def test_packs_by_density(self):
+        items = [item("dense", 100, 10), item("sparse", 100, 100)]
+        taken, rejected = greedy_knapsack(items, capacity=50)
+        assert [t.key for t in taken] == ["dense"]
+
+    def test_respects_capacity(self):
+        items = [item(i, 10, 30) for i in range(5)]
+        taken, _ = greedy_knapsack(items, capacity=100)
+        assert sum(t.weight for t in taken) <= 100
+        assert len(taken) == 3
+
+    def test_zero_value_never_taken(self):
+        taken, rejected = greedy_knapsack([item("z", 0, 1)], capacity=100)
+        assert not taken and len(rejected) == 1
+
+    def test_skip_and_continue(self):
+        """A big item that doesn't fit is skipped; smaller ones still go."""
+        items = [item("big", 1000, 90), item("small", 1, 10)]
+        taken, _ = greedy_knapsack(items, capacity=50)
+        assert [t.key for t in taken] == ["small"]
+
+    def test_empty_capacity(self):
+        taken, rejected = greedy_knapsack([item("a", 1, 1)], capacity=0)
+        assert not taken
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(PlacementError):
+            greedy_knapsack([], capacity=-1)
+
+    def test_item_validation(self):
+        with pytest.raises(PlacementError):
+            KnapsackItem(key="x", value=1.0, weight=0)
+        with pytest.raises(PlacementError):
+            KnapsackItem(key="x", value=-1.0, weight=1)
+
+    def test_deterministic_tie_break(self):
+        items = [item("a", 10, 10), item("b", 10, 10)]
+        t1, _ = greedy_knapsack(items, capacity=10)
+        t2, _ = greedy_knapsack(items, capacity=10)
+        assert [x.key for x in t1] == [x.key for x in t2]
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100),
+                  st.integers(min_value=1, max_value=50)),
+        max_size=40,
+    ), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, pairs, capacity):
+        """Every item lands in exactly one of (taken, rejected), and taken
+        never exceeds capacity."""
+        items = [item(i, v, w) for i, (v, w) in enumerate(pairs)]
+        taken, rejected = greedy_knapsack(items, capacity)
+        assert len(taken) + len(rejected) == len(items)
+        assert sum(t.weight for t in taken) <= capacity
+        assert {t.key for t in taken}.isdisjoint({r.key for r in rejected})
+
+
+class TestMultipleKnapsack:
+    def _values(self, items, good_for_fast):
+        return {"fast": {i.key: (100 if i.key in good_for_fast else 0) for i in items}}
+
+    def test_two_tier_distribution(self):
+        items = [item("a", 0, 10), item("b", 0, 10), item("c", 0, 10)]
+        values = {"fast": {"a": 50, "b": 100, "c": 0}}
+        out = greedy_multiple_knapsack(
+            items, {"fast": 15, "slow": None}, ["fast", "slow"], values
+        )
+        assert out["b"] == "fast"
+        assert out["a"] == "fast" is not None or out["a"] == "slow"
+        assert out["c"] == "slow"
+        assert len(out) == 3
+
+    def test_fallback_takes_leftovers(self):
+        items = [item(i, 0, 10) for i in range(5)]
+        values = {"fast": {i: 1.0 for i in range(5)}}
+        out = greedy_multiple_knapsack(
+            items, {"fast": 20, "slow": None}, ["fast", "slow"], values
+        )
+        assert sum(1 for v in out.values() if v == "fast") == 2
+        assert sum(1 for v in out.values() if v == "slow") == 3
+
+    def test_unbounded_middle_rejected(self):
+        items = [item("a", 1, 1)]
+        with pytest.raises(PlacementError):
+            greedy_multiple_knapsack(
+                items, {"fast": None, "slow": None}, ["fast", "slow"],
+                {"fast": {"a": 1}},
+            )
+
+    def test_bounded_fallback_overflow_detected(self):
+        items = [item("a", 0, 100)]
+        with pytest.raises(PlacementError):
+            greedy_multiple_knapsack(
+                items, {"fast": 10, "slow": 50}, ["fast", "slow"], {"fast": {}}
+            )
+
+    def test_missing_capacity_entry(self):
+        with pytest.raises(PlacementError):
+            greedy_multiple_knapsack([], {"fast": 10}, ["fast", "slow"], {})
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(PlacementError):
+            greedy_multiple_knapsack([], {}, [], {})
+
+    def test_three_tiers(self):
+        items = [item(i, 0, 10) for i in range(6)]
+        values = {
+            "hbm": {i: 10.0 - i for i in range(6)},
+            "dram": {i: 5.0 - i * 0.5 for i in range(6)},
+        }
+        out = greedy_multiple_knapsack(
+            items, {"hbm": 20, "dram": 20, "pmem": None},
+            ["hbm", "dram", "pmem"], values,
+        )
+        assert sum(1 for v in out.values() if v == "hbm") == 2
+        assert sum(1 for v in out.values() if v == "dram") == 2
+        assert sum(1 for v in out.values() if v == "pmem") == 2

@@ -1,0 +1,114 @@
+"""Tests for the advisor data model and HMemAdvisor facade."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.advisor.advisor import HMemAdvisor
+from repro.advisor.config import default_config
+from repro.advisor.model import MemObject, Placement
+from repro.binary.callstack import StackFormat
+from repro.memsim.subsystem import pmem6_system
+from repro.profiling.paramedir import SiteProfile
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.profiling.paramedir import Paramedir
+from repro.units import GiB, MiB
+
+from tests.conftest import make_toy_workload
+
+
+class TestMemObject:
+    def test_from_profile(self):
+        p = SiteProfile(site_key=("s",), largest_alloc=100, alloc_count=3,
+                        load_misses=10.0, store_misses=2.0,
+                        first_alloc=1.0, last_free=9.0, total_live_time=6.0)
+        o = MemObject.from_profile(p)
+        assert o.size == 100 and o.alloc_count == 3
+        assert o.has_writes
+
+    def test_weighted_misses(self):
+        o = MemObject(site_key=("s",), size=1, alloc_count=1,
+                      load_misses=10, store_misses=5,
+                      first_alloc=0, last_free=1, total_live_time=1)
+        assert o.weighted_misses(2.0, 6.0) == 50.0
+
+    def test_covers(self):
+        a = MemObject(site_key=("a",), size=1, alloc_count=1, load_misses=0,
+                      store_misses=0, first_alloc=0, last_free=100,
+                      total_live_time=100)
+        b = MemObject(site_key=("b",), size=1, alloc_count=1, load_misses=0,
+                      store_misses=0, first_alloc=10, last_free=50,
+                      total_live_time=40)
+        assert a.covers(b) and not b.covers(a)
+
+
+class TestPlacement:
+    def test_fallback_default(self):
+        p = Placement(["dram", "pmem"], fallback="pmem")
+        assert p.get(("unknown",)) == "pmem"
+
+    def test_assign_unknown_subsystem(self):
+        p = Placement(["dram", "pmem"], fallback="pmem")
+        with pytest.raises(PlacementError):
+            p.assign(("a",), "hbm")
+
+    def test_bad_fallback(self):
+        with pytest.raises(PlacementError):
+            Placement(["dram"], fallback="pmem")
+
+    def test_copy_isolated(self):
+        p = Placement(["dram", "pmem"], fallback="pmem")
+        p.assign(("a",), "dram")
+        q = p.copy()
+        q.assign(("a",), "pmem")
+        assert p.get(("a",)) == "dram"
+
+    def test_bytes_in(self):
+        p = Placement(["dram", "pmem"], fallback="pmem")
+        p.assign(("a",), "dram")
+        objects = {("a",): MemObject(
+            site_key=("a",), size=10 * MiB, alloc_count=1, load_misses=0,
+            store_misses=0, first_alloc=0, last_free=1, total_live_time=1)}
+        assert p.bytes_in("dram", objects, ranks=4) == 40 * MiB
+
+
+class TestFacade:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        wl = make_toy_workload()
+        trace = ExtraeTracer(wl, TracerConfig(seed=3)).run()
+        profiles = Paramedir().analyze(trace)
+        advisor = HMemAdvisor(pmem6_system(), default_config(100 * MiB, ranks=wl.ranks))
+        return wl, advisor, profiles
+
+    def test_objects_from_profiles(self, pipeline):
+        _, advisor, profiles = pipeline
+        objects = advisor.objects_from_profiles(profiles)
+        assert len(objects) == len(profiles)
+
+    def test_empty_profiles_rejected(self, pipeline):
+        _, advisor, _ = pipeline
+        with pytest.raises(PlacementError):
+            advisor.objects_from_profiles({})
+
+    def test_density_places_hot_object(self, pipeline):
+        wl, advisor, profiles = pipeline
+        objects = advisor.objects_from_profiles(profiles)
+        placement = advisor.advise_density(objects)
+        # the hot 8 MiB object should win DRAM under the 100 MiB limit
+        hot_key = max(objects, key=lambda k: objects[k].load_misses / objects[k].size)
+        assert placement.get(hot_key) == "dram"
+
+    def test_report_omits_fallback_rows(self, pipeline):
+        _, advisor, profiles = pipeline
+        objects = advisor.objects_from_profiles(profiles)
+        placement = advisor.advise_density(objects)
+        report = advisor.to_report(placement, StackFormat.BOM)
+        assert len(report) == len(placement.sites_in("dram"))
+
+    def test_report_roundtrips(self, pipeline):
+        _, advisor, profiles = pipeline
+        objects = advisor.objects_from_profiles(profiles)
+        placement = advisor.advise_density(objects)
+        from repro.alloc.report import PlacementReport
+        report = advisor.to_report(placement, StackFormat.BOM)
+        assert PlacementReport.loads(report.dumps()).fmt is StackFormat.BOM

@@ -1,0 +1,154 @@
+"""Tests for the size-class arena allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, AllocationError, ConfigError
+from repro.alloc.arenas import SizeClassArena
+from repro.units import KiB, MiB
+
+
+def arena(capacity=16 * MiB, slab=1 * MiB):
+    return SizeClassArena("test-arena", base=0x100000, capacity=capacity,
+                          slab_size=slab)
+
+
+class TestSizeClasses:
+    def test_rounding(self):
+        a = arena()
+        assert a.size_class(1) == 16
+        assert a.size_class(16) == 16
+        assert a.size_class(17) == 32
+        assert a.size_class(100) == 112
+        assert a.size_class(4097) == 5120
+
+    def test_large_requests_unclassed(self):
+        assert arena().size_class(16385) is None
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            arena().size_class(0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeClassArena("x", base=0, capacity=1 * MiB, large_threshold=1000)
+
+    def test_bad_slab_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeClassArena("x", base=0, capacity=1 * MiB, slab_size=2 * MiB)
+
+
+class TestSmallPath:
+    def test_padded_to_class(self):
+        a = arena()
+        alloc = a.allocate(100)
+        assert alloc.size == 100 and alloc.padded_size == 112
+
+    def test_slot_reuse_within_class(self):
+        a = arena()
+        x = a.allocate(100)
+        a.free(x.address)
+        y = a.allocate(100)
+        assert y.address == x.address  # LIFO slot stack
+
+    def test_distinct_addresses(self):
+        a = arena()
+        addrs = {a.allocate(64).address for _ in range(100)}
+        assert len(addrs) == 100
+
+    def test_classes_isolated(self):
+        a = arena()
+        x = a.allocate(16)
+        y = a.allocate(4096)
+        assert x.address != y.address
+        a.free(x.address)
+        z = a.allocate(4096)
+        assert z.address != x.address  # freed 16B slot not handed to 4K class
+
+    def test_slab_tail_waste_tracked(self):
+        a = arena(slab=1 * MiB)
+        a.allocate(3072)  # 1 MiB / 3072 leaves a tail
+        assert a.internal_fragmentation() > 0
+
+
+class TestLargePath:
+    def test_large_pass_through(self):
+        a = arena()
+        alloc = a.allocate(1 * MiB)
+        assert alloc.padded_size >= 1 * MiB
+        assert a.lookup(alloc.address) is not None
+
+    def test_large_free_returns_space(self):
+        a = arena(capacity=4 * MiB, slab=1 * MiB)
+        x = a.allocate(3 * MiB)
+        a.free(x.address)
+        assert a.allocate(3 * MiB)  # space actually came back
+
+
+class TestAccounting:
+    def test_exhaustion(self):
+        a = arena(capacity=2 * MiB, slab=1 * MiB)
+        a.allocate(1 * MiB)       # large: consumes exactly half the backing
+        a.allocate(16)            # slab: carves the other half
+        with pytest.raises(AllocationError):
+            a.allocate(1 * MiB)   # nothing left for another large block
+
+    def test_double_free(self):
+        a = arena()
+        x = a.allocate(64)
+        a.free(x.address)
+        with pytest.raises(AddressError):
+            a.free(x.address)
+
+    def test_unknown_free(self):
+        with pytest.raises(AddressError):
+            arena().free(0xDEAD)
+
+    def test_fragmentation_bounds(self):
+        a = arena()
+        for _ in range(10):
+            a.allocate(17)  # 32B class: ~47% internal waste per slot
+        frag = a.internal_fragmentation()
+        assert 0.0 < frag < 1.0
+
+    def test_requested_vs_reserved(self):
+        a = arena()
+        a.allocate(100)
+        assert a.live_bytes_requested() == 100
+        assert a.used >= 1 * MiB  # a whole slab was carved
+
+    def test_cheaper_than_free_list(self):
+        from repro.alloc.memkind import MemkindPmemHeap
+        mk = MemkindPmemHeap(base=0, capacity=1 * MiB)
+        assert arena().alloc_cost_ns < mk.alloc_cost_ns
+
+
+class TestPropertyBased:
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=40_000)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=100,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_arena_invariants(self, ops):
+        """Random alloc/free interleavings: requested bytes tracked exactly,
+        lookups agree with liveness, frees return the requested size."""
+        a = arena(capacity=64 * MiB)
+        live = {}
+        for op, arg in ops:
+            if op == "alloc":
+                try:
+                    alloc = a.allocate(arg)
+                except AllocationError:
+                    continue
+                assert alloc.address not in live
+                live[alloc.address] = arg
+            elif live:
+                addr = sorted(live)[arg % len(live)]
+                expected = live.pop(addr)
+                assert a.free(addr) == expected
+            assert a.live_bytes_requested() == sum(live.values())
+        for addr in live:
+            assert a.lookup(addr) is not None

@@ -1,0 +1,121 @@
+"""Tests for the FlexMalloc interposer."""
+
+import pytest
+
+from repro.errors import AddressError, AllocationError
+from repro.alloc.heap import FreeListHeap
+from repro.alloc.interposer import FlexMalloc
+from repro.alloc.memkind import HeapRegistry
+from repro.binary.callstack import CallStack
+from repro.units import MiB
+
+
+class DictMatcher:
+    """Test double: match by the stack's first raw address."""
+
+    def __init__(self, table):
+        self.table = table
+        from repro.alloc.matching import MatcherStats
+        self.stats = MatcherStats()
+
+    def match(self, stack):
+        self.stats.lookups += 1
+        result = self.table.get(stack.frames[0].address)
+        if result:
+            self.stats.matches += 1
+        return result
+
+
+def make_registry(dram_cap=1 * MiB, pmem_cap=64 * MiB):
+    return HeapRegistry([
+        FreeListHeap("posix", base=0x10_0000, capacity=dram_cap, subsystem="dram"),
+        FreeListHeap("memkind", base=0x1000_0000, capacity=pmem_cap, subsystem="pmem"),
+    ])
+
+
+STACK_A = CallStack.from_addresses([0xA])
+STACK_B = CallStack.from_addresses([0xB])
+
+
+class TestRouting:
+    def test_matched_site_routed(self):
+        fm = FlexMalloc(make_registry(), DictMatcher({0xA: "dram"}))
+        a = fm.malloc(100, STACK_A)
+        assert fm.subsystem_of(a.address) == "dram"
+        assert fm.stats.matched == 1
+
+    def test_unmatched_goes_to_fallback(self):
+        fm = FlexMalloc(make_registry(), DictMatcher({}))
+        a = fm.malloc(100, STACK_B)
+        assert fm.subsystem_of(a.address) == "pmem"
+        assert fm.stats.fallback_unmatched == 1
+
+    def test_no_matcher_all_fallback(self):
+        fm = FlexMalloc(make_registry(), matcher=None)
+        a = fm.malloc(100, STACK_A)
+        assert fm.subsystem_of(a.address) == "pmem"
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(AllocationError):
+            FlexMalloc(make_registry(), fallback="hbm")
+
+
+class TestCapacityFallback:
+    def test_full_dram_spills_to_pmem(self):
+        fm = FlexMalloc(make_registry(dram_cap=1 * MiB),
+                        DictMatcher({0xA: "dram"}))
+        first = fm.malloc(1 * MiB, STACK_A)        # fills DRAM exactly
+        second = fm.malloc(64, STACK_A)            # must spill
+        assert fm.subsystem_of(first.address) == "dram"
+        assert fm.subsystem_of(second.address) == "pmem"
+        assert fm.stats.fallback_capacity == 1
+
+    def test_fallback_full_raises(self):
+        fm = FlexMalloc(make_registry(dram_cap=1 * MiB, pmem_cap=1 * MiB),
+                        DictMatcher({}))
+        fm.malloc(1 * MiB, STACK_B)
+        with pytest.raises(AllocationError):
+            fm.malloc(64, STACK_B)
+
+
+class TestFreeAndRealloc:
+    def test_free_routed_by_address(self):
+        fm = FlexMalloc(make_registry(), DictMatcher({0xA: "dram"}))
+        a = fm.malloc(100, STACK_A)
+        assert fm.free(a.address) == 100
+
+    def test_free_unknown_address(self):
+        fm = FlexMalloc(make_registry(), None)
+        with pytest.raises(AddressError):
+            fm.free(0x42)
+
+    def test_realloc_keeps_routing(self):
+        fm = FlexMalloc(make_registry(), DictMatcher({0xA: "dram"}))
+        a = fm.malloc(100, STACK_A)
+        b = fm.realloc(a.address, 200, STACK_A)
+        assert fm.subsystem_of(b.address) == "dram"
+        assert b.size == 200
+        assert fm.stats.reallocs == 1
+        assert fm.stats.calls == 1  # realloc not double counted
+
+    def test_subsystem_of_dead_allocation(self):
+        fm = FlexMalloc(make_registry(), None)
+        a = fm.malloc(100, STACK_A)
+        fm.free(a.address)
+        with pytest.raises(AddressError):
+            fm.subsystem_of(a.address)
+
+
+class TestAccounting:
+    def test_bytes_by_subsystem(self):
+        fm = FlexMalloc(make_registry(), DictMatcher({0xA: "dram"}))
+        fm.malloc(100, STACK_A)
+        fm.malloc(50, STACK_B)
+        assert fm.stats.bytes_by_subsystem == {"dram": 100, "pmem": 50}
+
+    def test_overhead_accumulates(self):
+        fm = FlexMalloc(make_registry(), DictMatcher({0xA: "dram"}))
+        a = fm.malloc(100, STACK_A)
+        fm.free(a.address)
+        assert fm.total_overhead_ns() > 0
+        assert fm.matcher_overhead_ns() >= 0

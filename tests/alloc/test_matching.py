@@ -1,0 +1,105 @@
+"""Tests for BOM and human-readable report matching."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.alloc.matching import BOMMatcher, HumanReadableMatcher
+from repro.alloc.report import PlacementEntry, PlacementReport
+from repro.binary.aslr import AddressSpace
+from repro.binary.callstack import CallStack, StackFormat
+from repro.binary.image import synth_image
+
+
+@pytest.fixture
+def env():
+    """Profiling space + production space (different ASLR) + a report."""
+    img = synth_image("app.x", 30, seed=4)
+    prof = AddressSpace(pid=0, aslr_seed=100)
+    prod = AddressSpace(pid=0, aslr_seed=200)
+    prof.load(img)
+    prod.load(img)
+
+    offset = img.symbols[5].offset + 4
+    prof_stack = CallStack.from_addresses([prof.absolute("app.x", offset)])
+
+    bom_report = PlacementReport(StackFormat.BOM)
+    bom_report.add(PlacementEntry(
+        site=prof_stack.key(prof, StackFormat.BOM), subsystem="dram"))
+    human_report = PlacementReport(StackFormat.HUMAN)
+    human_report.add(PlacementEntry(
+        site=prof_stack.key(prof, StackFormat.HUMAN), subsystem="dram"))
+
+    prod_stack = CallStack.from_addresses([prod.absolute("app.x", offset)])
+    other_stack = CallStack.from_addresses(
+        [prod.absolute("app.x", img.symbols[9].offset)])
+    return prod, bom_report, human_report, prod_stack, other_stack
+
+
+class TestBOMMatcher:
+    def test_matches_across_aslr(self, env):
+        prod, bom_report, _, prod_stack, _ = env
+        m = BOMMatcher(bom_report, prod)
+        assert m.match(prod_stack) == "dram"
+
+    def test_unlisted_site_unmatched(self, env):
+        prod, bom_report, _, _, other = env
+        m = BOMMatcher(bom_report, prod)
+        assert m.match(other) is None
+
+    def test_wrong_format_rejected(self, env):
+        prod, _, human_report, _, _ = env
+        with pytest.raises(ConfigError):
+            BOMMatcher(human_report, prod)
+
+    def test_stats(self, env):
+        prod, bom_report, _, prod_stack, other = env
+        m = BOMMatcher(bom_report, prod)
+        m.match(prod_stack)
+        m.match(other)
+        assert m.stats.lookups == 2 and m.stats.matches == 1
+        assert m.stats.match_ratio == 0.5
+        assert m.stats.time_ns > 0
+
+    def test_site_for_unloaded_image_skipped(self, env):
+        prod, bom_report, _, prod_stack, _ = env
+        from repro.binary.callstack import BOMFrame
+        bom_report.add(PlacementEntry(
+            site=(BOMFrame("ghost.so", 0x10),), subsystem="dram"))
+        m = BOMMatcher(bom_report, prod)  # must not raise
+        assert m.match(prod_stack) == "dram"
+
+
+class TestHumanMatcher:
+    def test_matches_across_aslr(self, env):
+        prod, _, human_report, prod_stack, _ = env
+        m = HumanReadableMatcher(human_report, prod)
+        assert m.match(prod_stack) == "dram"
+
+    def test_wrong_format_rejected(self, env):
+        prod, bom_report, _, _, _ = env
+        with pytest.raises(ConfigError):
+            HumanReadableMatcher(bom_report, prod)
+
+    def test_charges_debug_info_memory(self, env):
+        prod, _, human_report, prod_stack, _ = env
+        m = HumanReadableMatcher(human_report, prod)
+        m.match(prod_stack)
+        assert m.stats.resident_bytes > 0
+
+    def test_costlier_than_bom(self, env):
+        """Section VI's core claim: BOM lookups are much cheaper."""
+        prod, bom_report, human_report, prod_stack, _ = env
+        bm = BOMMatcher(bom_report, prod)
+        hm = HumanReadableMatcher(human_report, prod)
+        for _ in range(100):
+            bm.match(prod_stack)
+            hm.match(prod_stack)
+        assert hm.stats.time_ns > 5 * bm.stats.time_ns
+        assert hm.stats.resident_bytes > bm.stats.resident_bytes
+
+    def test_both_agree_on_outcome(self, env):
+        prod, bom_report, human_report, prod_stack, other = env
+        bm = BOMMatcher(bom_report, prod)
+        hm = HumanReadableMatcher(human_report, prod)
+        assert bm.match(prod_stack) == hm.match(prod_stack) == "dram"
+        assert bm.match(other) is None and hm.match(other) is None

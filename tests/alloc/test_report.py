@@ -1,0 +1,113 @@
+"""Tests for the placement report format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, PlacementError
+from repro.alloc.report import PlacementEntry, PlacementReport
+from repro.binary.callstack import BOMFrame, HumanFrame, StackFormat
+
+
+def bom_site(*pairs):
+    return tuple(BOMFrame(obj, off) for obj, off in pairs)
+
+
+def human_site(*pairs):
+    return tuple(HumanFrame(src, line) for src, line in pairs)
+
+
+class TestConstruction:
+    def test_raw_format_rejected(self):
+        with pytest.raises(ConfigError):
+            PlacementReport(fmt=StackFormat.RAW)
+
+    def test_lookup_and_len(self):
+        r = PlacementReport(StackFormat.BOM)
+        site = bom_site(("app.x", 0x10))
+        r.add(PlacementEntry(site=site, subsystem="dram"))
+        assert r.lookup(site) == "dram"
+        assert r.lookup(bom_site(("app.x", 0x20))) is None
+        assert len(r) == 1
+
+    def test_conflicting_assignment_rejected(self):
+        r = PlacementReport(StackFormat.BOM)
+        site = bom_site(("app.x", 0x10))
+        r.add(PlacementEntry(site=site, subsystem="dram"))
+        with pytest.raises(PlacementError):
+            r.add(PlacementEntry(site=site, subsystem="pmem"))
+
+    def test_idempotent_same_assignment(self):
+        r = PlacementReport(StackFormat.BOM)
+        site = bom_site(("app.x", 0x10))
+        r.add(PlacementEntry(site=site, subsystem="dram"))
+        r.add(PlacementEntry(site=site, subsystem="dram"))
+        assert len(r) == 1
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ConfigError):
+            PlacementEntry(site=(), subsystem="dram")
+
+    def test_sites_for(self):
+        r = PlacementReport(StackFormat.BOM)
+        r.add(PlacementEntry(site=bom_site(("a", 1)), subsystem="dram"))
+        r.add(PlacementEntry(site=bom_site(("b", 2)), subsystem="pmem"))
+        assert len(r.sites_for("dram")) == 1
+
+
+class TestSerialization:
+    def test_bom_roundtrip(self):
+        r = PlacementReport(StackFormat.BOM, fallback="pmem")
+        r.add(PlacementEntry(
+            site=bom_site(("lulesh2.0", 0x1A2B), ("libc.so.6", 0x3C)),
+            subsystem="dram",
+        ))
+        r2 = PlacementReport.loads(r.dumps())
+        assert r2.fmt is StackFormat.BOM
+        assert r2.fallback == "pmem"
+        assert r2.lookup(bom_site(("lulesh2.0", 0x1A2B), ("libc.so.6", 0x3C))) == "dram"
+
+    def test_human_roundtrip(self):
+        r = PlacementReport(StackFormat.HUMAN, fallback="pmem")
+        r.add(PlacementEntry(
+            site=human_site(("lulesh.cc", 1205), ("main.cc", 42)),
+            subsystem="dram",
+        ))
+        r2 = PlacementReport.loads(r.dumps())
+        assert r2.lookup(human_site(("lulesh.cc", 1205), ("main.cc", 42))) == "dram"
+
+    def test_missing_header(self):
+        with pytest.raises(ConfigError):
+            PlacementReport.loads("dram\tapp+0x10\n")
+
+    def test_malformed_line(self):
+        text = "# ecohmem-placement format=bom fallback=pmem\nbroken line\n"
+        with pytest.raises(ConfigError):
+            PlacementReport.loads(text)
+
+    def test_bad_frame_token(self):
+        text = "# ecohmem-placement format=bom fallback=pmem\ndram\tnot-a-frame\n"
+        with pytest.raises(ConfigError):
+            PlacementReport.loads(text)
+
+    def test_comments_ignored(self):
+        text = ("# ecohmem-placement format=bom fallback=pmem\n"
+                "# a comment\n"
+                "dram\tapp.x+0x10\n")
+        assert len(PlacementReport.loads(text)) == 1
+
+    @given(st.lists(
+        st.tuples(
+            st.text(alphabet="abcxyz.", min_size=1, max_size=10),
+            st.integers(min_value=0, max_value=2**32),
+            st.sampled_from(["dram", "pmem"]),
+        ),
+        min_size=1, max_size=20, unique_by=lambda t: (t[0], t[1]),
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, entries):
+        r = PlacementReport(StackFormat.BOM)
+        for obj, off, sub in entries:
+            r.add(PlacementEntry(site=bom_site((obj, off)), subsystem=sub))
+        r2 = PlacementReport.loads(r.dumps())
+        for obj, off, sub in entries:
+            assert r2.lookup(bom_site((obj, off))) == sub

@@ -1,0 +1,100 @@
+"""Validation: the analytic miss-rate assumptions vs the real cache sim.
+
+These tests are the bridge between the two fidelity levels of the repo:
+the address-stream generators drive the LRU set-associative simulator and
+must land on the miss behaviour the analytic engine assumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.generators import (
+    Region, expected_stream_misses, hot_cold_stream, pointer_chase,
+    random_access, sequential_stream, strided_gather,
+)
+from repro.errors import WorkloadError
+from repro.memsim.cache import SetAssociativeCache
+from repro.units import KiB, MiB
+
+
+def llc(size=1 * MiB):
+    return SetAssociativeCache(size, line_size=64, ways=16, name="LLC")
+
+
+class TestSequential:
+    def test_one_miss_per_line(self):
+        region = Region(base=0, size=4 * MiB)  # 4x the cache
+        cache = llc()
+        cache.access_stream(sequential_stream(region, passes=1))
+        assert cache.stats.misses == expected_stream_misses(region, 1)
+
+    def test_repeat_passes_still_miss_when_oversized(self):
+        region = Region(base=0, size=4 * MiB)
+        cache = llc()
+        cache.access_stream(sequential_stream(region, passes=2))
+        assert cache.stats.misses == pytest.approx(
+            expected_stream_misses(region, 2), rel=0.01
+        )
+
+    def test_resident_region_stops_missing(self):
+        region = Region(base=0, size=256 * KiB)  # fits in the LLC
+        cache = llc()
+        cache.access_stream(sequential_stream(region, passes=3))
+        assert cache.stats.misses == expected_stream_misses(region, 1)
+
+
+class TestHotCold:
+    def test_hot_region_caches(self):
+        hot = Region(base=0, size=128 * KiB)
+        cold = Region(base=1 << 30, size=64 * MiB)
+        cache = llc()
+        stream = hot_cold_stream(hot, cold, 20_000, hot_fraction=0.9, seed=1)
+        cache.access_stream(stream)
+        # ~10% cold accesses nearly always miss; hot ones only during
+        # warm-up -> overall miss ratio near the cold share plus warm-up
+        assert 0.06 < cache.stats.miss_ratio < 0.25
+
+    def test_fraction_validated(self):
+        with pytest.raises(WorkloadError):
+            hot_cold_stream(Region(0, 10), Region(100, 10), 5, hot_fraction=1.5)
+
+
+class TestRandomAndGather:
+    def test_random_over_large_region_mostly_misses(self):
+        region = Region(base=0, size=256 * MiB)
+        cache = llc()
+        cache.access_stream(random_access(region, 20_000, seed=2))
+        assert cache.stats.miss_ratio > 0.9
+
+    def test_strided_gather_one_line_per_access(self):
+        region = Region(base=0, size=256 * MiB)
+        cache = llc()
+        addrs = strided_gather(region, 10_000, stride=4096, seed=3)
+        # every access touches a line-aligned 4 KiB bucket
+        assert np.all(addrs % 4096 == 0)
+
+    def test_count_validated(self):
+        with pytest.raises(WorkloadError):
+            random_access(Region(0, 100), 0)
+
+
+class TestPointerChase:
+    def test_visits_every_node_before_repeat(self):
+        region = Region(base=0, size=64 * KiB)
+        nodes = 64 * KiB // 64
+        addrs = pointer_chase(region, nodes, node=64, seed=4)
+        assert len(set(addrs.tolist())) == nodes
+
+    def test_oversized_chain_always_misses(self):
+        region = Region(base=0, size=16 * MiB)
+        cache = llc()
+        cache.access_stream(pointer_chase(region, 30_000, seed=5))
+        assert cache.stats.miss_ratio > 0.95
+
+
+class TestRegionValidation:
+    def test_bad_region(self):
+        with pytest.raises(WorkloadError):
+            Region(base=0, size=0)
+        with pytest.raises(WorkloadError):
+            Region(base=-1, size=10)

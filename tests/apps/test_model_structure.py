@@ -1,0 +1,151 @@
+"""Structural regression tests on the application models.
+
+Each model encodes specific paper mechanisms (see docs/CALIBRATION.md);
+these tests pin the *structure* so a future edit cannot silently remove
+the mechanism that makes a paper result reproduce.
+"""
+
+import pytest
+
+from repro.apps import get_workload
+
+
+class TestMiniFE:
+    def test_matrix_is_read_only_stream(self):
+        wl = get_workload("minife")
+        matrix = wl.object_by_site("minife::impl_matrix::allocate_values")
+        assert matrix.is_read_only
+        assert matrix.alloc_count == 1
+
+    def test_vectors_hotter_per_byte_than_matrix(self):
+        wl = get_workload("minife")
+        matrix = wl.object_by_site("minife::impl_matrix::allocate_values")
+        vec = wl.object_by_site("minife::Vector::p")
+        m_density = matrix.access["cg"].load_rate / matrix.size
+        v_density = vec.access["cg"].load_rate / vec.size
+        assert v_density > 2 * m_density
+
+    def test_vectors_fit_4gb_node_budget(self):
+        """Why MiniFE survives the 4 GB limit: the hot set is small."""
+        wl = get_workload("minife")
+        hot = [o for o in wl.objects if "Vector" in o.site.name]
+        assert sum(o.size for o in hot) * wl.ranks < 4 * 2**30
+
+
+class TestMiniMD:
+    def test_force_array_is_a_store_blind_spot(self):
+        """Sampled L1D store misses >> true off-chip stores (Section V)."""
+        wl = get_workload("minimd")
+        force = wl.object_by_site("minimd::Atom::growarray_f")
+        stats = force.access["timestep"]
+        assert stats.l1d_store_rate is not None
+        assert stats.l1d_store_rate > 3 * stats.store_rate
+
+    def test_neighbor_list_reallocated(self):
+        wl = get_workload("minimd")
+        assert wl.object_by_site("minimd::Neighbor::growlist").alloc_count > 2
+
+
+class TestLULESH:
+    def test_temps_match_table3(self):
+        wl = get_workload("lulesh")
+        temps = [o for o in wl.objects if "temp" in o.site.name]
+        assert len(temps) == 12
+        assert all(t.alloc_count == 200 for t in temps)
+        lifetimes = sorted(t.lifetime for t in temps)
+        assert 7 <= lifetimes[0] and lifetimes[-1] <= 28  # Fig. 4's 8-27 s
+
+    def test_temps_are_write_scratch_blind_spots(self):
+        wl = get_workload("lulesh")
+        for t in (o for o in wl.objects if "temp" in o.site.name):
+            calc = t.access["calc"]
+            assert calc.store_rate > 10 * calc.load_rate
+            assert calc.l1d_store_rate < 0.05 * calc.store_rate
+
+    def test_perms_are_singletons(self):
+        wl = get_workload("lulesh")
+        perms = [o for o in wl.objects if "perm" in o.site.name]
+        assert len(perms) == 33  # objects 114-146
+        assert all(p.alloc_count == 1 and p.lifetime is None for p in perms)
+
+    def test_perm_bandwidth_spread(self):
+        """Figure 5's ~200x spread between hottest and coldest perm."""
+        wl = get_workload("lulesh")
+        rates = [o.access["lagrange"].load_rate
+                 for o in wl.objects if "perm" in o.site.name]
+        assert max(rates) / min(rates) > 100
+
+    def test_bulk_covers_temps_for_swaps(self):
+        """Algorithm 1 requires Fitting.size >= Thrashing.size."""
+        wl = get_workload("lulesh")
+        bulk_size = min(o.size for o in wl.objects if "bulk" in o.site.name)
+        temp_size = max(o.size for o in wl.objects if "temp" in o.site.name)
+        assert bulk_size >= temp_size
+
+
+class TestLAMMPS:
+    def test_comm_buffers_invisible_and_serial(self):
+        wl = get_workload("lammps")
+        for name in ("lammps::comm_send", "lammps::comm_recv"):
+            comm = wl.object_by_site(name)
+            assert comm.sampling_visibility <= 0.05
+            assert comm.serial_fraction >= 0.5
+            assert comm.alloc_count > 10
+
+    def test_least_memory_bound_of_suite(self):
+        """LAMMPS's rates are an order below the memory-bound apps."""
+        lammps = get_workload("lammps")
+        minife = get_workload("minife")
+        def peak_rate(wl, phase):
+            return max(a.load_rate for o in wl.objects
+                       for p, a in o.access.items() if p == phase)
+        assert peak_rate(lammps, "iteration") < 0.5 * peak_rate(minife, "cg")
+
+
+class TestOpenFOAM:
+    def test_production_scale_site_count(self):
+        wl = get_workload("openfoam")
+        assert len(wl.objects) > 100  # "fully-featured production application"
+
+    def test_temps_burst_in_solve(self):
+        wl = get_workload("openfoam")
+        for t in (o for o in wl.objects if "temp" in o.site.name):
+            solve = t.access["solve"]
+            asm = t.access["assemble"]
+            assert solve.store_rate > 5 * asm.store_rate
+            assert t.alloc_count > 2  # Table IV's T_ALLOC criterion
+
+    def test_perms_cover_temp_sizes(self):
+        wl = get_workload("openfoam")
+        perm_size = min(o.size for o in wl.objects if "perm" in o.site.name)
+        temp_size = max(o.size for o in wl.objects if "temp" in o.site.name)
+        assert perm_size >= temp_size
+
+    def test_snapshots_are_streaming_d_shaped(self):
+        """Read-only, repeatedly allocated: the Streaming-D profile."""
+        wl = get_workload("openfoam")
+        snaps = [o for o in wl.objects if "snap" in o.site.name]
+        assert snaps
+        for s in snaps:
+            assert s.is_read_only
+            assert s.alloc_count > 2
+
+
+class TestCloverLeaf:
+    def test_work_fields_write_streams(self):
+        wl = get_workload("cloverleaf3d")
+        flux = wl.object_by_site("clover::vol_flux_x")
+        stats = flux.access["step"]
+        assert stats.store_rate > 2 * stats.load_rate
+        # true streaming stores: no separate (lower) l1d rate configured
+        assert stats.l1d_store_rate is None
+
+    def test_read_fields_outnumber_work_fields(self):
+        wl = get_workload("cloverleaf3d")
+        reads = [o for o in wl.objects
+                 if o.access.get("step") and
+                 o.access["step"].load_rate > o.access["step"].store_rate]
+        writes = [o for o in wl.objects
+                  if o.access.get("step") and
+                  o.access["step"].store_rate > o.access["step"].load_rate]
+        assert len(reads) > len(writes) > 3

@@ -1,0 +1,48 @@
+"""Tests for the combined proactive+reactive traffic model."""
+
+import pytest
+
+from repro.baselines.tiering import CombinedTraffic
+from repro.units import GiB, MiB
+
+from tests.conftest import make_toy_workload
+
+
+def model_with(placement, effective_dram=1 * GiB, reaction_s=1.0):
+    wl = make_toy_workload()
+    return wl, CombinedTraffic(wl, effective_dram, placement,
+                               reaction_s=reaction_s)
+
+
+class TestCombinedTraffic:
+    def test_statically_placed_objects_skip_warmup(self):
+        """An object ecoHMEM put in DRAM is DRAM-hot from t=0."""
+        wl, model = model_with({"toy::hot": "dram"})
+        live = [i for i in wl.instances() if i.overlap(0.0, 0.2) > 0]
+        t = model.segment_traffic(0.0, 0.2, "compute", live)
+        d = dict(t.by_object)
+        assert ("toy::hot", "pmem") not in d
+        assert d[("toy::hot", "dram")][0] > 0
+
+    def test_unplaced_objects_still_warm_up(self):
+        wl, model = model_with({})  # nothing proactively placed
+        live = [i for i in wl.instances() if i.overlap(0.0, 0.2) > 0]
+        t = model.segment_traffic(0.0, 0.2, "compute", live)
+        d = dict(t.by_object)
+        # inside the reaction window: promoted objects still hit PMem
+        assert any(sub == "pmem" for (_n, sub) in d)
+
+    def test_migration_traffic_smaller_with_placement(self):
+        """Static placement shrinks the pages the kernel must copy."""
+        wl1, unplaced = model_with({})
+        wl2, placed = model_with({"toy::hot": "dram", "toy::cold": "dram"})
+        live1 = [i for i in wl1.instances() if i.overlap(0.0, 1.0) > 0]
+        live2 = [i for i in wl2.instances() if i.overlap(0.0, 1.0) > 0]
+        t1 = unplaced.segment_traffic(0.0, 1.0, "compute", live1)
+        t2 = placed.segment_traffic(0.0, 1.0, "compute", live2)
+        # migration shows up as extra pmem loads (page reads)
+        assert (t1.subsystem("pmem").loads > t2.subsystem("pmem").loads)
+
+    def test_label(self):
+        _, model = model_with({})
+        assert model.label == "combined-proactive-reactive"

@@ -1,0 +1,75 @@
+"""Tests for the kernel page-migration (tiering) baseline."""
+
+import pytest
+
+from repro.baselines.tiering import TieringTraffic, run_tiering, tiering_effective_dram
+from repro.memsim.subsystem import pmem6_system
+from repro.units import GiB, TiB
+
+from tests.conftest import make_toy_workload
+
+
+class TestMetadataCost:
+    def test_paper_ballpark(self):
+        """3 TB of PMem costs ~15 GB of metadata, leaving ~1 GB of 16."""
+        eff = tiering_effective_dram(16 * GiB, 3 * TiB)
+        assert 0.5 * GiB <= eff <= 2 * GiB
+
+    def test_smaller_pmem_cheaper(self):
+        assert (tiering_effective_dram(16 * GiB, 1 * TiB)
+                > tiering_effective_dram(16 * GiB, 3 * TiB))
+
+    def test_reserve_floor(self):
+        eff = tiering_effective_dram(16 * GiB, 100 * TiB)
+        assert eff == 1 * GiB
+
+
+class TestReactivity:
+    def test_cold_start_in_pmem(self, toy_workload):
+        """Within the reaction window, promoted objects still hit PMem."""
+        model = TieringTraffic(toy_workload, effective_dram=1 * GiB,
+                               reaction_s=1.0)
+        live = [i for i in toy_workload.instances() if i.overlap(0.0, 0.5) > 0]
+        t = model.segment_traffic(0.0, 0.5, "compute", live)
+        assert t.subsystem("pmem").loads > 0
+
+    def test_warm_phase_promoted_to_dram(self, toy_workload):
+        model = TieringTraffic(toy_workload, effective_dram=1 * GiB,
+                               reaction_s=0.1)
+        live = [i for i in toy_workload.instances() if i.overlap(0.5, 1.0) > 0]
+        t = model.segment_traffic(0.5, 1.0, "compute", live)
+        assert t.subsystem("dram").loads > 0
+
+    def test_budget_limits_promotion(self, toy_workload):
+        """With a budget below every object's size nothing is promoted."""
+        model = TieringTraffic(toy_workload, effective_dram=1024,
+                               reaction_s=0.1)
+        live = [i for i in toy_workload.instances() if i.overlap(0.5, 1.0) > 0]
+        t = model.segment_traffic(0.5, 1.0, "compute", live)
+        assert t.by_subsystem.get("dram") is None or \
+            t.by_subsystem["dram"].loads == 0
+
+    def test_hottest_density_promoted_first(self, toy_workload):
+        # budget fits only the 8 MiB hot object (x2 ranks = 16 MiB)
+        model = TieringTraffic(toy_workload, effective_dram=20 * 2**20,
+                               reaction_s=0.0)
+        live = [i for i in toy_workload.instances() if i.overlap(0.5, 1.0) > 0]
+        t = model.segment_traffic(0.5, 1.0, "compute", live)
+        dram_objs = {n for (n, sub) in t.by_object if sub == "dram"}
+        assert "toy::hot" in dram_objs
+        assert "toy::cold" not in dram_objs
+
+
+class TestRunner:
+    def test_slower_than_ideal_faster_than_nothing(self, toy_workload, system6):
+        from repro.runtime import ExecutionEngine, PlacementTraffic
+        tier = run_tiering(make_toy_workload(), system6, reaction_s=0.2)
+        all_pmem = ExecutionEngine(make_toy_workload(), system6).run(
+            PlacementTraffic(make_toy_workload(), {
+                "toy::hot": "pmem", "toy::cold": "pmem", "toy::temp": "pmem",
+            })
+        )
+        assert tier.total_time < all_pmem.total_time
+
+    def test_label(self, system6):
+        assert run_tiering(make_toy_workload(), system6).config_label == "kernel-tiering"

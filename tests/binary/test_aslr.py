@@ -1,0 +1,107 @@
+"""Tests for ASLR'd address spaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, ConfigError
+from repro.binary.aslr import PAGE, AddressSpace
+from repro.binary.image import synth_image
+
+
+class TestLoading:
+    def test_base_page_aligned(self):
+        sp = AddressSpace(aslr_seed=1)
+        m = sp.load(synth_image("a", 5))
+        assert m.base % PAGE == 0
+
+    def test_different_seeds_randomize_bases(self):
+        img = synth_image("a", 5)
+        m1 = AddressSpace(aslr_seed=1).load(img)
+        m2 = AddressSpace(aslr_seed=2).load(img)
+        assert m1.base != m2.base
+
+    def test_same_seed_reproducible(self):
+        img = synth_image("a", 5)
+        m1 = AddressSpace(aslr_seed=9).load(img)
+        m2 = AddressSpace(aslr_seed=9).load(img)
+        assert m1.base == m2.base
+
+    def test_no_aslr_deterministic_layout(self):
+        sp = AddressSpace(aslr_seed=None)
+        m1 = sp.load(synth_image("a", 5))
+        m2 = sp.load(synth_image("b", 5))
+        assert m2.base > m1.base
+
+    def test_double_load_rejected(self):
+        sp = AddressSpace()
+        sp.load(synth_image("a", 5))
+        with pytest.raises(ConfigError):
+            sp.load(synth_image("a", 5))
+
+    def test_mappings_never_overlap(self):
+        sp = AddressSpace(aslr_seed=4)
+        for i in range(30):
+            sp.load(synth_image(f"lib{i}.so", 10, seed=i))
+        ms = sorted(sp.mappings, key=lambda m: m.base)
+        for a, b in zip(ms, ms[1:]):
+            assert a.end <= b.base
+
+
+class TestResolution:
+    def test_roundtrip(self):
+        sp = AddressSpace(aslr_seed=3)
+        img = synth_image("a", 5)
+        m = sp.load(img)
+        addr = m.base + 0x1234
+        resolved_img, offset = sp.resolve(addr)
+        assert resolved_img is img and offset == 0x1234
+
+    def test_absolute_inverse_of_resolve(self):
+        sp = AddressSpace(aslr_seed=3)
+        sp.load(synth_image("a", 5))
+        addr = sp.absolute("a", 0x2000)
+        img, off = sp.resolve(addr)
+        assert (img.name, off) == ("a", 0x2000)
+
+    def test_unmapped_address(self):
+        sp = AddressSpace()
+        sp.load(synth_image("a", 5))
+        with pytest.raises(AddressError):
+            sp.resolve(0x10)
+
+    def test_address_past_mapping_end(self):
+        sp = AddressSpace()
+        m = sp.load(synth_image("a", 5))
+        with pytest.raises(AddressError):
+            sp.resolve(m.end)
+
+    def test_unknown_image_name(self):
+        sp = AddressSpace()
+        with pytest.raises(AddressError):
+            sp.mapping_of("ghost.so")
+
+    def test_offset_out_of_image(self):
+        sp = AddressSpace()
+        img = synth_image("a", 5)
+        sp.load(img)
+        with pytest.raises(AddressError):
+            sp.absolute("a", img.size + 1)
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_resolve_absolute_roundtrip_property(self, offset):
+        sp = AddressSpace(aslr_seed=5)
+        img = synth_image("big", 300)
+        sp.load(img)
+        offset = offset % img.size
+        img2, off2 = sp.resolve(sp.absolute("big", offset))
+        assert img2 is img and off2 == offset
+
+
+class TestDebugFootprint:
+    def test_total_debug_info(self):
+        sp = AddressSpace()
+        a, b = synth_image("a", 5), synth_image("b", 7)
+        sp.load(a)
+        sp.load(b)
+        assert sp.total_debug_info_bytes() == a.debug_info_bytes + b.debug_info_bytes

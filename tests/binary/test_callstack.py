@@ -1,0 +1,109 @@
+"""Tests for call stacks and the three identifier formats."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.binary.aslr import AddressSpace
+from repro.binary.callstack import BOMFrame, CallStack, Frame, HumanFrame, StackFormat
+from repro.binary.image import synth_image
+
+
+@pytest.fixture
+def space():
+    sp = AddressSpace(aslr_seed=11)
+    sp.load(synth_image("app.x", 20, seed=1))
+    sp.load(synth_image("libm.so", 10, seed=2))
+    return sp
+
+
+def stack_in(space, *spots):
+    """Build a raw stack from (image, offset) pairs."""
+    return CallStack.from_addresses([space.absolute(img, off) for img, off in spots])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            CallStack([])
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigError):
+            Frame(-1)
+
+    def test_equality_and_hash(self):
+        a = CallStack.from_addresses([1, 2, 3])
+        b = CallStack.from_addresses([1, 2, 3])
+        assert a == b and hash(a) == hash(b)
+        assert a != CallStack.from_addresses([1, 2])
+
+
+class TestConversions:
+    def test_bom_identifies_image_and_offset(self, space):
+        cs = stack_in(space, ("app.x", 0x1100), ("libm.so", 0x1200))
+        bom = cs.to_bom(space)
+        assert bom[0] == BOMFrame("app.x", 0x1100)
+        assert bom[1] == BOMFrame("libm.so", 0x1200)
+
+    def test_human_resolves_file_line(self, space):
+        img = space.mapping_of("app.x").image
+        sym = img.symbols[0]
+        cs = stack_in(space, ("app.x", sym.offset))
+        human = cs.to_human(space)
+        assert isinstance(human[0], HumanFrame)
+        assert human[0].line > 0
+
+    def test_bom_stable_across_aslr(self):
+        img = synth_image("app.x", 10)
+        sp1, sp2 = AddressSpace(aslr_seed=1), AddressSpace(aslr_seed=2)
+        sp1.load(img)
+        sp2.load(img)
+        cs1 = CallStack.from_addresses([sp1.absolute("app.x", 0x1500)])
+        cs2 = CallStack.from_addresses([sp2.absolute("app.x", 0x1500)])
+        assert cs1 != cs2  # raw frames differ (ASLR)
+        assert cs1.key(sp1, StackFormat.BOM) == cs2.key(sp2, StackFormat.BOM)
+
+    def test_human_stable_across_aslr(self):
+        img = synth_image("app.x", 10)
+        sp1, sp2 = AddressSpace(aslr_seed=1), AddressSpace(aslr_seed=2)
+        sp1.load(img)
+        sp2.load(img)
+        off = img.symbols[3].offset + 8
+        cs1 = CallStack.from_addresses([sp1.absolute("app.x", off)])
+        cs2 = CallStack.from_addresses([sp2.absolute("app.x", off)])
+        assert cs1.key(sp1, StackFormat.HUMAN) == cs2.key(sp2, StackFormat.HUMAN)
+
+    def test_raw_key_is_addresses(self, space):
+        cs = stack_in(space, ("app.x", 0x1100))
+        assert cs.key(space, StackFormat.RAW) == (cs.frames[0].address,)
+
+    def test_human_fails_on_stripped(self):
+        img = synth_image("app.x", 10, with_debug_info=False)
+        sp = AddressSpace()
+        sp.load(img)
+        cs = CallStack.from_addresses([sp.absolute("app.x", img.symbols[0].offset)])
+        with pytest.raises(AddressError):
+            cs.to_human(sp)
+
+    def test_bom_works_on_stripped(self):
+        """The headline BOM property: no debug info required."""
+        img = synth_image("app.x", 10, with_debug_info=False)
+        sp = AddressSpace()
+        sp.load(img)
+        cs = CallStack.from_addresses([sp.absolute("app.x", 0x1100)])
+        assert cs.to_bom(sp) == (BOMFrame("app.x", 0x1100),)
+
+
+class TestRendering:
+    def test_bom_render(self, space):
+        cs = stack_in(space, ("app.x", 0x1100))
+        assert cs.render(space, StackFormat.BOM) == "app.x+0x00001100"
+
+    def test_human_render_contains_file_and_line(self, space):
+        img = space.mapping_of("app.x").image
+        cs = stack_in(space, ("app.x", img.symbols[0].offset))
+        rendered = cs.render(space, StackFormat.HUMAN)
+        assert ".cpp:" in rendered
+
+    def test_multi_frame_render_joined(self, space):
+        cs = stack_in(space, ("app.x", 0x1100), ("libm.so", 0x1200))
+        assert " > " in cs.render(space, StackFormat.BOM)

@@ -1,0 +1,95 @@
+"""Tests for binary images, symbols and debug info."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.binary.image import BinaryImage, Symbol, synth_image
+
+
+def simple_image(with_debug=True):
+    symbols = [Symbol("fn_a", 0x100, 0x80), Symbol("fn_b", 0x200, 0x100)]
+    lines = [(0x100, "a.cpp", 10), (0x140, "a.cpp", 20),
+             (0x200, "b.cpp", 5)] if with_debug else None
+    return BinaryImage("app.x", 0x1000, symbols, line_table=lines)
+
+
+class TestSymbols:
+    def test_symbol_at_start(self):
+        assert simple_image().symbol_at(0x100).name == "fn_a"
+
+    def test_symbol_at_interior(self):
+        assert simple_image().symbol_at(0x17F).name == "fn_a"
+
+    def test_gap_has_no_symbol(self):
+        with pytest.raises(AddressError):
+            simple_image().symbol_at(0x190)
+
+    def test_offset_out_of_image(self):
+        with pytest.raises(AddressError):
+            simple_image().symbol_at(0x2000)
+
+    def test_overlapping_symbols_rejected(self):
+        with pytest.raises(ConfigError):
+            BinaryImage("x", 0x1000, [Symbol("a", 0x100, 0x100),
+                                      Symbol("b", 0x150, 0x10)])
+
+    def test_symbol_past_end_rejected(self):
+        with pytest.raises(ConfigError):
+            BinaryImage("x", 0x100, [Symbol("a", 0x80, 0x100)])
+
+    def test_bad_symbol_range(self):
+        with pytest.raises(ConfigError):
+            Symbol("a", 0x10, 0)
+
+
+class TestDebugInfo:
+    def test_exact_line_lookup(self):
+        assert simple_image().source_location(0x100) == ("a.cpp", 10)
+
+    def test_nearest_preceding_entry(self):
+        assert simple_image().source_location(0x13F) == ("a.cpp", 10)
+        assert simple_image().source_location(0x141) == ("a.cpp", 20)
+
+    def test_before_first_entry(self):
+        with pytest.raises(AddressError):
+            simple_image().source_location(0x50)
+
+    def test_stripped_binary_raises(self):
+        with pytest.raises(AddressError):
+            simple_image(with_debug=False).source_location(0x100)
+
+    def test_debug_bytes_proportional_to_entries(self):
+        img = simple_image()
+        assert img.debug_info_bytes == img.num_line_entries * 48
+
+    def test_stripped_has_zero_footprint(self):
+        img = simple_image().stripped()
+        assert not img.has_debug_info
+        assert img.debug_info_bytes == 0
+
+    def test_stripped_keeps_symbols(self):
+        assert simple_image().stripped().symbol_at(0x100).name == "fn_a"
+
+
+class TestSynthImage:
+    def test_deterministic(self):
+        a, b = synth_image("lib.so", 20, seed=3), synth_image("lib.so", 20, seed=3)
+        assert [s.offset for s in a.symbols] == [s.offset for s in b.symbols]
+
+    def test_function_count(self):
+        img = synth_image("lib.so", 25)
+        assert len(img.symbols) == 25
+
+    def test_debug_toggle(self):
+        assert synth_image("a", 5, with_debug_info=False).has_debug_info is False
+        assert synth_image("a", 5, with_debug_info=True).has_debug_info
+
+    def test_every_symbol_resolvable(self):
+        img = synth_image("lib.so", 10)
+        for sym in img.symbols:
+            src, line = img.source_location(sym.offset)
+            assert src and line > 0
+
+    def test_rejects_zero_functions(self):
+        with pytest.raises(ConfigError):
+            synth_image("x", 0)

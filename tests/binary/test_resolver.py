@@ -1,0 +1,86 @@
+"""Tests for the binutils-like resolver and its cost model."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.binary.aslr import AddressSpace
+from repro.binary.callstack import CallStack
+from repro.binary.image import synth_image
+from repro.binary.resolver import BinutilsResolver
+
+
+@pytest.fixture
+def setup():
+    sp = AddressSpace(aslr_seed=21)
+    img = synth_image("app.x", 40, seed=5)
+    sp.load(img)
+    return sp, img
+
+
+class TestResolution:
+    def test_resolves_to_debug_entry(self, setup):
+        sp, img = setup
+        res = BinutilsResolver(sp)
+        sym = img.symbols[2]
+        frame = res.resolve_frame(sp.absolute("app.x", sym.offset))
+        assert frame.source_file.endswith(".cpp")
+
+    def test_stack_resolution(self, setup):
+        sp, img = setup
+        res = BinutilsResolver(sp)
+        addrs = [sp.absolute("app.x", s.offset) for s in img.symbols[:3]]
+        frames = res.resolve_stack(CallStack.from_addresses(addrs))
+        assert len(frames) == 3
+
+    def test_stripped_image_raises(self):
+        sp = AddressSpace()
+        img = synth_image("bare.x", 5, with_debug_info=False)
+        sp.load(img)
+        res = BinutilsResolver(sp)
+        with pytest.raises(AddressError):
+            res.resolve_frame(sp.absolute("bare.x", img.symbols[0].offset))
+
+
+class TestCostModel:
+    def test_first_touch_charges_parse_and_memory(self, setup):
+        sp, img = setup
+        res = BinutilsResolver(sp)
+        res.resolve_frame(sp.absolute("app.x", img.symbols[0].offset))
+        assert res.cost.debug_info_bytes_loaded == img.debug_info_bytes
+        assert res.cost.time_ns >= res.parse_ns_per_entry * img.num_line_entries
+
+    def test_parse_charged_once(self, setup):
+        sp, img = setup
+        res = BinutilsResolver(sp)
+        res.resolve_frame(sp.absolute("app.x", img.symbols[0].offset))
+        after_first = res.cost.debug_info_bytes_loaded
+        res.resolve_frame(sp.absolute("app.x", img.symbols[1].offset))
+        assert res.cost.debug_info_bytes_loaded == after_first
+
+    def test_cache_hits_cheaper(self, setup):
+        sp, img = setup
+        res = BinutilsResolver(sp)
+        addr = sp.absolute("app.x", img.symbols[0].offset)
+        res.resolve_frame(addr)
+        t1 = res.cost.time_ns
+        res.resolve_frame(addr)
+        assert res.cost.time_ns - t1 == pytest.approx(res.cache_hit_ns)
+        assert res.cost.cache_hits == 1
+
+    def test_bigger_binary_costs_more_per_lookup(self):
+        costs = []
+        for nfuncs in (10, 1000):
+            sp = AddressSpace(aslr_seed=2)
+            img = synth_image("app.x", nfuncs, seed=1)
+            sp.load(img)
+            res = BinutilsResolver(sp, parse_ns_per_entry=0.0)
+            res.resolve_frame(sp.absolute("app.x", img.symbols[0].offset))
+            costs.append(res.cost.time_ns)
+        assert costs[1] > costs[0]
+
+    def test_frames_resolved_counter(self, setup):
+        sp, img = setup
+        res = BinutilsResolver(sp)
+        for s in img.symbols[:5]:
+            res.resolve_frame(sp.absolute("app.x", s.offset))
+        assert res.cost.frames_resolved == 5

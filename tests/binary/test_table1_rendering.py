@@ -1,0 +1,44 @@
+"""End-to-end rendering checks across all supported formats (Table I).
+
+These complement the unit tests with full-workload coverage: every site
+of every registered application renders in every format, and the stable
+formats agree between processes.
+"""
+
+import pytest
+
+from repro.apps import get_workload, list_workloads
+from repro.apps.sites import SiteRegistry
+from repro.binary.callstack import StackFormat
+
+
+@pytest.mark.parametrize("app", ["minife", "lammps"])
+class TestWorkloadWideRendering:
+    def test_every_site_renders_in_every_format(self, app):
+        wl = get_workload(app)
+        reg = SiteRegistry(wl)
+        proc = reg.make_process(rank=0, aslr_seed=3)
+        for obj in wl.objects:
+            stack = proc.callstack(obj.site)
+            for fmt in StackFormat:
+                rendered = stack.render(proc.space, fmt)
+                assert rendered and ">" in rendered or len(obj.site.stack) == 1
+
+    def test_stable_formats_agree_across_ranks(self, app):
+        wl = get_workload(app)
+        reg = SiteRegistry(wl)
+        p0 = reg.make_process(rank=0, aslr_seed=10)
+        p1 = reg.make_process(rank=1, aslr_seed=77)
+        for obj in wl.objects:
+            for fmt in (StackFormat.BOM, StackFormat.HUMAN):
+                assert (p0.callstack(obj.site).render(p0.space, fmt)
+                        == p1.callstack(obj.site).render(p1.space, fmt))
+
+    def test_bom_offsets_within_image(self, app):
+        wl = get_workload(app)
+        reg = SiteRegistry(wl)
+        proc = reg.make_process(rank=0, aslr_seed=3)
+        for obj in wl.objects:
+            for frame in proc.callstack(obj.site).to_bom(proc.space):
+                image = reg.images[frame.object_name]
+                assert 0 <= frame.offset < image.size

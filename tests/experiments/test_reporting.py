@@ -1,0 +1,66 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.experiments.reporting import fmt_speedup, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["xyz", 3.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in out and "3.25" in out and "xyz" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches widths
+
+    def test_custom_float_format(self):
+        out = render_table(["v"], [[1.23456]], float_fmt="{:.4f}")
+        assert "1.2346" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        out = render_series([0, 1, 2], [1.0, 2.0, 4.0], title="S")
+        assert out.startswith("S")
+        assert out.count("#") > 0
+
+    def test_bar_lengths_proportional(self):
+        out = render_series([0, 1], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[-1].count("#") == 2 * lines[-2].count("#")
+
+    def test_empty(self):
+        assert "empty series" in render_series([], [], title="T")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1.0])
+
+    def test_downsampling(self):
+        out = render_series(list(range(1000)), [1.0] * 1000, max_points=10)
+        assert len(out.splitlines()) < 30
+
+    def test_numpy_input(self):
+        import numpy as np
+        out = render_series(np.arange(5), np.ones(5))
+        assert out.count("#") > 0
+
+
+class TestFmtSpeedup:
+    def test_value(self):
+        assert fmt_speedup(1.234) == "1.23x"
+
+    def test_none(self):
+        assert fmt_speedup(None) == "n/a"

@@ -1,0 +1,113 @@
+"""End-to-end pipeline integration tests on the toy workload."""
+
+import pytest
+
+from repro.binary.callstack import StackFormat
+from repro.experiments.harness import run_ecohmem
+from repro.baselines.memory_mode import run_memory_mode
+from repro.memsim.subsystem import pmem6_system
+from repro.units import GiB, MiB
+
+from tests.conftest import make_toy_workload
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    wl = make_toy_workload()
+    system = pmem6_system()
+    # 64 MiB: hot (16 MiB node) + temp (8 MiB node) fit, cold (128 MiB) cannot
+    return wl, system, run_ecohmem(wl, system, dram_limit=64 * MiB)
+
+
+class TestFullPipeline:
+    def test_hot_object_ends_in_dram(self, pipeline_result):
+        _, _, eco = pipeline_result
+        assert eco.site_placement["toy::hot"] == "dram"
+
+    def test_cold_object_ends_in_pmem(self, pipeline_result):
+        _, _, eco = pipeline_result
+        assert eco.site_placement["toy::cold"] == "pmem"
+
+    def test_report_round_tripped(self, pipeline_result):
+        _, _, eco = pipeline_result
+        text = eco.report.dumps()
+        assert "ecohmem-placement" in text
+        assert "dram" in text
+
+    def test_replay_uses_matcher(self, pipeline_result):
+        _, _, eco = pipeline_result
+        assert eco.replay.flexmalloc.matcher.stats.lookups > 0
+        assert eco.replay.flexmalloc.matcher.stats.matches > 0
+
+    def test_beats_memory_mode_on_toy(self, pipeline_result):
+        wl, system, eco = pipeline_result
+        mm = run_memory_mode(make_toy_workload(), system)
+        # the toy's hot set fits DRAM entirely: placement should win
+        assert eco.run.speedup_vs(mm) > 1.0
+
+    def test_human_format_pipeline_agrees_on_placement(self):
+        wl = make_toy_workload()
+        system = pmem6_system()
+        bom = run_ecohmem(wl, system, dram_limit=64 * MiB,
+                          stack_format=StackFormat.BOM)
+        human = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB,
+                            stack_format=StackFormat.HUMAN)
+        assert bom.site_placement == human.site_placement
+
+    def test_human_format_slower_matching(self):
+        wl = make_toy_workload()
+        system = pmem6_system()
+        bom = run_ecohmem(wl, system, dram_limit=64 * MiB,
+                          stack_format=StackFormat.BOM)
+        human = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB,
+                            stack_format=StackFormat.HUMAN)
+        assert (human.replay.flexmalloc.matcher.stats.time_ns
+                > bom.replay.flexmalloc.matcher.stats.time_ns)
+
+    def test_bw_aware_runs_on_toy(self):
+        wl = make_toy_workload()
+        system = pmem6_system()
+        res = run_ecohmem(wl, system, dram_limit=64 * MiB, algorithm="bw-aware")
+        assert res.categories is not None
+        assert res.base_placement is not None
+
+    def test_loads_only_differs_from_stores(self):
+        """The temp object is store-heavy: metrics configuration must be
+        able to change the advisor's view (if not the final placement)."""
+        wl = make_toy_workload(store_rate=2_000_000.0)
+        system = pmem6_system()
+        ls = run_ecohmem(wl, system, dram_limit=16 * MiB, use_stores=True)
+        l = run_ecohmem(make_toy_workload(store_rate=2_000_000.0), system,
+                        dram_limit=16 * MiB, use_stores=False)
+        # 16 MiB holds either the hot loads site (16 MiB node) or the
+        # store-heavy temp site (8 MiB node); the metric decides which
+        assert ls.site_placement != l.site_placement
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            run_ecohmem(make_toy_workload(), pmem6_system(),
+                        dram_limit=1 * GiB, algorithm="magic")
+
+    def test_deterministic_given_seed(self):
+        system = pmem6_system()
+        a = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB, seed=3)
+        b = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB, seed=3)
+        assert a.run.total_time == b.run.total_time
+        assert a.site_placement == b.site_placement
+
+
+class TestMultiRankProfiling:
+    def test_multirank_profile_agrees_with_single(self):
+        """Symmetric ranks: summing per-rank profiles changes nothing."""
+        system = pmem6_system()
+        single = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB)
+        multi = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB,
+                            profile_ranks=3)
+        assert multi.site_placement == single.site_placement
+
+    def test_multirank_with_jitter_still_places_hot_object(self):
+        system = pmem6_system()
+        eco = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB,
+                          profile_ranks=4, rank_jitter=0.5)
+        assert eco.site_placement["toy::hot"] == "dram"

@@ -1,0 +1,122 @@
+"""Tests for the bandwidth timeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.memsim.bandwidth import BandwidthTimeline
+from repro.units import GB
+
+
+class TestConstruction:
+    def test_bin_count(self):
+        tl = BandwidthTimeline(duration=10.0, resolution=0.5)
+        assert tl.nbins == 20
+
+    def test_ragged_final_bin(self):
+        tl = BandwidthTimeline(duration=10.3, resolution=0.5)
+        assert tl.nbins == 21
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigError):
+            BandwidthTimeline(duration=0.0)
+
+    def test_rejects_resolution_above_duration(self):
+        with pytest.raises(ConfigError):
+            BandwidthTimeline(duration=1.0, resolution=2.0)
+
+
+class TestTrafficAccounting:
+    def test_bytes_conserved(self):
+        tl = BandwidthTimeline(duration=10.0, resolution=0.5)
+        tl.add_traffic("pmem", 1.3, 4.7, 1e9)
+        assert tl.total_bytes("pmem") == pytest.approx(1e9)
+
+    def test_uniform_interval_bandwidth(self):
+        tl = BandwidthTimeline(duration=10.0, resolution=1.0)
+        tl.add_traffic("pmem", 2.0, 4.0, 2 * GB)
+        bw = tl.bandwidth("pmem")
+        assert bw[2] == pytest.approx(1 * GB)
+        assert bw[3] == pytest.approx(1 * GB)
+        assert bw[0] == 0.0
+
+    def test_partial_bin_overlap(self):
+        tl = BandwidthTimeline(duration=4.0, resolution=1.0)
+        tl.add_traffic("dram", 0.5, 1.5, 1000.0)
+        bw = tl.bandwidth("dram")
+        assert bw[0] == pytest.approx(500.0)
+        assert bw[1] == pytest.approx(500.0)
+
+    def test_interval_clamped_to_duration(self):
+        tl = BandwidthTimeline(duration=2.0, resolution=1.0)
+        tl.add_traffic("dram", 1.0, 5.0, 4000.0)  # 3/4 outside
+        assert tl.total_bytes("dram") == pytest.approx(1000.0)
+
+    def test_rejects_negative_bytes(self):
+        tl = BandwidthTimeline(duration=2.0)
+        with pytest.raises(ValueError):
+            tl.add_traffic("dram", 0.0, 1.0, -5.0)
+
+    def test_rejects_empty_interval(self):
+        tl = BandwidthTimeline(duration=2.0)
+        with pytest.raises(ValueError):
+            tl.add_traffic("dram", 1.0, 1.0, 5.0)
+
+    def test_unknown_subsystem_is_zero(self):
+        tl = BandwidthTimeline(duration=2.0)
+        assert tl.peak("hbm") == 0.0
+        assert tl.mean("hbm") == 0.0
+
+
+class TestQueries:
+    def test_peak_and_mean(self):
+        tl = BandwidthTimeline(duration=4.0, resolution=1.0)
+        tl.add_traffic("pmem", 0.0, 1.0, 4000.0)
+        tl.add_traffic("pmem", 1.0, 4.0, 3000.0)
+        assert tl.peak("pmem") == pytest.approx(4000.0)
+        assert tl.mean("pmem") == pytest.approx((4000 + 1000 * 3) / 4)
+
+    def test_region_fractions_sum_to_one(self):
+        tl = BandwidthTimeline(duration=10.0, resolution=1.0)
+        tl.add_traffic("pmem", 0.0, 2.0, 10_000.0)   # high
+        tl.add_traffic("pmem", 2.0, 6.0, 6_000.0)    # mid
+        lo, mid, hi = tl.region_fractions("pmem", peak_bw=5000.0)
+        assert lo + mid + hi == pytest.approx(1.0)
+        assert hi == pytest.approx(0.2)
+        assert lo == pytest.approx(0.4)
+
+    def test_region_threshold_validation(self):
+        tl = BandwidthTimeline(duration=1.0, resolution=0.5)
+        with pytest.raises(ConfigError):
+            tl.region_fractions("pmem", peak_bw=100.0, low=0.5, high=0.4)
+        with pytest.raises(ConfigError):
+            tl.region_fractions("pmem", peak_bw=0.0)
+
+    def test_window(self):
+        tl = BandwidthTimeline(duration=10.0, resolution=1.0)
+        tl.add_traffic("pmem", 0.0, 10.0, 10_000.0)
+        ts, bw = tl.window("pmem", 2.0, 5.0)
+        assert len(ts) == 3
+        assert np.all(bw == pytest.approx(1000.0))
+
+
+class TestPropertyBased:
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=9.0),
+            st.floats(min_value=0.05, max_value=10.0),
+            st.floats(min_value=0.0, max_value=1e9),
+        ),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_total_bytes_conserved_for_any_schedule(self, intervals):
+        tl = BandwidthTimeline(duration=10.0, resolution=0.37)
+        expected = 0.0
+        for start, length, nbytes in intervals:
+            end = start + length
+            tl.add_traffic("x", start, end, nbytes)
+            clipped = max(0.0, min(end, 10.0) - start)
+            expected += nbytes * (clipped / length)
+        assert tl.total_bytes("x") == pytest.approx(expected, rel=1e-6, abs=1e-3)

@@ -1,0 +1,165 @@
+"""Tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.memsim.cache import CacheStats, SetAssociativeCache
+from repro.units import KiB
+
+
+def small_cache(ways=2, size=4 * KiB, line=64):
+    return SetAssociativeCache(size=size, line_size=line, ways=ways)
+
+
+class TestConstruction:
+    def test_derived_geometry(self):
+        c = SetAssociativeCache(32 * KiB, line_size=64, ways=8)
+        assert c.num_sets == 64
+
+    @pytest.mark.parametrize("size", [1000, 3 * KiB])
+    def test_rejects_non_pow2_size(self, size):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(size)
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(4 * KiB, line_size=48)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(4 * KiB, ways=0)
+
+    def test_direct_mapped_allowed(self):
+        c = SetAssociativeCache(4 * KiB, ways=1)
+        assert c.num_sets == 64
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.access(0x1000 + 63) is True
+
+    def test_adjacent_line_misses(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.access(0x1000 + 64) is False
+
+    def test_lru_eviction_order(self):
+        c = small_cache(ways=2)
+        sets = c.num_sets
+        stride = sets * 64  # same set, different tags
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(a)        # a now MRU
+        c.access(d)        # evicts b (LRU)
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_dirty_writeback_counted(self):
+        c = small_cache(ways=1)
+        stride = c.num_sets * 64
+        c.access(0, is_write=True)
+        c.access(stride)   # evicts dirty line
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(ways=1)
+        stride = c.num_sets * 64
+        c.access(0)
+        c.access(stride)
+        assert c.stats.writebacks == 0
+
+    def test_flush_writes_back_dirty(self):
+        c = small_cache()
+        c.access(0, is_write=True)
+        c.access(64, is_write=True)
+        assert c.flush() == 2
+        assert c.resident_lines() == 0
+
+    def test_flush_resets_to_cold(self):
+        c = small_cache()
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+
+
+class TestStats:
+    def test_counters_consistent(self):
+        c = small_cache()
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 64 * KiB, size=500)
+        for a in addrs:
+            c.access(int(a))
+        s = c.stats
+        assert s.accesses == 500
+        assert s.hits + s.misses == s.accesses
+        assert 0.0 <= s.miss_ratio <= 1.0
+        assert s.hit_ratio == pytest.approx(1.0 - s.miss_ratio)
+
+    def test_merge(self):
+        a, b = CacheStats(accesses=10, hits=5, misses=5), CacheStats(accesses=2, hits=1, misses=1)
+        a.merge(b)
+        assert a.accesses == 12 and a.hits == 6
+
+
+class TestStreamInterface:
+    def test_stream_matches_single_access(self):
+        rng = np.random.default_rng(42)
+        addrs = rng.integers(0, 32 * KiB, size=400)
+        writes = rng.random(400) < 0.3
+        c1, c2 = small_cache(), small_cache()
+        hits_stream = c1.access_stream(addrs, writes)
+        hits_single = np.array([c2.access(int(a), bool(w)) for a, w in zip(addrs, writes)])
+        assert np.array_equal(hits_stream, hits_single)
+        assert c1.stats.writebacks == c2.stats.writebacks
+
+    def test_stream_shape_mismatch(self):
+        c = small_cache()
+        with pytest.raises(ValueError):
+            c.access_stream(np.array([0, 64]), np.array([True]))
+
+    def test_sequential_stream_miss_rate(self):
+        """A pure stream larger than the cache misses once per line."""
+        c = small_cache(size=4 * KiB)
+        addrs = np.arange(0, 64 * KiB, 8)  # 8-byte strides
+        c.access_stream(addrs)
+        # one miss per 64B line = 1/8 of accesses
+        assert c.stats.miss_ratio == pytest.approx(1 / 8, rel=0.01)
+
+    def test_resident_set_hit_rate(self):
+        """A working set smaller than capacity hits ~100% after warm-up."""
+        c = small_cache(size=4 * KiB, ways=2)
+        addrs = np.tile(np.arange(0, 2 * KiB, 64), 10)
+        c.access_stream(addrs)
+        assert c.stats.hit_ratio > 0.85
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        c = small_cache()
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines() <= c.num_sets * c.ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_repeat_of_any_trace_is_all_hits(self, addrs):
+        """Replaying a short trace (fitting in cache) twice: second pass
+        hits whenever the first pass's line wasn't evicted afterwards;
+        immediately repeated accesses always hit."""
+        c = small_cache(size=64 * KiB, ways=8)  # big enough: no evictions
+        for a in addrs:
+            c.access(a)
+        for a in addrs:
+            assert c.access(a) is True

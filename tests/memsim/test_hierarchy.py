@@ -1,0 +1,83 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.hierarchy import CacheHierarchy, cascade_lake_hierarchy
+from repro.units import KiB, MiB
+
+
+def tiny_hierarchy():
+    return CacheHierarchy([
+        SetAssociativeCache(1 * KiB, ways=2, name="L1"),
+        SetAssociativeCache(4 * KiB, ways=4, name="L2"),
+        SetAssociativeCache(16 * KiB, ways=8, name="LLC"),
+    ])
+
+
+class TestAccessWalk:
+    def test_cold_access_misses_all_levels(self):
+        h = tiny_hierarchy()
+        out = h.access(0x1000)
+        assert out.l1_miss and out.llc_miss
+
+    def test_warm_access_hits_l1(self):
+        h = tiny_hierarchy()
+        h.access(0x1000)
+        out = h.access(0x1000)
+        assert out.l1_hit and out.llc_hit
+
+    def test_l1_evicted_but_llc_hit(self):
+        """After thrashing L1 with conflicting lines, the LLC still hits."""
+        h = tiny_hierarchy()
+        h.access(0)
+        # thrash L1 set 0 (1 KiB, 2-way, 8 sets -> stride 512)
+        for i in range(1, 6):
+            h.access(i * 8 * 64)
+        out = h.access(0)
+        assert out.l1_miss
+        assert out.llc_hit
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy([])
+
+
+class TestStreamInterface:
+    def test_llc_and_l1_miss_masks(self):
+        h = tiny_hierarchy()
+        addrs = np.array([0, 0, 64, 0])
+        llc_miss, l1_miss = h.access_stream(addrs)
+        assert llc_miss[0] and not llc_miss[1]
+        assert l1_miss[0] and not l1_miss[1]
+        assert llc_miss[2]
+        assert not llc_miss[3]
+
+    def test_stream_counts_match_walk(self):
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 64 * KiB, size=300)
+        h1, h2 = tiny_hierarchy(), tiny_hierarchy()
+        llc_miss, l1_miss = h1.access_stream(addrs)
+        outs = [h2.access(int(a)) for a in addrs]
+        assert np.array_equal(llc_miss, np.array([o.llc_miss for o in outs]))
+        assert np.array_equal(l1_miss, np.array([o.l1_miss for o in outs]))
+
+    def test_reset_stats(self):
+        h = tiny_hierarchy()
+        h.access(0)
+        h.reset_stats()
+        assert h.l1.stats.accesses == 0
+
+
+class TestCascadeLakePreset:
+    def test_level_sizes(self):
+        h = cascade_lake_hierarchy()
+        assert h.l1.size == 32 * KiB
+        assert h.levels[1].size == 1 * MiB
+        assert h.llc.size >= 16 * MiB
+
+    def test_llc_scalable(self):
+        small = cascade_lake_hierarchy(llc_slice_mb=4)
+        assert small.llc.size < cascade_lake_hierarchy(llc_slice_mb=32).llc.size

@@ -1,0 +1,125 @@
+"""Tests for the loaded-latency curves (Figure 2 model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.memsim.latency import (
+    DDR4_1R1W, DDR4_READ, PMEM_1R1W, PMEM_READ,
+    LoadedLatencyCurve, calibrate_curve,
+)
+from repro.units import GB
+
+
+class TestPaperAnchors:
+    """The presets must reproduce the paper's quoted measurements."""
+
+    @pytest.mark.parametrize("curve,bw,expected", [
+        (DDR4_READ, 8 * GB, 90.0),
+        (DDR4_READ, 22 * GB, 117.0),
+        (PMEM_READ, 8 * GB, 185.0),
+        (PMEM_READ, 22 * GB, 239.0),
+    ])
+    def test_anchor_exact(self, curve, bw, expected):
+        assert curve.latency_ns(bw) == pytest.approx(expected, abs=1e-6)
+
+    def test_pmem_dram_gap_widens_with_bandwidth(self):
+        """The paper's core observation: the gap grows with demand."""
+        gap_low = PMEM_READ.latency_ns(8 * GB) - DDR4_READ.latency_ns(8 * GB)
+        gap_high = PMEM_READ.latency_ns(22 * GB) - DDR4_READ.latency_ns(22 * GB)
+        assert gap_high > gap_low
+
+    def test_pmem_roughly_2x_dram_at_22gbps(self):
+        ratio = PMEM_READ.latency_ns(22 * GB) / DDR4_READ.latency_ns(22 * GB)
+        assert 1.9 < ratio < 2.4
+
+    def test_1r1w_worse_than_read_only(self):
+        for ro, rw in [(DDR4_READ, DDR4_1R1W), (PMEM_READ, PMEM_1R1W)]:
+            assert rw.latency_ns(8 * GB) > ro.latency_ns(8 * GB)
+
+    def test_pmem_1r1w_saturates_within_sweep(self):
+        """The PMem write path pole sits inside the 8-22 GB/s range."""
+        assert PMEM_1R1W.peak_bw < 22 * GB
+
+
+class TestCurveShape:
+    def test_monotonically_increasing(self):
+        bw = np.linspace(0.1 * GB, 25 * GB, 100)
+        lat = DDR4_READ.latency_ns_vec(bw)
+        assert np.all(np.diff(lat) > 0)
+
+    def test_idle_asymptote(self):
+        assert DDR4_READ.latency_ns(1.0) == pytest.approx(DDR4_READ.idle_ns, rel=1e-3)
+
+    def test_clamped_beyond_peak(self):
+        over = DDR4_READ.latency_ns(DDR4_READ.peak_bw * 2)
+        at_cap = DDR4_READ.latency_ns(DDR4_READ.peak_bw * 0.999)
+        assert over == pytest.approx(at_cap)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DDR4_READ.latency_ns(-1.0)
+
+    def test_vectorised_matches_scalar(self):
+        bw = np.array([2 * GB, 9 * GB, 20 * GB])
+        vec = DDR4_READ.latency_ns_vec(bw)
+        for b, v in zip(bw, vec):
+            assert v == pytest.approx(DDR4_READ.latency_ns(float(b)), rel=1e-9)
+
+
+class TestCalibration:
+    def test_calibrated_curve_passes_through_anchors(self):
+        curve = calibrate_curve("x", idle_ns=100, peak_bw=40 * GB,
+                                anchor_lo=(5 * GB, 110), anchor_hi=(30 * GB, 200))
+        assert curve.latency_ns(5 * GB) == pytest.approx(110)
+        assert curve.latency_ns(30 * GB) == pytest.approx(200)
+
+    def test_rejects_unordered_anchors(self):
+        with pytest.raises(ConfigError):
+            calibrate_curve("x", idle_ns=100, peak_bw=40 * GB,
+                            anchor_lo=(30 * GB, 110), anchor_hi=(5 * GB, 200))
+
+    def test_rejects_anchor_below_idle(self):
+        with pytest.raises(ConfigError):
+            calibrate_curve("x", idle_ns=100, peak_bw=40 * GB,
+                            anchor_lo=(5 * GB, 90), anchor_hi=(30 * GB, 200))
+
+    def test_rejects_anchor_beyond_peak(self):
+        with pytest.raises(ConfigError):
+            calibrate_curve("x", idle_ns=100, peak_bw=20 * GB,
+                            anchor_lo=(5 * GB, 110), anchor_hi=(30 * GB, 200))
+
+    @given(
+        idle=st.floats(min_value=50, max_value=300),
+        lat1=st.floats(min_value=5, max_value=50),
+        mult=st.floats(min_value=4.0, max_value=40.0),
+    )
+    def test_calibration_roundtrip_property(self, idle, lat1, mult):
+        """Any representable anchor pair produces a curve hitting both.
+
+        With anchors at u1=0.125 and u2=0.75 of peak, the functional form
+        requires (lat2-idle)(1-u2) > (lat1-idle)(1-u1), i.e. the excess
+        latency must grow by more than (1-u1)/(1-u2) = 3.5x.
+        """
+        lat2 = lat1 * mult
+        curve = calibrate_curve(
+            "prop", idle_ns=idle, peak_bw=40 * GB,
+            anchor_lo=(5 * GB, idle + lat1), anchor_hi=(30 * GB, idle + lat2),
+        )
+        assert curve.latency_ns(5 * GB) == pytest.approx(idle + lat1, rel=1e-6)
+        assert curve.latency_ns(30 * GB) == pytest.approx(idle + lat2, rel=1e-6)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_idle(self):
+        with pytest.raises(ConfigError):
+            LoadedLatencyCurve("x", idle_ns=0, peak_bw=1 * GB, scale_ns=1, shape=1)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ConfigError):
+            LoadedLatencyCurve("x", idle_ns=90, peak_bw=0, scale_ns=1, shape=1)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ConfigError):
+            LoadedLatencyCurve("x", idle_ns=90, peak_bw=1 * GB, scale_ns=-1, shape=1)

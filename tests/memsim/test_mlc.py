@@ -1,0 +1,71 @@
+"""Closed-loop validation: MLC-style measurements land on the curves."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.mlc import measure_loaded_latency, verify_against_curve
+from repro.memsim.subsystem import pmem2_system, pmem6_system
+from repro.units import GB
+
+
+class TestMeasurement:
+    def test_points_on_the_read_curve(self):
+        system = pmem6_system()
+        points = measure_loaded_latency(system, "pmem",
+                                        [2 * GB, 8 * GB, 15 * GB])
+        errors = verify_against_curve(points, system, "pmem")
+        assert all(e < 0.02 for e in errors.values())
+
+    def test_dram_curve_too(self):
+        system = pmem6_system()
+        points = measure_loaded_latency(system, "dram", [4 * GB, 12 * GB])
+        verify_against_curve(points, system, "dram")
+
+    def test_latency_grows_with_demand(self):
+        system = pmem6_system()
+        points = measure_loaded_latency(system, "pmem",
+                                        [1 * GB, 6 * GB, 14 * GB])
+        lats = [p.latency_ns for p in points]
+        assert lats == sorted(lats)
+        assert lats[-1] > lats[0]
+
+    def test_achieved_below_target_under_load(self):
+        """The loaded run stretches, so achieved < demanded — MLC's shape."""
+        system = pmem6_system()
+        (point,) = measure_loaded_latency(system, "pmem", [20 * GB])
+        assert point.achieved_bandwidth < point.target_bandwidth
+
+    def test_write_fraction_raises_latency(self):
+        system = pmem6_system()
+        (ro,) = measure_loaded_latency(system, "pmem", [5 * GB])
+        (rw,) = measure_loaded_latency(system, "pmem", [5 * GB],
+                                       write_fraction=0.5)
+        assert rw.latency_ns > ro.latency_ns
+
+    def test_pmem2_saturates_earlier(self):
+        (p6,) = measure_loaded_latency(pmem6_system(), "pmem", [9 * GB])
+        (p2,) = measure_loaded_latency(pmem2_system(), "pmem", [9 * GB])
+        assert p2.latency_ns > p6.latency_ns
+
+
+class TestValidation:
+    def test_unknown_subsystem(self):
+        with pytest.raises(ConfigError):
+            measure_loaded_latency(pmem6_system(), "hbm", [1 * GB])
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            measure_loaded_latency(pmem6_system(), "pmem", [0.0])
+
+    def test_bad_write_fraction(self):
+        with pytest.raises(ConfigError):
+            measure_loaded_latency(pmem6_system(), "pmem", [1 * GB],
+                                   write_fraction=1.0)
+
+    def test_verify_raises_on_mismatch(self):
+        from repro.memsim.mlc import MLCPoint
+        system = pmem6_system()
+        bogus = [MLCPoint(target_bandwidth=1 * GB,
+                          achieved_bandwidth=1 * GB, latency_ns=9999.0)]
+        with pytest.raises(ConfigError):
+            verify_against_curve(bogus, system, "pmem")

@@ -1,0 +1,64 @@
+"""Tests for NUMA topology and pinning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.numa import NumaNode, NumaTopology, dual_socket_topology
+from repro.memsim.subsystem import pmem6_system
+
+
+class TestTopology:
+    def test_dual_socket(self):
+        t = dual_socket_topology()
+        assert len(t.nodes) == 2
+        assert t.node(0).cpus != t.node(1).cpus
+
+    def test_node_lookup(self):
+        t = dual_socket_topology()
+        assert t.node(1).node_id == 1
+        with pytest.raises(KeyError):
+            t.node(5)
+
+    def test_node_of_cpu(self):
+        t = dual_socket_topology(cpus_per_node=24)
+        assert t.node_of_cpu(0).node_id == 0
+        assert t.node_of_cpu(30).node_id == 1
+        with pytest.raises(KeyError):
+            t.node_of_cpu(99)
+
+    def test_duplicate_ids_rejected(self):
+        n = NumaNode(node_id=0, cpus=(0,), memory=pmem6_system())
+        with pytest.raises(ConfigError):
+            NumaTopology(nodes=[n, n])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology(nodes=[])
+
+    def test_remote_penalty_validated(self):
+        n = NumaNode(node_id=0, cpus=(0,), memory=pmem6_system())
+        with pytest.raises(ConfigError):
+            NumaTopology(nodes=[n], remote_penalty=0.5)
+
+
+class TestPinning:
+    def test_pinned_memory_is_local(self):
+        t = dual_socket_topology()
+        ctx = t.pin_to(0)
+        assert ctx.memory is t.node(0).memory
+
+    def test_latency_factor(self):
+        t = dual_socket_topology()
+        ctx = t.pin_to(0)
+        assert ctx.latency_factor(0) == 1.0
+        assert ctx.latency_factor(1) == t.remote_penalty
+
+
+class TestNodeValidation:
+    def test_rejects_no_cpus(self):
+        with pytest.raises(ConfigError):
+            NumaNode(node_id=0, cpus=(), memory=pmem6_system())
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ConfigError):
+            NumaNode(node_id=-1, cpus=(0,), memory=pmem6_system())

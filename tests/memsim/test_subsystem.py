@@ -1,0 +1,111 @@
+"""Tests for memory subsystems and machine configurations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.subsystem import (
+    MemorySubsystem, MemorySystem, dram_ddr4, pmem_optane,
+    pmem2_system, pmem6_system,
+)
+from repro.units import GB, GiB
+
+
+class TestSubsystemConstruction:
+    def test_dram_defaults(self):
+        d = dram_ddr4()
+        assert d.name == "dram"
+        assert d.capacity == 16 * GiB
+        assert not d.is_fallback_default
+
+    def test_pmem_is_fallback(self):
+        assert pmem_optane().is_fallback_default
+
+    def test_pmem_capacity_scales_with_dimms(self):
+        assert pmem_optane(dimms=6).capacity == 3 * pmem_optane(dimms=2).capacity
+
+    def test_pmem_bandwidth_scales_with_dimms(self):
+        p6, p2 = pmem_optane(dimms=6), pmem_optane(dimms=2)
+        assert p6.peak_read_bw == pytest.approx(3 * p2.peak_read_bw)
+        assert p6.peak_write_bw == pytest.approx(3 * p2.peak_write_bw)
+
+    def test_pmem_idle_latency_independent_of_dimms(self):
+        assert pmem_optane(dimms=6).idle_read_latency_ns() == pytest.approx(
+            pmem_optane(dimms=2).idle_read_latency_ns()
+        )
+
+    def test_rejects_zero_dimms(self):
+        with pytest.raises(ConfigError):
+            pmem_optane(dimms=0)
+
+    def test_with_capacity(self):
+        d = dram_ddr4().with_capacity(4 * GiB)
+        assert d.capacity == 4 * GiB
+        assert d.name == "dram"
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError):
+            dram_ddr4().with_capacity(-1)
+
+
+class TestReadLatency:
+    def test_write_fraction_increases_latency(self):
+        p = pmem_optane()
+        pure = p.read_latency_ns(5 * GB, write_fraction=0.0)
+        mixed = p.read_latency_ns(5 * GB, write_fraction=0.5)
+        assert mixed > pure
+
+    def test_write_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            pmem_optane().read_latency_ns(1 * GB, write_fraction=1.5)
+
+    def test_util_cap_limits_blowup(self):
+        """Demand past the 1R1W pole must stay finite via the cap."""
+        p = pmem_optane(dimms=2)
+        lat = p.read_latency_ns(20 * GB, write_fraction=1.0)
+        assert lat < 5000  # bounded, not near the pole's divergence
+
+    def test_invalid_util_cap(self):
+        with pytest.raises(ValueError):
+            pmem_optane().read_latency_ns(1 * GB, util_cap=0.0)
+
+
+class TestMemorySystem:
+    def test_pmem6_layout(self):
+        s = pmem6_system()
+        assert s.names == ["dram", "pmem"]
+        assert s.fallback.name == "pmem"
+        assert len(s) == 2
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            pmem6_system().get("hbm")
+
+    def test_with_dram_limit(self):
+        s = pmem6_system().with_dram_limit(4 * GiB)
+        assert s.get("dram").capacity == 4 * GiB
+        assert s.get("pmem").capacity == pmem6_system().get("pmem").capacity
+
+    def test_with_dram_limit_does_not_grow(self):
+        s = pmem6_system().with_dram_limit(64 * GiB)
+        assert s.get("dram").capacity == 16 * GiB
+
+    def test_with_dram_limit_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            pmem6_system().with_dram_limit(0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySystem([dram_ddr4(), dram_ddr4()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySystem([])
+
+    def test_coefficients_map(self):
+        coefs = pmem6_system().coefficients()
+        assert set(coefs) == {"dram", "pmem"}
+        # PMem store coefficient dominates (Section V: writes penalized)
+        assert coefs["pmem"][1] > coefs["pmem"][0] > coefs["dram"][0]
+
+    def test_pmem2_has_reduced_bandwidth(self):
+        assert pmem2_system().get("pmem").peak_read_bw < pmem6_system().get("pmem").peak_read_bw

@@ -1,0 +1,45 @@
+"""Additional three-tier and curve-preset coverage."""
+
+import pytest
+
+from repro.memsim.latency import calibrate_curve
+from repro.memsim.subsystem import (
+    calibrate_curve_hbm, hbm_dram_pmem_system, hbm_stack,
+)
+from repro.units import GB, GiB
+
+
+class TestHBMCurve:
+    def test_anchor_points(self):
+        c = calibrate_curve_hbm()
+        assert c.latency_ns(20 * GB) == pytest.approx(112.0)
+        assert c.latency_ns(90 * GB) == pytest.approx(160.0)
+
+    def test_flat_at_dram_scale_bandwidths(self):
+        """At DRAM-scale demand HBM barely notices the load."""
+        c = calibrate_curve_hbm()
+        assert c.latency_ns(22 * GB) - c.idle_ns < 10.0
+
+
+class TestThreeTierSystem:
+    def test_capacity_knobs(self):
+        s = hbm_dram_pmem_system(hbm_capacity=8 * GiB, dram_capacity=32 * GiB)
+        assert s.get("hbm").capacity == 8 * GiB
+        assert s.get("dram").capacity == 32 * GiB
+
+    def test_dram_limit_only_affects_dram(self):
+        s = hbm_dram_pmem_system().with_dram_limit(4 * GiB)
+        assert s.get("dram").capacity == 4 * GiB
+        assert s.get("hbm").capacity == 16 * GiB
+
+    def test_fill_order_is_performance_order(self):
+        s = hbm_dram_pmem_system()
+        # loads get cheaper up the list (the knapsack fill order)
+        coefs = [s.get(n).load_coefficient for n in s.names]
+        assert coefs == sorted(coefs)
+
+    def test_store_factors_ordered(self):
+        s = hbm_dram_pmem_system()
+        assert (s.get("hbm").store_stall_factor
+                <= s.get("dram").store_stall_factor
+                < s.get("pmem").store_stall_factor)

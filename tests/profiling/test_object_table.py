@@ -1,0 +1,98 @@
+"""Tests for the live-object interval index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, TraceError
+from repro.profiling.object_table import LiveObjectTable
+
+
+class TestInsertRemove:
+    def test_insert_and_lookup(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("site",), 0.0)
+        iv = t.lookup(0x1050)
+        assert iv is not None and iv.site_key == ("site",)
+
+    def test_lookup_boundaries(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("s",), 0.0)
+        assert t.lookup(0x1000) is not None
+        assert t.lookup(0x10FF) is not None
+        assert t.lookup(0x1100) is None
+        assert t.lookup(0xFFF) is None
+
+    def test_overlap_rejected(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        with pytest.raises(AddressError):
+            t.insert(0x1080, 0x100, ("b",), 0.0)
+        with pytest.raises(AddressError):
+            t.insert(0xF80, 0x100, ("b",), 0.0)
+
+    def test_adjacent_ok(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        t.insert(0x1100, 0x100, ("b",), 0.0)
+        assert len(t) == 2
+
+    def test_remove_then_reinsert(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        removed = t.remove(0x1000)
+        assert removed.site_key == ("a",)
+        t.insert(0x1000, 0x200, ("b",), 1.0)
+        assert t.lookup(0x1150).site_key == ("b",)
+
+    def test_remove_unknown(self):
+        with pytest.raises(AddressError):
+            LiveObjectTable().remove(0x1)
+
+    def test_remove_requires_exact_start(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        with pytest.raises(AddressError):
+            t.remove(0x1001)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceError):
+            LiveObjectTable().insert(0x1000, 0, ("a",), 0.0)
+
+    def test_instance_numbering_per_site(self):
+        t = LiveObjectTable()
+        a = t.insert(0x1000, 0x10, ("s",), 0.0)
+        t.remove(0x1000)
+        b = t.insert(0x2000, 0x10, ("s",), 1.0)
+        c = t.insert(0x3000, 0x10, ("other",), 1.0)
+        assert (a.instance, b.instance, c.instance) == (0, 1, 0)
+
+    def test_live_bytes(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        t.insert(0x3000, 0x50, ("b",), 0.0)
+        assert t.live_bytes() == 0x150
+
+
+class TestPropertyBased:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=1, max_value=64)),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_inserts_all_resolvable(self, blocks):
+        """Non-overlapping blocks (built on a grid) always resolve to the
+        correct owner at every interior byte boundary sample."""
+        t = LiveObjectTable()
+        placed = {}
+        cursor = 0
+        for slot, size in blocks:
+            addr = cursor
+            cursor += size + 1
+            t.insert(addr, size, (f"s{addr}",), 0.0)
+            placed[addr] = size
+        for addr, size in placed.items():
+            assert t.lookup(addr).site_key == (f"s{addr}",)
+            assert t.lookup(addr + size - 1).site_key == (f"s{addr}",)
+            assert t.lookup(addr + size) is None or \
+                t.lookup(addr + size).address == addr + size

@@ -1,0 +1,88 @@
+"""Tests for the Paraver-style post-mortem analysis."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_workload
+from repro.baselines.memory_mode import run_memory_mode
+from repro.experiments.harness import run_ecohmem
+from repro.memsim.subsystem import pmem6_system
+from repro.profiling.paraver import (
+    communication_share, function_profile, subsystem_utilization,
+)
+from repro.runtime import ExecutionEngine, PlacementTraffic
+from repro.units import GiB
+
+from tests.conftest import make_toy_workload
+
+
+@pytest.fixture(scope="module")
+def toy_run():
+    wl = make_toy_workload()
+    engine = ExecutionEngine(wl, pmem6_system())
+    run = engine.run(PlacementTraffic(wl, {
+        "toy::hot": "dram", "toy::cold": "pmem", "toy::temp": "pmem",
+    }))
+    return wl, run
+
+
+class TestFunctionProfile:
+    def test_all_accessors_present(self, toy_run):
+        wl, run = toy_run
+        rows = function_profile(run, wl)
+        assert {r.function for r in rows} == {
+            "hot_kernel", "cold_kernel", "temp_kernel",
+        }
+
+    def test_shares_sum_to_one(self, toy_run):
+        wl, run = toy_run
+        rows = function_profile(run, wl)
+        assert sum(r.traffic_share for r in rows) == pytest.approx(1.0)
+
+    def test_sorted_by_traffic(self, toy_run):
+        wl, run = toy_run
+        rows = function_profile(run, wl)
+        traffic = [r.traffic_bytes for r in rows]
+        assert traffic == sorted(traffic, reverse=True)
+
+    def test_hot_kernel_dominates(self, toy_run):
+        wl, run = toy_run
+        rows = function_profile(run, wl)
+        assert rows[0].function == "hot_kernel"
+
+
+class TestCommunicationShare:
+    def test_toy_has_no_comm(self, toy_run):
+        wl, run = toy_run
+        analysis = communication_share(run, wl)
+        assert analysis.serial_share == 0.0
+        assert analysis.comm_sites == ()
+
+    def test_lammps_diagnosis(self):
+        """The Section VIII-C story: LAMMPS's placement overhead lives in
+        the serialized communication buffers."""
+        wl = get_workload("lammps")
+        system = pmem6_system()
+        eco = run_ecohmem(get_workload("lammps"), system, dram_limit=14 * GiB)
+        analysis = communication_share(eco.run, wl)
+        assert any("comm" in s for s in analysis.comm_sites)
+        assert analysis.serial_stall_s > 0
+        assert 0.0 < analysis.serial_share < 1.0
+
+
+class TestUtilization:
+    def test_within_unit_range(self, toy_run):
+        _, run = toy_run
+        system = pmem6_system()
+        util = subsystem_utilization(run, {
+            "dram": system.get("dram").peak_read_bw,
+            "pmem": system.get("pmem").peak_read_bw,
+        })
+        for series in util.values():
+            assert np.all(series >= 0)
+            assert np.all(series <= 1.05)
+
+    def test_bad_peak_rejected(self, toy_run):
+        _, run = toy_run
+        with pytest.raises(ValueError):
+            subsystem_utilization(run, {"dram": 0.0})

@@ -1,0 +1,156 @@
+"""Tests for the tracer, trace serialization and Paramedir analysis."""
+
+import pytest
+
+from repro.binary.callstack import StackFormat
+from repro.errors import TraceError
+from repro.profiling.events import AllocEvent, FreeEvent, HardwareCounter, SampleEvent
+from repro.profiling.paramedir import Paramedir
+from repro.profiling.pebs import PEBSConfig
+from repro.profiling.trace import Trace, TraceMeta
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+
+from tests.conftest import make_toy_workload
+
+
+@pytest.fixture(scope="module")
+def toy_trace():
+    wl = make_toy_workload()
+    tracer = ExtraeTracer(wl, TracerConfig(seed=5))
+    return wl, tracer.run(rank=0, aslr_seed=42)
+
+
+class TestTracer:
+    def test_alloc_free_counts(self, toy_trace):
+        wl, trace = toy_trace
+        instances = wl.instances()
+        assert len(trace.allocs) == len(instances)
+        assert len(trace.frees) == len(instances)
+
+    def test_samples_present_for_both_counters(self, toy_trace):
+        _, trace = toy_trace
+        assert trace.samples_for(HardwareCounter.LLC_LOAD_MISS)
+        assert trace.samples_for(HardwareCounter.ALL_STORES)
+
+    def test_sample_weights_positive(self, toy_trace):
+        _, trace = toy_trace
+        assert all(s.weight > 0 for s in trace.samples)
+
+    def test_events_time_ordered(self, toy_trace):
+        _, trace = toy_trace
+        times = [e.time for e in trace.samples]
+        assert times == sorted(times)
+
+    def test_stack_format_respected(self):
+        wl = make_toy_workload()
+        trace = ExtraeTracer(
+            wl, TracerConfig(stack_format=StackFormat.HUMAN, seed=5)
+        ).run()
+        from repro.binary.callstack import HumanFrame
+        assert isinstance(trace.allocs[0].site_key[0], HumanFrame)
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self, toy_trace, tmp_path):
+        _, trace = toy_trace
+        path = tmp_path / "trace.jsonl"
+        trace.dump(path)
+        loaded = Trace.load(path)
+        assert loaded.num_events == trace.num_events
+        assert loaded.meta.workload == trace.meta.workload
+        assert loaded.allocs[0].site_key == trace.allocs[0].site_key
+        assert loaded.samples[0].weight == trace.samples[0].weight
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"kind": "alloc"}\n')
+        with pytest.raises(TraceError):
+            Trace.load(p)
+
+    def test_unknown_event_kind(self, tmp_path):
+        p = tmp_path / "bad2.jsonl"
+        p.write_text(
+            '{"kind": "header", "workload": "x", "ranks": 1, "duration": 1.0,'
+            ' "stack_format": "bom", "sampling_hz": 100}\n'
+            '{"kind": "mystery"}\n'
+        )
+        with pytest.raises(TraceError):
+            Trace.load(p)
+
+
+class TestParamedir:
+    def test_per_site_aggregation(self, toy_trace):
+        wl, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        assert len(profiles) == len(wl.objects)
+
+    def test_alloc_counts_match_instances(self, toy_trace):
+        """Alloc counts equal the *realized* instance counts (instances
+        that would start exactly at the run end are clipped)."""
+        wl, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        counts = sorted(p.alloc_count for p in profiles.values())
+        per_site = {}
+        for inst in wl.instances():
+            per_site[inst.spec.site.name] = per_site.get(inst.spec.site.name, 0) + 1
+        assert counts == sorted(per_site.values())
+
+    def test_largest_alloc_matches_spec(self, toy_trace):
+        wl, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        sizes = sorted(p.largest_alloc for p in profiles.values())
+        assert sizes == sorted(o.size for o in wl.objects)
+
+    def test_miss_estimates_near_truth(self, toy_trace):
+        """Scaled sample estimates approximate the model's true counts."""
+        wl, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        # true loads for the hot object: rate x total live seconds
+        hot = wl.object_by_site("toy::hot")
+        true_loads = hot.access["compute"].load_rate * wl.nominal_duration
+        est = max(p.load_misses for p in profiles.values())
+        assert est == pytest.approx(true_loads, rel=0.2)
+
+    def test_lifetimes_accumulated(self, toy_trace):
+        wl, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        temp_profile = next(
+            p for p in profiles.values() if p.alloc_count > 1
+        )
+        assert temp_profile.mean_lifetime == pytest.approx(0.5, rel=0.05)
+        assert len(temp_profile.spans) == temp_profile.alloc_count
+
+    def test_free_without_alloc_detected(self):
+        trace = Trace(TraceMeta("x", 1, 1.0, StackFormat.BOM, 100.0))
+        trace.add_free(FreeEvent(time=0.5, address=0x10))
+        with pytest.raises(TraceError):
+            Paramedir().analyze(trace)
+
+    def test_top_sites_sorting(self, toy_trace):
+        _, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        top = Paramedir().top_sites(profiles, n=2, by="load_misses")
+        assert len(top) == 2
+        assert top[0].load_misses >= top[1].load_misses
+
+    def test_top_sites_bad_key(self, toy_trace):
+        _, trace = toy_trace
+        profiles = Paramedir().analyze(trace)
+        with pytest.raises(ValueError):
+            Paramedir().top_sites(profiles, by="nonsense")
+
+
+class TestEventValidation:
+    def test_alloc_size_positive(self):
+        with pytest.raises(TraceError):
+            AllocEvent(time=0.0, address=1, size=0, site_key=("s",))
+
+    def test_store_sample_no_latency(self):
+        with pytest.raises(TraceError):
+            SampleEvent(time=0.0, counter=HardwareCounter.ALL_STORES,
+                        data_address=1, latency_ns=100.0)
+
+    def test_sample_weight_positive(self):
+        with pytest.raises(TraceError):
+            SampleEvent(time=0.0, counter=HardwareCounter.LLC_LOAD_MISS,
+                        data_address=1, weight=0.0)

@@ -1,0 +1,76 @@
+"""Tests for the engine's timeline segmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.workload import AccessStats, AllocationSite, ObjectSpec, Phase, Workload
+from repro.memsim.subsystem import pmem6_system
+from repro.runtime.engine import ExecutionEngine
+from repro.units import MiB
+
+from tests.conftest import make_toy_workload
+
+
+def segments_of(workload):
+    return ExecutionEngine(workload, pmem6_system())._segments
+
+
+class TestSegmentation:
+    def test_covers_nominal_timeline_exactly(self, toy_workload):
+        segs = segments_of(toy_workload)
+        assert segs[0].lo == 0.0
+        assert segs[-1].hi == pytest.approx(toy_workload.nominal_duration)
+        for a, b in zip(segs, segs[1:]):
+            assert a.hi == pytest.approx(b.lo)
+
+    def test_cut_at_instance_edges(self, toy_workload):
+        segs = segments_of(toy_workload)
+        cuts = {s.lo for s in segs}
+        for inst in toy_workload.instances():
+            assert any(abs(inst.start - c) < 1e-9 for c in cuts)
+
+    def test_live_set_constant_within_segment(self, toy_workload):
+        for seg in segments_of(toy_workload):
+            for inst in seg.live:
+                assert inst.start <= seg.lo and inst.end >= seg.hi
+
+    def test_live_set_complete(self, toy_workload):
+        """Everything alive during a segment is in its live list."""
+        instances = toy_workload.instances()
+        for seg in segments_of(toy_workload):
+            expected = {
+                (i.spec.site.name, i.index) for i in instances
+                if i.start <= seg.lo and i.end >= seg.hi
+            }
+            got = {(i.spec.site.name, i.index) for i in seg.live}
+            assert got == expected
+
+    def test_phase_attribution(self, toy_workload):
+        for seg in segments_of(toy_workload):
+            assert seg.phase.start <= seg.lo
+            assert seg.phase.end >= seg.hi
+
+    @given(
+        n_instances=st.integers(min_value=1, max_value=8),
+        period=st.floats(min_value=0.3, max_value=2.0),
+        life=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_segmentation_invariants_property(self, n_instances, period, life):
+        spec = ObjectSpec(
+            site=AllocationSite(name="p::o", image="p.x", stack=("f", "main")),
+            size=1 * MiB,
+            alloc_count=n_instances,
+            first_alloc=0.1,
+            lifetime=life,
+            period=period,
+            access={"w": AccessStats(load_rate=1e5)},
+        )
+        wl = Workload("p", [Phase("w", compute_time=2.0, repeat=3)], [spec])
+        segs = segments_of(wl)
+        total = sum(s.nominal for s in segs)
+        assert total == pytest.approx(wl.nominal_duration)
+        for seg in segs:
+            assert seg.nominal > 0
+            for inst in seg.live:
+                assert inst.overlap(seg.lo, seg.hi) == pytest.approx(seg.nominal)

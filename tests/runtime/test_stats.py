@@ -1,0 +1,87 @@
+"""Tests for run-result statistics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.bandwidth import BandwidthTimeline
+from repro.memsim.subsystem import pmem6_system
+from repro.runtime import ExecutionEngine, PlacementTraffic
+from repro.runtime.stats import ObjectRunStats, PhaseResult, RunResult
+
+from tests.conftest import make_toy_workload
+
+
+def make_run():
+    wl = make_toy_workload()
+    engine = ExecutionEngine(wl, pmem6_system())
+    return wl, engine.run(PlacementTraffic(wl, {
+        "toy::hot": "dram", "toy::cold": "pmem", "toy::temp": "pmem",
+    }))
+
+
+class TestRunResult:
+    def test_nonpositive_time_rejected(self):
+        tl = BandwidthTimeline(duration=1.0)
+        with pytest.raises(SimulationError):
+            RunResult(workload_name="x", config_label="y", total_time=0.0,
+                      phases=[], objects={}, timeline=tl)
+
+    def test_phase_durations_aggregate_by_name(self):
+        _, run = make_run()
+        durations = run.phase_durations()
+        assert set(durations) == {"compute"}
+        assert durations["compute"] == pytest.approx(run.total_time)
+
+    def test_subsystem_bytes_positive(self):
+        _, run = make_run()
+        b = run.subsystem_bytes()
+        assert b["dram"] > 0 and b["pmem"] > 0
+
+    def test_observed_pmem_peak_vs_timeline(self):
+        _, run = make_run()
+        assert run.observed_pmem_peak() == run.timeline.peak("pmem")
+
+    def test_speedup_identity(self):
+        _, run = make_run()
+        assert run.speedup_vs(run) == 1.0
+
+    def test_observations_cover_all_objects(self):
+        wl, run = make_run()
+        obs = run.observations()
+        assert set(obs) == {o.site.name for o in wl.objects}
+
+    def test_observations_custom_reference(self):
+        _, run = make_run()
+        obs_peak = run.observations()
+        obs_double = run.observations(reference_bw=2 * run.observed_pmem_peak())
+        for name in obs_peak:
+            assert obs_double[name].pmem_frac_exec == pytest.approx(
+                obs_peak[name].pmem_frac_exec / 2
+            )
+
+
+class TestObjectRunStats:
+    def test_derived_metrics(self):
+        st = ObjectRunStats(site_name="s", subsystem="pmem", size=100,
+                            alloc_count=4, bytes_total=1000.0, live_time=2.0)
+        assert st.mean_bandwidth == 500.0
+        assert st.mean_lifetime == 0.5
+
+    def test_zero_live_time(self):
+        st = ObjectRunStats(site_name="s", subsystem="pmem", size=1,
+                            alloc_count=1)
+        assert st.mean_bandwidth == 0.0
+
+
+class TestPhaseResult:
+    def test_memory_bound_fraction(self):
+        p = PhaseResult(name="x", iteration=0, nominal_start=0.0,
+                        nominal_end=1.0, actual_start=0.0,
+                        actual_duration=2.0, compute_time=1.0, stall_time=1.0)
+        assert p.memory_bound_fraction == 0.5
+
+    def test_fractions_from_real_run(self):
+        _, run = make_run()
+        for p in run.phases:
+            assert 0.0 <= p.memory_bound_fraction < 1.0
+            assert p.actual_duration >= p.compute_time

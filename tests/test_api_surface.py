@@ -1,0 +1,68 @@
+"""API-contract tests: the public surface and the error hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro.errors import (
+    AddressError, AllocationError, CapacityError, ConfigError, MatchError,
+    PlacementError, ReproError, SimulationError, TraceError, WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        AddressError, AllocationError, CapacityError, ConfigError,
+        MatchError, PlacementError, SimulationError, TraceError,
+        WorkloadError,
+    ])
+    def test_single_base(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catch_all(self):
+        """A single except clause covers every library failure."""
+        from repro.units import parse_size
+        from repro.memsim.latency import LoadedLatencyCurve
+        with pytest.raises(ReproError):
+            LoadedLatencyCurve("x", idle_ns=-1, peak_bw=1, scale_ns=1, shape=1)
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_symbols(self):
+        # the README's quickstart imports must exist
+        from repro import (  # noqa: F401
+            GiB, get_workload, pmem6_system, run_ecohmem, run_memory_mode,
+        )
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_workload_registry_complete(self):
+        assert set(repro.list_workloads()) >= {
+            "minife", "minimd", "lulesh", "hpcg", "cloverleaf3d",
+            "lammps", "openfoam",
+        }
+
+    def test_public_callables_documented(self):
+        """Every public callable in the top-level API has a docstring."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type(repro.GiB)):
+                assert inspect.getdoc(obj), f"{name} lacks a docstring"
+
+    def test_subpackage_modules_documented(self):
+        import importlib
+        import pkgutil
+        import repro as pkg
+        undocumented = []
+        for mod in pkgutil.walk_packages(pkg.__path__, prefix="repro."):
+            module = importlib.import_module(mod.name)
+            if not module.__doc__:
+                undocumented.append(mod.name)
+        assert not undocumented, f"modules without docstrings: {undocumented}"

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "minife"])
+        assert args.workload == "minife"
+        assert args.dram_limit_gb == 12.0
+        assert args.pmem == 6
+        assert args.algorithm == "density"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_pmem_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "minife", "--pmem", "4"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "minife" in out and "openfoam" in out
+        assert "fig6" in out
+
+    def test_run_toy_scale(self, capsys):
+        assert main(["run", "minife", "--dram-limit-gb", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "sites in dram" in out
+
+    def test_run_bw_aware(self, capsys):
+        assert main(["run", "minife", "--algorithm", "bw-aware"]) == 0
+        assert "bw-aware swaps" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report", "minife"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# ecohmem-placement")
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_experiment_tab1(self, capsys):
+        assert main(["experiment", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "bom" in out and "raw" in out

@@ -1,0 +1,64 @@
+"""The examples must keep running: execute them in-process.
+
+The fast examples run on every test invocation; the two full-application
+ones are marked slow.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "ecohmem-placement" in out
+
+    def test_custom_workload(self, capsys):
+        run_example("custom_workload.py")
+        out = capsys.readouterr().out
+        assert "PMem-6" in out and "PMem-2" in out
+        assert "stencil::alloc_grid_a" in out
+
+    def test_callstack_formats(self, capsys):
+        run_example("callstack_formats.py")
+        out = capsys.readouterr().out
+        assert "BROKEN by ASLR" in out
+        assert "cheaper per call" in out
+
+    def test_profile_and_inspect(self, capsys, tmp_path):
+        run_example("profile_and_inspect.py",
+                    argv=["minife", str(tmp_path / "t.jsonl")])
+        out = capsys.readouterr().out
+        assert "top allocation sites" in out
+        assert (tmp_path / "t.jsonl").exists()
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_bandwidth_aware_lulesh(self, capsys):
+        run_example("bandwidth_aware_lulesh.py")
+        out = capsys.readouterr().out
+        assert "swap(s)" in out
+        assert "thrashing" in out
+
+    def test_hbm_three_tier(self, capsys):
+        run_example("hbm_three_tier.py", argv=["minife"])
+        out = capsys.readouterr().out
+        assert "HBM+DRAM+PMem" in out
+        assert "hbm" in out

@@ -1,0 +1,94 @@
+"""Tests for the unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GB, GiB, KB, KiB, MB, MiB, TB, TiB,
+    fmt_bandwidth, fmt_size, fmt_time, parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_sizes_are_powers_of_1024(self):
+        assert KiB == 1024
+        assert MiB == 1024 ** 2
+        assert GiB == 1024 ** 3
+        assert TiB == 1024 ** 4
+
+    def test_decimal_sizes_are_powers_of_1000(self):
+        assert KB == 1000
+        assert MB == 10 ** 6
+        assert GB == 10 ** 9
+        assert TB == 10 ** 12
+
+
+class TestFmtSize:
+    def test_bytes(self):
+        assert fmt_size(17) == "17 B"
+
+    def test_kib(self):
+        assert fmt_size(1536) == "1.50 KiB"
+
+    def test_gib(self):
+        assert fmt_size(3 * GiB) == "3.00 GiB"
+
+    def test_negative(self):
+        assert fmt_size(-2 * MiB) == "-2.00 MiB"
+
+    def test_zero(self):
+        assert fmt_size(0) == "0 B"
+
+
+class TestFmtBandwidth:
+    def test_gbps(self):
+        assert fmt_bandwidth(22 * GB) == "22.00 GB/s"
+
+    def test_low(self):
+        assert fmt_bandwidth(512) == "512 B/s"
+
+    def test_mbps(self):
+        assert fmt_bandwidth(93 * MB) == "93.00 MB/s"
+
+
+class TestFmtTime:
+    def test_microseconds(self):
+        assert fmt_time(2.1e-6) == "2.10 us"
+
+    def test_minutes(self):
+        assert fmt_time(95) == "1m35.0s"
+
+    def test_seconds(self):
+        assert fmt_time(2.5) == "2.50 s"
+
+    def test_nanoseconds(self):
+        assert fmt_time(90e-9) == "90.0 ns"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.012) == "12.00 ms"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("12 GiB", 12 * GiB),
+        ("4GB", 4 * GB),
+        ("512", 512),
+        ("1.5 MiB", int(1.5 * MiB)),
+        ("100 kb", 100 * KB),
+        ("2TiB", 2 * TiB),
+    ])
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["abc", "12 XB", "GiB", ""])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_roundtrip_bytes(self, n):
+        assert parse_size(str(n)) == n
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_gib_scaling(self, n):
+        assert parse_size(f"{n} GiB") == n * GiB

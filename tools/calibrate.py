@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Calibration dashboard: paper targets vs current model outputs.
+
+Run ``python tools/calibrate.py [app ...]`` while tuning the application
+models.  Prints Table V/VI stats and the Figure 6 / Table VIII speedup
+grid with the paper's target values alongside.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.apps import get_workload, list_workloads
+from repro.memsim import pmem2_system, pmem6_system
+from repro.baselines.memory_mode import run_memory_mode
+from repro.baselines.tiering import run_tiering
+from repro.experiments import run_ecohmem, run_profdp_best
+from repro.units import GiB
+
+# paper targets: app -> {(pmem, limit_gb, metrics): speedup}
+FIG6 = {
+    "minife":       {(6, 12, "L"): 2.10, (6, 12, "LS"): 2.10, (6, 8, "L"): 2.15,
+                     (6, 4, "L"): 2.22, (2, 12, "L"): 1.74},
+    "hpcg":         {(6, 12, "L"): 1.67, (6, 12, "LS"): 1.67, (6, 8, "L"): 1.6,
+                     (6, 4, "L"): 1.35, (6, 4, "LS"): 1.40, (2, 12, "L"): 1.2},
+    "cloverleaf3d": {(6, 12, "L"): 1.20, (6, 12, "LS"): 1.39, (6, 8, "L"): 1.05,
+                     (6, 8, "LS"): 1.14, (6, 4, "LS"): 0.90, (2, 12, "LS"): 0.95},
+    "minimd":       {(6, 12, "L"): 1.08, (6, 12, "LS"): 1.07, (6, 8, "L"): 1.04,
+                     (6, 8, "LS"): 0.98, (2, 12, "L"): 1.02},
+    "lulesh":       {(6, 12, "L"): 1.07, (6, 12, "LS"): 1.07, (6, 8, "L"): 1.0,
+                     (6, 4, "L"): 0.88, (2, 12, "L"): 0.9},
+}
+TAB8 = {
+    "lammps":   {"density": 0.97, "bw-aware": 0.96, "limit": (14, 16)},
+    "openfoam": {"density": 0.49, "bw-aware": 1.061, "limit": (11, 11)},
+}
+TAB56 = {  # HWM MB/rank, memory-bound %, hit %
+    "minife": (1989, 90.2, 39.9), "minimd": (2196, 41.5, 61.5),
+    "lulesh": (10658, 65.5, 61.7), "hpcg": (6414, 80.5, 54.4),
+    "cloverleaf3d": (1467, 93.5, 59.2), "lammps": (4240, 29.2, 63.5),
+    "openfoam": (3360, None, None),
+}
+BW_AWARE = {"lulesh": 1.19}
+
+
+def show(app: str, quick: bool = False) -> None:
+    wl = get_workload(app)
+    hwm = wl.heap_high_water() / 2**20
+    t_hwm, t_mb, t_hit = TAB56[app]
+    sys6, sys2 = pmem6_system(), pmem2_system()
+    mm6 = run_memory_mode(wl, sys6)
+    print(f"\n== {app} ==")
+    mb = mm6.memory_bound_fraction * 100
+    hit = (mm6.dram_cache_hit_ratio or 0) * 100
+    print(f"  HWM {hwm:6.0f} (tgt {t_hwm})   mem-bound {mb:5.1f}% (tgt {t_mb})"
+          f"   hit {hit:5.1f}% (tgt {t_hit})")
+
+    if app in FIG6:
+        mm2 = run_memory_mode(wl, sys2)
+        for (pm, gb, met), tgt in sorted(FIG6[app].items(), key=lambda kv: (-kv[0][0], -kv[0][1])):
+            system = sys6 if pm == 6 else sys2
+            base = mm6 if pm == 6 else mm2
+            eco = run_ecohmem(get_workload(app), system, dram_limit=gb * GiB,
+                              use_stores=(met == "LS"))
+            got = eco.run.speedup_vs(base)
+            print(f"  PMem-{pm} {gb:2d}GB {met:2s}: {got:5.2f}  (tgt {tgt})")
+        if not quick:
+            tier = run_tiering(get_workload(app), sys6)
+            print(f"  tiering       : {tier.speedup_vs(mm6):5.2f}  "
+                  f"(tgt: >1 for minife/hpcg, below eco)")
+            var, pd = run_profdp_best(get_workload(app), sys6, dram_limit=12 * GiB,
+                                      baseline=mm6)
+            if pd is not None:
+                print(f"  profdp best   : {pd.speedup_vs(mm6):5.2f} [{var.label}]")
+        if app in BW_AWARE:
+            bw = run_ecohmem(get_workload(app), sys6, dram_limit=12 * GiB,
+                             algorithm="bw-aware")
+            print(f"  bw-aware 12GB : {bw.run.speedup_vs(mm6):5.2f}  (tgt {BW_AWARE[app]})"
+                  f"  swaps={len(bw.swaps or [])}")
+
+    if app in TAB8:
+        lim_main, lim_bw = TAB8[app]["limit"]
+        main = run_ecohmem(get_workload(app), sys6, dram_limit=lim_main * GiB,
+                           algorithm="density")
+        bw = run_ecohmem(get_workload(app), sys6, dram_limit=lim_bw * GiB,
+                         algorithm="bw-aware")
+        print(f"  Tab8 density  : {main.run.speedup_vs(mm6):5.2f}  (tgt {TAB8[app]['density']})")
+        print(f"  Tab8 bw-aware : {bw.run.speedup_vs(mm6):5.2f}  (tgt {TAB8[app]['bw-aware']})"
+              f"  swaps={len(bw.swaps or [])}")
+
+
+if __name__ == "__main__":
+    apps = sys.argv[1:] or list_workloads()
+    t0 = time.time()
+    for app in apps:
+        show(app)
+    print(f"\nwall: {time.time() - t0:.1f}s")
