@@ -11,6 +11,7 @@ problem the BOM / human-readable formats solve.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,7 +60,11 @@ class SiteRegistry:
             line_table = []
             offset = 0x1000
             for i, fn in enumerate(all_funcs):
-                size = 2048 + (hash((image_name, fn)) % 4096)
+                # crc32, not hash(): builtin str hashing is salted per
+                # process (PYTHONHASHSEED), which would shift symbol sizes
+                # — and hence BOM offsets — between invocations, breaking
+                # the cross-process profile cache and Table I's stability
+                size = 2048 + (zlib.crc32(f"{image_name}\0{fn}".encode()) % 4096)
                 symbols.append(Symbol(name=fn, offset=offset, size=size))
                 if with_debug_info:
                     src = f"{image_name.split('.')[0]}/{fn.split('::')[-1]}.cpp"

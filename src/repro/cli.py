@@ -105,7 +105,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                            title="Figure 2: bandwidth vs latency"))
     elif name == "fig6":
         from repro.experiments.fig6_sweep import compute_fig6, fig6_rows
-        result = compute_fig6(apps=args.apps or None)
+        result = compute_fig6(apps=args.apps or None, jobs=args.jobs)
         print(render_table(
             ["app", "pmem", "dram", "metrics", "speedup"],
             fig6_rows(result), title="Figure 6: speedup vs memory mode",
@@ -122,7 +122,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "tab8":
         from repro.experiments.tab8_full_apps import compute_tab8
         rows = [[r.app, r.algorithm, f"{r.dram_limit_gb} GB", r.speedup,
-                 r.paper_speedup] for r in compute_tab8()]
+                 r.paper_speedup] for r in compute_tab8(jobs=args.jobs)]
         print(render_table(
             ["app", "algorithm", "dram", "speedup", "paper"],
             rows, title="Table VIII: full applications",
@@ -186,7 +186,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 "sampling": ablations.sampling_frequency_sweep,
                 "input": ablations.input_sensitivity,
             }[kind]
-            points = sweep()
+            points = sweep(jobs=args.jobs)
             print(render_table(
                 ["knob", "speedup", "detail"],
                 [[p.knob, p.speedup, p.detail] for p in points],
@@ -246,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
     exp_p.add_argument("--apps", nargs="*", default=None)
+    exp_p.add_argument("--jobs", type=int, default=None,
+                       help="sweep worker processes (default: REPRO_JOBS or "
+                            "serial; 0 = all cores)")
     return parser
 
 

@@ -14,14 +14,19 @@ rendering the paper-style rows.
 
 from repro.experiments.harness import (
     EcoHMEMResult,
+    profile_workload,
     run_ecohmem,
     run_profdp_best,
     speedup_table,
 )
+from repro.experiments.parallel import resolve_jobs, run_sweep
 
 __all__ = [
     "EcoHMEMResult",
+    "profile_workload",
     "run_ecohmem",
     "run_profdp_best",
     "speedup_table",
+    "resolve_jobs",
+    "run_sweep",
 ]

@@ -26,6 +26,7 @@ from repro.apps.workload import AccessStats, ObjectSpec, Workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.baselines.tiering import run_combined, run_tiering
 from repro.experiments.harness import run_ecohmem
+from repro.experiments.parallel import run_sweep
 from repro.memsim.subsystem import pmem6_system
 from repro.units import GiB
 
@@ -39,60 +40,83 @@ class AblationPoint:
     detail: str = ""
 
 
+def _sampling_point(spec) -> AblationPoint:
+    app, hz, dram_limit, seed, baseline_time = spec
+    eco = run_ecohmem(get_workload(app), pmem6_system(), dram_limit=dram_limit,
+                      pebs_hz=hz, seed=seed)
+    return AblationPoint(
+        knob=hz, speedup=baseline_time / eco.run.total_time,
+        detail=f"{len(eco.report)} DRAM rows",
+    )
+
+
 def sampling_frequency_sweep(
     app: str = "minife",
     frequencies: Sequence[float] = (5.0, 20.0, 100.0, 500.0),
     *, dram_limit: int = 12 * GiB, seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Placement quality vs PEBS sampling rate.
 
     Lower rates under-sample small/short-lived objects, degrading the
     advisor's ranking; beyond the paper's 100 Hz the returns flatten.
     """
-    system = pmem6_system()
-    baseline = run_memory_mode(get_workload(app), system)
-    points = []
-    for hz in frequencies:
-        eco = run_ecohmem(get_workload(app), system, dram_limit=dram_limit,
-                          pebs_hz=hz, seed=seed)
-        points.append(AblationPoint(
-            knob=hz, speedup=eco.run.speedup_vs(baseline),
-            detail=f"{len(eco.report)} DRAM rows",
-        ))
-    return points
+    baseline = run_memory_mode(get_workload(app), pmem6_system())
+    specs = [(app, hz, dram_limit, seed, baseline.total_time)
+             for hz in frequencies]
+    return run_sweep(_sampling_point, specs, jobs=jobs)
+
+
+def _store_coefficient_point(spec) -> AblationPoint:
+    app, coef, dram_limit, seed, baseline_time = spec
+    wl = get_workload(app)
+    config = AdvisorConfig(
+        coefficients={"dram": (1.0, 1.0), "pmem": (2.1, max(coef, 0.0))},
+        dram_limit=dram_limit,
+        ranks=wl.ranks,
+    )
+    eco = run_ecohmem(wl, pmem6_system(), dram_limit=dram_limit,
+                      config=config, seed=seed)
+    return AblationPoint(knob=coef, speedup=baseline_time / eco.run.total_time)
 
 
 def store_coefficient_sweep(
     app: str = "cloverleaf3d",
     coefficients: Sequence[float] = (0.0, 1.0, 3.0, 6.0, 12.0),
     *, dram_limit: int = 12 * GiB, seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Section V's store coefficient on a store-sensitive application.
 
     0 reproduces the *Loads* configuration; 6 is the paper's default for
     PMem; far beyond it, store-heavy objects crowd out read-hot ones.
     """
+    baseline = run_memory_mode(get_workload(app), pmem6_system())
+    specs = [(app, coef, dram_limit, seed, baseline.total_time)
+             for coef in coefficients]
+    return run_sweep(_store_coefficient_point, specs, jobs=jobs)
+
+
+def _threshold_point(spec) -> AblationPoint:
+    app, t_high, dram_limit, seed, baseline_time = spec
     system = pmem6_system()
-    baseline = run_memory_mode(get_workload(app), system)
     wl = get_workload(app)
-    points = []
-    for coef in coefficients:
-        config = AdvisorConfig(
-            coefficients={"dram": (1.0, 1.0), "pmem": (2.1, max(coef, 0.0))},
-            dram_limit=dram_limit,
-            ranks=wl.ranks,
-        )
-        eco = run_ecohmem(get_workload(app), system, dram_limit=dram_limit,
-                          config=config, seed=seed)
-        points.append(AblationPoint(knob=coef,
-                                    speedup=eco.run.speedup_vs(baseline)))
-    return points
+    config = config_for_system(system, dram_limit, ranks=wl.ranks)
+    config = dc_replace(config, t_pmem_high=t_high,
+                        t_pmem_low=min(0.20, t_high / 2))
+    eco = run_ecohmem(wl, system, dram_limit=dram_limit,
+                      algorithm="bw-aware", config=config, seed=seed)
+    return AblationPoint(
+        knob=t_high, speedup=baseline_time / eco.run.total_time,
+        detail=f"{len(eco.swaps or [])} swaps",
+    )
 
 
 def threshold_sweep(
     app: str = "openfoam",
     thresholds: Sequence[float] = (0.40, 0.70, 0.90, 0.97),
     *, dram_limit: int = 11 * GiB, seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Table IV's ``T_PMEMHIGH`` on the bandwidth-aware algorithm.
 
@@ -100,21 +124,10 @@ def threshold_sweep(
     queue outruns the Fitting pool.  Too high: real thrashers escape
     classification and stay in PMem.
     """
-    system = pmem6_system()
-    baseline = run_memory_mode(get_workload(app), system)
-    wl = get_workload(app)
-    points = []
-    for t_high in thresholds:
-        config = config_for_system(system, dram_limit, ranks=wl.ranks)
-        config = dc_replace(config, t_pmem_high=t_high,
-                            t_pmem_low=min(0.20, t_high / 2))
-        eco = run_ecohmem(get_workload(app), system, dram_limit=dram_limit,
-                          algorithm="bw-aware", config=config, seed=seed)
-        points.append(AblationPoint(
-            knob=t_high, speedup=eco.run.speedup_vs(baseline),
-            detail=f"{len(eco.swaps or [])} swaps",
-        ))
-    return points
+    baseline = run_memory_mode(get_workload(app), pmem6_system())
+    specs = [(app, t_high, dram_limit, seed, baseline.total_time)
+             for t_high in thresholds]
+    return run_sweep(_threshold_point, specs, jobs=jobs)
 
 
 def scale_workload(workload: Workload, *, rate_scale: float = 1.0,
@@ -153,11 +166,33 @@ def scale_workload(workload: Workload, *, rate_scale: float = 1.0,
     )
 
 
+def _input_sensitivity_point(spec) -> AblationPoint:
+    app, rate_scale, size_scale, dram_limit, seed = spec
+    system = pmem6_system()
+    scaled = scale_workload(get_workload(app), rate_scale=rate_scale,
+                            size_scale=size_scale)
+    baseline = run_memory_mode(
+        scale_workload(get_workload(app), rate_scale=rate_scale,
+                       size_scale=size_scale),
+        system,
+    )
+    eco = run_ecohmem(get_workload(app), system, dram_limit=dram_limit,
+                      production_workload=scaled, seed=seed)
+    return AblationPoint(
+        knob=rate_scale * 100 + size_scale,  # composite key for sorting
+        speedup=eco.run.speedup_vs(baseline),
+        detail=f"rate x{rate_scale}, size x{size_scale}, "
+               f"{eco.replay.flexmalloc.stats.fallback_capacity} capacity "
+               f"fallbacks",
+    )
+
+
 def input_sensitivity(
     app: str = "minife",
     scales: Sequence[Tuple[float, float]] = ((1.0, 1.0), (1.5, 1.0),
                                              (1.0, 1.3), (2.0, 1.5)),
     *, dram_limit: int = 12 * GiB, seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Profile the nominal input, run a scaled one (paper future work).
 
@@ -168,26 +203,9 @@ def input_sensitivity(
     matter.  The speedup is measured against memory mode *on the scaled
     input*.
     """
-    system = pmem6_system()
-    points = []
-    for rate_scale, size_scale in scales:
-        scaled = scale_workload(get_workload(app), rate_scale=rate_scale,
-                                size_scale=size_scale)
-        baseline = run_memory_mode(
-            scale_workload(get_workload(app), rate_scale=rate_scale,
-                           size_scale=size_scale),
-            system,
-        )
-        eco = run_ecohmem(get_workload(app), system, dram_limit=dram_limit,
-                          production_workload=scaled, seed=seed)
-        points.append(AblationPoint(
-            knob=rate_scale * 100 + size_scale,  # composite key for sorting
-            speedup=eco.run.speedup_vs(baseline),
-            detail=f"rate x{rate_scale}, size x{size_scale}, "
-                   f"{eco.replay.flexmalloc.stats.fallback_capacity} capacity "
-                   f"fallbacks",
-        ))
-    return points
+    specs = [(app, rate_scale, size_scale, dram_limit, seed)
+             for rate_scale, size_scale in scales]
+    return run_sweep(_input_sensitivity_point, specs, jobs=jobs)
 
 
 def combined_policy_comparison(

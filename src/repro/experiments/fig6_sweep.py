@@ -3,6 +3,11 @@
 Five miniapps x {Loads, Loads+stores} x DRAM limits {4, 8, 12 GB} x
 {PMem-6, PMem-2}, all against the memory-mode baseline of the same memory
 configuration — plus the kernel-tiering and best-of-four ProfDP rows.
+
+Every cell is an independent deterministic pipeline run, so the sweep is
+dispatched through :func:`repro.experiments.parallel.run_sweep`: serial
+by default, process-parallel under ``jobs``/``REPRO_JOBS``, with results
+reassembled in cell order so parallel output is bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from repro.apps import get_workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.baselines.tiering import run_tiering
 from repro.experiments.harness import run_ecohmem, run_profdp_best
+from repro.experiments.parallel import run_sweep
 from repro.memsim.subsystem import MemorySystem, pmem2_system, pmem6_system
 from repro.units import GiB
 
@@ -39,14 +45,67 @@ class Fig6Result:
     tiering: Dict[str, float] = field(default_factory=dict)
     profdp: Dict[str, Optional[float]] = field(default_factory=dict)
     profdp_variant: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: lazily built (app, pmem, limit, metrics) -> speedup index
+    _index: Optional[Dict[Tuple[str, int, int, str], float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def lookup(self, app: str, pmem: int, limit_gb: int, metrics: str) -> float:
-        for c in self.cells:
-            if (c.app, c.pmem_dimms, c.dram_limit_gb, c.metrics) == (
-                app, pmem, limit_gb, metrics
-            ):
-                return c.speedup
-        raise KeyError((app, pmem, limit_gb, metrics))
+        # rebuilt whenever cells were appended since the last lookup
+        if self._index is None or len(self._index) != len(self.cells):
+            self._index = {
+                (c.app, c.pmem_dimms, c.dram_limit_gb, c.metrics): c.speedup
+                for c in self.cells
+            }
+        try:
+            return self._index[(app, pmem, limit_gb, metrics)]
+        except KeyError:
+            raise KeyError((app, pmem, limit_gb, metrics)) from None
+
+
+def _system_for(dimms: int) -> MemorySystem:
+    return pmem6_system() if dimms == 6 else pmem2_system()
+
+
+# -- picklable sweep tasks ----------------------------------------------------
+
+
+def _baseline_task(spec: Tuple[str, int]) -> float:
+    """Memory-mode baseline total time for one (app, pmem_dimms)."""
+    app, dimms = spec
+    return run_memory_mode(get_workload(app), _system_for(dimms)).total_time
+
+
+def _cell_task(spec: Tuple[str, int, int, str, int, float]) -> Fig6Cell:
+    """One ecoHMEM sweep cell; ``baseline_time`` reproduces speedup_vs."""
+    app, dimms, limit_gb, metrics, seed, baseline_time = spec
+    eco = run_ecohmem(
+        get_workload(app), _system_for(dimms),
+        dram_limit=limit_gb * GiB,
+        use_stores=(metrics == "loads+stores"),
+        seed=seed,
+    )
+    return Fig6Cell(
+        app=app, pmem_dimms=dimms, dram_limit_gb=limit_gb, metrics=metrics,
+        speedup=baseline_time / eco.run.total_time,
+    )
+
+
+def _baseline_rows_task(
+    spec: Tuple[str, int, float]
+) -> Tuple[float, Optional[float], Optional[str]]:
+    """Kernel-tiering and best-of-four ProfDP rows for one PMem-6 app."""
+    app, seed, baseline_time = spec
+    system = _system_for(6)
+    tier = run_tiering(get_workload(app), system)
+    variant, run = run_profdp_best(
+        get_workload(app), system, dram_limit=12 * GiB, seed=seed,
+    )
+    return (
+        baseline_time / tier.total_time,
+        None if run is None else baseline_time / run.total_time,
+        None if variant is None else variant.label,
+    )
 
 
 def compute_fig6(
@@ -56,42 +115,36 @@ def compute_fig6(
     dram_limits_gb: Optional[List[int]] = None,
     include_baseline_rows: bool = True,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
-    """Run the full sweep (or a subset) and collect speedups."""
+    """Run the full sweep (or a subset) and collect speedups.
+
+    ``jobs`` (default: ``REPRO_JOBS`` or serial) sets the worker count;
+    the parallel result is bit-identical to the serial one.
+    """
     apps = apps or MINIAPPS
     dram_limits_gb = dram_limits_gb or DRAM_LIMITS_GB
-    result = Fig6Result()
+    dimms_list = [d for d in (6, 2) if d in pmem_configs]
 
-    systems: Dict[int, MemorySystem] = {}
-    if 6 in pmem_configs:
-        systems[6] = pmem6_system()
-    if 2 in pmem_configs:
-        systems[2] = pmem2_system()
+    pairs = [(app, dimms) for app in apps for dimms in dimms_list]
+    base_time = dict(zip(pairs, run_sweep(_baseline_task, pairs, jobs=jobs)))
 
-    for app in apps:
-        for dimms, system in systems.items():
-            baseline = run_memory_mode(get_workload(app), system)
-            for limit_gb in dram_limits_gb:
-                for metrics in METRIC_CONFIGS:
-                    eco = run_ecohmem(
-                        get_workload(app), system,
-                        dram_limit=limit_gb * GiB,
-                        use_stores=(metrics == "loads+stores"),
-                        seed=seed,
-                    )
-                    result.cells.append(Fig6Cell(
-                        app=app, pmem_dimms=dimms, dram_limit_gb=limit_gb,
-                        metrics=metrics, speedup=eco.run.speedup_vs(baseline),
-                    ))
-            if dimms == 6 and include_baseline_rows:
-                tier = run_tiering(get_workload(app), system)
-                result.tiering[app] = tier.speedup_vs(baseline)
-                variant, run = run_profdp_best(
-                    get_workload(app), system,
-                    dram_limit=12 * GiB, baseline=baseline, seed=seed,
-                )
-                result.profdp[app] = None if run is None else run.speedup_vs(baseline)
-                result.profdp_variant[app] = None if variant is None else variant.label
+    cell_specs = [
+        (app, dimms, limit_gb, metrics, seed, base_time[(app, dimms)])
+        for app in apps
+        for dimms in dimms_list
+        for limit_gb in dram_limits_gb
+        for metrics in METRIC_CONFIGS
+    ]
+    result = Fig6Result(cells=run_sweep(_cell_task, cell_specs, jobs=jobs))
+
+    if include_baseline_rows and 6 in dimms_list:
+        row_specs = [(app, seed, base_time[(app, 6)]) for app in apps]
+        rows = run_sweep(_baseline_rows_task, row_specs, jobs=jobs)
+        for app, (tier_s, profdp_s, profdp_v) in zip(apps, rows):
+            result.tiering[app] = tier_s
+            result.profdp[app] = profdp_s
+            result.profdp_variant[app] = profdp_v
     return result
 
 

@@ -35,7 +35,14 @@ from repro.baselines.profdp import ALL_VARIANTS, ProfDPVariant, profdp_placement
 from repro.binary.callstack import StackFormat
 from repro.errors import SimulationError
 from repro.memsim.subsystem import MemorySystem
-from repro.profiling.paramedir import Paramedir
+from repro.profiling.cache import (
+    ProfileKey,
+    ProfileStore,
+    resolve_store,
+    workload_fingerprint,
+)
+from repro.profiling.paramedir import Paramedir, SiteProfile
+from repro.profiling.pebs import PEBSConfig
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
 from repro.runtime.engine import EngineParams, ExecutionEngine
 from repro.runtime.replay import ReplayResult, replay_allocations
@@ -98,6 +105,70 @@ def _production_run(
     return run, replay
 
 
+def profile_workload(
+    workload: Workload,
+    *,
+    seed: int = 11,
+    stack_format: StackFormat = StackFormat.BOM,
+    pebs_hz: float = 100.0,
+    profile_ranks: int = 1,
+    rank_jitter: float = 0.0,
+    registry: Optional[SiteRegistry] = None,
+    profile_store: Optional[ProfileStore] = None,
+) -> Dict[Tuple, SiteProfile]:
+    """The profiling stage: Extrae trace + Paramedir analysis, memoized.
+
+    The result is a deterministic function of (workload content, seed,
+    stack format, PEBS rate, profiled ranks, rank jitter), so it is
+    cached through a :class:`~repro.profiling.cache.ProfileStore` and
+    shared by every pipeline run with the same configuration — one trace
+    per configuration instead of one per sweep cell.  A custom
+    ``registry`` changes the address spaces behind the site keys, so it
+    bypasses the cache.
+    """
+
+    def compute() -> Dict[Tuple, SiteProfile]:
+        reg = registry or SiteRegistry(workload)
+        tracer = ExtraeTracer(
+            workload,
+            TracerConfig(stack_format=stack_format, seed=seed,
+                         pebs=PEBSConfig(frequency_hz=pebs_hz, seed=seed * 7 + 1),
+                         rank_jitter=rank_jitter),
+            reg,
+        )
+        paramedir = Paramedir()
+        if profile_ranks > 1:
+            traces = tracer.run_all_ranks(ranks=profile_ranks,
+                                          aslr_base_seed=1000 + seed)
+            per_rank = [paramedir.analyze(t) for t in traces]
+            profiles = paramedir.merge(per_rank, mode="sum")
+            # cross-rank sums describe profile_ranks processes; the advisor's
+            # density ranking is scale-invariant, so no renormalization needed
+            for prof in profiles.values():
+                prof.load_misses /= profile_ranks
+                prof.store_misses /= profile_ranks
+        else:
+            trace = tracer.run(rank=0, aslr_seed=1000 + seed)
+            profiles = paramedir.analyze(trace)
+        return profiles
+
+    if registry is not None:
+        return compute()
+    store = resolve_store(profile_store)
+    if store is None:
+        return compute()
+    key = ProfileKey(
+        workload=workload.name,
+        fingerprint=workload_fingerprint(workload),
+        seed=seed,
+        stack_format=stack_format.value,
+        pebs_hz=float(pebs_hz),
+        profile_ranks=int(profile_ranks),
+        rank_jitter=float(rank_jitter),
+    )
+    return store.get_or_compute(key, compute)
+
+
 def run_ecohmem(
     workload: Workload,
     system: MemorySystem,
@@ -107,13 +178,14 @@ def run_ecohmem(
     algorithm: str = "density",
     stack_format: StackFormat = StackFormat.BOM,
     config: Optional[AdvisorConfig] = None,
-    engine_params: EngineParams = EngineParams(),
+    engine_params: Optional[EngineParams] = None,
     seed: int = 11,
     registry: Optional[SiteRegistry] = None,
     pebs_hz: float = 100.0,
     production_workload: Optional[Workload] = None,
     profile_ranks: int = 1,
     rank_jitter: float = 0.0,
+    profile_store: Optional[ProfileStore] = None,
 ) -> EcoHMEMResult:
     """The full ecoHMEM workflow for one configuration.
 
@@ -127,35 +199,26 @@ def run_ecohmem(
     work) — it must share the profiled workload's allocation sites.
     ``profile_ranks > 1`` profiles several ranks (optionally with
     ``rank_jitter`` load imbalance) and sums the per-rank profiles, the
-    way a real multi-process Extrae trace is aggregated.
+    way a real multi-process Extrae trace is aggregated.  The profiling
+    stage is memoized (see :func:`profile_workload`); ``profile_store``
+    overrides the process-wide default store.
     """
     if algorithm not in ("density", "bw-aware"):
         raise SimulationError(f"unknown algorithm {algorithm!r}")
+    engine_params = engine_params or EngineParams()
 
-    from repro.profiling.pebs import PEBSConfig
-
+    custom_registry = registry
     registry = registry or SiteRegistry(workload)
-    tracer = ExtraeTracer(
+    profiles = profile_workload(
         workload,
-        TracerConfig(stack_format=stack_format, seed=seed,
-                     pebs=PEBSConfig(frequency_hz=pebs_hz, seed=seed * 7 + 1),
-                     rank_jitter=rank_jitter),
-        registry,
+        seed=seed,
+        stack_format=stack_format,
+        pebs_hz=pebs_hz,
+        profile_ranks=profile_ranks,
+        rank_jitter=rank_jitter,
+        registry=custom_registry,
+        profile_store=profile_store,
     )
-    paramedir = Paramedir()
-    if profile_ranks > 1:
-        traces = tracer.run_all_ranks(ranks=profile_ranks,
-                                      aslr_base_seed=1000 + seed)
-        per_rank = [paramedir.analyze(t) for t in traces]
-        profiles = paramedir.merge(per_rank, mode="sum")
-        # cross-rank sums describe profile_ranks processes; the advisor's
-        # density ranking is scale-invariant, so no renormalization needed
-        for prof in profiles.values():
-            prof.load_misses /= profile_ranks
-            prof.store_misses /= profile_ranks
-    else:
-        trace = tracer.run(rank=0, aslr_seed=1000 + seed)
-        profiles = paramedir.analyze(trace)
 
     advisor_config = config or config_for_system(
         system, dram_limit, ranks=workload.ranks
@@ -233,26 +296,35 @@ def run_profdp_best(
     system: MemorySystem,
     *,
     dram_limit: int,
-    baseline: RunResult,
     stack_format: StackFormat = StackFormat.BOM,
-    engine_params: EngineParams = EngineParams(),
+    engine_params: Optional[EngineParams] = None,
     seed: int = 11,
+    pebs_hz: float = 100.0,
+    profile_store: Optional[ProfileStore] = None,
 ) -> Tuple[Optional[ProfDPVariant], Optional[RunResult]]:
     """Run all four ProfDP variants, return the fastest (paper's method).
 
     Returns ``(None, None)`` if the workload is flagged as unavailable for
     ProfDP (the paper could not profile MiniMD because HPCToolkit crashed;
     we honour that as a documented substitution).
+
+    The profiling stage goes through the same memoized
+    :func:`profile_workload` as :func:`run_ecohmem`, so an ecoHMEM sweep
+    and its ProfDP comparison rows share one trace + analysis per
+    configuration.
     """
     if workload.name == "minimd":
         return None, None
+    engine_params = engine_params or EngineParams()
 
     registry = SiteRegistry(workload)
-    tracer = ExtraeTracer(
-        workload, TracerConfig(stack_format=stack_format, seed=seed), registry
+    profiles = profile_workload(
+        workload,
+        seed=seed,
+        stack_format=stack_format,
+        pebs_hz=pebs_hz,
+        profile_store=profile_store,
     )
-    trace = tracer.run(rank=0, aslr_seed=1000 + seed)
-    profiles = Paramedir().analyze(trace)
     advisor = HMemAdvisor(system, default_config(dram_limit, ranks=workload.ranks))
     objects = advisor.objects_from_profiles(profiles)
 

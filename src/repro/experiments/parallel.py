@@ -1,0 +1,71 @@
+"""Process-parallel sweep execution.
+
+The paper's experiment grids (Figure 6, Table VIII, the ablations) are
+embarrassingly parallel: every cell is an independent, deterministic
+pipeline run.  :func:`run_sweep` dispatches cells as picklable task specs
+over a :class:`~concurrent.futures.ProcessPoolExecutor` and reassembles
+results in task order, so a parallel sweep is **bit-identical** to the
+serial one — the same functions run on the same inputs, only on more
+cores.
+
+Worker count resolution (first match wins):
+
+1. the explicit ``jobs=`` argument (CLI ``--jobs`` flows in here),
+2. the ``REPRO_JOBS`` environment variable,
+3. serial execution (``jobs=1``).
+
+``jobs=1`` bypasses the pool entirely — no fork, no pickling — which is
+both the safe fallback and the baseline the benchmarks compare against.
+``jobs=0`` (or any value < 1) means "all cores".  Worker processes
+inherit the environment, so a shared ``REPRO_PROFILE_CACHE_DIR`` lets
+concurrent cells reuse each other's profiling work across processes (see
+:mod:`repro.profiling.cache`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+JOBS_ENV = "REPRO_JOBS"
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count (>= 1)."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+        else:
+            jobs = 1
+    if jobs < 1:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def run_sweep(
+    fn: Callable[[S], R],
+    specs: Iterable[S],
+    *,
+    jobs: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``specs``, results in spec order.
+
+    ``fn`` must be a module-level function and every spec picklable; with
+    ``jobs=1`` (the default absent ``REPRO_JOBS``) this is a plain list
+    comprehension.  Worker exceptions propagate to the caller.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        return [fn(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(fn, specs, chunksize=chunksize))

@@ -11,11 +11,12 @@ DRAM so aggressively that the larger limit runs out of memory).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps import get_workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.experiments.harness import run_ecohmem
+from repro.experiments.parallel import run_sweep
 from repro.memsim.subsystem import pmem6_system
 from repro.units import GiB
 
@@ -39,28 +40,31 @@ class Tab8Row:
     swaps: int
 
 
-def compute_tab8(*, seed: int = 11) -> List[Tab8Row]:
-    rows: List[Tab8Row] = []
-    system = pmem6_system()
-    for app, (limit_main, limit_bw) in DRAM_LIMITS.items():
-        baseline = run_memory_mode(get_workload(app), system)
-        main = run_ecohmem(
-            get_workload(app), system, dram_limit=limit_main * GiB,
-            algorithm="density", seed=seed,
-        )
-        bw = run_ecohmem(
-            get_workload(app), system, dram_limit=limit_bw * GiB,
-            algorithm="bw-aware", seed=seed,
-        )
-        rows.append(Tab8Row(
-            app=app, algorithm="density", dram_limit_gb=limit_main,
-            speedup=main.run.speedup_vs(baseline),
-            paper_speedup=PAPER_VALUES[app]["density"], swaps=0,
-        ))
-        rows.append(Tab8Row(
-            app=app, algorithm="bw-aware", dram_limit_gb=limit_bw,
-            speedup=bw.run.speedup_vs(baseline),
-            paper_speedup=PAPER_VALUES[app]["bw-aware"],
-            swaps=len(bw.swaps or []),
-        ))
-    return rows
+def _tab8_task(spec: Tuple[str, str, int, int, float]) -> Tab8Row:
+    """One (app, algorithm) pipeline run — an independent sweep cell."""
+    app, algorithm, limit_gb, seed, baseline_time = spec
+    eco = run_ecohmem(
+        get_workload(app), pmem6_system(), dram_limit=limit_gb * GiB,
+        algorithm=algorithm, seed=seed,
+    )
+    return Tab8Row(
+        app=app, algorithm=algorithm, dram_limit_gb=limit_gb,
+        speedup=baseline_time / eco.run.total_time,
+        paper_speedup=PAPER_VALUES[app][algorithm],
+        swaps=0 if algorithm == "density" else len(eco.swaps or []),
+    )
+
+
+def _tab8_baseline_task(app: str) -> float:
+    return run_memory_mode(get_workload(app), pmem6_system()).total_time
+
+
+def compute_tab8(*, seed: int = 11, jobs: Optional[int] = None) -> List[Tab8Row]:
+    apps = list(DRAM_LIMITS)
+    base_time = dict(zip(apps, run_sweep(_tab8_baseline_task, apps, jobs=jobs)))
+    specs = [
+        (app, algorithm, limit_gb, seed, base_time[app])
+        for app, (limit_main, limit_bw) in DRAM_LIMITS.items()
+        for algorithm, limit_gb in (("density", limit_main), ("bw-aware", limit_bw))
+    ]
+    return run_sweep(_tab8_task, specs, jobs=jobs)

@@ -7,11 +7,15 @@ that (a) microbenchmark workloads can produce genuine miss streams and (b)
 tests can validate the analytic miss-rate assumptions against a real LRU
 set-associative model.
 
-The simulator processes NumPy arrays of addresses.  The hot loop is plain
-Python over the (deduplicated-by-set) access stream — adequate for the
-multi-million-access streams the tests and benches use; the vectorised
-front-end (line/set extraction) follows the NumPy idioms from the project's
-HPC guides.
+The simulator processes NumPy arrays of addresses.  ``access_stream`` runs
+a *round-based* batch kernel: accesses are grouped by set index (stable,
+so per-set order is preserved) and round ``k`` processes the ``k``-th
+access of every set simultaneously with array operations over the
+``(sets, ways)`` state — tag compares across ways, LRU age vectors and
+dirty/writeback masks all vectorise because cache sets are independent.
+The per-access scalar path (``access`` / ``access_stream_scalar``) is kept
+as the reference oracle the equivalence tests and ``tools/perf_bench.py``
+compare against.
 """
 
 from __future__ import annotations
@@ -141,12 +145,9 @@ class SetAssociativeCache:
 
     # -- bulk access --------------------------------------------------------
 
-    def access_stream(self, addrs: np.ndarray, writes: "np.ndarray | None" = None) -> np.ndarray:
-        """Simulate a stream of accesses; returns a bool hit-mask.
-
-        ``addrs`` is an integer array of byte addresses; ``writes`` an
-        optional bool array of the same length marking stores.
-        """
+    def _stream_inputs(
+        self, addrs: np.ndarray, writes: "np.ndarray | None"
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         addrs = np.asarray(addrs, dtype=np.int64)
         if writes is None:
             writes = np.zeros(addrs.shape, dtype=bool)
@@ -156,6 +157,89 @@ class SetAssociativeCache:
                 raise ValueError("writes mask shape mismatch")
         lines = addrs >> self._line_shift
         sets = lines & self._set_mask
+        return addrs, writes, lines, sets
+
+    def access_stream(self, addrs: np.ndarray, writes: "np.ndarray | None" = None) -> np.ndarray:
+        """Simulate a stream of accesses; returns a bool hit-mask.
+
+        ``addrs`` is an integer array of byte addresses; ``writes`` an
+        optional bool array of the same length marking stores.
+
+        Cache sets are independent, so the stream is regrouped by set
+        (order *within* each set preserved) and processed in rounds:
+        round ``k`` handles the ``k``-th access of every active set at
+        once with vectorised tag/LRU/dirty updates.  The result — hit
+        mask, state and counters — is identical to replaying the stream
+        through :meth:`access` one address at a time.
+        """
+        addrs, writes, lines, sets = self._stream_inputs(addrs, writes)
+        n = addrs.shape[0]
+        hits = np.empty(n, dtype=bool)
+        if n == 0:
+            return hits
+
+        # group by set, preserving per-set stream order (radix sort: the
+        # set index is a small non-negative int)
+        order = np.argsort(sets.astype(np.int32), kind="stable")
+        sorted_sets = sets[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_sets[1:] != sorted_sets[:-1]))
+        )
+        counts = np.diff(np.append(starts, n))
+        tags, lru, dirty = self._tags, self._lru, self._dirty
+        st = self.stats
+        has_writes = bool(writes.any())
+        all_rows = np.arange(starts.shape[0])
+
+        for k in range(int(counts.max())):
+            active = counts > k
+            idx = order[starts[active] + k]  # one access per set: no collisions
+            s = sets[idx]
+            line = lines[idx]
+            m = idx.shape[0]
+            rows = all_rows[:m]
+
+            tag_rows = tags[s]                       # (m, ways) gather
+            eq = tag_rows == line[:, None]
+            hit_way = np.argmax(eq, axis=1)
+            hit = eq[rows, hit_way]                  # all-False rows argmax to 0
+            miss = ~hit
+            lru_rows = lru[s]
+            victim = np.argmax(lru_rows, axis=1)     # oldest way per set
+            way = np.where(hit, hit_way, victim)
+
+            evict = miss & (tag_rows[rows, victim] != -1)
+            st.accesses += m
+            st.hits += int(hit.sum())
+            st.misses += int(miss.sum())
+            st.evictions += int(evict.sum())
+            st.writebacks += int((evict & dirty[s, victim]).sum())
+
+            ms, mw = s[miss], way[miss]
+            tags[ms, mw] = line[miss]
+            dirty[ms, mw] = False
+            if has_writes:
+                w = writes[idx]
+                dirty[s[w], way[w]] = True
+
+            # age update: ways younger than the touched way's age grow by one
+            age = lru_rows[rows, way]
+            lru_rows += lru_rows < age[:, None]
+            lru_rows[rows, way] = 0
+            lru[s] = lru_rows
+
+            hits[idx] = hit
+        return hits
+
+    def access_stream_scalar(
+        self, addrs: np.ndarray, writes: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Reference per-access loop with ``access_stream`` semantics.
+
+        Kept as the oracle the vectorised kernel is benchmarked and
+        property-tested against; do not use it on hot paths.
+        """
+        addrs, writes, lines, sets = self._stream_inputs(addrs, writes)
         hits = np.empty(addrs.shape, dtype=bool)
         tags_all, lru_all, dirty_all = self._tags, self._lru, self._dirty
         st = self.stats

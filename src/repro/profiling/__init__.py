@@ -16,6 +16,9 @@ The offline half of the ecoHMEM workflow (Section IV-A):
   per-allocation-site statistics for the Advisor.
 - :mod:`~repro.profiling.metrics` — derived metrics (per-object bandwidth,
   lifetimes, bandwidth regions).
+- :mod:`~repro.profiling.cache` — memoization of the profiling stage
+  (the paper's profile-once property): :class:`ProfileStore` keyed by
+  :class:`ProfileKey`.
 """
 
 from repro.profiling.events import (
@@ -33,6 +36,14 @@ from repro.profiling.metrics import (
     object_bandwidth,
     bandwidth_region,
     BandwidthRegion,
+)
+from repro.profiling.cache import (
+    ProfileKey,
+    ProfileStore,
+    default_store,
+    reset_default_store,
+    resolve_store,
+    workload_fingerprint,
 )
 
 __all__ = [
@@ -53,4 +64,10 @@ __all__ = [
     "object_bandwidth",
     "bandwidth_region",
     "BandwidthRegion",
+    "ProfileKey",
+    "ProfileStore",
+    "default_store",
+    "reset_default_store",
+    "resolve_store",
+    "workload_fingerprint",
 ]

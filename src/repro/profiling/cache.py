@@ -1,0 +1,303 @@
+"""Memoization of the profiling stage (trace + Paramedir analysis).
+
+The paper's workflow profiles *once* and reuses the per-site profiles for
+every placement decision that consumes them — the profile is a property of
+the code and the cache hierarchy, not of the placement under evaluation.
+The experiment harness, however, historically re-ran trace + analysis for
+every (DRAM limit, metrics) sweep cell.  :class:`ProfileStore` restores
+the profile-once property: per-site profiles are cached under a
+:class:`ProfileKey` covering everything the profiling stage depends on —
+workload content, tracer seed, stack format, PEBS sampling rate, number
+of profiled ranks and rank jitter.
+
+Two layers:
+
+- an in-memory LRU (per process, bounded by ``capacity``), and
+- an optional on-disk layer (content-hashed JSON files under a cache
+  directory) for cross-process reuse, e.g. by the parallel sweep runner.
+
+Stored profiles are returned as deep copies so callers may mutate their
+view freely; the cache entry stays pristine.  Cached results are
+bit-identical to a fresh computation: the tracer is fully deterministic
+given the key, and the JSON round trip preserves floats exactly
+(``repr``-based shortest-roundtrip encoding).
+
+Environment knobs (read by :func:`resolve_store`):
+
+``REPRO_PROFILE_CACHE``
+    Set to ``0``/``off``/``false`` to disable memoization entirely.
+``REPRO_PROFILE_CACHE_DIR``
+    Directory for the on-disk layer of the process-wide default store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from copy import deepcopy
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.binary.callstack import BOMFrame, HumanFrame
+from repro.errors import ConfigError
+from repro.profiling.paramedir import SiteKey, SiteProfile
+
+#: bump when the serialized layout changes; stale files are ignored
+_DISK_FORMAT_VERSION = 1
+
+
+def workload_fingerprint(workload) -> str:
+    """A stable content hash of a workload definition.
+
+    Phase, site, object-spec and access-stat dataclasses carry only
+    primitives, so their ``repr`` is canonical; ``Workload`` itself is a
+    plain class, so its scalar fields are hashed explicitly.  The hash
+    distinguishes same-named workloads with different content (e.g. the
+    scaled variants the input-sensitivity ablation builds).
+    """
+    canon = (
+        workload.name,
+        tuple(repr(p) for p in workload.phases),
+        tuple(repr(o) for o in workload.objects),
+        workload.ranks,
+        workload.threads,
+        repr(workload.mlp),
+        repr(workload.locality),
+        repr(workload.conflict_pressure),
+        repr(workload.ws_factor),
+        workload.non_heap_bytes,
+    )
+    return hashlib.sha256(repr(canon).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ProfileKey:
+    """Everything the profiling stage's output depends on."""
+
+    workload: str
+    fingerprint: str
+    seed: int
+    stack_format: str
+    pebs_hz: float
+    profile_ranks: int
+    rank_jitter: float
+
+    def digest(self) -> str:
+        """Content hash used as the on-disk file name."""
+        canon = json.dumps(
+            {
+                "workload": self.workload,
+                "fingerprint": self.fingerprint,
+                "seed": self.seed,
+                "stack_format": self.stack_format,
+                "pebs_hz": repr(self.pebs_hz),
+                "profile_ranks": self.profile_ranks,
+                "rank_jitter": repr(self.rank_jitter),
+                "version": _DISK_FORMAT_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canon.encode()).hexdigest()[:32]
+
+
+# -- (de)serialization --------------------------------------------------------
+
+
+def _encode_site_key(key: SiteKey) -> List[list]:
+    frames: List[list] = []
+    for f in key:
+        if isinstance(f, BOMFrame):
+            frames.append(["bom", f.object_name, f.offset])
+        elif isinstance(f, HumanFrame):
+            frames.append(["human", f.source_file, f.line])
+        elif isinstance(f, int):
+            frames.append(["raw", f])
+        else:  # pragma: no cover - closed frame set
+            raise ConfigError(f"unserializable site-key frame {f!r}")
+    return frames
+
+
+def _decode_site_key(frames: List[list]) -> SiteKey:
+    out = []
+    for f in frames:
+        kind = f[0]
+        if kind == "bom":
+            out.append(BOMFrame(object_name=f[1], offset=f[2]))
+        elif kind == "human":
+            out.append(HumanFrame(source_file=f[1], line=f[2]))
+        elif kind == "raw":
+            out.append(f[1])
+        else:  # pragma: no cover - version guard above
+            raise ConfigError(f"unknown site-key frame kind {kind!r}")
+    return tuple(out)
+
+
+def _encode_profile(prof: SiteProfile) -> dict:
+    return {
+        "site_key": _encode_site_key(prof.site_key),
+        "largest_alloc": prof.largest_alloc,
+        "alloc_count": prof.alloc_count,
+        "free_count": prof.free_count,
+        "load_misses": prof.load_misses,
+        "store_misses": prof.store_misses,
+        "load_samples": prof.load_samples,
+        "store_samples": prof.store_samples,
+        "first_alloc": prof.first_alloc,
+        "last_free": prof.last_free,
+        "total_live_time": prof.total_live_time,
+        "spans": [list(s) for s in prof.spans],
+        "mean_load_latency_ns": prof.mean_load_latency_ns,
+    }
+
+
+def _decode_profile(data: dict) -> SiteProfile:
+    return SiteProfile(
+        site_key=_decode_site_key(data["site_key"]),
+        largest_alloc=data["largest_alloc"],
+        alloc_count=data["alloc_count"],
+        free_count=data["free_count"],
+        load_misses=data["load_misses"],
+        store_misses=data["store_misses"],
+        load_samples=data["load_samples"],
+        store_samples=data["store_samples"],
+        first_alloc=data["first_alloc"],
+        last_free=data["last_free"],
+        total_live_time=data["total_live_time"],
+        spans=[tuple(s) for s in data["spans"]],
+        mean_load_latency_ns=data["mean_load_latency_ns"],
+    )
+
+
+Profiles = Dict[SiteKey, SiteProfile]
+
+
+class ProfileStore:
+    """Two-layer (memory LRU + optional disk) cache of per-site profiles."""
+
+    def __init__(self, capacity: int = 32, disk_dir: Optional[str] = None):
+        if capacity < 1:
+            raise ConfigError(f"ProfileStore capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[ProfileKey, Profiles]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: ProfileKey) -> Optional[Profiles]:
+        """Cached profiles for ``key`` (a private deep copy), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return deepcopy(entry)
+        entry = self._read_disk(key)
+        if entry is not None:
+            self.disk_hits += 1
+            self._insert(key, entry)
+            return deepcopy(entry)
+        return None
+
+    def put(self, key: ProfileKey, profiles: Profiles) -> None:
+        """Insert ``profiles`` (copied) into both layers."""
+        self._insert(key, deepcopy(profiles))
+        self._write_disk(key, profiles)
+
+    def get_or_compute(
+        self, key: ProfileKey, compute: Callable[[], Profiles]
+    ) -> Profiles:
+        """The memoization primitive the harness uses."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        self.misses += 1
+        profiles = compute()
+        self.put(key, profiles)
+        return profiles
+
+    # -- internals ------------------------------------------------------------
+
+    def _insert(self, key: ProfileKey, profiles: Profiles) -> None:
+        self._entries[key] = profiles
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _path(self, key: ProfileKey) -> str:
+        return os.path.join(self.disk_dir, f"profiles-{key.digest()}.json")
+
+    def _read_disk(self, key: ProfileKey) -> Optional[Profiles]:
+        if self.disk_dir is None:
+            return None
+        try:
+            with open(self._path(key)) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if data.get("version") != _DISK_FORMAT_VERSION:
+            return None
+        profiles = {}
+        for entry in data["profiles"]:
+            prof = _decode_profile(entry)
+            profiles[prof.site_key] = prof
+        return profiles
+
+    def _write_disk(self, key: ProfileKey, profiles: Profiles) -> None:
+        if self.disk_dir is None:
+            return
+        os.makedirs(self.disk_dir, exist_ok=True)
+        payload = {
+            "version": _DISK_FORMAT_VERSION,
+            "key": asdict(key),
+            "profiles": [_encode_profile(p) for p in profiles.values()],
+        }
+        # atomic publish: concurrent sweep workers may race on the same key
+        fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:  # pragma: no cover - disk layer is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+_default_store: Optional[ProfileStore] = None
+
+
+def default_store() -> ProfileStore:
+    """The process-wide store (disk layer from ``REPRO_PROFILE_CACHE_DIR``)."""
+    global _default_store
+    if _default_store is None:
+        _default_store = ProfileStore(
+            disk_dir=os.environ.get("REPRO_PROFILE_CACHE_DIR") or None
+        )
+    return _default_store
+
+
+def reset_default_store() -> None:
+    """Drop the process-wide store (tests, or to re-read the environment)."""
+    global _default_store
+    _default_store = None
+
+
+def resolve_store(store: Optional[ProfileStore]) -> Optional[ProfileStore]:
+    """The store a pipeline run should use; ``None`` = memoization off."""
+    if store is not None:
+        return store
+    if os.environ.get("REPRO_PROFILE_CACHE", "1").lower() in ("0", "off", "false", "no"):
+        return None
+    return default_store()

@@ -15,16 +15,12 @@ class TestProfDPRunner:
         """The paper could not run ProfDP on MiniMD (HPCToolkit crash)."""
         from repro.apps import get_workload
         wl = get_workload("minimd")
-        baseline = run_memory_mode(get_workload("minimd"), system6)
-        variant, run = run_profdp_best(wl, system6, dram_limit=12 * GiB,
-                                       baseline=baseline)
+        variant, run = run_profdp_best(wl, system6, dram_limit=12 * GiB)
         assert variant is None and run is None
 
     def test_toy_returns_best_variant(self, system6):
         wl = make_toy_workload()
-        baseline = run_memory_mode(make_toy_workload(), system6)
-        variant, run = run_profdp_best(wl, system6, dram_limit=64 * MiB,
-                                       baseline=baseline)
+        variant, run = run_profdp_best(wl, system6, dram_limit=64 * MiB)
         assert variant is not None
         assert run.total_time > 0
         # "best" really is the fastest of the four variants

@@ -1,0 +1,87 @@
+"""The parallel sweep runner (repro.experiments.parallel).
+
+The headline guarantee: a sweep dispatched over worker processes is
+*bit-identical* to the serial run — same functions, same inputs, results
+reassembled in spec order.  Verified on a synthetic task and on a reduced
+Figure 6 sweep end to end.
+"""
+
+import pytest
+
+from repro.experiments.fig6_sweep import compute_fig6
+from repro.experiments.parallel import JOBS_ENV, resolve_jobs, run_sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert resolve_jobs() == 4
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(0) >= 1
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+class TestRunSweep:
+    def test_serial_matches_map(self):
+        assert run_sweep(_square, range(10), jobs=1) == [x * x for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        assert run_sweep(_square, range(20), jobs=4) == \
+            run_sweep(_square, range(20), jobs=1)
+
+    def test_empty_specs(self):
+        assert run_sweep(_square, [], jobs=4) == []
+
+    def test_single_spec_skips_pool(self):
+        assert run_sweep(_square, [6], jobs=8) == [36]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            run_sweep(_raise_on_three, range(5), jobs=2)
+        with pytest.raises(ValueError):
+            run_sweep(_raise_on_three, range(5), jobs=1)
+
+
+class TestFig6Parallel:
+    def test_parallel_fig6_bit_identical_to_serial(self):
+        """The acceptance check: jobs=2 reproduces the serial sweep exactly."""
+        kwargs = dict(apps=["minife"], pmem_configs=(6,),
+                      dram_limits_gb=[8, 12], include_baseline_rows=True)
+        serial = compute_fig6(jobs=1, **kwargs)
+        parallel = compute_fig6(jobs=2, **kwargs)
+        assert parallel.cells == serial.cells  # full float precision
+        assert parallel.tiering == serial.tiering
+        assert parallel.profdp == serial.profdp
+        assert parallel.profdp_variant == serial.profdp_variant
+
+    def test_lookup_on_parallel_result(self):
+        result = compute_fig6(apps=["minife"], pmem_configs=(6,),
+                              dram_limits_gb=[12],
+                              include_baseline_rows=False, jobs=2)
+        assert result.lookup("minife", 6, 12, "loads") > 0
+        with pytest.raises(KeyError):
+            result.lookup("minife", 6, 4, "loads")

@@ -1,0 +1,134 @@
+"""Vectorized-vs-scalar equivalence for the cache batch kernel.
+
+``access_stream`` regroups the stream by set and replays it in rounds;
+these property-style tests pin it bit-for-bit to the per-access oracle
+(:meth:`access` and :meth:`access_stream_scalar`): identical hit masks,
+identical counters (hits/misses/evictions/writebacks) and identical
+internal tag/LRU/dirty state, across associativities (including
+direct-mapped), stream shapes and write mixes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import SetAssociativeCache
+
+CONFIGS = [
+    # (size, line_size, ways, label)
+    (4096, 64, 1, "direct-mapped"),
+    (8192, 64, 2, "2-way"),
+    (32768, 64, 8, "l1-like"),
+    (64 * 1024, 128, 4, "wide-lines"),
+    (1024 * 1024, 64, 16, "llc-like"),
+]
+
+
+def _mk(config):
+    size, line, ways, _ = config
+    return SetAssociativeCache(size, line_size=line, ways=ways, name="t")
+
+
+def _streams(rng, n, span, write_frac):
+    addrs = rng.randint(0, span, size=n).astype(np.int64)
+    writes = rng.random_sample(n) < write_frac
+    return addrs, writes
+
+
+def _assert_equivalent(vec, ref, hits_vec, hits_ref):
+    assert np.array_equal(hits_vec, hits_ref)
+    assert vec.stats.accesses == ref.stats.accesses
+    assert vec.stats.hits == ref.stats.hits
+    assert vec.stats.misses == ref.stats.misses
+    assert vec.stats.evictions == ref.stats.evictions
+    assert vec.stats.writebacks == ref.stats.writebacks
+    assert np.array_equal(vec._tags, ref._tags)
+    assert np.array_equal(vec._lru, ref._lru)
+    assert np.array_equal(vec._dirty, ref._dirty)
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("config", CONFIGS, ids=[c[3] for c in CONFIGS])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_random_mixed_stream(self, config, seed):
+        """Random read/write streams spanning ~4x the cache capacity."""
+        rng = np.random.RandomState(seed)
+        vec, ref = _mk(config), _mk(config)
+        addrs, writes = _streams(rng, 4000, span=4 * config[0], write_frac=0.3)
+        _assert_equivalent(
+            vec, ref,
+            vec.access_stream(addrs, writes),
+            ref.access_stream_scalar(addrs, writes),
+        )
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=[c[3] for c in CONFIGS])
+    def test_matches_single_access_oracle(self, config):
+        """The batch kernel equals a literal per-address `access` replay."""
+        rng = np.random.RandomState(3)
+        vec, ref = _mk(config), _mk(config)
+        addrs, writes = _streams(rng, 1500, span=2 * config[0], write_frac=0.5)
+        hits_vec = vec.access_stream(addrs, writes)
+        hits_ref = np.array([
+            ref.access(int(a), is_write=bool(w)) for a, w in zip(addrs, writes)
+        ])
+        _assert_equivalent(vec, ref, hits_vec, hits_ref)
+
+    def test_hot_set_conflict_stream(self):
+        """Many accesses folding into few sets (deep per-set rounds)."""
+        config = (8192, 64, 2, "2-way")
+        vec, ref = _mk(config), _mk(config)
+        rng = np.random.RandomState(11)
+        # only 4 distinct sets -> per-set sequences are ~500 rounds deep
+        lines = rng.randint(0, 8, size=2000).astype(np.int64) * vec.num_sets \
+            + rng.randint(0, 4, size=2000)
+        addrs = lines * 64
+        writes = rng.random_sample(2000) < 0.4
+        _assert_equivalent(
+            vec, ref,
+            vec.access_stream(addrs, writes),
+            ref.access_stream_scalar(addrs, writes),
+        )
+
+    def test_sequential_then_rescan(self):
+        """The classic LRU stress: linear sweep larger than the cache, twice."""
+        config = (32768, 64, 8, "l1")
+        vec, ref = _mk(config), _mk(config)
+        sweep = np.arange(0, 2 * 32768, 8, dtype=np.int64)
+        addrs = np.concatenate([sweep, sweep])
+        _assert_equivalent(
+            vec, ref,
+            vec.access_stream(addrs),
+            ref.access_stream_scalar(addrs),
+        )
+
+    def test_reads_only_never_write_back(self):
+        vec = _mk((8192, 64, 2, ""))
+        addrs = np.random.RandomState(5).randint(0, 65536, 5000).astype(np.int64)
+        vec.access_stream(addrs)
+        assert vec.stats.writebacks == 0
+        assert not vec._dirty.any()
+
+    def test_empty_stream(self):
+        vec = _mk((4096, 64, 1, ""))
+        hits = vec.access_stream(np.array([], dtype=np.int64))
+        assert hits.shape == (0,)
+        assert vec.stats.accesses == 0
+
+    def test_stream_resumes_scalar_state(self):
+        """Interleaving scalar accesses and batch calls shares one state."""
+        vec, ref = _mk((8192, 64, 2, "")), _mk((8192, 64, 2, ""))
+        rng = np.random.RandomState(2)
+        a1, w1 = _streams(rng, 700, span=32768, write_frac=0.25)
+        a2, w2 = _streams(rng, 700, span=32768, write_frac=0.25)
+        h1 = vec.access_stream(a1, w1)
+        for a, w in zip(a2, w2):
+            vec.access(int(a), is_write=bool(w))
+        r1 = ref.access_stream_scalar(a1, w1)
+        r2 = ref.access_stream_scalar(a2, w2)
+        assert np.array_equal(h1, r1)
+        _assert_equivalent(vec, ref, h1, r1)
+
+    def test_writes_shape_mismatch_rejected(self):
+        vec = _mk((4096, 64, 1, ""))
+        with pytest.raises(ValueError):
+            vec.access_stream(np.zeros(4, dtype=np.int64),
+                              np.zeros(3, dtype=bool))

@@ -1,0 +1,185 @@
+"""The profiling memoization layer (repro.profiling.cache).
+
+The contract under test: cached profiles are *bit-identical* to a fresh
+trace + Paramedir computation — through the in-memory LRU, through the
+on-disk JSON layer (float-exact round trip), and all the way up to the
+pipeline results built from them.
+"""
+
+import pytest
+
+from repro.experiments.harness import profile_workload, run_ecohmem
+from repro.memsim.subsystem import pmem6_system
+from repro.profiling.cache import (
+    ProfileKey,
+    ProfileStore,
+    resolve_store,
+    workload_fingerprint,
+)
+from repro.units import MiB
+
+from tests.conftest import make_toy_workload
+
+
+def _key(**overrides):
+    base = dict(workload="toy", fingerprint="f" * 16, seed=11,
+                stack_format="bom", pebs_hz=100.0, profile_ranks=1,
+                rank_jitter=0.0)
+    base.update(overrides)
+    return ProfileKey(**base)
+
+
+class TestWorkloadFingerprint:
+    def test_stable_across_equal_builds(self):
+        assert workload_fingerprint(make_toy_workload()) == \
+            workload_fingerprint(make_toy_workload())
+
+    def test_distinguishes_scaled_content(self):
+        """Same-named workloads with different rates must not collide."""
+        from repro.experiments.ablations import scale_workload
+        wl = make_toy_workload()
+        scaled = scale_workload(wl, rate_scale=1.5)
+        assert scaled.name == wl.name
+        assert workload_fingerprint(scaled) != workload_fingerprint(wl)
+
+    def test_distinguishes_scalar_fields(self):
+        assert workload_fingerprint(make_toy_workload(ranks=2)) != \
+            workload_fingerprint(make_toy_workload(ranks=4))
+
+
+class TestProfileStoreMemory:
+    def test_cached_equals_fresh(self):
+        wl = make_toy_workload()
+        store = ProfileStore()
+        fresh = profile_workload(wl, profile_store=store)
+        assert store.misses == 1
+        cached = profile_workload(make_toy_workload(), profile_store=store)
+        assert store.hits == 1
+        assert cached == fresh
+
+    def test_returns_private_copies(self):
+        store = ProfileStore()
+        first = profile_workload(make_toy_workload(), profile_store=store)
+        key = next(iter(first))
+        first[key].load_misses = -1.0
+        again = profile_workload(make_toy_workload(), profile_store=store)
+        assert again[key].load_misses != -1.0
+
+    def test_lru_eviction(self):
+        store = ProfileStore(capacity=1)
+        store.put(_key(seed=1), {})
+        store.put(_key(seed=2), {})
+        assert len(store) == 1
+        assert store.get(_key(seed=1)) is None
+        assert store.get(_key(seed=2)) is not None
+
+    def test_key_covers_knobs(self):
+        """Different profiling knobs must produce different cache entries."""
+        wl = make_toy_workload()
+        store = ProfileStore()
+        a = profile_workload(wl, profile_store=store, pebs_hz=100.0)
+        b = profile_workload(wl, profile_store=store, pebs_hz=500.0)
+        assert store.hits == 0 and store.misses == 2
+        assert a != b
+
+
+class TestProfileStoreDisk:
+    def test_disk_roundtrip_exact(self, tmp_path):
+        """A fresh process (fresh store) reloads bit-identical profiles."""
+        wl = make_toy_workload()
+        writer = ProfileStore(disk_dir=str(tmp_path))
+        fresh = profile_workload(wl, profile_store=writer)
+        reader = ProfileStore(disk_dir=str(tmp_path))
+        reloaded = profile_workload(make_toy_workload(), profile_store=reader)
+        assert reader.disk_hits == 1 and reader.misses == 0
+        assert reloaded == fresh
+        for key, prof in fresh.items():
+            got = reloaded[key]
+            # float-exact, not approx: JSON uses shortest-roundtrip reprs
+            assert got.load_misses == prof.load_misses
+            assert got.store_misses == prof.store_misses
+            assert got.first_alloc == prof.first_alloc
+            assert got.spans == prof.spans
+
+    def test_corrupt_file_falls_back_to_compute(self, tmp_path):
+        wl = make_toy_workload()
+        writer = ProfileStore(disk_dir=str(tmp_path))
+        fresh = profile_workload(wl, profile_store=writer)
+        for path in tmp_path.iterdir():
+            path.write_text("{ not json")
+        reader = ProfileStore(disk_dir=str(tmp_path))
+        recomputed = profile_workload(make_toy_workload(), profile_store=reader)
+        assert reader.misses == 1
+        assert recomputed == fresh
+
+
+class TestCrossProcessDeterminism:
+    def test_site_keys_stable_across_hash_seeds(self):
+        """BOM site keys must not depend on PYTHONHASHSEED.
+
+        The on-disk cache layer is only sound if a profile computed in
+        one interpreter matches the registry built in another; builtin
+        ``hash()`` is salted per process, so symbol layout must not use
+        it (regression test for the sites.py size derivation).
+        """
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.apps import get_workload\n"
+            "from repro.apps.sites import SiteRegistry\n"
+            "wl = get_workload('minife')\n"
+            "proc = SiteRegistry(wl).make_process(rank=0, aslr_seed=7)\n"
+            "from repro.binary.callstack import StackFormat\n"
+            "print(sorted(repr(proc.site_key(s, StackFormat.BOM))\n"
+            "             for s in wl.sites()))\n"
+        )
+        outs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            outs.append(subprocess.run(
+                [sys.executable, "-c", code], env=env, capture_output=True,
+                text=True, check=True, cwd=os.path.dirname(
+                    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            ).stdout)
+        assert outs[0] == outs[1]
+
+
+class TestResolveStore:
+    def test_explicit_store_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_CACHE", "off")
+        store = ProfileStore()
+        assert resolve_store(store) is store
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no"])
+    def test_env_disables_default(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_CACHE", value)
+        assert resolve_store(None) is None
+
+
+class TestPipelineEquivalence:
+    def test_cached_pipeline_identical_to_uncached(self, monkeypatch):
+        wl = make_toy_workload()
+        system = pmem6_system()
+        store = ProfileStore()
+        warmup = run_ecohmem(wl, system, dram_limit=64 * MiB,
+                             profile_store=store)
+        cached = run_ecohmem(make_toy_workload(), system, dram_limit=64 * MiB,
+                             profile_store=store)
+        monkeypatch.setenv("REPRO_PROFILE_CACHE", "off")
+        uncached = run_ecohmem(make_toy_workload(), system,
+                               dram_limit=64 * MiB)
+        assert store.hits == 1
+        assert cached.run.total_time == uncached.run.total_time
+        assert cached.site_placement == uncached.site_placement
+        assert warmup.run.total_time == uncached.run.total_time
+
+    def test_custom_registry_bypasses_cache(self):
+        from repro.apps.sites import SiteRegistry
+        wl = make_toy_workload()
+        store = ProfileStore()
+        profile_workload(wl, profile_store=store,
+                         registry=SiteRegistry(wl))
+        assert len(store) == 0 and store.misses == 0

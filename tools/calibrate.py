@@ -69,8 +69,7 @@ def show(app: str, quick: bool = False) -> None:
             tier = run_tiering(get_workload(app), sys6)
             print(f"  tiering       : {tier.speedup_vs(mm6):5.2f}  "
                   f"(tgt: >1 for minife/hpcg, below eco)")
-            var, pd = run_profdp_best(get_workload(app), sys6, dram_limit=12 * GiB,
-                                      baseline=mm6)
+            var, pd = run_profdp_best(get_workload(app), sys6, dram_limit=12 * GiB)
             if pd is not None:
                 print(f"  profdp best   : {pd.speedup_vs(mm6):5.2f} [{var.label}]")
         if app in BW_AWARE:

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Pipeline performance benchmark: the fast paths vs their reference paths.
+
+Three sections, mirroring the three optimisation layers:
+
+``kernel``
+    The vectorised cache batch kernel (``access_stream``) against the
+    scalar oracle (``access_stream_scalar``) on generator streams over an
+    LLC-sized cache, asserting identical hit masks and counters.
+``profile_cache``
+    One ``run_ecohmem`` with a cold :class:`ProfileStore` vs the same run
+    served from the warm store, asserting identical results.
+``fig6_sweep``
+    A reduced Figure 6 sweep, serial + memoization off vs parallel +
+    shared on-disk profile cache, asserting bit-identical cells.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_bench.py [--quick] [-o BENCH_pipeline.json]
+
+``--quick`` shrinks the streams and the sweep for CI smoke runs; the
+speedup assertions (kernel >= 10x) only apply to the full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.apps import get_workload
+from repro.apps.generators import (
+    Region, hot_cold_stream, random_access, sequential_stream,
+)
+from repro.experiments.fig6_sweep import compute_fig6
+from repro.experiments.harness import run_ecohmem
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.subsystem import pmem6_system
+from repro.profiling.cache import ProfileStore, reset_default_store
+from repro.units import GiB, MiB
+
+LLC = dict(size=16 * MiB, line_size=64, ways=16)
+
+
+def _llc() -> SetAssociativeCache:
+    return SetAssociativeCache(name="llc", **LLC)
+
+
+def _kernel_streams(n: int):
+    span = Region(0, 4 * LLC["size"])
+    hot = Region(0, LLC["size"] // 4)
+    rng = np.random.default_rng(42)
+    return {
+        "sequential": (sequential_stream(Region(0, n * 8), stride=8), None),
+        "random": (random_access(span, n, seed=1),
+                   rng.random(n) < 0.3),
+        "hot_cold": (hot_cold_stream(hot, span, n, seed=2),
+                     rng.random(n) < 0.3),
+    }
+
+
+def bench_kernel(quick: bool) -> dict:
+    n = 120_000 if quick else 1_000_000
+    out = {"accesses_per_stream": n, "streams": {}}
+    total_scalar = total_vec = 0.0
+    for name, (addrs, writes) in _kernel_streams(n).items():
+        ref, vec = _llc(), _llc()
+        t0 = time.perf_counter()
+        hits_ref = ref.access_stream_scalar(addrs, writes)
+        t_scalar = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hits_vec = vec.access_stream(addrs, writes)
+        t_vec = time.perf_counter() - t0
+        assert np.array_equal(hits_vec, hits_ref), f"{name}: hit masks differ"
+        assert vec.stats == ref.stats, f"{name}: counters differ"
+        total_scalar += t_scalar
+        total_vec += t_vec
+        out["streams"][name] = {
+            "scalar_s": round(t_scalar, 4),
+            "vectorized_s": round(t_vec, 4),
+            "speedup": round(t_scalar / t_vec, 2),
+        }
+    out["scalar_s"] = round(total_scalar, 4)
+    out["vectorized_s"] = round(total_vec, 4)
+    out["speedup"] = round(total_scalar / total_vec, 2)
+    return out
+
+
+def bench_profile_cache(quick: bool) -> dict:
+    wl_name = "minife"
+    system = pmem6_system()
+    store = ProfileStore()
+    t0 = time.perf_counter()
+    cold = run_ecohmem(get_workload(wl_name), system, dram_limit=12 * GiB,
+                       profile_store=store)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_ecohmem(get_workload(wl_name), system, dram_limit=12 * GiB,
+                       profile_store=store)
+    t_warm = time.perf_counter() - t0
+    assert store.hits == 1, "warm run did not hit the profile cache"
+    assert warm.run.total_time == cold.run.total_time
+    assert warm.site_placement == cold.site_placement
+    return {
+        "workload": wl_name,
+        "cold_s": round(t_cold, 4),
+        "warm_s": round(t_warm, 4),
+        "speedup": round(t_cold / t_warm, 2),
+    }
+
+
+def _fig6_kwargs(quick: bool) -> dict:
+    if quick:
+        return dict(apps=["minife"], pmem_configs=(6,), dram_limits_gb=[12],
+                    include_baseline_rows=False)
+    return dict(apps=["minife", "minimd"], pmem_configs=(6,),
+                dram_limits_gb=[8, 12], include_baseline_rows=True)
+
+
+def bench_fig6(quick: bool) -> dict:
+    kwargs = _fig6_kwargs(quick)
+    env = os.environ
+
+    # serial, memoization off: the seed behaviour
+    env["REPRO_PROFILE_CACHE"] = "off"
+    reset_default_store()
+    t0 = time.perf_counter()
+    serial = compute_fig6(jobs=1, **kwargs)
+    t_serial = time.perf_counter() - t0
+
+    # parallel, memoized: workers share the profile cache through disk
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        env.pop("REPRO_PROFILE_CACHE", None)
+        env["REPRO_PROFILE_CACHE_DIR"] = cache_dir
+        reset_default_store()
+        jobs = min(os.cpu_count() or 1, 8)
+        t0 = time.perf_counter()
+        fast = compute_fig6(jobs=jobs, **kwargs)
+        t_fast = time.perf_counter() - t0
+    env.pop("REPRO_PROFILE_CACHE_DIR", None)
+    reset_default_store()
+
+    assert fast.cells == serial.cells, "parallel+cached sweep diverged"
+    assert fast.tiering == serial.tiering
+    assert fast.profdp == serial.profdp
+    return {
+        "cells": len(serial.cells),
+        "jobs": jobs,
+        "serial_uncached_s": round(t_serial, 4),
+        "parallel_cached_s": round(t_fast, 4),
+        "speedup": round(t_serial / t_fast, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small streams / reduced sweep (CI smoke)")
+    parser.add_argument("-o", "--output", default="BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+
+    results = {"quick": args.quick}
+    print(f"cache kernel ({'quick' if args.quick else 'full'}) ...",
+          flush=True)
+    results["kernel"] = bench_kernel(args.quick)
+    print(f"  scalar {results['kernel']['scalar_s']}s -> vectorized "
+          f"{results['kernel']['vectorized_s']}s "
+          f"({results['kernel']['speedup']}x)")
+
+    print("profile memoization ...", flush=True)
+    results["profile_cache"] = bench_profile_cache(args.quick)
+    print(f"  cold {results['profile_cache']['cold_s']}s -> warm "
+          f"{results['profile_cache']['warm_s']}s "
+          f"({results['profile_cache']['speedup']}x)")
+
+    print("fig6 sweep ...", flush=True)
+    results["fig6_sweep"] = bench_fig6(args.quick)
+    print(f"  serial/uncached {results['fig6_sweep']['serial_uncached_s']}s "
+          f"-> parallel/cached {results['fig6_sweep']['parallel_cached_s']}s "
+          f"({results['fig6_sweep']['speedup']}x, "
+          f"jobs={results['fig6_sweep']['jobs']})")
+
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if not args.quick:
+        if results["kernel"]["speedup"] < 10.0:
+            print("FAIL: cache kernel speedup below 10x", file=sys.stderr)
+            return 1
+        if results["fig6_sweep"]["speedup"] < 2.0:
+            print("FAIL: fig6 sweep speedup below 2x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
