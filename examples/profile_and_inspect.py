@@ -5,7 +5,10 @@ The Figure 1 workflow with every artefact made visible: an Extrae-style
 profiling run producing a trace file on disk, Paramedir-style analysis of
 that file, and the Advisor's report — the text FlexMalloc would read.
 
-    python examples/profile_and_inspect.py [workload] [trace.jsonl]
+    python examples/profile_and_inspect.py [workload] [trace.jsonl|trace.npz]
+
+The trace path's suffix picks the on-disk format: ``.jsonl`` is the
+inspectable line-per-event format, ``.npz`` the fast binary columns.
 """
 
 import sys
@@ -16,6 +19,7 @@ from repro import GiB, get_workload, pmem6_system
 from repro.advisor import HMemAdvisor
 from repro.advisor.config import default_config
 from repro.binary.callstack import StackFormat
+from repro.experiments.reporting import render_trace_stats
 from repro.profiling.paramedir import Paramedir
 from repro.profiling.trace import Trace
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
@@ -25,7 +29,7 @@ from repro.units import fmt_size
 def main() -> None:
     app = sys.argv[1] if len(sys.argv) > 1 else "hpcg"
     path = Path(sys.argv[2]) if len(sys.argv) > 2 else \
-        Path(tempfile.gettempdir()) / f"{app}.trace.jsonl"
+        Path(tempfile.gettempdir()) / f"{app}.trace.npz"
 
     workload = get_workload(app)
 
@@ -33,8 +37,8 @@ def main() -> None:
     tracer = ExtraeTracer(workload, TracerConfig(seed=1))
     trace = tracer.run(rank=0, aslr_seed=1)
     trace.dump(path)
-    print(f"profiling run of {app!r}: {trace.num_events} events "
-          f"-> {path} ({fmt_size(path.stat().st_size)})")
+    print(render_trace_stats(trace))
+    print(f"wrote {path} ({fmt_size(path.stat().st_size)})")
 
     # 2. analyze the stored trace (not the in-memory one: the file is the
     #    interface, exactly like Extrae -> Paramedir)

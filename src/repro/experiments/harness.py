@@ -125,6 +125,13 @@ def profile_workload(
     per configuration instead of one per sweep cell.  A custom
     ``registry`` changes the address spaces behind the site keys, so it
     bypasses the cache.
+
+    Determinism is per rank, not per profiling session: the tracer
+    derives each run's generators from ``(seed, rank)``, so profiling
+    rank ``r`` alone yields the same trace as profiling ranks ``0..r``
+    (and the vectorized tracer/analyzer are bit-identical to their
+    scalar oracles) — cached profiles stay valid however the ranks were
+    produced.
     """
 
     def compute() -> Dict[Tuple, SiteProfile]:

@@ -67,3 +67,21 @@ def render_series(
 
 def fmt_speedup(value: Optional[float]) -> str:
     return "n/a" if value is None else f"{value:.2f}x"
+
+
+def render_trace_stats(trace) -> str:
+    """One-screen summary of a trace, from :meth:`Trace.stats`.
+
+    Counts come from the columnar counter index, so this never
+    materializes the sample events.
+    """
+    stats = trace.stats()
+    lines = [
+        f"trace of {stats['workload']!r}: {stats['duration_s']:g}s at "
+        f"{stats['sampling_hz']:g} Hz ({stats['stack_format']} stacks)",
+        f"  allocs {stats['allocs']}, frees {stats['frees']}, "
+        f"samples {stats['samples']}",
+    ]
+    for counter, count in stats["samples_per_counter"].items():
+        lines.append(f"    {counter}: {count}")
+    return "\n".join(lines)

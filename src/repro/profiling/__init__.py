@@ -11,7 +11,8 @@ The offline half of the ecoHMEM workflow (Section IV-A):
   ``MEM_INST_RETIRED.ALL_STORES`` with multinomial attribution noise.
 - :mod:`~repro.profiling.tracer` — the Extrae-like tracer that drives a
   profiling run over a workload and emits a :class:`Trace`.
-- :mod:`~repro.profiling.trace` — trace container with (de)serialization.
+- :mod:`~repro.profiling.trace` — columnar trace container with JSONL and
+  binary ``.npz`` (de)serialization.
 - :mod:`~repro.profiling.paramedir` — the trace analyzer producing
   per-allocation-site statistics for the Advisor.
 - :mod:`~repro.profiling.metrics` — derived metrics (per-object bandwidth,
@@ -29,7 +30,7 @@ from repro.profiling.events import (
 )
 from repro.profiling.object_table import LiveObjectTable, LiveInterval
 from repro.profiling.pebs import PEBSConfig, PEBSSampler
-from repro.profiling.trace import Trace, TraceMeta
+from repro.profiling.trace import SampleColumns, Trace, TraceMeta
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
 from repro.profiling.paramedir import Paramedir, SiteProfile
 from repro.profiling.metrics import (
@@ -55,6 +56,7 @@ __all__ = [
     "LiveInterval",
     "PEBSConfig",
     "PEBSSampler",
+    "SampleColumns",
     "Trace",
     "TraceMeta",
     "ExtraeTracer",

@@ -45,8 +45,10 @@ from repro.binary.callstack import BOMFrame, HumanFrame
 from repro.errors import ConfigError
 from repro.profiling.paramedir import SiteKey, SiteProfile
 
-#: bump when the serialized layout changes; stale files are ignored
-_DISK_FORMAT_VERSION = 1
+#: bump when the serialized layout — or the trace content a key maps to —
+#: changes; stale files are ignored.  v2: per-run tracer RNG derived from
+#: (seed, rank), so profiles for the same key differ from v1.
+_DISK_FORMAT_VERSION = 2
 
 
 def workload_fingerprint(workload) -> str:

@@ -14,6 +14,18 @@ The analyzer replays alloc/free events through a
 sample to the object containing its data address — it does *not* trust any
 side channel from the tracer, so a malformed trace (overlapping objects,
 samples outside any object, frees without allocs) is detected here.
+
+Two implementations share that definition:
+
+- :meth:`Paramedir.analyze` — the vectorized cold path.  Alloc/free
+  edges are replayed scalar (they are few), but all samples falling
+  between two consecutive edges are attributed in one batch: a
+  ``searchsorted`` finds the batch boundary, ``lookup_batch`` resolves
+  the addresses, and per-site weights accumulate with ``np.add.at``
+  (which applies additions in element order, preserving the scalar
+  accumulation order bit for bit).
+- :meth:`Paramedir.analyze_scalar` — the original per-event loop, kept
+  as the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -21,10 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import TraceError
 from repro.profiling.events import HardwareCounter
 from repro.profiling.object_table import LiveObjectTable
-from repro.profiling.trace import Trace
+from repro.profiling.trace import COUNTER_CODE, Trace
 
 SiteKey = Tuple
 
@@ -63,7 +77,137 @@ class Paramedir:
     """Analyze a trace into per-site profiles."""
 
     def analyze(self, trace: Trace) -> Dict[SiteKey, SiteProfile]:
-        """Replay the trace and aggregate per-site statistics."""
+        """Replay the trace and aggregate per-site statistics (vectorized).
+
+        Bit-identical to :meth:`analyze_scalar`: the alloc/free replay is
+        the same scalar loop, sample batches are flushed exactly where the
+        merged ``(time, kind)`` sort would place the edges (samples with
+        ``time < t`` precede an alloc at ``t``; samples with ``time <= t``
+        precede a free), and ``np.add.at`` accumulates per-site weights in
+        the same element order as the scalar ``+=``.
+        """
+        profiles: Dict[SiteKey, SiteProfile] = {}
+        table = LiveObjectTable()
+
+        cols = trace.sample_columns()
+        order = np.argsort(cols.times, kind="stable")
+        times = cols.times[order]
+        addrs = cols.addresses[order]
+        codes = cols.codes[order]
+        lats = cols.latencies[order]
+        weights = cols.weights[order]
+
+        edges: List[Tuple[float, int, object]] = []
+        for ev in trace.allocs:
+            edges.append((ev.time, 0, ev))
+        for ev in trace.frees:
+            edges.append((ev.time, 2, ev))
+        edges.sort(key=lambda e: (e[0], e[1]))
+
+        # enumerate sites in first-alloc order, matching the scalar
+        # ``setdefault`` insertion order
+        site_idx: Dict[SiteKey, int] = {}
+        for _, kind, ev in edges:
+            if kind == 0 and ev.site_key not in site_idx:
+                site_idx[ev.site_key] = len(site_idx)
+                profiles[ev.site_key] = SiteProfile(site_key=ev.site_key)
+        n_sites = len(site_idx)
+
+        load_miss = np.zeros(n_sites)
+        store_miss = np.zeros(n_sites)
+        load_n = np.zeros(n_sites, dtype=np.int64)
+        store_n = np.zeros(n_sites, dtype=np.int64)
+        lat_sum = np.zeros(n_sites)
+        lat_count = np.zeros(n_sites, dtype=np.int64)
+        load_code = COUNTER_CODE[HardwareCounter.LLC_LOAD_MISS]
+        store_code = COUNTER_CODE[HardwareCounter.ALL_STORES]
+
+        # slot id (from the table) -> site index, kept in lockstep with
+        # insert/remove so a flushed batch maps slots to sites in O(1)
+        slot_site = np.full(64, -1, dtype=np.int64)
+        open_allocs: Dict[int, Tuple[SiteKey, float]] = {}
+        cursor = 0
+
+        def flush(upto: int) -> None:
+            nonlocal cursor, load_n, store_n, lat_count
+            if upto <= cursor:
+                return
+            sl = slice(cursor, upto)
+            cursor = upto
+            slots = table.lookup_batch(addrs[sl])
+            hit = slots >= 0
+            if not hit.any():
+                # samples in stacks/statics are legal; just not attributed
+                return
+            sites = slot_site[slots[hit]]
+            c = codes[sl][hit]
+            w = weights[sl][hit]
+            la = lats[sl][hit]
+            is_load = c == load_code
+            if is_load.any():
+                np.add.at(load_miss, sites[is_load], w[is_load])
+                load_n += np.bincount(sites[is_load], minlength=n_sites)
+                has_lat = is_load & ~np.isnan(la)
+                if has_lat.any():
+                    np.add.at(lat_sum, sites[has_lat], la[has_lat])
+                    lat_count += np.bincount(sites[has_lat],
+                                             minlength=n_sites)
+            is_store = c == store_code
+            if is_store.any():
+                np.add.at(store_miss, sites[is_store], w[is_store])
+                store_n += np.bincount(sites[is_store], minlength=n_sites)
+
+        for time_, kind, ev in edges:
+            if kind == 0:  # alloc: samples strictly before it flush first
+                flush(int(np.searchsorted(times, time_, side="left")))
+                prof = profiles[ev.site_key]
+                prof.largest_alloc = max(prof.largest_alloc, ev.size)
+                prof.alloc_count += 1
+                prof.first_alloc = min(prof.first_alloc, ev.time)
+                table.insert(ev.address, ev.size, ev.site_key, ev.time)
+                slot = table.slot_of(ev.address)
+                if slot >= slot_site.size:
+                    grown = np.full(slot_site.size * 2, -1, dtype=np.int64)
+                    grown[: slot_site.size] = slot_site
+                    slot_site = grown
+                slot_site[slot] = site_idx[ev.site_key]
+                open_allocs[ev.address] = (ev.site_key, ev.time)
+            else:  # free: samples at the same timestamp flush first
+                flush(int(np.searchsorted(times, time_, side="right")))
+                info = open_allocs.pop(ev.address, None)
+                if info is None:
+                    raise TraceError(
+                        f"free at {ev.address:#x} without matching alloc")
+                site_key, t_alloc = info
+                table.remove(ev.address)
+                prof = profiles[site_key]
+                prof.free_count += 1
+                prof.last_free = max(prof.last_free, ev.time)
+                prof.total_live_time += ev.time - t_alloc
+                prof.spans.append((t_alloc, ev.time))
+        flush(times.size)
+
+        # objects never freed live until the end of the run
+        run_end = trace.meta.duration
+        for address, (site_key, t_alloc) in open_allocs.items():
+            prof = profiles[site_key]
+            prof.total_live_time += run_end - t_alloc
+            prof.spans.append((t_alloc, run_end))
+            prof.last_free = max(prof.last_free, run_end)
+
+        for key, i in site_idx.items():
+            prof = profiles[key]
+            prof.load_samples = int(load_n[i])
+            prof.load_misses = float(load_miss[i])
+            prof.store_samples = int(store_n[i])
+            prof.store_misses = float(store_miss[i])
+            if lat_count[i]:
+                prof.mean_load_latency_ns = float(lat_sum[i] / lat_count[i])
+            prof.spans.sort()
+        return profiles
+
+    def analyze_scalar(self, trace: Trace) -> Dict[SiteKey, SiteProfile]:
+        """The per-event reference implementation (equivalence oracle)."""
         profiles: Dict[SiteKey, SiteProfile] = {}
         table = LiveObjectTable()
         # merge alloc/free/sample streams in time order; allocs precede
@@ -148,7 +292,11 @@ class Paramedir:
 
         Structural fields merge naturally: ``largest_alloc`` is the max,
         ``alloc_count`` the per-rank mean (the advisor reasons per
-        process), spans are pooled, timestamps take the envelope.
+        process), spans are pooled, timestamps take the envelope, and
+        ``mean_load_latency_ns`` is the sample-weighted mean across the
+        ranks that measured one (weighting by ``load_samples``, so a rank
+        with 10x the samples contributes 10x the evidence; the latency is
+        a per-access property, so it is never divided by rank count).
         """
         if mode not in ("sum", "average"):
             raise ValueError(f"unknown aggregation mode {mode!r}")
@@ -156,6 +304,8 @@ class Paramedir:
             raise ValueError("need at least one rank's profiles")
         merged: Dict[SiteKey, SiteProfile] = {}
         seen_by: Dict[SiteKey, int] = {}
+        lat_weight: Dict[SiteKey, float] = {}
+        lat_samples: Dict[SiteKey, int] = {}
         for profiles in per_rank:
             for key, prof in profiles.items():
                 seen_by[key] = seen_by.get(key, 0) + 1
@@ -174,6 +324,10 @@ class Paramedir:
                 out.last_free = max(out.last_free, prof.last_free)
                 out.total_live_time += prof.total_live_time
                 out.spans.extend(prof.spans)
+                if prof.mean_load_latency_ns is not None and prof.load_samples > 0:
+                    lat_weight[key] = (lat_weight.get(key, 0.0)
+                                       + prof.mean_load_latency_ns * prof.load_samples)
+                    lat_samples[key] = lat_samples.get(key, 0) + prof.load_samples
         for key, out in merged.items():
             n_ranks = seen_by[key]
             # per-process structural quantities: average over observers
@@ -183,6 +337,8 @@ class Paramedir:
             if mode == "average":
                 out.load_misses /= n_ranks
                 out.store_misses /= n_ranks
+            if lat_samples.get(key):
+                out.mean_load_latency_ns = lat_weight[key] / lat_samples[key]
             out.spans.sort()
         return merged
 

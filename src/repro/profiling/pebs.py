@@ -91,24 +91,31 @@ class PEBSSampler:
             (usually a live-object instance or a site key) over the
             interval.  Keys with zero events never receive samples.
         """
-        if end <= start:
-            raise ConfigError(f"empty sampling interval [{start}, {end})")
-        total = float(sum(true_counts.values()))
-        if total < self.config.min_events:
-            return SampleBatch(counter, start, end, {}, total, 0)
+        return self.sample_interval_arrays(
+            counter, start, end,
+            list(true_counts.keys()),
+            np.array(list(true_counts.values()), dtype=float),
+        )
 
-        duration = end - start
-        expected = self.config.frequency_hz * duration
-        # The PMU can't deliver more samples than events occurred.
-        n_samples = int(self._rng.poisson(expected))
-        n_samples = min(n_samples, int(total))
-        if n_samples == 0:
-            return SampleBatch(counter, start, end, {}, total, 0)
+    def sample_interval_arrays(
+        self,
+        counter: HardwareCounter,
+        start: float,
+        end: float,
+        keys: Sequence[object],
+        events: np.ndarray,
+    ) -> SampleBatch:
+        """Array form of :meth:`sample_interval` for vectorized callers.
 
-        keys = list(true_counts.keys())
-        weights = np.array([true_counts[k] for k in keys], dtype=float)
-        probs = weights / weights.sum()
-        draws = self._rng.multinomial(n_samples, probs)
+        ``events[i]`` is the true event count of ``keys[i]``.  The RNG
+        call pattern and float arithmetic are identical to the dict form
+        (the total is accumulated left-to-right like ``sum()`` over dict
+        values), so both entry points draw bit-identical batches.
+        """
+        weights = np.asarray(events, dtype=float)
+        total, n_samples, draws = self.sample_counts(start, end, weights)
+        if draws is None:
+            return SampleBatch(counter, start, end, {}, total, 0)
         counts = {k: int(c) for k, c in zip(keys, draws) if c > 0}
         return SampleBatch(
             counter=counter,
@@ -119,6 +126,36 @@ class PEBSSampler:
             total_samples=n_samples,
         )
 
+    def sample_counts(
+        self, start: float, end: float, weights: np.ndarray
+    ) -> Tuple[float, int, "np.ndarray | None"]:
+        """RNG core shared by both entry points: draw per-key sample counts.
+
+        Returns ``(total_true_events, n_samples, draws)``; ``draws`` is
+        ``None`` when the counter doesn't fire (too few events or an empty
+        Poisson draw).  The RNG call sequence — one ``poisson`` then one
+        ``multinomial`` per firing interval — is the bit-identity contract
+        between the scalar and vectorized tracers.
+        """
+        if end <= start:
+            raise ConfigError(f"empty sampling interval [{start}, {end})")
+        # left-to-right accumulation, matching ``sum()`` over dict values
+        total = float(sum(weights.tolist()))
+        if total < self.config.min_events:
+            return total, 0, None
+
+        duration = end - start
+        expected = self.config.frequency_hz * duration
+        # The PMU can't deliver more samples than events occurred.
+        n_samples = int(self._rng.poisson(expected))
+        n_samples = min(n_samples, int(total))
+        if n_samples == 0:
+            return total, 0, None
+
+        probs = weights / weights.sum()
+        draws = self._rng.multinomial(n_samples, probs)
+        return total, n_samples, draws
+
     def sample_timestamps(self, batch: SampleBatch) -> Dict[object, np.ndarray]:
         """Uniformly spread timestamps for each key's samples in the batch."""
         out: Dict[object, np.ndarray] = {}
@@ -127,3 +164,20 @@ class PEBSSampler:
             ts.sort()
             out[key] = ts
         return out
+
+    def timestamps_flat(self, start: float, end: float,
+                        counts: np.ndarray) -> np.ndarray:
+        """Flat form of :meth:`sample_timestamps` for vectorized callers.
+
+        ``counts`` holds the (positive) per-key sample counts in batch
+        order.  One uniform draw covers every key — consecutive uniform
+        calls read the bit stream sequentially, so one draw of the total
+        splits into the same per-key values — and each key's segment is
+        sorted in place, reproducing the per-key ``sort()``.
+        """
+        ts = self._rng.uniform(start, end, size=int(counts.sum()))
+        offset = 0
+        for c in counts.tolist():
+            ts[offset:offset + c].sort()
+            offset += c
+        return ts

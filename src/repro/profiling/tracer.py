@@ -11,6 +11,24 @@ largest subsystem) — the sampled counters (LLC load misses, retired
 stores) are properties of the cache hierarchy above the placement, so the
 profile is placement-independent, exactly the property the paper's
 workflow relies on (profile once, place, run).
+
+Two implementations share one definition of the run:
+
+- :meth:`ExtraeTracer.run` — the vectorized cold path.  The per-window
+  x per-instance true event counts are precomputed as NumPy matrices
+  (span overlap geometry via ``searchsorted``/broadcasting), and sample
+  materialization is batched: offsets/latencies are drawn per key in the
+  same RNG call order as the scalar loop, addresses resolve through
+  :meth:`LiveObjectTable.lookup_batch`, and batches append to the
+  trace's columnar storage.
+- :meth:`ExtraeTracer.run_scalar` — the original per-event loop, kept
+  as the equivalence oracle (same pattern as
+  ``SetAssociativeCache.access_stream_scalar``).
+
+Both draw from per-run generators derived from ``(config.seed, rank)``,
+so a rank's trace never depends on which ranks were profiled before it,
+and both produce bit-identical traces (the invariant
+``tests/profiling/test_tracer_vectorized.py`` pins).
 """
 
 from __future__ import annotations
@@ -57,7 +75,6 @@ class ExtraeTracer:
         self.workload = workload
         self.config = config
         self.registry = registry or SiteRegistry(workload)
-        self._rng = np.random.default_rng(config.seed)
 
     def run_all_ranks(self, ranks: Optional[int] = None,
                       aslr_base_seed: int = 5000) -> List[Trace]:
@@ -67,6 +84,10 @@ class ExtraeTracer:
         counts — the load imbalance that makes cross-rank *sum* and
         *average* aggregation genuinely different (the ambiguity the paper
         hits when reproducing ProfDP, Section VIII).
+
+        Each rank's generators derive from ``(config.seed, rank)``, so
+        ``run_all_ranks()[r]`` equals a fresh ``run(rank=r)`` — ranks are
+        profiling-order independent.
         """
         n = ranks if ranks is not None else self.workload.ranks
         return [
@@ -74,7 +95,20 @@ class ExtraeTracer:
         ]
 
     def run(self, rank: int = 0, aslr_seed: Optional[int] = None) -> Trace:
-        """Execute the profiling run and return the trace."""
+        """Execute the profiling run and return the trace (vectorized)."""
+        return self._run(rank, aslr_seed, vectorized=True)
+
+    def run_scalar(self, rank: int = 0, aslr_seed: Optional[int] = None) -> Trace:
+        """The per-event reference implementation (equivalence oracle)."""
+        return self._run(rank, aslr_seed, vectorized=False)
+
+    # -- the shared run loop ---------------------------------------------------
+
+    def _run(self, rank: int, aslr_seed: Optional[int], vectorized: bool) -> Trace:
+        # Per-run generators: sample offsets/latencies and rank jitter are
+        # functions of (seed, rank) only — never of previously profiled
+        # ranks (the shared-RNG coupling fixed in PR 2).
+        self._sample_rng = np.random.default_rng((self.config.seed, rank))
         self._rank_rng = np.random.default_rng(self.config.seed * 131 + rank)
         wl = self.workload
         process = self.registry.make_process(
@@ -106,29 +140,36 @@ class ExtraeTracer:
             edges.append((inst.end, 1, inst))
         edges.sort(key=lambda e: (e[0], e[1]))
 
+        duration = wl.nominal_duration
+        win_lo, win_hi = self._window_edges(duration)
+        geometry = None
+        if vectorized:
+            geometry = self._event_matrices(win_lo, win_hi, instances)
+
         addr_of: Dict[Tuple[str, int], int] = {}  # (site, instance) -> address
         edge_i = 0
-        t = 0.0
-        duration = wl.nominal_duration
-        window = self.config.window
         live: Dict[Tuple[str, int], InstanceSpan] = {}
 
-        while t < duration:
-            w_end = min(t + window, duration)
+        for wi in range(len(win_lo)):
+            lo, hi = win_lo[wi], win_hi[wi]
             # apply all edges up to the *start* of the window, then sample,
             # then apply intra-window edges at window end (coarse but keeps
             # the live table consistent with overlap-based counts below)
-            while edge_i < len(edges) and edges[edge_i][0] <= t:
+            while edge_i < len(edges) and edges[edge_i][0] <= lo:
                 self._apply_edge(edges[edge_i], heap, table, trace, process,
                                  addr_of, live, fmt, rank)
                 edge_i += 1
-            self._sample_window(t, w_end, live, addr_of, table, sampler, trace, rank)
+            if vectorized:
+                self._sample_window_vec(wi, lo, hi, live, addr_of, table,
+                                        sampler, trace, rank, geometry)
+            else:
+                self._sample_window(lo, hi, live, addr_of, table, sampler,
+                                    trace, rank)
             # edges strictly inside the window
-            while edge_i < len(edges) and edges[edge_i][0] < w_end:
+            while edge_i < len(edges) and edges[edge_i][0] < hi:
                 self._apply_edge(edges[edge_i], heap, table, trace, process,
                                  addr_of, live, fmt, rank)
                 edge_i += 1
-            t = w_end
         # drain remaining frees at the end of the run
         while edge_i < len(edges):
             self._apply_edge(edges[edge_i], heap, table, trace, process,
@@ -139,6 +180,20 @@ class ExtraeTracer:
         return trace
 
     # -- internals ------------------------------------------------------------
+
+    def _window_edges(self, duration: float) -> Tuple[List[float], List[float]]:
+        """The sampling window boundaries, iterated exactly like the
+        original scalar loop so the float edge values are identical."""
+        lo: List[float] = []
+        hi: List[float] = []
+        t = 0.0
+        window = self.config.window
+        while t < duration:
+            w_end = min(t + window, duration)
+            lo.append(t)
+            hi.append(w_end)
+            t = w_end
+        return lo, hi
 
     def _apply_edge(self, edge, heap, table, trace, process, addr_of, live,
                     fmt, rank) -> None:
@@ -162,6 +217,144 @@ class ExtraeTracer:
             table.remove(address)
             live.pop(key, None)
             trace.add_free(FreeEvent(time=time_, address=address, rank=rank))
+
+    # -- vectorized window geometry -------------------------------------------
+
+    def _event_matrices(self, win_lo: List[float], win_hi: List[float],
+                        instances: List[InstanceSpan]) -> dict:
+        """Precompute per-window x per-instance true event counts.
+
+        Replaces the O(windows * live * spans) scalar accumulation of
+        ``_window_phase_rates``: for each phase span (in timeline order,
+        preserving the scalar accumulation order and therefore the exact
+        float results), the overlap of every (window, instance) pair is a
+        broadcasted min/max, and only the window range the span covers
+        (found with ``searchsorted``) is touched.  Adding a zero overlap
+        contribution is a float no-op, so skipped vs added-zero spans
+        produce bit-identical sums.
+        """
+        lo = np.asarray(win_lo)
+        hi = np.asarray(win_hi)
+        starts = np.array([i.start for i in instances])
+        ends = np.array([i.end for i in instances])
+        n_w, n_i = lo.size, len(instances)
+        e_load = np.zeros((n_w, n_i))
+        e_store = np.zeros((n_w, n_i))
+        rates: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for span in self.workload.spans:
+            pair = rates.get(span.name)
+            if pair is None:
+                rl = np.zeros(n_i)
+                rs = np.zeros(n_i)
+                for i, inst in enumerate(instances):
+                    stats = inst.spec.access.get(span.name)
+                    if stats is not None:
+                        rl[i] = stats.load_rate
+                        rs[i] = stats.sampled_store_rate
+                pair = rates[span.name] = (rl, rs)
+            rl, rs = pair
+            # windows overlapping this span: first with hi > span.start,
+            # last with lo < span.end
+            w0 = int(np.searchsorted(hi, span.start, side="right"))
+            w1 = int(np.searchsorted(lo, span.end, side="left"))
+            if w1 <= w0:
+                continue
+            seg_lo = np.maximum(np.maximum(lo[w0:w1, None], span.start),
+                                starts[None, :])
+            seg_hi = np.minimum(np.minimum(hi[w0:w1, None], span.end),
+                                ends[None, :])
+            dt = seg_hi - seg_lo
+            np.maximum(dt, 0.0, out=dt)
+            e_load[w0:w1] += rl * dt
+            e_store[w0:w1] += rs * dt
+        vis = np.array([i.spec.sampling_visibility for i in instances])
+        sizes = np.fromiter((i.spec.size for i in instances),
+                            dtype=np.int64, count=n_i)
+        col_of = {
+            (inst.spec.site.name, inst.index): i
+            for i, inst in enumerate(instances)
+        }
+        return {"load": e_load, "store": e_store, "vis": vis,
+                "starts": starts, "ends": ends, "sizes": sizes,
+                "col_of": col_of}
+
+    def _sample_window_vec(self, wi, lo, hi, live, addr_of, table, sampler,
+                           trace, rank, geometry) -> None:
+        if not live:
+            return
+        col_of = geometry["col_of"]
+        keys = list(live.keys())
+        n = len(keys)
+        idx = np.fromiter((col_of[k] for k in keys), dtype=np.intp, count=n)
+        vis = geometry["vis"][idx]
+        # clip each key's live span to the window: a sample on a freed
+        # object would be unmatchable
+        t_lo = np.maximum(lo, geometry["starts"][idx])
+        t_hi = np.minimum(hi, geometry["ends"][idx])
+        highs = np.maximum(geometry["sizes"][idx] - 8, 1)
+        bases = np.fromiter((addr_of[k] for k in keys), dtype=np.int64,
+                            count=n)
+        span = hi - lo
+        rng = self._sample_rng
+        for counter, matrix in ((HardwareCounter.LLC_LOAD_MISS, geometry["load"]),
+                                (HardwareCounter.ALL_STORES, geometry["store"])):
+            events = matrix[wi, idx] * vis
+            if self.config.rank_jitter > 0.0:
+                events = events * self._rank_rng.lognormal(
+                    0.0, self.config.rank_jitter, size=n)
+            fpos = np.flatnonzero(events > 0)
+            if fpos.size == 0:
+                continue
+            total, n_samples, draws = sampler.sample_counts(
+                lo, hi, events[fpos])
+            if n_samples == 0:
+                continue
+            # adaptive period: events represented per delivered sample
+            weight = total / n_samples
+            ppos = np.flatnonzero(draws > 0)
+            sel = fpos[ppos]
+            counts = draws[ppos]
+            ts_all = sampler.timestamps_flat(lo, hi, counts)
+            tl = t_lo[sel]
+            th = t_hi[sel]
+            ok = th > tl
+            if not ok.all():
+                # a key whose live span misses the window draws no
+                # offsets/latencies (the scalar guard) and its timestamps
+                # are dropped
+                ts_all = ts_all[np.repeat(ok, counts)]
+                sel, counts, tl, th = sel[ok], counts[ok], tl[ok], th[ok]
+                if sel.size == 0:
+                    continue
+            # The per-key RNG draws (offsets, then latencies) preserve the
+            # scalar call order exactly; everything else runs once per
+            # window on the concatenated batch.
+            is_load = counter is HardwareCounter.LLC_LOAD_MISS
+            off_parts: List[np.ndarray] = []
+            lat_parts: List[np.ndarray] = []
+            if is_load:
+                for h, c in zip(highs[sel].tolist(), counts.tolist()):
+                    off_parts.append(rng.integers(0, h, size=c))
+                    lat_parts.append(rng.normal(200.0, 40.0, size=c))
+            else:
+                for h, c in zip(highs[sel].tolist(), counts.tolist()):
+                    off_parts.append(rng.integers(0, h, size=c))
+            seg = np.repeat(np.arange(sel.size), counts)
+            times = tl[seg] + (ts_all - lo) * (th - tl)[seg] / span
+            addrs = bases[sel][seg] + np.concatenate(off_parts)
+            # the addresses must resolve through the live table, like
+            # Extrae matching PEBS linear addresses to objects
+            slots = table.lookup_batch(addrs)
+            if (slots < 0).any():
+                bad = int(addrs[slots < 0][0])
+                raise TraceError(
+                    f"sample address {bad:#x} fell outside live objects"
+                )
+            lats = np.concatenate(lat_parts) if is_load else None
+            trace.add_sample_batch(times, addrs, counter, rank=rank,
+                                   latencies=lats, weight=weight)
+
+    # -- scalar oracle ---------------------------------------------------------
 
     def _window_phase_rates(self, lo: float, hi: float, inst: InstanceSpan
                             ) -> Tuple[float, float]:
@@ -211,7 +404,7 @@ class ExtraeTracer:
                 ts = t_lo + (ts - lo) * (t_hi - t_lo) / (hi - lo)
                 base = addr_of[key]
                 size = live[key].spec.size
-                offsets = self._rng.integers(0, max(size - 8, 1), size=len(ts))
+                offsets = self._sample_rng.integers(0, max(size - 8, 1), size=len(ts))
                 for time_, off in zip(ts, offsets):
                     addr = base + int(off)
                     # the address must resolve through the live table, like
@@ -223,7 +416,7 @@ class ExtraeTracer:
                         )
                     lat = None
                     if counter is HardwareCounter.LLC_LOAD_MISS:
-                        lat = float(self._rng.normal(200.0, 40.0))
+                        lat = float(self._sample_rng.normal(200.0, 40.0))
                     trace.add_sample(SampleEvent(
                         time=float(time_), counter=counter, data_address=addr,
                         rank=rank, latency_ns=lat, weight=weight,

@@ -1,5 +1,6 @@
 """Tests for the live-object interval index."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -71,6 +72,68 @@ class TestInsertRemove:
         t.insert(0x1000, 0x100, ("a",), 0.0)
         t.insert(0x3000, 0x50, ("b",), 0.0)
         assert t.live_bytes() == 0x150
+
+
+class TestBatchLookup:
+    def test_lookup_batch_matches_point_lookup(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        t.insert(0x3000, 0x80, ("b",), 0.0)
+        addrs = np.array([0x1000, 0x10FF, 0x1100, 0x3040, 0x2000, 0xFFF])
+        slots = t.lookup_batch(addrs)
+        for addr, slot in zip(addrs.tolist(), slots.tolist()):
+            point = t.lookup(addr)
+            if point is None:
+                assert slot == -1
+            else:
+                assert t.interval(int(slot)).site_key == point.site_key
+
+    def test_lookup_batch_empty_table(self):
+        t = LiveObjectTable()
+        assert (t.lookup_batch(np.array([0x1, 0x2])) == -1).all()
+
+    def test_interval_on_free_slot_raises(self):
+        t = LiveObjectTable()
+        t.insert(0x1000, 0x100, ("a",), 0.0)
+        slot = t.slot_of(0x1000)
+        t.remove(0x1000)
+        with pytest.raises(AddressError):
+            t.interval(slot)
+
+    def test_slot_of_unknown(self):
+        with pytest.raises(AddressError):
+            LiveObjectTable().slot_of(0x1)
+
+
+class TestSlotRecycling:
+    def test_slots_recycled_after_free(self):
+        """Alloc/free churn must not grow the slot store unboundedly."""
+        t = LiveObjectTable()
+        for i in range(500):
+            t.insert(0x1000, 0x100, ("s",), float(i))
+            t.remove(0x1000)
+        assert t._high_water <= 2
+
+    def test_growth_past_initial_capacity(self):
+        t = LiveObjectTable()
+        for i in range(300):
+            t.insert(0x1000 + i * 0x200, 0x100, (f"s{i}",), 0.0)
+        assert len(t) == 300
+        assert t.lookup(0x1000 + 299 * 0x200 + 0x50).site_key == ("s299",)
+
+    def test_batch_lookup_after_churn(self):
+        t = LiveObjectTable()
+        for i in range(100):
+            t.insert(0x1000 + i * 0x200, 0x100, (f"s{i}",), 0.0)
+        for i in range(0, 100, 2):
+            t.remove(0x1000 + i * 0x200)
+        addrs = np.array([0x1000 + i * 0x200 for i in range(100)])
+        slots = t.lookup_batch(addrs)
+        for i, slot in enumerate(slots.tolist()):
+            if i % 2 == 0:
+                assert slot == -1
+            else:
+                assert t.interval(int(slot)).site_key == (f"s{i}",)
 
 
 class TestPropertyBased:

@@ -77,6 +77,101 @@ class TestTraceSerialization:
         with pytest.raises(TraceError):
             Trace.load(p)
 
+    def test_npz_roundtrip_bit_exact(self, toy_trace, tmp_path):
+        _, trace = toy_trace
+        path = tmp_path / "trace.npz"
+        trace.dump(path)
+        loaded = Trace.load(path)
+        assert loaded.same_events(trace)
+
+    def test_cross_format_roundtrip(self, toy_trace, tmp_path):
+        """jsonl -> load -> npz -> load reproduces the same events."""
+        _, trace = toy_trace
+        jl = tmp_path / "trace.jsonl"
+        nz = tmp_path / "trace.npz"
+        trace.dump(jl)
+        via_jsonl = Trace.load(jl)
+        via_jsonl.dump(nz)
+        via_npz = Trace.load(nz)
+        assert via_npz.same_events(trace)
+        assert via_npz.same_events(via_jsonl)
+
+    def test_npz_rejects_jsonl_payload(self, tmp_path):
+        p = tmp_path / "trace.npz"
+        p.write_text('{"kind": "header"}\n')
+        with pytest.raises(TraceError):
+            Trace.load(p)
+
+    def test_npz_rejects_wrong_kind(self, tmp_path):
+        import json
+        import numpy as np
+        p = tmp_path / "trace.npz"
+        with p.open("wb") as fh:
+            np.savez(fh, header=np.array(json.dumps({"kind": "other"})))
+        with pytest.raises(TraceError):
+            Trace.load(p)
+
+
+class TestColumnarAccess:
+    def test_num_samples_and_counts(self, toy_trace):
+        _, trace = toy_trace
+        counts = trace.sample_counts()
+        assert sum(counts.values()) == trace.num_samples == len(trace.samples)
+        assert counts[HardwareCounter.LLC_LOAD_MISS] == len(
+            trace.samples_for(HardwareCounter.LLC_LOAD_MISS))
+
+    def test_samples_for_matches_scan(self, toy_trace):
+        """The columnar counter index selects exactly the events a full
+        scan would."""
+        _, trace = toy_trace
+        for counter in HardwareCounter:
+            via_index = trace.samples_for(counter)
+            via_scan = [s for s in trace.samples if s.counter is counter]
+            assert via_index == via_scan
+
+    def test_stats_summary(self, toy_trace):
+        wl, trace = toy_trace
+        stats = trace.stats()
+        assert stats["workload"] == wl.name
+        assert stats["allocs"] == len(trace.allocs)
+        assert stats["samples"] == trace.num_samples
+        assert sum(stats["samples_per_counter"].values()) == trace.num_samples
+
+    def test_scalar_and_batch_appends_interleave(self):
+        import numpy as np
+        from repro.profiling.trace import SampleColumns  # noqa: F401 (API)
+        trace = Trace(TraceMeta("x", 1, 1.0, StackFormat.BOM, 100.0))
+        trace.add_sample(SampleEvent(
+            time=0.1, counter=HardwareCounter.LLC_LOAD_MISS,
+            data_address=0x10, latency_ns=200.0, weight=2.0))
+        trace.add_sample_batch(
+            np.array([0.2, 0.3]), np.array([0x20, 0x30]),
+            HardwareCounter.ALL_STORES, weight=3.0)
+        assert trace.num_samples == 3
+        assert trace.samples[0].latency_ns == 200.0
+        assert trace.samples[2].counter is HardwareCounter.ALL_STORES
+        assert trace.samples[2].latency_ns is None
+
+    def test_batch_validation(self):
+        import numpy as np
+        trace = Trace(TraceMeta("x", 1, 1.0, StackFormat.BOM, 100.0))
+        with pytest.raises(TraceError):
+            trace.add_sample_batch(
+                np.array([0.1]), np.array([0x10]),
+                HardwareCounter.ALL_STORES, latencies=np.array([5.0]))
+        with pytest.raises(TraceError):
+            trace.add_sample_batch(
+                np.array([-0.1]), np.array([0x10]),
+                HardwareCounter.LLC_LOAD_MISS)
+        with pytest.raises(TraceError):
+            trace.add_sample_batch(
+                np.array([0.1]), np.array([0x10]),
+                HardwareCounter.LLC_LOAD_MISS, weight=0.0)
+        with pytest.raises(TraceError):
+            trace.add_sample_batch(
+                np.array([0.1, 0.2]), np.array([0x10]),
+                HardwareCounter.LLC_LOAD_MISS)
+
 
 class TestParamedir:
     def test_per_site_aggregation(self, toy_trace):
