@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.errors import PlacementError
+from repro.errors import ConfigError, PlacementError
 from repro.advisor.bandwidth_aware import BandwidthAwareResult, bandwidth_aware_placement
 from repro.advisor.config import AdvisorConfig
 from repro.advisor.density import density_placement
@@ -44,10 +44,30 @@ class HMemAdvisor:
             raise PlacementError("profile contains no allocation sites")
         return objects
 
+    def validate_feasible(self, objects: Dict[SiteKey, MemObject]) -> None:
+        """Reject profiles no subsystem can serve.
+
+        A corrupt trace (inflated size fields) can report an object larger
+        than every tier on the node; the placement algorithms would then
+        emit a report FlexMalloc can never honour.  Fail early instead,
+        naming the offending object.
+        """
+        max_capacity = max(sub.capacity for sub in self.system)
+        for key, obj in objects.items():
+            node_size = obj.size * self.config.ranks
+            if node_size > max_capacity:
+                raise ConfigError(
+                    f"object {key!r} needs {node_size} bytes across "
+                    f"{self.config.ranks} rank(s) but the largest subsystem "
+                    f"holds {max_capacity} — infeasible profile "
+                    f"(corrupt size field?)"
+                )
+
     # -- algorithms ------------------------------------------------------------
 
     def advise_density(self, objects: Dict[SiteKey, MemObject]) -> Placement:
         """The base access-density algorithm."""
+        self.validate_feasible(objects)
         return density_placement(objects, self.system, self.config)
 
     def advise_bandwidth_aware(

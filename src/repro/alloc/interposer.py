@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Protocol
 
-from repro.errors import AllocationError, AddressError
+from repro.errors import AllocationError, AddressError, MatchError
 from repro.alloc.heap import Allocation
 from repro.alloc.memkind import HeapRegistry
 from repro.binary.callstack import CallStack
@@ -36,11 +36,21 @@ class InterposerStats:
     calls: int = 0
     matched: int = 0
     fallback_unmatched: int = 0
+    fallback_match_error: int = 0
     fallback_capacity: int = 0
     frees: int = 0
     reallocs: int = 0
     overhead_ns: float = 0.0
     bytes_by_subsystem: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fallback_total(self) -> int:
+        """Every allocation the designated subsystem did not serve."""
+        return (
+            self.fallback_unmatched
+            + self.fallback_match_error
+            + self.fallback_capacity
+        )
 
     def _account(self, subsystem: str, nbytes: int) -> None:
         self.bytes_by_subsystem[subsystem] = (
@@ -84,17 +94,31 @@ class FlexMalloc:
     # -- the interposed entry points ----------------------------------------
 
     def malloc(self, size: int, stack: CallStack) -> Allocation:
-        """Intercept one allocation call."""
+        """Intercept one allocation call.
+
+        A matcher failure (unresolvable frames, missing debug info) is a
+        degraded match, not a crash: the allocation routes to the fallback
+        subsystem and the failure is counted in
+        :attr:`InterposerStats.fallback_match_error`.
+        """
         self.stats.calls += 1
         target = None
         if self.matcher is not None:
-            target = self.matcher.match(stack)
-            # matcher cost is tracked in its own stats; mirror into ours
-        if target is None:
+            try:
+                target = self.matcher.match(stack)
+                # matcher cost is tracked in its own stats; mirror into ours
+            except MatchError:
+                target = self.fallback
+                self.stats.fallback_match_error += 1
+            else:
+                if target is None:
+                    target = self.fallback
+                    self.stats.fallback_unmatched += 1
+                else:
+                    self.stats.matched += 1
+        else:
             target = self.fallback
             self.stats.fallback_unmatched += 1
-        else:
-            self.stats.matched += 1
 
         alloc = self._allocate_with_fallback(target, size)
         self._placement[alloc.address] = alloc.heap_name

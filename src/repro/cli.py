@@ -10,6 +10,8 @@ Commands
     Regenerate one of the paper's tables/figures.
 ``report``
     Print the Advisor placement report for a workload.
+``validate-trace``
+    Load a trace file, run the analyzer over it, and report degradation.
 """
 
 from __future__ import annotations
@@ -91,6 +93,60 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
     sys.stdout.write(eco.report.dumps())
     return 0
+
+
+def cmd_validate_trace(args: argparse.Namespace) -> int:
+    """Check a dumped trace: parse it, analyze it, report degradation.
+
+    Exit codes: 0 = clean, 1 = degraded (analyzable, records skipped),
+    2 = unreadable (parse failure).
+    """
+    from repro.errors import ReproError, TraceError
+    from repro.faults.degrade import DegradationReport
+    from repro.profiling.paramedir import Paramedir
+    from repro.profiling.trace import Trace
+
+    try:
+        trace = Trace.load(args.path)
+    except TraceError as exc:
+        where = f" (record {exc.record})" if exc.record is not None else ""
+        print(f"UNREADABLE {args.path}{where}: {exc}", file=sys.stderr)
+        return 2
+
+    pm = Paramedir()
+    degradation = None if args.strict else DegradationReport()
+    try:
+        if args.oracle:
+            from repro.faults.corpus import differential_check
+
+            outcome = differential_check(trace)
+            if not outcome.identical:
+                for m in outcome.mismatches:
+                    print(f"ORACLE MISMATCH: {m}", file=sys.stderr)
+                return 2
+            degradation = outcome.degradation if not args.strict else None
+            if args.strict and outcome.strict_vectorized != "ok":
+                print(f"DEGRADED {args.path}: {outcome.strict_vectorized}",
+                      file=sys.stderr)
+                return 1
+        else:
+            pm.analyze(trace, degradation=degradation)
+    except ReproError as exc:
+        print(f"DEGRADED {args.path}: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"trace   : {args.path}")
+    print(f"allocs  : {len(trace.allocs)}")
+    print(f"frees   : {len(trace.frees)}")
+    print(f"samples : {len(trace.sample_columns())}")
+    if degradation is None or degradation.clean:
+        print("status  : clean")
+        return 0
+    print("status  : degraded")
+    for fault_class, n in degradation.items():
+        if n:
+            print(f"  {fault_class:22s}: {n}")
+    return 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -243,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--algorithm", default="density",
                        choices=("density", "bw-aware"))
 
+    val_p = sub.add_parser("validate-trace",
+                           help="check a trace file and report degradation")
+    val_p.add_argument("path", help="trace file (.jsonl or .npz)")
+    val_p.add_argument("--strict", action="store_true",
+                       help="fail on the first malformed record instead of "
+                            "skipping and counting")
+    val_p.add_argument("--oracle", action="store_true",
+                       help="also run the scalar analyzer and require "
+                            "bit-identical behaviour")
+
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
     exp_p.add_argument("--apps", nargs="*", default=None)
@@ -259,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "report": cmd_report,
         "experiment": cmd_experiment,
+        "validate-trace": cmd_validate_trace,
     }
     return handlers[args.command](args)
 

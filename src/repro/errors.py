@@ -30,7 +30,19 @@ class AddressError(ReproError):
 
 
 class TraceError(ReproError):
-    """A trace file or trace event stream is malformed."""
+    """A trace file or trace event stream is malformed.
+
+    Loader-raised instances carry the file ``path`` and the 1-based
+    ``record`` index (JSONL line number, or array row for npz traces) of
+    the offending record, so corrupt traces can be diagnosed — and fault
+    corpora asserted against — without re-parsing the file.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None,
+                 record: "int | None" = None):
+        super().__init__(message)
+        self.path = path
+        self.record = record
 
 
 class MatchError(ReproError):

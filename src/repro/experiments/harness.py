@@ -101,6 +101,7 @@ def _production_run(
         model,
         label=label,
         interposer_overhead_s=replay.overhead_s if charge_overhead else 0.0,
+        interposer_stats=flex.stats,
     )
     return run, replay
 

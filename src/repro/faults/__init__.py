@@ -1,0 +1,70 @@
+"""Seeded fault injection and graceful-degradation accounting.
+
+Three pieces:
+
+- :mod:`repro.faults.injectors` — the registry of deterministic trace
+  corruptions (dropped/duplicated edges, shuffled timestamps, retargeted
+  samples, stripped frames, inflated sizes, mid-record file truncation);
+- :mod:`repro.faults.degrade` — :class:`DegradationReport`, the
+  observable record of everything a consumer skipped instead of aborting;
+- :mod:`repro.faults.corpus` — the (fault x seed) corpus plus the
+  differential oracle holding vectorized and scalar pipeline paths to
+  identical behaviour on every corrupted input.
+"""
+
+from repro.faults.degrade import (
+    FAULT_CLASSES,
+    INVALID_ALLOC,
+    ORPHAN_FREE,
+    OVERLAPPING_ALLOC,
+    UNATTRIBUTABLE_SAMPLE,
+    DegradationReport,
+)
+from repro.faults.injectors import FILE_INJECTORS, INJECTORS
+from repro.faults.plan import FaultPlan, fault_kinds, inject, inject_file
+
+#: corpus symbols resolve lazily (PEP 562): repro.faults.corpus imports the
+#: analyzer, which imports repro.faults.degrade — an eager import here would
+#: close that loop into a cycle.
+_CORPUS_EXPORTS = (
+    "CorpusCell",
+    "DifferentialOutcome",
+    "base_trace",
+    "build_cells",
+    "corpus_workload",
+    "default_plans",
+    "differential_check",
+    "profile_mismatches",
+)
+
+
+def __getattr__(name: str):
+    if name in _CORPUS_EXPORTS:
+        from repro.faults import corpus
+
+        return getattr(corpus, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CorpusCell",
+    "DegradationReport",
+    "DifferentialOutcome",
+    "FAULT_CLASSES",
+    "FILE_INJECTORS",
+    "FaultPlan",
+    "INJECTORS",
+    "INVALID_ALLOC",
+    "ORPHAN_FREE",
+    "OVERLAPPING_ALLOC",
+    "UNATTRIBUTABLE_SAMPLE",
+    "base_trace",
+    "build_cells",
+    "corpus_workload",
+    "default_plans",
+    "differential_check",
+    "fault_kinds",
+    "inject",
+    "inject_file",
+    "profile_mismatches",
+]

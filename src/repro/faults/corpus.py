@@ -1,0 +1,240 @@
+"""The fault corpus: traces x fault plans x seeds, with differential checks.
+
+One corpus *cell* is a clean base trace corrupted by one
+:class:`~repro.faults.plan.FaultPlan` under one seed.  The differential
+oracle then holds the pipeline's paired implementations to an executable
+contract over every cell:
+
+- in **lenient** mode (a :class:`DegradationReport` supplied), the
+  vectorized :meth:`Paramedir.analyze` and the scalar
+  :meth:`Paramedir.analyze_scalar` must produce bit-identical profiles
+  *and* identical degradation reports;
+- in **strict** mode, both must either succeed bit-identically or raise
+  the same error class.
+
+``tools/fault_corpus.py`` materializes the corpus to disk and runs the
+check from the command line; ``tests/faults/`` parametrizes over the same
+cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.workload import AccessStats, AllocationSite, ObjectSpec, Phase, Workload
+from repro.faults.degrade import DegradationReport
+from repro.faults.plan import FaultPlan, inject
+from repro.profiling.paramedir import Paramedir, SiteProfile
+from repro.profiling.pebs import PEBSConfig
+from repro.profiling.trace import Trace
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.units import KiB
+
+SiteKey = Tuple
+
+
+def corpus_workload() -> Workload:
+    """A small three-site workload: enough structure, millisecond runs.
+
+    Repeated short-lived allocations (``w::temp``) give the corpus heap
+    address reuse — the ingredient that turns dropped frees into
+    overlapping allocations downstream.
+    """
+    hot = ObjectSpec(
+        site=AllocationSite(name="w::hot", image="w.x",
+                            stack=("w_hot_0", "w_hot_1")),
+        size=256 * KiB,
+        access={"compute": AccessStats(load_rate=2_000_000.0,
+                                       store_rate=400_000.0,
+                                       accessor="hot_kernel")},
+    )
+    cold = ObjectSpec(
+        site=AllocationSite(name="w::cold", image="w.x",
+                            stack=("w_cold_0", "w_cold_1")),
+        size=1024 * KiB,
+        access={"compute": AccessStats(load_rate=300_000.0,
+                                       accessor="cold_kernel")},
+    )
+    temp = ObjectSpec(
+        site=AllocationSite(name="w::temp", image="w.x",
+                            stack=("w_temp_0", "w_temp_1", "w_temp_2")),
+        size=64 * KiB,
+        alloc_count=3,
+        first_alloc=0.5,
+        lifetime=0.4,
+        period=1.0,
+        access={"compute": AccessStats(load_rate=800_000.0,
+                                       store_rate=600_000.0,
+                                       accessor="temp_kernel")},
+    )
+    return Workload(
+        name="fault-corpus",
+        phases=[Phase("compute", compute_time=1.0, repeat=3)],
+        objects=[hot, cold, temp],
+        ranks=1,
+        mlp=4.0,
+        locality=0.8,
+        conflict_pressure=0.3,
+    )
+
+
+def base_trace(seed: int = 0, workload: Optional[Workload] = None,
+               *, check_tracer_oracle: bool = False) -> Trace:
+    """One clean profiling trace of the corpus workload.
+
+    With ``check_tracer_oracle``, the vectorized tracer is asserted
+    bit-identical to its scalar oracle for this seed before the trace is
+    handed out — so every fault cell provably starts from a trace both
+    tracer implementations agree on.
+    """
+    wl = workload or corpus_workload()
+    tracer = ExtraeTracer(
+        wl,
+        TracerConfig(seed=101 + seed,
+                     pebs=PEBSConfig(frequency_hz=200.0, seed=77 + 13 * seed),
+                     window=0.5),
+    )
+    trace = tracer.run(rank=0, aslr_seed=1000 + seed)
+    if check_tracer_oracle:
+        oracle = tracer.run_scalar(rank=0, aslr_seed=1000 + seed)
+        if not trace.same_events(oracle):
+            raise AssertionError(
+                f"tracer differential failure at seed {seed}: vectorized "
+                f"and scalar runs disagree on the clean base trace"
+            )
+    return trace
+
+
+def default_plans(include_file_level: bool = False) -> List[FaultPlan]:
+    """One plan per registered fault kind, paper-realistic parameters."""
+    plans = [
+        FaultPlan.make("clean"),
+        FaultPlan.make("drop_allocs", frac=0.25),
+        FaultPlan.make("drop_frees", frac=0.25),
+        FaultPlan.make("duplicate_allocs", frac=0.25),
+        FaultPlan.make("duplicate_frees", frac=0.25),
+        FaultPlan.make("shuffle_timestamps"),
+        FaultPlan.make("retarget_samples", frac=0.3),
+        FaultPlan.make("strip_frames", frac=0.5),
+        FaultPlan.make("inflate_sizes", frac=0.25),
+    ]
+    if include_file_level:
+        plans += [
+            FaultPlan.make("truncate_jsonl"),
+            FaultPlan.make("truncate_npz"),
+        ]
+    return plans
+
+
+@dataclass(frozen=True)
+class CorpusCell:
+    """One (plan, seed) corruption of a base trace."""
+
+    plan: FaultPlan
+    seed: int
+    trace: Trace
+
+    @property
+    def label(self) -> str:
+        return f"{self.plan.label}@seed{self.seed}"
+
+
+def build_cells(
+    seeds: Sequence[int] = (0, 1, 2),
+    workload: Optional[Workload] = None,
+    plans: Optional[Sequence[FaultPlan]] = None,
+    *,
+    check_tracer_oracle: bool = False,
+) -> List[CorpusCell]:
+    """All in-memory corpus cells for the given seeds (one base per seed)."""
+    plans = [p for p in (plans or default_plans()) if not p.file_level]
+    cells = []
+    for seed in seeds:
+        base = base_trace(seed, workload,
+                          check_tracer_oracle=check_tracer_oracle)
+        for plan in plans:
+            cells.append(CorpusCell(plan=plan, seed=seed,
+                                    trace=inject(base, plan, seed)))
+    return cells
+
+
+# -- the differential oracle ---------------------------------------------------
+
+
+def profile_mismatches(
+    a: Dict[SiteKey, SiteProfile],
+    b: Dict[SiteKey, SiteProfile],
+) -> List[str]:
+    """Why two analyzer outputs differ ([] = bit-identical incl. order)."""
+    problems = []
+    if list(a.keys()) != list(b.keys()):
+        problems.append(
+            f"site sets/order differ: {len(a)} vs {len(b)} sites"
+        )
+        return problems
+    for key in a:
+        if a[key] != b[key]:
+            problems.append(f"profile differs at site {key!r}")
+    return problems
+
+
+@dataclass
+class DifferentialOutcome:
+    """What the differential oracle saw for one corpus cell."""
+
+    identical: bool
+    mismatches: List[str] = field(default_factory=list)
+    #: lenient-mode degradation (vectorized path's report)
+    degradation: DegradationReport = field(default_factory=DegradationReport)
+    #: "ok" or the raised error class name, per path, in strict mode
+    strict_vectorized: str = "ok"
+    strict_scalar: str = "ok"
+
+
+def _strict_outcome(analyze, trace) -> Tuple[str, Optional[dict]]:
+    try:
+        return "ok", analyze(trace)
+    except Exception as exc:
+        return type(exc).__name__, None
+
+
+def differential_check(trace: Trace) -> DifferentialOutcome:
+    """Run both analyzer implementations over one trace; compare everything.
+
+    The contract: lenient mode must agree bit for bit (profiles *and*
+    degradation counts), and strict mode must either succeed identically
+    on both paths or fail with the same error class on both.
+    """
+    pm = Paramedir()
+    deg_vec = DegradationReport()
+    deg_sca = DegradationReport()
+    prof_vec = pm.analyze(trace, degradation=deg_vec)
+    prof_sca = pm.analyze_scalar(trace, degradation=deg_sca)
+
+    mismatches = profile_mismatches(prof_vec, prof_sca)
+    if deg_vec != deg_sca:
+        mismatches.append(
+            f"degradation reports differ: {deg_vec!r} vs {deg_sca!r}"
+        )
+
+    strict_vec, strict_vec_prof = _strict_outcome(pm.analyze, trace)
+    strict_sca, strict_sca_prof = _strict_outcome(pm.analyze_scalar, trace)
+    if strict_vec != strict_sca:
+        mismatches.append(
+            f"strict outcomes differ: vectorized {strict_vec}, "
+            f"scalar {strict_sca}"
+        )
+    elif strict_vec == "ok":
+        mismatches.extend(
+            "strict-mode " + m
+            for m in profile_mismatches(strict_vec_prof, strict_sca_prof)
+        )
+
+    return DifferentialOutcome(
+        identical=not mismatches,
+        mismatches=mismatches,
+        degradation=deg_vec,
+        strict_vectorized=strict_vec,
+        strict_scalar=strict_sca,
+    )

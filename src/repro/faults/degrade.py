@@ -1,0 +1,104 @@
+"""Degradation accounting: what a consumer skipped instead of aborting.
+
+The paper's toolchain degrades rather than dies: FlexMalloc falls back to
+a configured subsystem when a call stack fails to match, and Paramedir
+simply does not attribute PEBS samples that land outside any live object.
+:class:`DegradationReport` makes that behaviour *observable*: every record
+a consumer skipped is counted under a fault class, so
+
+- a clean input provably produced an empty report (zero behaviour change
+  on the happy path), and
+- the vectorized and scalar implementations can be held to producing the
+  *same* report on the same dirty input (the differential-oracle
+  contract in ``tests/faults/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+#: a free whose address matches no open allocation (dropped or duplicated
+#: alloc/free edges)
+ORPHAN_FREE = "orphan_free"
+#: an alloc whose interval overlaps an already-live object (duplicated
+#: allocs, inflated sizes, frees lost to truncation)
+OVERLAPPING_ALLOC = "overlapping_alloc"
+#: an alloc the live-object table rejected outright (non-positive size)
+INVALID_ALLOC = "invalid_alloc"
+#: a sample whose data address falls inside no live object (retargeted
+#: addresses, shuffled timestamps, samples of dropped allocs)
+UNATTRIBUTABLE_SAMPLE = "unattributable_sample"
+
+#: the closed set of fault classes consumers may report
+FAULT_CLASSES: Tuple[str, ...] = (
+    ORPHAN_FREE,
+    OVERLAPPING_ALLOC,
+    INVALID_ALLOC,
+    UNATTRIBUTABLE_SAMPLE,
+)
+
+
+@dataclass(eq=False)
+class DegradationReport:
+    """Counts of records a consumer skipped, keyed by fault class.
+
+    Two reports are equal iff they counted the same number of skips in
+    every fault class — the unit of comparison of the differential-oracle
+    harness.  An all-zero report means the input was consumed without any
+    degradation.
+    """
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cls, n in self.counts.items():
+            self._check(cls, n)
+
+    @staticmethod
+    def _check(fault_class: str, n: int) -> None:
+        if fault_class not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault class {fault_class!r} "
+                f"(have {list(FAULT_CLASSES)})"
+            )
+        if n < 0:
+            raise ValueError(f"negative count {n} for {fault_class!r}")
+
+    def record(self, fault_class: str, n: int = 1) -> None:
+        """Count ``n`` skipped records under ``fault_class``."""
+        self._check(fault_class, n)
+        if n:
+            self.counts[fault_class] = self.counts.get(fault_class, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def clean(self) -> bool:
+        """True iff nothing was skipped (the happy-path invariant)."""
+        return self.total == 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All fault classes with their counts (zeros included)."""
+        return {cls: self.counts.get(cls, 0) for cls in FAULT_CLASSES}
+
+    def merge(self, other: "DegradationReport") -> "DegradationReport":
+        """Combined report (e.g. across per-rank analyses)."""
+        out = DegradationReport()
+        for cls in FAULT_CLASSES:
+            out.record(cls, self.counts.get(cls, 0) + other.counts.get(cls, 0))
+        return out
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.as_dict().items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DegradationReport):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c}={n}" for c, n in self.counts.items() if n)
+        return f"DegradationReport({inner or 'clean'})"

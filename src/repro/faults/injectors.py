@@ -1,0 +1,257 @@
+"""Seeded trace-corruption injectors (the fault registry's workers).
+
+Each injector takes a clean :class:`~repro.profiling.trace.Trace` plus a
+NumPy ``Generator`` and returns a *new*, deliberately corrupted trace; the
+input trace is never mutated.  The corruptions model how real
+PEBS/Extrae traces actually go wrong:
+
+``clean``
+    identity (pins the empty-:class:`DegradationReport` happy path);
+``drop_allocs`` / ``drop_frees``
+    lost alloc/free edges (ring-buffer overruns) — downstream these show
+    up as orphan frees, unattributable samples, or overlapping reuse;
+``duplicate_allocs`` / ``duplicate_frees``
+    repeated edges (replayed flush buffers) — overlapping live intervals
+    and double frees;
+``shuffle_timestamps``
+    sample timestamps permuted across the run (reordered perf buffers) —
+    samples land outside their object's live window;
+``retarget_samples``
+    sample data addresses pointed at unmapped memory (unresolvable PEBS
+    linear addresses);
+``strip_frames``
+    call stacks truncated to their innermost frame (unwind failures) —
+    sites split/merge but every record stays well-formed;
+``inflate_sizes``
+    allocation sizes multiplied past any subsystem's capacity (corrupt
+    size fields) — overlapping intervals for the analyzer, infeasible
+    objects for the advisor.
+
+File-level truncation (mid-record JSONL/npz cuts) lives in
+:func:`truncate_jsonl` / :func:`truncate_npz`, operating on dumped trace
+files rather than in-memory traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.profiling.trace import SampleColumns, Trace
+
+#: an address range no heap ever maps (first page + a little)
+_UNMAPPED_BASE = 0x10
+
+Injector = Callable[..., Trace]
+FileInjector = Callable[..., Path]
+
+#: fault kind -> in-memory trace injector
+INJECTORS: Dict[str, Injector] = {}
+#: fault kind -> on-disk file injector
+FILE_INJECTORS: Dict[str, FileInjector] = {}
+
+
+def _injector(name: str):
+    def register(fn: Injector) -> Injector:
+        INJECTORS[name] = fn
+        return fn
+    return register
+
+
+def _file_injector(name: str):
+    def register(fn: FileInjector) -> FileInjector:
+        FILE_INJECTORS[name] = fn
+        return fn
+    return register
+
+
+def _rebuild(trace: Trace, allocs=None, frees=None, columns=None) -> Trace:
+    """A copy of ``trace`` with some parts replaced."""
+    return Trace.from_parts(
+        trace.meta,
+        trace.allocs if allocs is None else allocs,
+        trace.frees if frees is None else frees,
+        trace.sample_columns() if columns is None else columns,
+    )
+
+
+def _pick(rng: np.random.Generator, n: int, frac: float) -> np.ndarray:
+    """A sorted random subset of ``range(n)``: ``frac`` of it, at least 1."""
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    k = min(n, max(1, int(round(n * frac))))
+    return np.sort(rng.choice(n, size=k, replace=False))
+
+
+@_injector("clean")
+def inject_clean(trace: Trace, rng: np.random.Generator) -> Trace:
+    """Identity: a copy with no fault applied."""
+    return _rebuild(trace)
+
+
+@_injector("drop_allocs")
+def inject_drop_allocs(trace: Trace, rng: np.random.Generator,
+                       frac: float = 0.25) -> Trace:
+    """Delete a random subset of alloc events."""
+    drop = set(_pick(rng, len(trace.allocs), frac).tolist())
+    allocs = [ev for i, ev in enumerate(trace.allocs) if i not in drop]
+    return _rebuild(trace, allocs=allocs)
+
+
+@_injector("drop_frees")
+def inject_drop_frees(trace: Trace, rng: np.random.Generator,
+                      frac: float = 0.25) -> Trace:
+    """Delete a random subset of free events."""
+    drop = set(_pick(rng, len(trace.frees), frac).tolist())
+    frees = [ev for i, ev in enumerate(trace.frees) if i not in drop]
+    return _rebuild(trace, frees=frees)
+
+
+@_injector("duplicate_allocs")
+def inject_duplicate_allocs(trace: Trace, rng: np.random.Generator,
+                            frac: float = 0.25) -> Trace:
+    """Duplicate a random subset of alloc events (same address + size)."""
+    dup = set(_pick(rng, len(trace.allocs), frac).tolist())
+    allocs: List = []
+    for i, ev in enumerate(trace.allocs):
+        allocs.append(ev)
+        if i in dup:
+            allocs.append(ev)
+    return _rebuild(trace, allocs=allocs)
+
+
+@_injector("duplicate_frees")
+def inject_duplicate_frees(trace: Trace, rng: np.random.Generator,
+                           frac: float = 0.25) -> Trace:
+    """Duplicate a random subset of free events (double frees)."""
+    dup = set(_pick(rng, len(trace.frees), frac).tolist())
+    frees: List = []
+    for i, ev in enumerate(trace.frees):
+        frees.append(ev)
+        if i in dup:
+            frees.append(ev)
+    return _rebuild(trace, frees=frees)
+
+
+@_injector("shuffle_timestamps")
+def inject_shuffle_timestamps(trace: Trace, rng: np.random.Generator) -> Trace:
+    """Permute sample timestamps across the whole run.
+
+    Addresses, counters, and weights keep their rows; only the time
+    column is shuffled, so most samples now claim to have fired when
+    their object was not live.
+    """
+    cols = trace.sample_columns()
+    if not len(cols):
+        return _rebuild(trace)
+    perm = rng.permutation(len(cols))
+    shuffled = SampleColumns(
+        times=cols.times[perm],
+        addresses=cols.addresses,
+        codes=cols.codes,
+        ranks=cols.ranks,
+        latencies=cols.latencies,
+        weights=cols.weights,
+    )
+    return _rebuild(trace, columns=shuffled)
+
+
+@_injector("retarget_samples")
+def inject_retarget_samples(trace: Trace, rng: np.random.Generator,
+                            frac: float = 0.3) -> Trace:
+    """Point a subset of sample data addresses at unmapped memory."""
+    cols = trace.sample_columns()
+    if not len(cols):
+        return _rebuild(trace)
+    hit = _pick(rng, len(cols), frac)
+    addresses = np.array(cols.addresses, copy=True)
+    addresses[hit] = _UNMAPPED_BASE + rng.integers(0, 4096, size=hit.size)
+    retargeted = SampleColumns(
+        times=cols.times,
+        addresses=addresses,
+        codes=cols.codes,
+        ranks=cols.ranks,
+        latencies=cols.latencies,
+        weights=cols.weights,
+    )
+    return _rebuild(trace, columns=retargeted)
+
+
+@_injector("strip_frames")
+def inject_strip_frames(trace: Trace, rng: np.random.Generator,
+                        frac: float = 0.5, keep: int = 1) -> Trace:
+    """Truncate selected alloc call stacks to their ``keep`` inner frames.
+
+    Every record stays individually well-formed; what breaks is the site
+    identity — stacks that used to be distinct may now collide, and
+    report matching against full stacks fails.
+    """
+    if keep < 1:
+        raise TraceError(f"strip_frames must keep >= 1 frame, got {keep}")
+    strip = set(_pick(rng, len(trace.allocs), frac).tolist())
+    allocs = [
+        replace(ev, site_key=ev.site_key[:keep])
+        if i in strip and len(ev.site_key) > keep else ev
+        for i, ev in enumerate(trace.allocs)
+    ]
+    return _rebuild(trace, allocs=allocs)
+
+
+@_injector("inflate_sizes")
+def inject_inflate_sizes(trace: Trace, rng: np.random.Generator,
+                         frac: float = 0.25, factor: int = 1 << 16) -> Trace:
+    """Multiply selected allocation sizes far past subsystem capacities."""
+    if factor < 2:
+        raise TraceError(f"inflate_sizes needs factor >= 2, got {factor}")
+    inflate = set(_pick(rng, len(trace.allocs), frac).tolist())
+    allocs = [
+        replace(ev, size=ev.size * factor) if i in inflate else ev
+        for i, ev in enumerate(trace.allocs)
+    ]
+    return _rebuild(trace, allocs=allocs)
+
+
+# -- file-level faults ---------------------------------------------------------
+
+
+@_file_injector("truncate_jsonl")
+def truncate_jsonl(src: Union[str, Path], dst: Union[str, Path],
+                   rng: np.random.Generator) -> Path:
+    """Cut a JSONL trace mid-record (guaranteed inside a record line).
+
+    The cut lands halfway through a randomly chosen non-header line, so
+    the truncated file always ends in unparseable JSON — the way a trace
+    looks when the writer died mid-flush.
+    """
+    src, dst = Path(src), Path(dst)
+    data = src.read_bytes()
+    lines = data.splitlines(keepends=True)
+    if len(lines) < 2:
+        raise TraceError(f"{src}: too short to truncate mid-record")
+    target = 1 + int(rng.integers(0, len(lines) - 1))
+    offset = sum(len(ln) for ln in lines[:target])
+    cut = offset + max(1, len(lines[target]) // 2)
+    dst.write_bytes(data[:cut])
+    return dst
+
+
+@_file_injector("truncate_npz")
+def truncate_npz(src: Union[str, Path], dst: Union[str, Path],
+                 rng: np.random.Generator) -> Path:
+    """Cut an npz trace archive partway through its byte stream.
+
+    Any interior cut loses the zip central directory (written last), so
+    the result is structurally unreadable — the on-disk shape of a
+    profiling run killed before the archive was finalized.
+    """
+    src, dst = Path(src), Path(dst)
+    data = src.read_bytes()
+    if len(data) < 8:
+        raise TraceError(f"{src}: too short to truncate")
+    cut = int(rng.integers(len(data) // 4, 3 * len(data) // 4))
+    dst.write_bytes(data[:max(1, cut)])
+    return dst

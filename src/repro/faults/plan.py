@@ -1,0 +1,88 @@
+"""Fault plans: named, parameterized, seed-deterministic corruptions.
+
+A :class:`FaultPlan` is a (kind, params) pair naming one registered
+injector; :func:`inject` applies it to a trace under a caller-supplied
+seed.  Determinism is the whole point — the same ``(plan, seed, trace)``
+triple always yields the same corrupted trace, so every cell of the fault
+corpus is reproducible bit for bit (the RNG stream derives from the seed
+and a CRC of the kind name, never from Python's salted ``hash``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.injectors import FILE_INJECTORS, INJECTORS
+from repro.profiling.trace import Trace
+
+
+def fault_kinds() -> Tuple[str, ...]:
+    """All registered fault kinds (in-memory first, then file-level)."""
+    return tuple(INJECTORS) + tuple(FILE_INJECTORS)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One named corruption with its parameters (hashable, comparable)."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTORS and self.kind not in FILE_INJECTORS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r} (have {list(fault_kinds())})"
+            )
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "FaultPlan":
+        """Build a plan with keyword parameters (stored sorted by name)."""
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    @property
+    def file_level(self) -> bool:
+        """Whether this plan corrupts dumped files rather than traces."""
+        return self.kind in FILE_INJECTORS
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def rng(self, seed: int) -> np.random.Generator:
+        """The plan's deterministic generator for one corpus seed.
+
+        Derived from ``(seed, crc32(kind))`` so different kinds at the
+        same seed draw independent streams, without any dependence on
+        ``PYTHONHASHSEED``.
+        """
+        return np.random.default_rng([seed, zlib.crc32(self.kind.encode())])
+
+    @property
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})" if inner else self.kind
+
+
+def inject(trace: Trace, plan: FaultPlan, seed: int) -> Trace:
+    """Apply an in-memory fault plan to a trace (returns a new trace)."""
+    if plan.file_level:
+        raise ConfigError(
+            f"fault kind {plan.kind!r} corrupts trace files; use inject_file()"
+        )
+    return INJECTORS[plan.kind](trace, plan.rng(seed), **plan.param_dict())
+
+
+def inject_file(src: Union[str, Path], dst: Union[str, Path],
+                plan: FaultPlan, seed: int) -> Path:
+    """Apply a file-level fault plan to a dumped trace file."""
+    if not plan.file_level:
+        raise ConfigError(
+            f"fault kind {plan.kind!r} corrupts in-memory traces; use inject()"
+        )
+    return FILE_INJECTORS[plan.kind](src, dst, plan.rng(seed),
+                                     **plan.param_dict())

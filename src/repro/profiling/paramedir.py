@@ -35,7 +35,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import TraceError
+from repro.errors import AddressError, TraceError
+from repro.faults.degrade import (
+    INVALID_ALLOC,
+    ORPHAN_FREE,
+    OVERLAPPING_ALLOC,
+    UNATTRIBUTABLE_SAMPLE,
+    DegradationReport,
+)
 from repro.profiling.events import HardwareCounter
 from repro.profiling.object_table import LiveObjectTable
 from repro.profiling.trace import COUNTER_CODE, Trace
@@ -76,7 +83,12 @@ class SiteProfile:
 class Paramedir:
     """Analyze a trace into per-site profiles."""
 
-    def analyze(self, trace: Trace) -> Dict[SiteKey, SiteProfile]:
+    def analyze(
+        self,
+        trace: Trace,
+        *,
+        degradation: Optional[DegradationReport] = None,
+    ) -> Dict[SiteKey, SiteProfile]:
         """Replay the trace and aggregate per-site statistics (vectorized).
 
         Bit-identical to :meth:`analyze_scalar`: the alloc/free replay is
@@ -85,6 +97,13 @@ class Paramedir:
         ``time < t`` precede an alloc at ``t``; samples with ``time <= t``
         precede a free), and ``np.add.at`` accumulates per-site weights in
         the same element order as the scalar ``+=``.
+
+        With a ``degradation`` report, malformed records degrade instead
+        of raising: orphan frees, overlapping/invalid allocs, and
+        unattributable samples are skipped and counted per fault class —
+        by construction the *same* records (and so the same counts) the
+        scalar path skips.  Without one, the strict behaviour is
+        unchanged (orphan frees and overlapping allocs raise).
         """
         profiles: Dict[SiteKey, SiteProfile] = {}
         table = LiveObjectTable()
@@ -104,13 +123,14 @@ class Paramedir:
             edges.append((ev.time, 2, ev))
         edges.sort(key=lambda e: (e[0], e[1]))
 
-        # enumerate sites in first-alloc order, matching the scalar
-        # ``setdefault`` insertion order
+        # enumerate candidate sites in first-alloc order; profiles are
+        # created lazily on the first *successful* alloc, matching the
+        # scalar ``setdefault`` insertion order even when degraded allocs
+        # are skipped
         site_idx: Dict[SiteKey, int] = {}
         for _, kind, ev in edges:
             if kind == 0 and ev.site_key not in site_idx:
                 site_idx[ev.site_key] = len(site_idx)
-                profiles[ev.site_key] = SiteProfile(site_key=ev.site_key)
         n_sites = len(site_idx)
 
         load_miss = np.zeros(n_sites)
@@ -136,6 +156,9 @@ class Paramedir:
             cursor = upto
             slots = table.lookup_batch(addrs[sl])
             hit = slots >= 0
+            if degradation is not None:
+                degradation.record(UNATTRIBUTABLE_SAMPLE,
+                                   int((~hit).sum()))
             if not hit.any():
                 # samples in stacks/statics are legal; just not attributed
                 return
@@ -160,11 +183,25 @@ class Paramedir:
         for time_, kind, ev in edges:
             if kind == 0:  # alloc: samples strictly before it flush first
                 flush(int(np.searchsorted(times, time_, side="left")))
-                prof = profiles[ev.site_key]
+                try:
+                    table.insert(ev.address, ev.size, ev.site_key, ev.time)
+                except AddressError:
+                    if degradation is None:
+                        raise
+                    degradation.record(OVERLAPPING_ALLOC)
+                    continue
+                except TraceError:
+                    if degradation is None:
+                        raise
+                    degradation.record(INVALID_ALLOC)
+                    continue
+                prof = profiles.get(ev.site_key)
+                if prof is None:
+                    prof = profiles[ev.site_key] = SiteProfile(
+                        site_key=ev.site_key)
                 prof.largest_alloc = max(prof.largest_alloc, ev.size)
                 prof.alloc_count += 1
                 prof.first_alloc = min(prof.first_alloc, ev.time)
-                table.insert(ev.address, ev.size, ev.site_key, ev.time)
                 slot = table.slot_of(ev.address)
                 if slot >= slot_site.size:
                     grown = np.full(slot_site.size * 2, -1, dtype=np.int64)
@@ -176,8 +213,11 @@ class Paramedir:
                 flush(int(np.searchsorted(times, time_, side="right")))
                 info = open_allocs.pop(ev.address, None)
                 if info is None:
-                    raise TraceError(
-                        f"free at {ev.address:#x} without matching alloc")
+                    if degradation is None:
+                        raise TraceError(
+                            f"free at {ev.address:#x} without matching alloc")
+                    degradation.record(ORPHAN_FREE)
+                    continue
                 site_key, t_alloc = info
                 table.remove(ev.address)
                 prof = profiles[site_key]
@@ -195,8 +235,8 @@ class Paramedir:
             prof.spans.append((t_alloc, run_end))
             prof.last_free = max(prof.last_free, run_end)
 
-        for key, i in site_idx.items():
-            prof = profiles[key]
+        for key, prof in profiles.items():
+            i = site_idx[key]
             prof.load_samples = int(load_n[i])
             prof.load_misses = float(load_miss[i])
             prof.store_samples = int(store_n[i])
@@ -206,8 +246,18 @@ class Paramedir:
             prof.spans.sort()
         return profiles
 
-    def analyze_scalar(self, trace: Trace) -> Dict[SiteKey, SiteProfile]:
-        """The per-event reference implementation (equivalence oracle)."""
+    def analyze_scalar(
+        self,
+        trace: Trace,
+        *,
+        degradation: Optional[DegradationReport] = None,
+    ) -> Dict[SiteKey, SiteProfile]:
+        """The per-event reference implementation (equivalence oracle).
+
+        Accepts the same ``degradation`` report as :meth:`analyze` and
+        skips exactly the same records under it — the property the
+        differential-oracle harness in ``tests/faults/`` pins.
+        """
         profiles: Dict[SiteKey, SiteProfile] = {}
         table = LiveObjectTable()
         # merge alloc/free/sample streams in time order; allocs precede
@@ -227,16 +277,29 @@ class Paramedir:
 
         for time_, kind, ev in events:
             if kind == 0:  # alloc
+                try:
+                    table.insert(ev.address, ev.size, ev.site_key, ev.time)
+                except AddressError:
+                    if degradation is None:
+                        raise
+                    degradation.record(OVERLAPPING_ALLOC)
+                    continue
+                except TraceError:
+                    if degradation is None:
+                        raise
+                    degradation.record(INVALID_ALLOC)
+                    continue
                 prof = profiles.setdefault(ev.site_key, SiteProfile(site_key=ev.site_key))
                 prof.largest_alloc = max(prof.largest_alloc, ev.size)
                 prof.alloc_count += 1
                 prof.first_alloc = min(prof.first_alloc, ev.time)
-                table.insert(ev.address, ev.size, ev.site_key, ev.time)
                 open_allocs[ev.address] = (ev.site_key, ev.time)
             elif kind == 1:  # sample
                 iv = table.lookup(ev.data_address)
                 if iv is None:
                     # samples in stacks/statics are legal; just not attributed
+                    if degradation is not None:
+                        degradation.record(UNATTRIBUTABLE_SAMPLE)
                     continue
                 prof = profiles[iv.site_key]
                 if ev.counter is HardwareCounter.LLC_LOAD_MISS:
@@ -253,7 +316,11 @@ class Paramedir:
             else:  # free
                 info = open_allocs.pop(ev.address, None)
                 if info is None:
-                    raise TraceError(f"free at {ev.address:#x} without matching alloc")
+                    if degradation is None:
+                        raise TraceError(
+                            f"free at {ev.address:#x} without matching alloc")
+                    degradation.record(ORPHAN_FREE)
+                    continue
                 site_key, t_alloc = info
                 table.remove(ev.address)
                 prof = profiles[site_key]

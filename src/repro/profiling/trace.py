@@ -22,6 +22,8 @@ Two on-disk formats round-trip losslessly and into each other:
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -143,6 +145,36 @@ class Trace:
             np.full(n, weight, dtype=np.float64),
         ))
         self._invalidate()
+
+    @classmethod
+    def from_parts(
+        cls,
+        meta: TraceMeta,
+        allocs: List[AllocEvent],
+        frees: List[FreeEvent],
+        columns: Optional[SampleColumns] = None,
+    ) -> "Trace":
+        """Assemble a trace directly from event lists and sample columns.
+
+        No cross-event consistency checks are applied — the event streams
+        are taken as-is.  This is the constructor the fault injectors use
+        to build *deliberately* inconsistent traces (orphan frees,
+        overlapping allocations, unattributable samples); consumers are
+        expected to detect those at replay time, not here.
+        """
+        trace = cls(meta)
+        trace.allocs = list(allocs)
+        trace.frees = list(frees)
+        if columns is not None and len(columns):
+            trace._chunks = [(
+                np.array(columns.times, dtype=np.float64, copy=True),
+                np.array(columns.addresses, dtype=np.int64, copy=True),
+                np.array(columns.codes, dtype=np.uint8, copy=True),
+                np.array(columns.ranks, dtype=np.int32, copy=True),
+                np.array(columns.latencies, dtype=np.float64, copy=True),
+                np.array(columns.weights, dtype=np.float64, copy=True),
+            )]
+        return trace
 
     # -- columnar access -------------------------------------------------------
 
@@ -321,40 +353,66 @@ class Trace:
 
     @classmethod
     def load_jsonl(cls, path: Union[str, Path]) -> "Trace":
-        """Read a trace written by :meth:`dump_jsonl`."""
+        """Read a trace written by :meth:`dump_jsonl`.
+
+        Every parse failure — malformed JSON (e.g. a file truncated
+        mid-record), missing fields, bad enum values, event-level
+        validation errors — is wrapped in :class:`TraceError` carrying the
+        file path and the 1-based line number of the offending record.
+        """
         path = Path(path)
         with path.open() as fh:
             header_line = fh.readline()
             try:
                 header = json.loads(header_line)
             except json.JSONDecodeError as exc:
-                raise TraceError(f"{path}: bad header line") from exc
-            if header.get("kind") != "header":
-                raise TraceError(f"{path}: first line is not a trace header")
-            trace = cls._from_header(header)
+                raise TraceError(f"{path}: bad header line",
+                                 path=str(path), record=1) from exc
+            if not isinstance(header, dict) or header.get("kind") != "header":
+                raise TraceError(f"{path}: first line is not a trace header",
+                                 path=str(path), record=1)
+            try:
+                trace = cls._from_header(header)
+            except (KeyError, ValueError, TypeError, TraceError) as exc:
+                raise TraceError(f"{path}: bad trace header: {exc}",
+                                 path=str(path), record=1) from exc
             fmt = trace.meta.stack_format
             for lineno, line in enumerate(fh, start=2):
                 if not line.strip():
                     continue
-                rec = json.loads(line)
-                kind = rec.get("kind")
-                if kind == "alloc":
-                    trace.add_alloc(AllocEvent(
-                        time=rec["t"], address=rec["addr"], size=rec["size"],
-                        site_key=_decode_site(rec["site"], fmt), rank=rec["rank"],
-                    ))
-                elif kind == "free":
-                    trace.add_free(FreeEvent(
-                        time=rec["t"], address=rec["addr"], rank=rec["rank"],
-                    ))
-                elif kind == "sample":
-                    trace.add_sample(SampleEvent(
-                        time=rec["t"], counter=HardwareCounter(rec["counter"]),
-                        data_address=rec["addr"], rank=rec["rank"],
-                        latency_ns=rec.get("lat"), weight=rec.get("w", 1.0),
-                    ))
-                else:
-                    raise TraceError(f"{path}:{lineno}: unknown event kind {kind!r}")
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(
+                        f"{path}:{lineno}: malformed JSON record "
+                        f"(truncated or corrupt): {exc}",
+                        path=str(path), record=lineno,
+                    ) from exc
+                kind = rec.get("kind") if isinstance(rec, dict) else None
+                try:
+                    if kind == "alloc":
+                        trace.add_alloc(AllocEvent(
+                            time=rec["t"], address=rec["addr"], size=rec["size"],
+                            site_key=_decode_site(rec["site"], fmt),
+                            rank=rec["rank"],
+                        ))
+                    elif kind == "free":
+                        trace.add_free(FreeEvent(
+                            time=rec["t"], address=rec["addr"], rank=rec["rank"],
+                        ))
+                    elif kind == "sample":
+                        trace.add_sample(SampleEvent(
+                            time=rec["t"], counter=HardwareCounter(rec["counter"]),
+                            data_address=rec["addr"], rank=rec["rank"],
+                            latency_ns=rec.get("lat"), weight=rec.get("w", 1.0),
+                        ))
+                    else:
+                        raise TraceError(f"unknown event kind {kind!r}")
+                except (KeyError, ValueError, TypeError, TraceError) as exc:
+                    raise TraceError(
+                        f"{path}:{lineno}: bad {kind or 'event'} record: {exc}",
+                        path=str(path), record=lineno,
+                    ) from exc
         return trace
 
     def dump_npz(self, path: Union[str, Path]) -> None:
@@ -386,51 +444,87 @@ class Trace:
 
     @classmethod
     def load_npz(cls, path: Union[str, Path]) -> "Trace":
-        """Read a trace written by :meth:`dump_npz`."""
+        """Read a trace written by :meth:`dump_npz`.
+
+        A truncated or corrupt archive (``zipfile.BadZipFile``, zlib
+        decompression errors, missing arrays, malformed records) raises
+        :class:`TraceError` with the file path — and, for per-event
+        failures, the 0-based array row of the offending record.
+        """
         path = Path(path)
         try:
             data = np.load(path, allow_pickle=False)
-        except (OSError, ValueError) as exc:
-            raise TraceError(f"{path}: not a readable npz trace") from exc
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+            raise TraceError(f"{path}: not a readable npz trace: {exc}",
+                             path=str(path)) from exc
         with data:
             try:
                 header = json.loads(str(data["header"][()]))
-            except (KeyError, json.JSONDecodeError) as exc:
-                raise TraceError(f"{path}: bad npz trace header") from exc
-            if header.get("kind") != "npz-trace":
-                raise TraceError(f"{path}: not an npz trace archive")
+            except TraceError:
+                raise
+            except Exception as exc:
+                raise TraceError(f"{path}: bad npz trace header: {exc}",
+                                 path=str(path)) from exc
+            if not isinstance(header, dict) or header.get("kind") != "npz-trace":
+                raise TraceError(f"{path}: not an npz trace archive",
+                                 path=str(path))
             if header.get("version") != _NPZ_VERSION:
                 raise TraceError(
                     f"{path}: npz trace version {header.get('version')!r}, "
-                    f"expected {_NPZ_VERSION}"
+                    f"expected {_NPZ_VERSION}", path=str(path),
                 )
             if header.get("counters") != [c.value for c in COUNTERS]:
-                raise TraceError(f"{path}: counter legend mismatch")
-            trace = cls._from_header(header)
+                raise TraceError(f"{path}: counter legend mismatch",
+                                 path=str(path))
+            try:
+                trace = cls._from_header(header)
+            except (KeyError, ValueError, TypeError, TraceError) as exc:
+                raise TraceError(f"{path}: bad npz trace header: {exc}",
+                                 path=str(path)) from exc
             fmt = trace.meta.stack_format
-            for t, addr, size, rank, site in zip(
-                data["alloc_t"], data["alloc_addr"], data["alloc_size"],
-                data["alloc_rank"], data["alloc_site"],
-            ):
-                trace.add_alloc(AllocEvent(
-                    time=float(t), address=int(addr), size=int(size),
-                    site_key=_decode_site(json.loads(str(site)), fmt),
-                    rank=int(rank),
-                ))
-            for t, addr, rank in zip(
-                data["free_t"], data["free_addr"], data["free_rank"],
-            ):
-                trace.add_free(FreeEvent(
-                    time=float(t), address=int(addr), rank=int(rank),
-                ))
-            if data["sample_t"].size:
+            try:
+                alloc_cols = (data["alloc_t"], data["alloc_addr"],
+                              data["alloc_size"], data["alloc_rank"],
+                              data["alloc_site"])
+                free_cols = (data["free_t"], data["free_addr"],
+                             data["free_rank"])
+                sample_cols = (data["sample_t"], data["sample_addr"],
+                               data["sample_code"], data["sample_rank"],
+                               data["sample_lat"], data["sample_w"])
+            except (KeyError, ValueError, OSError, zipfile.BadZipFile,
+                    zlib.error, EOFError) as exc:
+                raise TraceError(f"{path}: corrupt npz trace: {exc}",
+                                 path=str(path)) from exc
+            for i, (t, addr, size, rank, site) in enumerate(zip(*alloc_cols)):
+                try:
+                    trace.add_alloc(AllocEvent(
+                        time=float(t), address=int(addr), size=int(size),
+                        site_key=_decode_site(json.loads(str(site)), fmt),
+                        rank=int(rank),
+                    ))
+                except (KeyError, ValueError, TypeError, TraceError) as exc:
+                    raise TraceError(
+                        f"{path}: alloc record {i}: {exc}",
+                        path=str(path), record=i,
+                    ) from exc
+            for i, (t, addr, rank) in enumerate(zip(*free_cols)):
+                try:
+                    trace.add_free(FreeEvent(
+                        time=float(t), address=int(addr), rank=int(rank),
+                    ))
+                except (ValueError, TypeError, TraceError) as exc:
+                    raise TraceError(
+                        f"{path}: free record {i}: {exc}",
+                        path=str(path), record=i,
+                    ) from exc
+            if sample_cols[0].size:
                 trace._chunks = [(
-                    data["sample_t"].astype(np.float64, copy=True),
-                    data["sample_addr"].astype(np.int64, copy=True),
-                    data["sample_code"].astype(np.uint8, copy=True),
-                    data["sample_rank"].astype(np.int32, copy=True),
-                    data["sample_lat"].astype(np.float64, copy=True),
-                    data["sample_w"].astype(np.float64, copy=True),
+                    sample_cols[0].astype(np.float64, copy=True),
+                    sample_cols[1].astype(np.int64, copy=True),
+                    sample_cols[2].astype(np.uint8, copy=True),
+                    sample_cols[3].astype(np.int32, copy=True),
+                    sample_cols[4].astype(np.float64, copy=True),
+                    sample_cols[5].astype(np.float64, copy=True),
                 )]
         return trace
 

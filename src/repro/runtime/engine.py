@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.alloc.interposer import InterposerStats
 from repro.apps.workload import InstanceSpan, PhaseSpan, Workload
 from repro.memsim.bandwidth import BandwidthTimeline
 from repro.memsim.subsystem import MemorySystem
@@ -174,6 +175,7 @@ class ExecutionEngine:
         label: Optional[str] = None,
         interposer_overhead_s: float = 0.0,
         dram_cache_hit_ratio: Optional[float] = None,
+        interposer_stats: Optional[InterposerStats] = None,
     ) -> RunResult:
         """Execute the workload under ``model`` and collect statistics."""
         wl = self.workload
@@ -264,6 +266,7 @@ class ExecutionEngine:
             timeline=timeline,
             interposer_overhead_s=interposer_overhead_s,
             dram_cache_hit_ratio=dram_cache_hit_ratio,
+            interposer_stats=interposer_stats,
         )
 
     # -- aggregation helpers --------------------------------------------------------

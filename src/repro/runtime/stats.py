@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.advisor.model import BandwidthObservation
+from repro.alloc.interposer import InterposerStats
 from repro.memsim.bandwidth import BandwidthTimeline
 
 
@@ -79,6 +80,9 @@ class RunResult:
     timeline: BandwidthTimeline
     interposer_overhead_s: float = 0.0
     dram_cache_hit_ratio: Optional[float] = None  # memory-mode runs only
+    #: FlexMalloc accounting for the run (None when no interposer ran);
+    #: ``interposer_stats.fallback_total`` counts every degraded match
+    interposer_stats: Optional[InterposerStats] = None
 
     def __post_init__(self) -> None:
         if self.total_time <= 0:

@@ -1,0 +1,181 @@
+"""Property tests for Table IV classification boundaries and Algorithm 1.
+
+Hypothesis sweeps the threshold neighbourhoods the example-based suite
+can only spot-check: alloc counts astride ``T_ALLOC``, bandwidth
+fractions astride ``T_PMEMLOW`` / ``T_PMEMHIGH`` (including the exact
+boundary values, which Table IV's strict comparisons must exclude), and
+the lifetime-containment invariant of every swap Algorithm 1 emits.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.advisor.bandwidth_aware import (
+    Category,
+    bandwidth_aware_placement,
+    categorize,
+)
+from repro.advisor.config import default_config
+from repro.advisor.model import BandwidthObservation, MemObject, Placement
+from repro.units import GiB, MiB
+
+CFG = default_config(dram_limit=12 * GiB)
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+def obj(key, size_mb=64, alloc_count=1, loads=1e6, stores=0.0,
+        first=0.0, last=100.0):
+    return MemObject(
+        site_key=(key,), size=int(size_mb * MiB), alloc_count=alloc_count,
+        load_misses=loads, store_misses=stores,
+        first_alloc=first, last_free=last, total_live_time=last - first,
+    )
+
+
+def obs(at_alloc, own_bw=1e6, exec_=None):
+    return BandwidthObservation(
+        own_bandwidth=own_bw,
+        pmem_frac_at_alloc=at_alloc,
+        pmem_frac_exec=at_alloc if exec_ is None else exec_,
+    )
+
+
+#: bandwidth fractions concentrated around both thresholds, always
+#: including the exact boundary values
+fractions = st.one_of(
+    st.just(CFG.t_pmem_low),
+    st.just(CFG.t_pmem_high),
+    st.floats(min_value=0.0, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+)
+alloc_counts = st.integers(min_value=1, max_value=3 * CFG.t_alloc)
+
+
+class TestCategorizeProperties:
+    @SETTINGS
+    @given(count=alloc_counts, frac=fractions)
+    def test_fitting_iff_both_strictly_low(self, count, frac):
+        cat = categorize(obj("a", alloc_count=count), "dram",
+                         obs(frac), CFG)
+        expect_fitting = count < CFG.t_alloc and frac < CFG.t_pmem_low
+        assert (cat is Category.FITTING) == expect_fitting
+
+    @SETTINGS
+    @given(count=alloc_counts, frac=fractions,
+           stores=st.sampled_from([0.0, 50.0]))
+    def test_streaming_d_iff_readonly_many_allocs_low_bw(
+            self, count, frac, stores):
+        cat = categorize(obj("a", alloc_count=count, stores=stores),
+                         "dram", obs(frac), CFG)
+        expect = (stores == 0.0 and count > CFG.t_alloc
+                  and frac < CFG.t_pmem_low)
+        assert (cat is Category.STREAMING_D) == expect
+
+    @SETTINGS
+    @given(count=alloc_counts, frac=fractions)
+    def test_thrashing_iff_both_strictly_high(self, count, frac):
+        cat = categorize(obj("a", alloc_count=count), "pmem",
+                         obs(frac), CFG)
+        expect = count > CFG.t_alloc and frac > CFG.t_pmem_high
+        assert (cat is Category.THRASHING) == expect
+
+    @SETTINGS
+    @given(count=alloc_counts, frac=fractions)
+    def test_categories_partition_cleanly(self, count, frac):
+        """One object gets exactly one category on each side."""
+        for sub in ("dram", "pmem"):
+            cat = categorize(obj("a", alloc_count=count), sub,
+                             obs(frac), CFG)
+            assert isinstance(cat, Category)
+
+
+class TestExactBoundaries:
+    """Strict comparisons: the exact threshold values classify as OTHER."""
+
+    def test_alloc_count_exactly_t_alloc(self):
+        o = obj("a", alloc_count=CFG.t_alloc)
+        assert categorize(o, "dram", obs(0.05), CFG) is Category.OTHER
+        assert categorize(o, "pmem", obs(0.8), CFG) is Category.OTHER
+
+    def test_frac_exactly_t_pmem_low(self):
+        o = obj("a", alloc_count=1)
+        assert categorize(o, "dram", obs(CFG.t_pmem_low), CFG) is Category.OTHER
+        below = CFG.t_pmem_low - 1e-9
+        assert categorize(o, "dram", obs(below), CFG) is Category.FITTING
+
+    def test_frac_exactly_t_pmem_high(self):
+        o = obj("a", alloc_count=CFG.t_alloc + 1)
+        assert categorize(o, "pmem", obs(CFG.t_pmem_high), CFG) is Category.OTHER
+        above = CFG.t_pmem_high + 1e-9
+        assert categorize(o, "pmem", obs(above), CFG) is Category.THRASHING
+
+
+# -- Algorithm 1 swap invariant -----------------------------------------------
+
+
+@st.composite
+def swap_scenarios(draw):
+    """A thrashing object on PMem plus fitting candidates on DRAM."""
+    t_first = draw(st.floats(min_value=0.0, max_value=50.0,
+                             allow_nan=False, allow_infinity=False))
+    t_len = draw(st.floats(min_value=1.0, max_value=50.0,
+                           allow_nan=False, allow_infinity=False))
+    t_size = draw(st.integers(min_value=1, max_value=128))
+    thrash = obj("t", size_mb=t_size, alloc_count=CFG.t_alloc + 1,
+                 first=t_first, last=t_first + t_len)
+
+    fits = {}
+    for i in range(draw(st.integers(min_value=0, max_value=3))):
+        f_first = draw(st.floats(min_value=0.0, max_value=60.0,
+                                 allow_nan=False, allow_infinity=False))
+        f_len = draw(st.floats(min_value=1.0, max_value=80.0,
+                               allow_nan=False, allow_infinity=False))
+        f_size = draw(st.integers(min_value=1, max_value=196))
+        fits[(f"f{i}",)] = obj(f"f{i}", size_mb=f_size, alloc_count=1,
+                               first=f_first, last=f_first + f_len)
+    return thrash, fits
+
+
+class TestSwapInvariant:
+    @SETTINGS
+    @given(scenario=swap_scenarios())
+    def test_swaps_preserve_size_and_lifetime_containment(self, scenario):
+        thrash, fits = scenario
+        objects = {("t",): thrash, **fits}
+        base = Placement(subsystems=["dram", "pmem"], fallback="pmem")
+        base.assign(("t",), "pmem")
+        for key in fits:
+            base.assign(key, "dram")
+        observations = {("t",): obs(0.8)}
+        observations.update({key: obs(0.05) for key in fits})
+
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+
+        for t_key, f_key in result.swaps:
+            t_obj, f_obj = objects[t_key], objects[f_key]
+            # the displaced fitting object frees at least as much DRAM...
+            assert f_obj.size >= t_obj.size
+            # ...and lives around the thrashing object's whole lifespan
+            assert f_obj.covers(t_obj)
+            # the swap actually happened in the placement
+            assert result.placement.get(t_key) == "dram"
+            assert result.placement.get(f_key) == "pmem"
+
+    @SETTINGS
+    @given(scenario=swap_scenarios())
+    def test_each_fitting_object_displaced_at_most_once(self, scenario):
+        thrash, fits = scenario
+        objects = {("t",): thrash, **fits}
+        base = Placement(subsystems=["dram", "pmem"], fallback="pmem")
+        base.assign(("t",), "pmem")
+        for key in fits:
+            base.assign(key, "dram")
+        observations = {("t",): obs(0.8)}
+        observations.update({key: obs(0.05) for key in fits})
+
+        result = bandwidth_aware_placement(objects, base, observations, CFG)
+        displaced = [f for _t, f in result.swaps]
+        assert len(displaced) == len(set(displaced))

@@ -112,3 +112,58 @@ class TestFacade:
         from repro.alloc.report import PlacementReport
         report = advisor.to_report(placement, StackFormat.BOM)
         assert PlacementReport.loads(report.dumps()).fmt is StackFormat.BOM
+
+
+class TestFeasibilityValidation:
+    def _objects(self, size):
+        return {("big",): MemObject(
+            site_key=("big",), size=size, alloc_count=1,
+            load_misses=1e6, store_misses=0.0,
+            first_alloc=0.0, last_free=1.0, total_live_time=1.0,
+        )}
+
+    def test_feasible_objects_pass(self):
+        advisor = HMemAdvisor(pmem6_system(), default_config(12 * GiB))
+        advisor.validate_feasible(self._objects(1 * GiB))
+
+    def test_infeasible_object_rejected_by_name(self):
+        from repro.errors import ConfigError
+        system = pmem6_system()
+        too_big = max(sub.capacity for sub in system) + 1
+        advisor = HMemAdvisor(system, default_config(12 * GiB))
+        with pytest.raises(ConfigError, match="big"):
+            advisor.validate_feasible(self._objects(too_big))
+
+    def test_advise_density_runs_the_check(self):
+        from repro.errors import ConfigError
+        system = pmem6_system()
+        too_big = max(sub.capacity for sub in system) + 1
+        advisor = HMemAdvisor(system, default_config(12 * GiB))
+        with pytest.raises(ConfigError, match="infeasible"):
+            advisor.advise_density(self._objects(too_big))
+
+    def test_ranks_multiply_node_footprint(self):
+        from repro.errors import ConfigError
+        system = pmem6_system()
+        per_rank = max(sub.capacity for sub in system) // 4 + 1
+        # fits per rank, but 8 ranks blow past every subsystem
+        advisor = HMemAdvisor(system, default_config(12 * GiB, ranks=8))
+        with pytest.raises(ConfigError):
+            advisor.validate_feasible(self._objects(per_rank))
+        HMemAdvisor(system, default_config(12 * GiB, ranks=1)).validate_feasible(
+            self._objects(per_rank))
+
+    def test_inflated_corpus_trace_is_rejected(self):
+        """The advisor catches what inflate_sizes corrupts."""
+        from repro.errors import ConfigError
+        from repro.faults import DegradationReport, FaultPlan, inject
+        from repro.faults.corpus import base_trace
+
+        dirty = inject(base_trace(0),
+                       FaultPlan.make("inflate_sizes", frac=0.25,
+                                      factor=1 << 42), 0)
+        profiles = Paramedir().analyze(dirty, degradation=DegradationReport())
+        advisor = HMemAdvisor(pmem6_system(), default_config(12 * GiB))
+        objects = advisor.objects_from_profiles(profiles)
+        with pytest.raises(ConfigError, match="infeasible"):
+            advisor.advise_density(objects)

@@ -119,3 +119,59 @@ class TestAccounting:
         fm.free(a.address)
         assert fm.total_overhead_ns() > 0
         assert fm.matcher_overhead_ns() >= 0
+
+
+class ExplodingMatcher:
+    """Test double: the resolver failure mode HumanReadableMatcher hits."""
+
+    def __init__(self):
+        from repro.alloc.matching import MatcherStats
+        self.stats = MatcherStats()
+
+    def match(self, stack):
+        from repro.errors import MatchError
+        self.stats.lookups += 1
+        raise MatchError("cannot translate call stack")
+
+
+class TestMatchErrorFallback:
+    def test_match_error_routes_to_fallback(self):
+        fm = FlexMalloc(make_registry(), ExplodingMatcher())
+        a = fm.malloc(100, STACK_A)
+        assert fm.subsystem_of(a.address) == "pmem"
+
+    def test_match_error_counted_separately(self):
+        fm = FlexMalloc(make_registry(), ExplodingMatcher())
+        fm.malloc(100, STACK_A)
+        fm.malloc(100, STACK_B)
+        assert fm.stats.fallback_match_error == 2
+        assert fm.stats.fallback_unmatched == 0
+        assert fm.stats.matched == 0
+
+    def test_fallback_total_sums_all_causes(self):
+        fm = FlexMalloc(make_registry(dram_cap=1024),
+                        DictMatcher({0xA: "dram"}))
+        fm.malloc(100, STACK_A)            # matched, fits
+        fm.malloc(100, STACK_B)            # unmatched
+        fm.malloc(2048, STACK_A)           # matched but dram full
+        assert fm.stats.fallback_unmatched == 1
+        assert fm.stats.fallback_capacity == 1
+        assert fm.stats.fallback_match_error == 0
+        assert fm.stats.fallback_total == 2
+
+    def test_run_result_surfaces_interposer_stats(self):
+        """runtime.stats carries the FlexMalloc accounting end to end."""
+        from repro.apps import get_workload
+        from repro.experiments.harness import run_ecohmem
+        from repro.memsim.subsystem import pmem6_system
+        from repro.units import GiB
+
+        eco = run_ecohmem(get_workload("minife"), pmem6_system(),
+                          dram_limit=12 * GiB)
+        stats = eco.run.interposer_stats
+        assert stats is not None
+        assert stats.calls > 0
+        assert stats.matched + stats.fallback_total <= stats.calls
+        assert stats.fallback_total == (stats.fallback_unmatched
+                                        + stats.fallback_match_error
+                                        + stats.fallback_capacity)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the fault-injection suite.
+
+The base trace is session-scoped: tracer runs are the expensive part, and
+every injector works on an immutable copy, so one clean trace per seed
+serves the whole suite.
+"""
+
+import pytest
+
+from repro.faults.corpus import base_trace
+
+
+@pytest.fixture(scope="session")
+def clean_trace():
+    return base_trace(0)
+
+
+@pytest.fixture(scope="session")
+def clean_traces():
+    """Clean base traces for the standard corpus seeds."""
+    return {seed: base_trace(seed) for seed in (0, 1, 2)}

@@ -1,0 +1,201 @@
+"""Degradation semantics: hardened loaders, lenient analyzers, clean inputs.
+
+Regression suite for the two failure modes the seed leaked raw exceptions
+for — truncated JSONL (``json.JSONDecodeError``) and truncated npz
+(``zipfile.BadZipFile`` / ``ValueError``) — plus the
+:class:`DegradationReport` contract itself.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.faults import (
+    FAULT_CLASSES,
+    ORPHAN_FREE,
+    OVERLAPPING_ALLOC,
+    UNATTRIBUTABLE_SAMPLE,
+    DegradationReport,
+    FaultPlan,
+    inject,
+    inject_file,
+)
+from repro.profiling.paramedir import Paramedir
+from repro.profiling.trace import Trace
+
+
+class TestDegradationReport:
+    def test_starts_clean(self):
+        r = DegradationReport()
+        assert r.clean and r.total == 0
+        assert r.as_dict() == {cls: 0 for cls in FAULT_CLASSES}
+
+    def test_record_accumulates(self):
+        r = DegradationReport()
+        r.record(ORPHAN_FREE)
+        r.record(ORPHAN_FREE, 2)
+        r.record(UNATTRIBUTABLE_SAMPLE, 5)
+        assert r.counts[ORPHAN_FREE] == 3
+        assert r.total == 8 and not r.clean
+
+    def test_zero_record_leaves_no_key(self):
+        r = DegradationReport()
+        r.record(ORPHAN_FREE, 0)
+        assert ORPHAN_FREE not in r.counts and r.clean
+
+    def test_rejects_unknown_class_and_negative(self):
+        r = DegradationReport()
+        with pytest.raises(ValueError, match="unknown fault class"):
+            r.record("spontaneous_combustion")
+        with pytest.raises(ValueError, match="negative"):
+            r.record(ORPHAN_FREE, -1)
+
+    def test_equality_ignores_zero_entries(self):
+        a = DegradationReport()
+        b = DegradationReport()
+        b.record(ORPHAN_FREE, 0)
+        assert a == b
+        b.record(ORPHAN_FREE, 1)
+        assert a != b
+
+    def test_merge(self):
+        a, b = DegradationReport(), DegradationReport()
+        a.record(ORPHAN_FREE, 2)
+        b.record(ORPHAN_FREE, 1)
+        b.record(OVERLAPPING_ALLOC, 4)
+        merged = a.merge(b)
+        assert merged.counts[ORPHAN_FREE] == 3
+        assert merged.counts[OVERLAPPING_ALLOC] == 4
+        assert a.counts[ORPHAN_FREE] == 2  # inputs untouched
+
+
+@pytest.mark.parametrize("fmt", ["jsonl", "npz"])
+class TestLoaderHardening:
+    """Malformed trace files raise TraceError — never raw parser errors."""
+
+    def _dump(self, trace, tmp_path, fmt):
+        path = tmp_path / f"trace.{fmt}"
+        trace.dump(path)
+        return path
+
+    def test_roundtrip_still_works(self, clean_trace, tmp_path, fmt):
+        path = self._dump(clean_trace, tmp_path, fmt)
+        assert Trace.load(path).same_events(clean_trace)
+
+    def test_truncation_raises_trace_error(self, clean_trace, tmp_path, fmt):
+        src = self._dump(clean_trace, tmp_path, fmt)
+        dst = inject_file(src, tmp_path / f"cut.{fmt}",
+                          FaultPlan.make(f"truncate_{fmt}"), 0)
+        with pytest.raises(TraceError) as excinfo:
+            Trace.load(dst)
+        assert excinfo.value.path == str(dst)
+
+    def test_truncation_sweep_never_leaks(self, clean_trace, tmp_path, fmt):
+        """Any seed's cut point must yield TraceError, nothing rawer."""
+        src = self._dump(clean_trace, tmp_path, fmt)
+        for seed in range(8):
+            dst = inject_file(src, tmp_path / f"cut{seed}.{fmt}",
+                              FaultPlan.make(f"truncate_{fmt}"), seed)
+            with pytest.raises(TraceError):
+                Trace.load(dst)
+
+
+class TestJsonlRecordErrors:
+    def test_error_carries_record_index(self, clean_trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        clean_trace.dump_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # mangle record 3
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError) as excinfo:
+            Trace.load_jsonl(path)
+        assert excinfo.value.record == 3
+        assert str(path) in str(excinfo.value)
+
+    def test_bad_header_is_record_one(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "header", "workload": "x"}\n')
+        with pytest.raises(TraceError) as excinfo:
+            Trace.load_jsonl(path)
+        assert excinfo.value.record == 1
+
+    def test_bad_field_value_wrapped(self, clean_trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        clean_trace.dump_jsonl(path)
+        lines = path.read_text().splitlines()
+        rec = json.loads(lines[1])
+        assert rec["kind"] == "alloc"
+        rec["size"] = -17
+        lines[1] = json.dumps(rec)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError) as excinfo:
+            Trace.load_jsonl(path)
+        assert excinfo.value.record == 2
+
+    def test_garbage_npz_raises_trace_error(self, tmp_path):
+        path = tmp_path / "t.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceError):
+            Trace.load_npz(path)
+
+
+class TestAnalyzerDegradation:
+    def test_clean_trace_empty_report(self, clean_trace):
+        pm = Paramedir()
+        report = DegradationReport()
+        pm.analyze(clean_trace, degradation=report)
+        assert report.clean
+
+    def test_clean_trace_lenient_equals_strict(self, clean_trace):
+        pm = Paramedir()
+        strict = pm.analyze(clean_trace)
+        lenient = pm.analyze(clean_trace, degradation=DegradationReport())
+        assert list(strict.keys()) == list(lenient.keys())
+        assert strict == lenient
+
+    def test_orphan_frees_counted(self, clean_trace):
+        dirty = inject(clean_trace,
+                       FaultPlan.make("duplicate_frees", frac=0.25), 0)
+        pm = Paramedir()
+        report = DegradationReport()
+        pm.analyze(dirty, degradation=report)
+        assert report.counts.get(ORPHAN_FREE, 0) >= 1
+
+    def test_retargeted_samples_counted(self, clean_trace):
+        dirty = inject(clean_trace,
+                       FaultPlan.make("retarget_samples", frac=0.3), 0)
+        pm = Paramedir()
+        report = DegradationReport()
+        pm.analyze(dirty, degradation=report)
+        assert report.counts.get(UNATTRIBUTABLE_SAMPLE, 0) >= 1
+
+    def test_strict_mode_still_raises(self, clean_trace):
+        dirty = inject(clean_trace,
+                       FaultPlan.make("duplicate_frees", frac=0.25), 0)
+        pm = Paramedir()
+        with pytest.raises(TraceError):
+            pm.analyze(dirty)
+        with pytest.raises(TraceError):
+            pm.analyze_scalar(dirty)
+
+
+class TestReportIntrospection:
+    def test_repr_clean_and_dirty(self):
+        r = DegradationReport()
+        assert "clean" in repr(r)
+        r.record(ORPHAN_FREE, 2)
+        assert "orphan_free=2" in repr(r)
+
+    def test_items_lists_every_class(self):
+        r = DegradationReport()
+        r.record(ORPHAN_FREE)
+        assert dict(r.items()) == r.as_dict()
+        assert set(dict(r.items())) == set(FAULT_CLASSES)
+
+    def test_not_equal_to_other_types(self):
+        assert DegradationReport() != {"orphan_free": 0}
+
+    def test_constructor_validates_counts(self):
+        with pytest.raises(ValueError):
+            DegradationReport(counts={"bogus": 1})

@@ -1,0 +1,205 @@
+"""Injector contract tests: determinism, non-mutation, per-kind effects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.faults import FaultPlan, fault_kinds, inject, inject_file
+from repro.faults.corpus import default_plans
+
+IN_MEMORY_PLANS = [p for p in default_plans() if not p.file_level]
+PLAN_IDS = [p.kind for p in IN_MEMORY_PLANS]
+
+
+class TestPlan:
+    def test_all_kinds_registered(self):
+        kinds = fault_kinds()
+        assert "clean" in kinds
+        assert "truncate_jsonl" in kinds
+        assert "truncate_npz" in kinds
+        assert len(kinds) == len(set(kinds))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultPlan.make("set_on_fire")
+
+    def test_default_plans_cover_every_kind(self):
+        covered = {p.kind for p in default_plans(include_file_level=True)}
+        assert covered == set(fault_kinds())
+
+    def test_plans_are_hashable_and_comparable(self):
+        a = FaultPlan.make("drop_allocs", frac=0.25)
+        b = FaultPlan.make("drop_allocs", frac=0.25)
+        assert a == b and hash(a) == hash(b)
+        assert a != FaultPlan.make("drop_allocs", frac=0.5)
+
+    def test_rng_is_seed_and_kind_dependent(self):
+        p1 = FaultPlan.make("drop_allocs")
+        p2 = FaultPlan.make("drop_frees")
+        assert p1.rng(0).integers(1 << 30) == p1.rng(0).integers(1 << 30)
+        assert p1.rng(0).integers(1 << 30) != p1.rng(1).integers(1 << 30)
+        assert p1.rng(0).integers(1 << 30) != p2.rng(0).integers(1 << 30)
+
+    def test_level_mismatch_rejected(self, clean_trace, tmp_path):
+        with pytest.raises(ConfigError, match="use inject_file"):
+            inject(clean_trace, FaultPlan.make("truncate_jsonl"), 0)
+        src = tmp_path / "t.jsonl"
+        clean_trace.dump_jsonl(src)
+        with pytest.raises(ConfigError, match="use inject\\(\\)"):
+            inject_file(src, tmp_path / "d.jsonl", FaultPlan.make("clean"), 0)
+
+
+@pytest.mark.parametrize("plan", IN_MEMORY_PLANS, ids=PLAN_IDS)
+class TestEveryInjector:
+    def test_deterministic(self, clean_trace, plan):
+        a = inject(clean_trace, plan, seed=3)
+        b = inject(clean_trace, plan, seed=3)
+        assert a.same_events(b)
+
+    def test_does_not_mutate_input(self, clean_trace, plan):
+        before = inject(clean_trace, FaultPlan.make("clean"), 0)
+        inject(clean_trace, plan, seed=3)
+        assert clean_trace.same_events(before)
+
+    def test_returns_new_object(self, clean_trace, plan):
+        assert inject(clean_trace, plan, seed=3) is not clean_trace
+
+
+class TestPerKindEffects:
+    def test_clean_is_identity(self, clean_trace):
+        assert inject(clean_trace, FaultPlan.make("clean"), 5).same_events(
+            clean_trace
+        )
+
+    def test_drop_allocs_removes_events(self, clean_trace):
+        out = inject(clean_trace, FaultPlan.make("drop_allocs", frac=0.25), 0)
+        assert 0 < len(out.allocs) < len(clean_trace.allocs)
+        assert len(out.frees) == len(clean_trace.frees)
+
+    def test_drop_frees_removes_events(self, clean_trace):
+        out = inject(clean_trace, FaultPlan.make("drop_frees", frac=0.25), 0)
+        assert 0 < len(out.frees) < len(clean_trace.frees)
+
+    def test_duplicate_allocs_adds_adjacent_copies(self, clean_trace):
+        out = inject(clean_trace,
+                     FaultPlan.make("duplicate_allocs", frac=0.25), 0)
+        added = len(out.allocs) - len(clean_trace.allocs)
+        assert added >= 1
+        dupes = sum(
+            1 for a, b in zip(out.allocs, out.allocs[1:]) if a == b
+        )
+        assert dupes == added
+
+    def test_duplicate_frees_adds_copies(self, clean_trace):
+        out = inject(clean_trace,
+                     FaultPlan.make("duplicate_frees", frac=0.25), 0)
+        assert len(out.frees) > len(clean_trace.frees)
+
+    def test_shuffle_permutes_only_times(self, clean_trace):
+        out = inject(clean_trace, FaultPlan.make("shuffle_timestamps"), 0)
+        cin, cout = clean_trace.sample_columns(), out.sample_columns()
+        assert not np.array_equal(cin.times, cout.times)
+        np.testing.assert_array_equal(np.sort(cin.times), np.sort(cout.times))
+        np.testing.assert_array_equal(cin.addresses, cout.addresses)
+        np.testing.assert_array_equal(cin.codes, cout.codes)
+
+    def test_retarget_moves_addresses_to_low_pages(self, clean_trace):
+        out = inject(clean_trace,
+                     FaultPlan.make("retarget_samples", frac=0.3), 0)
+        cin, cout = clean_trace.sample_columns(), out.sample_columns()
+        moved = cin.addresses != cout.addresses
+        assert moved.any() and not moved.all()
+        assert (cout.addresses[moved] < 0x2000).all()
+
+    def test_strip_frames_truncates_stacks(self, clean_trace):
+        out = inject(clean_trace,
+                     FaultPlan.make("strip_frames", frac=1.0), 0)
+        assert all(len(ev.site_key) == 1 for ev in out.allocs)
+        assert any(len(ev.site_key) > 1 for ev in clean_trace.allocs)
+
+    def test_strip_frames_rejects_zero_keep(self, clean_trace):
+        with pytest.raises(TraceError, match="keep >= 1"):
+            inject(clean_trace,
+                   FaultPlan.make("strip_frames", frac=0.5, keep=0), 0)
+
+    def test_inflate_sizes_multiplies(self, clean_trace):
+        factor = 1 << 16
+        out = inject(
+            clean_trace,
+            FaultPlan.make("inflate_sizes", frac=0.25, factor=factor), 0,
+        )
+        base = {ev.size for ev in clean_trace.allocs}
+        inflated = [ev for ev in out.allocs if ev.size not in base]
+        assert inflated
+        assert all(ev.size % factor == 0 for ev in inflated)
+
+
+class TestFileInjectors:
+    def test_truncate_jsonl_cuts_mid_record(self, clean_trace, tmp_path):
+        src = tmp_path / "t.jsonl"
+        clean_trace.dump_jsonl(src)
+        dst = inject_file(src, tmp_path / "cut.jsonl",
+                          FaultPlan.make("truncate_jsonl"), 0)
+        data = dst.read_bytes()
+        assert 0 < len(data) < src.stat().st_size
+        # the last line is an incomplete record by construction
+        assert not data.endswith(b"\n")
+
+    def test_truncate_npz_cuts_archive(self, clean_trace, tmp_path):
+        src = tmp_path / "t.npz"
+        clean_trace.dump_npz(src)
+        dst = inject_file(src, tmp_path / "cut.npz",
+                          FaultPlan.make("truncate_npz"), 0)
+        assert 0 < dst.stat().st_size < src.stat().st_size
+
+    def test_file_truncation_deterministic(self, clean_trace, tmp_path):
+        src = tmp_path / "t.jsonl"
+        clean_trace.dump_jsonl(src)
+        plan = FaultPlan.make("truncate_jsonl")
+        a = inject_file(src, tmp_path / "a.jsonl", plan, 7)
+        b = inject_file(src, tmp_path / "b.jsonl", plan, 7)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestEdgeCases:
+    def test_package_getattr_rejects_unknown(self):
+        import repro.faults
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.faults.does_not_exist
+
+    def test_plan_label_includes_params(self):
+        assert FaultPlan.make("drop_allocs", frac=0.25).label == \
+            "drop_allocs(frac=0.25)"
+        assert FaultPlan.make("clean").label == "clean"
+
+    def test_inflate_rejects_small_factor(self, clean_trace):
+        with pytest.raises(TraceError, match="factor >= 2"):
+            inject(clean_trace,
+                   FaultPlan.make("inflate_sizes", frac=0.25, factor=1), 0)
+
+    def test_sample_injectors_tolerate_empty_traces(self, clean_trace):
+        from repro.profiling.trace import SampleColumns, Trace
+        import numpy as np
+        empty = Trace.from_parts(
+            clean_trace.meta, clean_trace.allocs, clean_trace.frees,
+            SampleColumns.empty() if hasattr(SampleColumns, "empty")
+            else SampleColumns(
+                times=np.empty(0), addresses=np.empty(0, dtype=np.uint64),
+                codes=np.empty(0, dtype=np.int8), ranks=np.empty(0, dtype=np.int32),
+                latencies=np.empty(0), weights=np.empty(0)),
+        )
+        for kind in ("shuffle_timestamps", "retarget_samples"):
+            out = inject(empty, FaultPlan.make(kind), 0)
+            assert len(out.sample_columns()) == 0
+
+    def test_truncate_rejects_tiny_files(self, tmp_path):
+        short = tmp_path / "short.jsonl"
+        short.write_text("{}\n")
+        with pytest.raises(TraceError, match="too short"):
+            inject_file(short, tmp_path / "out.jsonl",
+                        FaultPlan.make("truncate_jsonl"), 0)
+        tiny = tmp_path / "tiny.npz"
+        tiny.write_bytes(b"abc")
+        with pytest.raises(TraceError, match="too short"):
+            inject_file(tiny, tmp_path / "out.npz",
+                        FaultPlan.make("truncate_npz"), 0)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Materialize the fault corpus and run the differential oracle over it.
+
+For every registered fault kind and every requested seed, corrupts a clean
+base trace and (with ``--check``) holds the vectorized analyzer to
+bit-identical behaviour against its scalar oracle — identical profiles and
+identical :class:`~repro.faults.degrade.DegradationReport` in lenient
+mode, identical success/error class in strict mode.  File-level faults
+(mid-record JSONL/npz truncation) are additionally required to fail
+loading with a :class:`~repro.errors.TraceError` on both formats.
+
+Usage::
+
+    PYTHONPATH=src python tools/fault_corpus.py --out corpus/ --seeds 0 1 2
+    PYTHONPATH=src python tools/fault_corpus.py --check --seeds 0 1 2
+
+``--out`` writes each cell as ``<kind>_seed<seed>.jsonl`` plus a
+``manifest.json`` describing every cell; ``--check`` exits 1 on the first
+differential mismatch (and is what the CI ``faults`` job runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import TraceError  # noqa: E402
+from repro.faults.corpus import (  # noqa: E402
+    base_trace,
+    build_cells,
+    default_plans,
+    differential_check,
+)
+from repro.faults.plan import inject_file  # noqa: E402
+from repro.profiling.trace import Trace  # noqa: E402
+
+
+def check_file_level(seeds, verbose=True) -> int:
+    """Truncated trace files must fail to load with TraceError, not leak."""
+    failures = 0
+    plans = [p for p in default_plans(include_file_level=True) if p.file_level]
+    with tempfile.TemporaryDirectory() as td:
+        tmp = Path(td)
+        for seed in seeds:
+            trace = base_trace(seed)
+            clean_jsonl = tmp / f"clean{seed}.jsonl"
+            clean_npz = tmp / f"clean{seed}.npz"
+            trace.dump_jsonl(clean_jsonl)
+            trace.dump_npz(clean_npz)
+            for plan in plans:
+                src = clean_jsonl if plan.kind.endswith("jsonl") else clean_npz
+                dst = tmp / f"{plan.kind}_{seed}{src.suffix}"
+                inject_file(src, dst, plan, seed)
+                try:
+                    Trace.load(dst)
+                except TraceError:
+                    if verbose:
+                        print(f"OK   {plan.kind}@seed{seed}: TraceError")
+                except Exception as exc:  # pragma: no cover - the failure path
+                    failures += 1
+                    print(f"FAIL {plan.kind}@seed{seed}: leaked "
+                          f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                else:  # pragma: no cover - the failure path
+                    failures += 1
+                    print(f"FAIL {plan.kind}@seed{seed}: loaded successfully",
+                          file=sys.stderr)
+    return failures
+
+
+def run_check(seeds, verbose=True) -> int:
+    """The full differential sweep; returns the number of failing cells."""
+    failures = 0
+    cells = build_cells(seeds=seeds, check_tracer_oracle=True)
+    for cell in cells:
+        outcome = differential_check(cell.trace)
+        if outcome.identical:
+            if verbose:
+                print(f"OK   {cell.label}: deg={outcome.degradation!r} "
+                      f"strict={outcome.strict_vectorized}")
+        else:  # pragma: no cover - the failure path
+            failures += 1
+            print(f"FAIL {cell.label}:", file=sys.stderr)
+            for m in outcome.mismatches:
+                print(f"     {m}", file=sys.stderr)
+    failures += check_file_level(seeds, verbose=verbose)
+    return failures
+
+
+def write_corpus(out_dir: Path, seeds) -> Path:
+    """Dump every in-memory cell as JSONL plus a manifest."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for cell in build_cells(seeds=seeds):
+        name = f"{cell.plan.kind}_seed{cell.seed}.jsonl"
+        cell.trace.dump_jsonl(out_dir / name)
+        manifest.append({
+            "file": name,
+            "kind": cell.plan.kind,
+            "params": cell.plan.param_dict(),
+            "seed": cell.seed,
+            "allocs": len(cell.trace.allocs),
+            "frees": len(cell.trace.frees),
+            "samples": len(cell.trace.sample_columns()),
+        })
+    (out_dir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return out_dir / "manifest.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write corpus traces + manifest.json here")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--check", action="store_true",
+                        help="run the differential oracle over every cell")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if not args.out and not args.check:
+        parser.error("nothing to do: pass --out and/or --check")
+
+    if args.out:
+        manifest = write_corpus(args.out, args.seeds)
+        if not args.quiet:
+            print(f"wrote corpus manifest {manifest}")
+
+    if args.check:
+        failures = run_check(args.seeds, verbose=not args.quiet)
+        if failures:
+            print(f"{failures} differential failure(s)", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print("all cells bit-identical between vectorized and scalar paths")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
