@@ -108,7 +108,8 @@ def greedy_multiple_knapsack(
         taken, rejected = greedy_knapsack(revalued, capacity)
         for t in taken:
             assignment[t.key] = name
-        pending = [i for i in pending if i.key in {r.key for r in rejected}]
+        rejected_keys = {r.key for r in rejected}
+        pending = [i for i in pending if i.key in rejected_keys]
     last = order[-1]
     last_cap = capacities[last]
     if last_cap is not None:

@@ -23,12 +23,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.workload import AccessStats, AllocationSite, ObjectSpec, Phase, Workload
+from repro.apps.sites import SiteRegistry
+from repro.binary.callstack import StackFormat
 from repro.faults.degrade import DegradationReport
 from repro.faults.plan import FaultPlan, inject
+from repro.memsim.subsystem import MemorySystem, pmem6_system
 from repro.profiling.paramedir import Paramedir, SiteProfile
 from repro.profiling.pebs import PEBSConfig
 from repro.profiling.trace import Trace
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.stats import run_results_identical
+from repro.runtime.traffic import PlacementTraffic
 from repro.units import KiB
 
 SiteKey = Tuple
@@ -237,4 +243,85 @@ def differential_check(trace: Trace) -> DifferentialOutcome:
         degradation=deg_vec,
         strict_vectorized=strict_vec,
         strict_scalar=strict_sca,
+    )
+
+
+# -- the execution-engine differential -----------------------------------------
+
+
+def engine_placement_from_profiles(
+    profiles: Dict[SiteKey, SiteProfile],
+    workload: Workload,
+    *,
+    seed: int = 0,
+    fast: str = "dram",
+    slow: str = "pmem",
+) -> Tuple[Dict[str, str], Dict[Tuple[str, int], str]]:
+    """Turn a (possibly degraded) profile into a concrete placement.
+
+    Deliberately *not* the Advisor: the corpus wants the engine exercised
+    on whatever a corrupted profile suggests, with no repair logic in
+    between.  The hottest profiled site (by estimated load misses, ties by
+    profile order) goes to ``fast``; everything else — including sites the
+    corruption erased entirely — goes to ``slow``.  The first
+    multi-instance site additionally gets one instance overridden to the
+    opposite subsystem, so the ``instance_placement`` path is always on.
+
+    ``seed`` must match the ``base_trace`` seed: the trace's site keys are
+    ASLR-dependent, and the reverse map is rebuilt with the same layout.
+    """
+    process = SiteRegistry(workload).make_process(rank=0, aslr_seed=1000 + seed)
+    name_of_key = {
+        process.site_key(obj.site, StackFormat.BOM): obj.site.name
+        for obj in workload.objects
+    }
+    placement = {obj.site.name: slow for obj in workload.objects}
+    order = {key: i for i, key in enumerate(profiles)}
+    ranked = sorted(
+        profiles, key=lambda k: (-profiles[k].load_misses, order[k])
+    )
+    for key in ranked[:1]:
+        name = name_of_key.get(key)
+        if name is not None:
+            placement[name] = fast
+    overrides: Dict[Tuple[str, int], str] = {}
+    for obj in workload.objects:
+        if obj.alloc_count > 1:
+            current = placement[obj.site.name]
+            overrides[(obj.site.name, 1)] = fast if current == slow else slow
+            break
+    return placement, overrides
+
+
+def engine_differential_check(
+    trace: Trace,
+    *,
+    seed: int = 0,
+    workload: Optional[Workload] = None,
+    system: Optional[MemorySystem] = None,
+) -> DifferentialOutcome:
+    """Hold the batched execution engine to its scalar oracle for one cell.
+
+    The trace is analyzed leniently, a placement is derived straight from
+    the degraded profile, and both :meth:`ExecutionEngine.run` and
+    :meth:`ExecutionEngine.run_scalar` execute it.  The contract is the
+    strongest one the engine offers: :func:`run_results_identical` — every
+    float equal, every dict in the same order.
+    """
+    wl = workload or corpus_workload()
+    sys_ = system or pmem6_system()
+    pm = Paramedir()
+    degradation = DegradationReport()
+    profiles = pm.analyze(trace, degradation=degradation)
+    placement, overrides = engine_placement_from_profiles(
+        profiles, wl, seed=seed
+    )
+    engine = ExecutionEngine(wl, sys_)
+    vec = engine.run(PlacementTraffic(wl, placement, overrides))
+    sca = engine.run_scalar(PlacementTraffic(wl, placement, overrides))
+    mismatches = run_results_identical(vec, sca)
+    return DifferentialOutcome(
+        identical=not mismatches,
+        mismatches=mismatches,
+        degradation=degradation,
     )

@@ -73,7 +73,11 @@ class LoadedLatencyCurve:
         curve only needs to stay finite and monotonic.
         """
         u = self.utilization(bandwidth)
-        return self.idle_ns + self.scale_ns * u**self.shape / (1.0 - u)
+        # u**shape goes through the numpy array ufunc: its pow kernel can
+        # differ from Python's ``**`` by 1 ULP, and the scalar and batched
+        # engine paths must agree bit-for-bit.
+        p = float((np.array([u]) ** self.shape)[0])
+        return self.idle_ns + self.scale_ns * p / (1.0 - u)
 
     def latency_ns_vec(self, bandwidth: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`latency_ns` over an array of demands."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.memsim.latency import (
     DDR4_1R1W,
@@ -109,6 +111,34 @@ class MemorySubsystem:
         )
         # 1R1W corresponds to a 0.5 write fraction; scale linearly and clamp.
         mix = min(write_fraction / 0.5, 1.0)
+        return ro + (rw - ro) * mix
+
+    def read_latency_ns_batch(
+        self,
+        bandwidth_demand: "np.ndarray",
+        write_fraction: "np.ndarray",
+        util_cap: float = 0.92,
+    ) -> "np.ndarray":
+        """Vectorised :meth:`read_latency_ns` over arrays of demands.
+
+        Bit-identical to the scalar method element by element: both paths
+        evaluate the same curve kernels, and the blend collapses exactly to
+        the read-only latency where ``write_fraction`` is zero because
+        ``ro + (rw - ro) * 0.0 == ro`` for the positive latencies involved.
+        """
+        if not 0.0 < util_cap <= 1.0:
+            raise ValueError(f"util_cap out of range: {util_cap}")
+        bw = np.asarray(bandwidth_demand, dtype=float)
+        wf = np.asarray(write_fraction, dtype=float)
+        if wf.size and (wf.min() < 0.0 or wf.max() > 1.0):
+            raise ValueError("write_fraction out of range")
+        ro = self.read_curve.latency_ns_vec(
+            np.minimum(bw, self.read_curve.peak_bw * util_cap)
+        )
+        rw = self.rw_curve.latency_ns_vec(
+            np.minimum(bw, self.rw_curve.peak_bw * util_cap)
+        )
+        mix = np.minimum(wf / 0.5, 1.0)
         return ro + (rw - ro) * mix
 
     def idle_read_latency_ns(self) -> float:

@@ -4,20 +4,39 @@ The engine is deliberately analytic rather than cycle-accurate: the paper's
 evaluation hinges on *where* off-chip traffic goes and *what latency it
 sees there under load*, which the segment/fixed-point model captures, while
 keeping full-application simulations fast enough for parameter sweeps.
+
+:meth:`ExecutionEngine.run` executes the whole workload as array
+operations: one ``TrafficBatch`` holds every segment's per-subsystem
+traffic as (segments x subsystems) matrices, the damped fixed point runs
+over all segments simultaneously with a boolean active mask for
+per-segment convergence, and the per-object/per-phase/timeline
+accumulators are ``np.add.at`` scatter-adds that replay the scalar
+accumulation order exactly.  :meth:`ExecutionEngine.run_scalar` keeps the
+original per-segment Python loop as the reference oracle; the two are
+bit-identical (see ``tests/runtime/test_engine_vectorized.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.alloc.interposer import InterposerStats
 from repro.apps.workload import InstanceSpan, PhaseSpan, Workload
 from repro.memsim.bandwidth import BandwidthTimeline
 from repro.memsim.subsystem import MemorySystem
+from repro.runtime.segments import SegmentArrays, build_segment_arrays
 from repro.runtime.stats import ObjectRunStats, PhaseResult, RunResult
-from repro.runtime.traffic import SegmentTraffic, TrafficModel
+from repro.runtime.traffic import (
+    SegmentTraffic,
+    TrafficBatch,
+    TrafficModel,
+    pack_traffic_batch,
+)
 
 _NS = 1e-9
 
@@ -57,6 +76,21 @@ class _Segment:
         return self.hi - self.lo
 
 
+def _majority_subsystem(byte_totals: "Dict[str, float]") -> str:
+    """The subsystem holding the byte majority, first touch breaking ties.
+
+    ``byte_totals`` must iterate in first-touch order; strict ``>`` keeps
+    the earliest-touched subsystem when totals tie (including all-zero
+    traffic, where this reduces to the historical first-touch rule).
+    """
+    best = ""
+    best_bytes = -1.0
+    for sub, nbytes in byte_totals.items():
+        if nbytes > best_bytes:
+            best, best_bytes = sub, nbytes
+    return best
+
+
 class ExecutionEngine:
     """Runs a workload under a traffic model on a memory system."""
 
@@ -69,9 +103,13 @@ class ExecutionEngine:
         self.workload = workload
         self.system = system
         self.params = params
-        self._segments = self._build_segments()
+        self._segment_arrays = build_segment_arrays(workload)
 
     # -- segmentation -----------------------------------------------------------
+
+    @cached_property
+    def _segments(self) -> List[_Segment]:
+        return self._build_segments()
 
     def _build_segments(self) -> List[_Segment]:
         wl = self.workload
@@ -166,7 +204,72 @@ class ExecutionEngine:
         stall_time = duration - compute
         return duration, stall_time, lat_by_sub
 
-    # -- the run ------------------------------------------------------------------
+    def _fixed_point_batch(
+        self, batch: TrafficBatch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the damped fixed point over all segments simultaneously.
+
+        Returns (durations, frozen per-subsystem latencies).  Per-segment
+        early convergence becomes a shrinking active-index array; a
+        segment's latency row is frozen at its breaking iteration, exactly
+        as the scalar loop leaves ``lat_by_sub``.  Within a segment the
+        stall terms are folded in the scalar dict's insertion order
+        (``order_pos``); absent subsystems contribute an exact ``+0.0``,
+        which cannot perturb the running sum.
+        """
+        wl = self.workload
+        S, K = batch.loads.shape
+        subs = [self.system.get(name) for name in batch.subsystems]
+        ssf = np.array([sub.store_stall_factor for sub in subs])
+        compute = self._segment_arrays.durations_nominal
+        total_bytes = batch.total_bytes
+        wf = batch.write_fraction
+        extra = batch.extra_latency_ns
+
+        loads_rank = batch.loads / wl.ranks
+        serial_rank = batch.serial_loads / wl.ranks
+        stores_rank = batch.stores / wl.ranks
+        overlapped = (loads_rank - serial_rank) / wl.mlp + serial_rank
+        rb, wb = batch.read_bytes, batch.write_bytes
+        prb = np.array([sub.peak_read_bw for sub in subs])
+        pwb = np.array([sub.peak_write_bw for sub in subs])
+        # the saturation floor is iteration-invariant; absent subsystems
+        # contribute 0.0 bytes and max() is exact, so no mask is needed
+        floor = (rb / prb + wb / pwb).max(axis=1)
+        order_cols = np.argsort(batch.order_pos, axis=1, kind="stable")
+
+        cap = self.params.latency_util_cap
+        tol = self.params.tolerance
+        damp = self.params.damping
+        duration = compute.copy()
+        lat_final = np.zeros((S, K))
+        active = np.arange(S)
+        for _ in range(self.params.fixed_point_iters):
+            if active.size == 0:
+                break
+            dur = duration[active]
+            bw = total_bytes[active] / dur[:, None]
+            lat = np.empty_like(bw)
+            for k, sub in enumerate(subs):
+                lat[:, k] = sub.read_latency_ns_batch(
+                    bw[:, k], wf[active, k], util_cap=cap
+                )
+            lat = lat + extra[active]
+            lat_final[active] = lat
+            contrib = (
+                overlapped[active] * lat + stores_rank[active] * (ssf * lat)
+            ) * _NS
+            ordered = np.take_along_axis(contrib, order_cols[active], axis=1)
+            stall = np.zeros(active.size)
+            for k in range(K):
+                stall = stall + ordered[:, k]
+            new = np.maximum(compute[active] + stall, floor[active])
+            converged = np.abs(new - dur) <= tol * dur
+            duration[active] = np.where(converged, new, damp * new + (1.0 - damp) * dur)
+            active = active[~converged]
+        return duration, lat_final
+
+    # -- the batched run ----------------------------------------------------------
 
     def run(
         self,
@@ -177,7 +280,199 @@ class ExecutionEngine:
         dram_cache_hit_ratio: Optional[float] = None,
         interposer_stats: Optional[InterposerStats] = None,
     ) -> RunResult:
-        """Execute the workload under ``model`` and collect statistics."""
+        """Execute the workload under ``model`` and collect statistics.
+
+        Vectorized over segments; bit-identical to :meth:`run_scalar`.
+        """
+        wl = self.workload
+        sa = self._segment_arrays
+        names = self.system.names
+        if hasattr(model, "traffic_batch"):
+            batch = model.traffic_batch(sa, names)
+        else:
+            batch = pack_traffic_batch(model, wl, sa, names)
+
+        durations, lat_final = self._fixed_point_batch(batch)
+        stalls = durations - sa.durations_nominal
+        cum = np.cumsum(durations)
+        starts = np.concatenate(([0.0], cum[:-1]))
+        actual_t = float(cum[-1])
+
+        pmem_bw_seg = np.zeros(sa.num_segments)
+        if "pmem" in names and "pmem" in batch.subsystems:
+            pc = batch.subsystems.index("pmem")
+            mask = batch.present[:, pc]
+            pmem_bw_seg[mask] = batch.total_bytes[mask, pc] / durations[mask]
+
+        # -- per-site identity, in first-live order ------------------------------
+        instances = sa.instances
+        sid_of_name: Dict[str, int] = {}
+        inst_sid = np.empty(len(instances), dtype=np.int64)
+        for n, inst in enumerate(instances):
+            nm = inst.spec.site.name
+            if nm not in sid_of_name:
+                sid_of_name[nm] = len(sid_of_name)
+            inst_sid[n] = sid_of_name[nm]
+        id_names = list(sid_of_name)
+
+        pair_sid = inst_sid[sa.pair_inst] if sa.pair_inst.size else inst_sid[:0]
+        uniq_sid, first_pair = np.unique(pair_sid, return_index=True)
+        live_order = uniq_sid[np.argsort(first_pair, kind="stable")]
+        slot_of_sid = np.full(len(id_names) + 1, -1, dtype=np.int64)
+        for slot, sid in enumerate(live_order):
+            slot_of_sid[sid] = slot
+        n_live = live_order.size
+        pair_slot = slot_of_sid[pair_sid]
+
+        first_pair_of_sid = {int(s): int(f) for s, f in zip(uniq_sid, first_pair)}
+        objects: Dict[str, ObjectRunStats] = {}
+        for sid in live_order:
+            rep = instances[int(sa.pair_inst[first_pair_of_sid[int(sid)]])]
+            objects[id_names[sid]] = ObjectRunStats(
+                site_name=id_names[sid],
+                subsystem="",
+                size=rep.spec.size,
+                alloc_count=rep.spec.alloc_count,
+            )
+        stats_list = list(objects.values())
+
+        # -- live-pair accumulators (scatter-add in scalar pair order) -----------
+        live_time = np.zeros(n_live)
+        exec_bw_w = np.zeros(n_live)
+        exec_tw = np.zeros(n_live)
+        pair_dur = durations[sa.pair_seg]
+        np.add.at(live_time, pair_slot, pair_dur)
+        np.add.at(exec_bw_w, pair_slot, pmem_bw_seg[sa.pair_seg] * pair_dur)
+        np.add.at(exec_tw, pair_slot, pair_dur)
+
+        # alloc/dealloc events: an instance allocates in its first live
+        # segment when that segment starts exactly at the instance's start
+        # (the scalar ``inst.start == seg.lo`` test), symmetrically for ends
+        inst_start = np.array([i.start for i in instances])
+        inst_end = np.array([i.end for i in instances])
+        p_inst = sa.pair_inst
+        p_seg = sa.pair_seg
+        is_alloc = (p_seg == sa.inst_first_seg[p_inst]) & (
+            sa.seg_lo[p_seg] == inst_start[p_inst]
+        )
+        is_dealloc = (p_seg == sa.inst_last_seg[p_inst] - 1) & (
+            sa.seg_hi[p_seg] == inst_end[p_inst]
+        )
+        alloc_bws: List[List[float]] = [[] for _ in range(n_live)]
+        for p in np.flatnonzero(is_alloc | is_dealloc):
+            slot = int(pair_slot[p])
+            st = stats_list[slot]
+            seg = int(p_seg[p])
+            if is_alloc[p]:
+                alloc_bws[slot].append(float(pmem_bw_seg[seg]))
+                st.alloc_times.append(float(starts[seg]))
+            if is_dealloc[p]:
+                st.dealloc_times.append(float(starts[seg] + durations[seg]))
+
+        # -- per-object traffic accumulators -------------------------------------
+        slot_of_batch_site = np.array(
+            [sid_of_name.get(nm, -1) for nm in batch.site_names], dtype=np.int64
+        )
+        slot_of_batch_site = np.where(
+            slot_of_batch_site >= 0, slot_of_sid[slot_of_batch_site], -1
+        )
+        colmap = {name: k for k, name in enumerate(batch.subsystems)}
+        col_of_obj_sub = np.array(
+            [colmap.get(nm, -1) for nm in batch.obj_sub_names], dtype=np.int64
+        )
+
+        oslot = (
+            slot_of_batch_site[batch.obj_site] if batch.obj_site.size
+            else batch.obj_site
+        )
+        ovalid = oslot >= 0
+        oslot = oslot[ovalid]
+        oseg = batch.obj_seg[ovalid]
+        osub = batch.obj_sub[ovalid]
+        oloads = batch.obj_loads[ovalid]
+        ostores = batch.obj_stores[ovalid]
+        ocol = col_of_obj_sub[osub] if osub.size else osub
+        ocol_safe = np.where(ocol >= 0, ocol, 0)
+        olat = np.where(
+            (ocol >= 0) & batch.present[oseg, ocol_safe],
+            lat_final[oseg, ocol_safe],
+            0.0,
+        )
+
+        load_misses = np.zeros(n_live)
+        store_misses = np.zeros(n_live)
+        bytes_total = np.zeros(n_live)
+        lat_sum = np.zeros(n_live)
+        lat_weight = np.zeros(n_live)
+        obj_bytes = (oloads + 2.0 * ostores) * 64.0
+        np.add.at(load_misses, oslot, oloads)
+        np.add.at(store_misses, oslot, ostores)
+        np.add.at(bytes_total, oslot, obj_bytes)
+        np.add.at(lat_sum, oslot, oloads * olat)
+        np.add.at(lat_weight, oslot, oloads)
+
+        # byte totals per (site, subsystem) in first-touch order, for the
+        # byte-majority subsystem attribution
+        n_subn = max(len(batch.obj_sub_names), 1)
+        mkey = oslot * n_subn + osub
+        muniq, mfirst, minv = np.unique(mkey, return_index=True, return_inverse=True)
+        mbytes = np.zeros(muniq.size)
+        np.add.at(mbytes, minv, obj_bytes)
+        morder = np.argsort(mfirst, kind="stable")
+        sub_bytes: List[Dict[str, float]] = [{} for _ in range(n_live)]
+        for g in morder:
+            slot = int(muniq[g] // n_subn)
+            sub = batch.obj_sub_names[int(muniq[g] % n_subn)]
+            sub_bytes[slot][sub] = float(mbytes[g])
+
+        # -- finalize per-object statistics --------------------------------------
+        for slot, st in enumerate(stats_list):
+            st.load_misses = float(load_misses[slot])
+            st.store_misses = float(store_misses[slot])
+            st.bytes_total = float(bytes_total[slot])
+            st.live_time = float(live_time[slot])
+            if lat_weight[slot]:
+                st.mean_load_latency_ns = float(lat_sum[slot] / lat_weight[slot])
+            bws = alloc_bws[slot]
+            st.pmem_bw_at_alloc = sum(bws) / len(bws) if bws else 0.0
+            if exec_tw[slot]:
+                st.pmem_bw_exec = float(exec_bw_w[slot] / exec_tw[slot])
+            if sub_bytes[slot]:
+                st.subsystem = _majority_subsystem(sub_bytes[slot])
+            else:
+                # never generated traffic; report where its placement sends it
+                st.subsystem = getattr(model, "placement_of", {}).get(
+                    st.site_name, ""
+                )
+
+        total_time = actual_t + interposer_overhead_s
+        phases = self._phase_results_batch(batch, durations, stalls, lat_final, starts)
+        timeline = self._timeline_batch(batch, durations, starts, total_time)
+
+        return RunResult(
+            workload_name=wl.name,
+            config_label=label or model.label,
+            total_time=total_time,
+            phases=phases,
+            objects=objects,
+            timeline=timeline,
+            interposer_overhead_s=interposer_overhead_s,
+            dram_cache_hit_ratio=dram_cache_hit_ratio,
+            interposer_stats=interposer_stats,
+        )
+
+    # -- the scalar oracle ---------------------------------------------------------
+
+    def run_scalar(
+        self,
+        model: TrafficModel,
+        *,
+        label: Optional[str] = None,
+        interposer_overhead_s: float = 0.0,
+        dram_cache_hit_ratio: Optional[float] = None,
+        interposer_stats: Optional[InterposerStats] = None,
+    ) -> RunResult:
+        """Reference implementation of :meth:`run`: one Python loop per segment."""
         wl = self.workload
         has_pmem = "pmem" in self.system.names
 
@@ -189,6 +484,7 @@ class ExecutionEngine:
         exec_bw_weight: Dict[str, float] = {}
         exec_time_weight: Dict[str, float] = {}
         alloc_pending: Dict[Tuple[str, int], float] = {}
+        sub_bytes: Dict[str, Dict[str, float]] = {}
 
         # instances begin exactly at segment boundaries; track which
         # instances start at each segment's lo for alloc-time stats
@@ -227,10 +523,12 @@ class ExecutionEngine:
                 st = objects.get(site_name)
                 if st is None:
                     continue
-                st.subsystem = st.subsystem or subsystem
                 st.load_misses += loads
                 st.store_misses += stores
-                st.bytes_total += (loads + 2.0 * stores) * 64.0
+                nbytes = (loads + 2.0 * stores) * 64.0
+                st.bytes_total += nbytes
+                per_sub = sub_bytes.setdefault(site_name, {})
+                per_sub[subsystem] = per_sub.get(subsystem, 0.0) + nbytes
                 lat = lat_by_sub.get(subsystem, 0.0)
                 st.mean_load_latency_ns += loads * lat
                 lat_weight[site_name] = lat_weight.get(site_name, 0.0) + loads
@@ -248,7 +546,9 @@ class ExecutionEngine:
             st.pmem_bw_at_alloc = sum(bws) / len(bws) if bws else 0.0
             if exec_time_weight.get(name):
                 st.pmem_bw_exec = exec_bw_weight[name] / exec_time_weight[name]
-            if not st.subsystem:
+            if sub_bytes.get(name):
+                st.subsystem = _majority_subsystem(sub_bytes[name])
+            else:
                 # never generated traffic; report where its placement sends it
                 st.subsystem = getattr(model, "placement_of", {}).get(name, "")
 
@@ -270,6 +570,101 @@ class ExecutionEngine:
         )
 
     # -- aggregation helpers --------------------------------------------------------
+
+    def _phase_results_batch(
+        self,
+        batch: TrafficBatch,
+        durations: np.ndarray,
+        stalls: np.ndarray,
+        lat_final: np.ndarray,
+        starts: np.ndarray,
+    ) -> List[PhaseResult]:
+        wl = self.workload
+        sa = self._segment_arrays
+        S, K = batch.loads.shape
+
+        # group spans by (name, iteration) — the scalar dict key
+        gid_of_key: Dict[Tuple[str, int], int] = {}
+        gid_of_span = np.empty(len(wl.spans), dtype=np.int64)
+        for i, span in enumerate(wl.spans):
+            key = (span.name, span.iteration)
+            if key not in gid_of_key:
+                gid_of_key[key] = len(gid_of_key)
+            gid_of_span[i] = gid_of_key[key]
+        gseg = gid_of_span[sa.span_idx]
+
+        used_gids, gfirst = np.unique(gseg, return_index=True)
+        order = np.argsort(gfirst, kind="stable")
+        used_gids, gfirst = used_gids[order], gfirst[order]
+        G = int(gid_of_span.max()) + 1
+
+        actual_dur = np.zeros(G)
+        compute_t = np.zeros(G)
+        stall_t = np.zeros(G)
+        np.add.at(actual_dur, gseg, durations)
+        np.add.at(compute_t, gseg, sa.durations_nominal)
+        np.add.at(stall_t, gseg, stalls)
+
+        pres_loads = np.where(batch.present, batch.loads, 0.0)
+        pres_stores = np.where(batch.present, batch.stores, 0.0)
+        pres_bytes = np.where(batch.present, batch.total_bytes, 0.0)
+        pres_lat = np.where(batch.present, lat_final, 0.0) * durations[:, None]
+        g_loads = np.zeros((G, K))
+        g_stores = np.zeros((G, K))
+        g_bytes = np.zeros((G, K))
+        g_lat = np.zeros((G, K))
+        np.add.at(g_loads, gseg, pres_loads)
+        np.add.at(g_stores, gseg, pres_stores)
+        np.add.at(g_bytes, gseg, pres_bytes)
+        np.add.at(g_lat, gseg, pres_lat)
+        first_touch = np.full((G, K), np.inf)
+        np.minimum.at(first_touch, gseg, batch.order_pos)
+
+        results: List[PhaseResult] = []
+        for gid, first_seg in zip(used_gids, gfirst):
+            span = wl.spans[int(sa.span_idx[first_seg])]
+            pr = PhaseResult(
+                name=span.name,
+                iteration=span.iteration,
+                nominal_start=span.start,
+                nominal_end=span.end,
+                actual_start=float(starts[first_seg]),
+                actual_duration=float(actual_dur[gid]),
+                compute_time=float(compute_t[gid]),
+                stall_time=float(stall_t[gid]),
+            )
+            denom = max(pr.actual_duration, 1e-12)
+            for k in np.argsort(first_touch[gid], kind="stable"):
+                if not np.isfinite(first_touch[gid, k]):
+                    break
+                name = batch.subsystems[k]
+                pr.loads_by_subsystem[name] = float(g_loads[gid, k])
+                pr.stores_by_subsystem[name] = float(g_stores[gid, k])
+                pr.bytes_by_subsystem[name] = float(g_bytes[gid, k])
+                pr.mean_latency_by_subsystem[name] = float(g_lat[gid, k] / denom)
+            results.append(pr)
+        return results
+
+    def _timeline_batch(
+        self,
+        batch: TrafficBatch,
+        durations: np.ndarray,
+        starts: np.ndarray,
+        total_time: float,
+    ) -> BandwidthTimeline:
+        resolution = max(total_time / self.params.timeline_bins, 1e-6)
+        timeline = BandwidthTimeline(duration=total_time, resolution=resolution)
+        ends = starts + durations
+        # zero-length segments, and positive durations below the float
+        # resolution at their start time, spread no traffic
+        positive = (durations > 0.0) & (ends > starts)
+        for k, name in enumerate(batch.subsystems):
+            mask = batch.present[:, k] & (batch.total_bytes[:, k] > 0) & positive
+            if mask.any():
+                timeline.add_traffic_batch(
+                    name, starts[mask], ends[mask], batch.total_bytes[mask, k]
+                )
+        return timeline
 
     def _phase_results(self, seg_results) -> List[PhaseResult]:
         phases: Dict[Tuple[str, int], PhaseResult] = {}
@@ -313,9 +708,12 @@ class ExecutionEngine:
         resolution = max(total_time / self.params.timeline_bins, 1e-6)
         timeline = BandwidthTimeline(duration=total_time, resolution=resolution)
         for seg, traffic, start, duration, _stall, _lat, _pf in seg_results:
-            if start + duration <= start:  # sub-epsilon segment
+            if duration <= 0.0:  # zero-length segment: nothing to spread
+                continue
+            end = start + duration
+            if end <= start:  # positive duration below float resolution at start
                 continue
             for name, t in traffic.by_subsystem.items():
                 if t.total_bytes > 0:
-                    timeline.add_traffic(name, start, start + duration, t.total_bytes)
+                    timeline.add_traffic(name, start, end, t.total_bytes)
         return timeline

@@ -1,0 +1,106 @@
+"""Array-based timeline segmentation for the vectorized engine.
+
+The scalar engine sweeps sorted cut points with Python dicts to build its
+``_Segment`` list.  This module produces the same segmentation as flat
+arrays via ``np.searchsorted``: segment bounds, the phase span of each
+segment, each instance's live segment range, and the full (segment,
+instance) live-pair expansion ordered exactly as the scalar sweep
+enumerates ``_Segment.live`` (live instances in ascending start order with
+ties broken by workload instance order — the insertion order of the scalar
+sweep's live dict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.apps.workload import InstanceSpan, Workload
+
+
+@dataclass
+class SegmentArrays:
+    """The scalar segmentation flattened into arrays.
+
+    ``pair_seg``/``pair_inst`` enumerate every (segment, live instance)
+    pair in the scalar iteration order: segments ascending, and within a
+    segment the instances in live-dict insertion order.
+    """
+
+    seg_lo: np.ndarray      # (S,) segment start, nominal time
+    seg_hi: np.ndarray      # (S,) segment end, nominal time
+    span_idx: np.ndarray    # (S,) index into workload.spans
+    instances: List[InstanceSpan]  # workload.instances() order
+    inst_first_seg: np.ndarray     # (N,) first live segment (S if never live)
+    inst_last_seg: np.ndarray      # (N,) one past the last live segment
+    pair_seg: np.ndarray    # (P,) int64
+    pair_inst: np.ndarray   # (P,) int64
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.seg_lo.size)
+
+    @property
+    def durations_nominal(self) -> np.ndarray:
+        return self.seg_hi - self.seg_lo
+
+
+def build_segment_arrays(workload: Workload) -> SegmentArrays:
+    """Segment a workload on sorted arrays (same cuts as the scalar sweep)."""
+    wl = workload
+    instances = wl.instances()
+    inst_start = np.array([i.start for i in instances], dtype=float)
+    inst_end = np.array([i.end for i in instances], dtype=float)
+    span_start = np.array([s.start for s in wl.spans], dtype=float)
+    span_end = np.array([s.end for s in wl.spans], dtype=float)
+
+    cuts = np.unique(
+        np.concatenate([
+            np.array([0.0, wl.nominal_duration]),
+            span_start, span_end, inst_start, inst_end,
+        ])
+    )
+    cuts = cuts[(cuts >= 0.0) & (cuts <= wl.nominal_duration)]
+    seg_lo, seg_hi = cuts[:-1], cuts[1:]
+    keep = seg_hi > seg_lo
+    seg_lo, seg_hi = seg_lo[keep], seg_hi[keep]
+    if seg_lo.size == 0:
+        raise SimulationError("workload produced no timeline segments")
+
+    # the phase span of a segment is the first span ending after its lo
+    span_idx = np.searchsorted(span_end, seg_lo, side="right")
+    if span_idx.size and span_idx.max() >= len(wl.spans):
+        bad = int(np.argmax(span_idx >= len(wl.spans)))
+        raise SimulationError(
+            f"segment [{seg_lo[bad]}, {seg_hi[bad]}) beyond last phase span"
+        )
+
+    # an instance is live in segment s iff start <= seg_lo[s] < end
+    first = np.searchsorted(seg_lo, inst_start, side="left")
+    last = np.searchsorted(seg_lo, inst_end, side="left")
+    counts = np.maximum(last - first, 0)
+    total = int(counts.sum())
+
+    # expand to (segment, instance) pairs, then order them the way the
+    # scalar sweep's live dict iterates: segment ascending, then instance
+    # start ascending with ties in original instance order
+    ev = np.repeat(np.arange(counts.size), counts)
+    within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    pair_seg = first[ev] + within
+    live_rank = np.argsort(inst_start, kind="stable")
+    rank_of = np.empty_like(live_rank)
+    rank_of[live_rank] = np.arange(live_rank.size)
+    order = np.lexsort((rank_of[ev], pair_seg))
+    return SegmentArrays(
+        seg_lo=seg_lo,
+        seg_hi=seg_hi,
+        span_idx=span_idx.astype(np.int64),
+        instances=instances,
+        inst_first_seg=first.astype(np.int64),
+        inst_last_seg=last.astype(np.int64),
+        pair_seg=pair_seg[order].astype(np.int64),
+        pair_inst=ev[order].astype(np.int64),
+    )

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.advisor.model import BandwidthObservation
 from repro.alloc.interposer import InterposerStats
@@ -148,3 +150,73 @@ class RunResult:
             for name, b in p.bytes_by_subsystem.items():
                 out[name] = out.get(name, 0.0) + b
         return out
+
+
+def run_results_identical(a: "RunResult", b: "RunResult") -> List[str]:
+    """Bitwise comparison of two run results; returns mismatch descriptions.
+
+    Used by the differential suite and ``tools/perf_bench.py`` to assert
+    that the vectorized engine reproduces the scalar oracle exactly: all
+    floats are compared with ``==`` (no tolerance), and every dict is also
+    compared on key *order* — the accumulation order is part of the
+    contract — except the timeline's internal bins, whose key order is an
+    implementation detail.
+    """
+    errors: List[str] = []
+
+    def check(cond: bool, msg: str) -> None:
+        if not cond:
+            errors.append(msg)
+
+    check(a.workload_name == b.workload_name,
+          f"workload_name: {a.workload_name} != {b.workload_name}")
+    check(a.config_label == b.config_label,
+          f"config_label: {a.config_label} != {b.config_label}")
+    check(a.total_time == b.total_time,
+          f"total_time: {a.total_time!r} != {b.total_time!r}")
+    check(a.interposer_overhead_s == b.interposer_overhead_s,
+          "interposer_overhead_s differs")
+    check(a.dram_cache_hit_ratio == b.dram_cache_hit_ratio,
+          "dram_cache_hit_ratio differs")
+
+    check(len(a.phases) == len(b.phases),
+          f"phase count: {len(a.phases)} != {len(b.phases)}")
+    for i, (pa, pb) in enumerate(zip(a.phases, b.phases)):
+        for f in ("name", "iteration", "nominal_start", "nominal_end",
+                  "actual_start", "actual_duration", "compute_time",
+                  "stall_time"):
+            va, vb = getattr(pa, f), getattr(pb, f)
+            check(va == vb, f"phase[{i}].{f}: {va!r} != {vb!r}")
+        for f in ("loads_by_subsystem", "stores_by_subsystem",
+                  "bytes_by_subsystem", "mean_latency_by_subsystem"):
+            da, db = getattr(pa, f), getattr(pb, f)
+            check(list(da) == list(db), f"phase[{i}].{f} key order differs")
+            for k in da:
+                check(da.get(k) == db.get(k),
+                      f"phase[{i}].{f}[{k}]: {da.get(k)!r} != {db.get(k)!r}")
+
+    check(list(a.objects) == list(b.objects), "objects key order differs")
+    for name in a.objects:
+        if name not in b.objects:
+            continue
+        oa, ob = a.objects[name], b.objects[name]
+        for f in ("site_name", "subsystem", "size", "alloc_count",
+                  "load_misses", "store_misses", "bytes_total", "live_time",
+                  "alloc_times", "dealloc_times", "pmem_bw_at_alloc",
+                  "pmem_bw_exec", "mean_load_latency_ns"):
+            va, vb = getattr(oa, f), getattr(ob, f)
+            check(va == vb, f"object[{name}].{f}: {va!r} != {vb!r}")
+
+    ta, tb = a.timeline, b.timeline
+    check(ta.duration == tb.duration, "timeline.duration differs")
+    check(ta.resolution == tb.resolution, "timeline.resolution differs")
+    check(set(ta._bins) == set(tb._bins),
+          f"timeline subsystems: {set(ta._bins)} != {set(tb._bins)}")
+    for k in set(ta._bins) & set(tb._bins):
+        if not np.array_equal(ta._bins[k], tb._bins[k]):
+            bad = int(np.argmax(ta._bins[k] != tb._bins[k]))
+            errors.append(
+                f"timeline[{k}] bin {bad}: "
+                f"{ta._bins[k][bad]!r} != {tb._bins[k][bad]!r}"
+            )
+    return errors

@@ -14,9 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Protocol, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.apps.workload import InstanceSpan, Workload
 from repro.profiling.metrics import LINE_BYTES
+from repro.runtime.segments import SegmentArrays
 
 
 @dataclass
@@ -79,6 +82,134 @@ class SegmentTraffic:
         key = (site_name, subsystem)
         prev = self.by_object.get(key, (0.0, 0.0))
         self.by_object[key] = (prev[0] + loads, prev[1] + stores)
+
+
+@dataclass
+class TrafficBatch:
+    """All segments' traffic as matrices (the batched ``SegmentTraffic``).
+
+    Matrices are (num_segments, num_subsystems) with the column order of
+    ``subsystems``.  ``present`` marks cells whose ``SubsystemTraffic``
+    bucket exists in the scalar representation (a bucket can exist with
+    zero traffic), and ``order_pos`` carries a globally monotonic
+    first-touch position so the scalar dicts' insertion order — which
+    fixes the floating-point accumulation order — can be reconstructed.
+
+    ``obj_*`` arrays flatten the per-segment ``by_object`` dicts: one row
+    per (segment, site, subsystem) key with the segment-summed loads and
+    stores, ordered by segment and then by first touch within the segment
+    (the scalar dict iteration order).
+    """
+
+    subsystems: List[str]
+    loads: np.ndarray            # (S, K)
+    stores: np.ndarray           # (S, K)
+    serial_loads: np.ndarray     # (S, K)
+    extra_latency_ns: np.ndarray  # (S, K)
+    present: np.ndarray          # (S, K) bool
+    order_pos: np.ndarray        # (S, K) float, +inf where absent
+    site_names: List[str]
+    obj_sub_names: List[str]
+    obj_seg: np.ndarray          # (M,) int64
+    obj_site: np.ndarray         # (M,) int64 -> site_names
+    obj_sub: np.ndarray          # (M,) int64 -> obj_sub_names
+    obj_loads: np.ndarray        # (M,)
+    obj_stores: np.ndarray       # (M,)
+
+    @property
+    def read_bytes(self) -> np.ndarray:
+        return self.loads * LINE_BYTES
+
+    @property
+    def write_bytes(self) -> np.ndarray:
+        return self.stores * LINE_BYTES * 2.0
+
+    @property
+    def total_bytes(self) -> np.ndarray:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def write_fraction(self) -> np.ndarray:
+        total = self.total_bytes
+        out = np.zeros_like(total)
+        np.divide(self.write_bytes, total, out=out, where=total > 0)
+        return out
+
+
+def pack_traffic_batch(
+    model: "TrafficModel",
+    workload: Workload,
+    segments: SegmentArrays,
+    subsystem_names: Sequence[str],
+) -> TrafficBatch:
+    """Build a :class:`TrafficBatch` by replaying ``model.segment_traffic``.
+
+    The generic adapter for models without a native batched path: it calls
+    the scalar entry point once per segment *in segment order* (so models
+    with per-segment side effects, like memory-mode hit-ratio tracking,
+    observe the same call sequence) and transcribes the dicts into arrays.
+    """
+    spans = workload.spans
+    K = len(subsystem_names)
+    S = segments.num_segments
+    colmap = {name: k for k, name in enumerate(subsystem_names)}
+    loads = np.zeros((S, K))
+    stores = np.zeros((S, K))
+    serial = np.zeros((S, K))
+    extra = np.zeros((S, K))
+    present = np.zeros((S, K), dtype=bool)
+    order_pos = np.full((S, K), np.inf)
+
+    site_names: List[str] = []
+    site_idx: Dict[str, int] = {}
+    sub_names: List[str] = []
+    sub_idx: Dict[str, int] = {}
+    obj_seg: List[int] = []
+    obj_site: List[int] = []
+    obj_sub: List[int] = []
+    obj_loads: List[float] = []
+    obj_stores: List[float] = []
+
+    bounds = np.searchsorted(segments.pair_seg, np.arange(S + 1))
+    for s in range(S):
+        live = [segments.instances[j]
+                for j in segments.pair_inst[bounds[s]:bounds[s + 1]]]
+        st = model.segment_traffic(
+            float(segments.seg_lo[s]), float(segments.seg_hi[s]),
+            spans[segments.span_idx[s]].name, live,
+        )
+        for j, (name, t) in enumerate(st.by_subsystem.items()):
+            k = colmap[name]
+            loads[s, k] = t.loads
+            stores[s, k] = t.stores
+            serial[s, k] = t.serial_loads
+            extra[s, k] = t.extra_latency_ns
+            present[s, k] = True
+            order_pos[s, k] = s * K + j
+        for (site, sub), (ld, sd) in st.by_object.items():
+            if site not in site_idx:
+                site_idx[site] = len(site_names)
+                site_names.append(site)
+            if sub not in sub_idx:
+                sub_idx[sub] = len(sub_names)
+                sub_names.append(sub)
+            obj_seg.append(s)
+            obj_site.append(site_idx[site])
+            obj_sub.append(sub_idx[sub])
+            obj_loads.append(ld)
+            obj_stores.append(sd)
+
+    return TrafficBatch(
+        subsystems=list(subsystem_names),
+        loads=loads, stores=stores, serial_loads=serial,
+        extra_latency_ns=extra, present=present, order_pos=order_pos,
+        site_names=site_names, obj_sub_names=sub_names,
+        obj_seg=np.array(obj_seg, dtype=np.int64),
+        obj_site=np.array(obj_site, dtype=np.int64),
+        obj_sub=np.array(obj_sub, dtype=np.int64),
+        obj_loads=np.array(obj_loads, dtype=float),
+        obj_stores=np.array(obj_stores, dtype=float),
+    )
 
 
 class TrafficModel(Protocol):
@@ -159,3 +290,117 @@ class PlacementTraffic:
             )
             traffic.record_object(inst.spec.site.name, subsystem, loads, stores)
         return traffic
+
+    def traffic_batch(
+        self, segments: SegmentArrays, subsystem_names: Sequence[str]
+    ) -> TrafficBatch:
+        """All segments' traffic at once (bit-identical to the scalar path).
+
+        Contributions are scatter-added in the exact (segment, live-order)
+        sequence the scalar path uses, so every accumulated float sees the
+        same sequence of additions.
+        """
+        wl = self.workload
+        K = len(subsystem_names)
+        S = segments.num_segments
+        colmap = {name: k for k, name in enumerate(subsystem_names)}
+        instances = segments.instances
+        N = len(instances)
+
+        site_names: List[str] = []
+        site_idx: Dict[str, int] = {}
+        # per-phase-name rate rows, shared across instances of one spec
+        pname_idx: Dict[str, int] = {}
+        pname_of_span = np.empty(len(wl.spans), dtype=np.int64)
+        for i, span in enumerate(wl.spans):
+            if span.name not in pname_idx:
+                pname_idx[span.name] = len(pname_idx)
+            pname_of_span[i] = pname_idx[span.name]
+        U = len(pname_idx)
+
+        spec_row: Dict[int, int] = {}
+        rate_load_rows: List[np.ndarray] = []
+        rate_store_rows: List[np.ndarray] = []
+        inst_row = np.empty(N, dtype=np.int64)
+        inst_site = np.empty(N, dtype=np.int64)
+        inst_col = np.empty(N, dtype=np.int64)
+        inst_sf = np.empty(N, dtype=float)
+        for n, inst in enumerate(instances):
+            spec = inst.spec
+            row = spec_row.get(id(spec))
+            if row is None:
+                rl = np.zeros(U)
+                rs = np.zeros(U)
+                for pname, u in pname_idx.items():
+                    stats = spec.access.get(pname)
+                    if stats is not None:
+                        rl[u] = stats.load_rate
+                        rs[u] = stats.store_rate
+                row = len(rate_load_rows)
+                spec_row[id(spec)] = row
+                rate_load_rows.append(rl)
+                rate_store_rows.append(rs)
+            inst_row[n] = row
+            name = spec.site.name
+            if name not in site_idx:
+                site_idx[name] = len(site_names)
+                site_names.append(name)
+            inst_site[n] = site_idx[name]
+            inst_col[n] = colmap[
+                self.instance_placement.get((name, inst.index),
+                                            self.placement_of[name])
+            ]
+            inst_sf[n] = spec.serial_fraction
+        rate_load = np.array(rate_load_rows) if rate_load_rows else np.zeros((0, U))
+        rate_store = np.array(rate_store_rows) if rate_store_rows else np.zeros((0, U))
+
+        pseg = segments.pair_seg
+        pinst = segments.pair_inst
+        dt = segments.durations_nominal
+        seg_pname = pname_of_span[segments.span_idx]
+        ranks = wl.ranks
+        pl = rate_load[inst_row[pinst], seg_pname[pseg]] * dt[pseg] * ranks
+        ps = rate_store[inst_row[pinst], seg_pname[pseg]] * dt[pseg] * ranks
+        keep = (pl != 0.0) | (ps != 0.0)
+        kpos = np.flatnonzero(keep)
+        pl, ps = pl[kpos], ps[kpos]
+        if pl.size and (pl.min() < 0 or ps.min() < 0):
+            raise SimulationError("negative traffic contribution")
+        kseg = pseg[kpos]
+        kinst = pinst[kpos]
+        kcol = inst_col[kinst]
+        pser = pl * inst_sf[kinst]
+
+        loads = np.zeros((S, K))
+        stores = np.zeros((S, K))
+        serial = np.zeros((S, K))
+        order_pos = np.full((S, K), np.inf)
+        np.add.at(loads, (kseg, kcol), pl)
+        np.add.at(stores, (kseg, kcol), ps)
+        np.add.at(serial, (kseg, kcol), pser)
+        np.minimum.at(order_pos, (kseg, kcol), kpos.astype(float))
+        present = np.isfinite(order_pos)
+
+        # per-(segment, site, subsystem) sums in first-touch order
+        nsites = max(len(site_names), 1)
+        key = (kseg * nsites + inst_site[kinst]) * K + kcol
+        uniq, first_pos, inv = np.unique(key, return_index=True,
+                                         return_inverse=True)
+        gl = np.zeros(uniq.size)
+        gs = np.zeros(uniq.size)
+        np.add.at(gl, inv, pl)
+        np.add.at(gs, inv, ps)
+        order = np.argsort(first_pos, kind="stable")
+        uniq = uniq[order]
+        return TrafficBatch(
+            subsystems=list(subsystem_names),
+            loads=loads, stores=stores, serial_loads=serial,
+            extra_latency_ns=np.zeros((S, K)),
+            present=present, order_pos=order_pos,
+            site_names=site_names, obj_sub_names=list(subsystem_names),
+            obj_seg=(uniq // (nsites * K)).astype(np.int64),
+            obj_site=((uniq // K) % nsites).astype(np.int64),
+            obj_sub=(uniq % K).astype(np.int64),
+            obj_loads=gl[order],
+            obj_stores=gs[order],
+        )

@@ -129,3 +129,29 @@ class TestMultipleKnapsack:
         assert sum(1 for v in out.values() if v == "hbm") == 2
         assert sum(1 for v in out.values() if v == "dram") == 2
         assert sum(1 for v in out.values() if v == "pmem") == 2
+
+
+class TestMultipleKnapsackScaling:
+    def test_5k_items_under_time_budget(self):
+        """Regression: the rejected-key set used to be rebuilt per pending
+        item, making the pending filter O(n^2) per tier."""
+        import time
+
+        n = 5000
+        items = [item(i, 0, 10) for i in range(n)]
+        values = {
+            "hbm": {i: float(n - i) for i in range(n)},
+            "dram": {i: float(n - i) * 0.5 for i in range(n)},
+        }
+        t0 = time.perf_counter()
+        out = greedy_multiple_knapsack(
+            items, {"hbm": 1000 * 10, "dram": 1000 * 10, "pmem": None},
+            ["hbm", "dram", "pmem"], values,
+        )
+        elapsed = time.perf_counter() - t0
+        assert len(out) == n
+        assert sum(1 for v in out.values() if v == "hbm") == 1000
+        assert sum(1 for v in out.values() if v == "dram") == 1000
+        assert sum(1 for v in out.values() if v == "pmem") == n - 2000
+        # generous: the fixed path runs in well under a second
+        assert elapsed < 10.0

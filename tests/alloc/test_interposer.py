@@ -7,7 +7,7 @@ from repro.alloc.heap import FreeListHeap
 from repro.alloc.interposer import FlexMalloc
 from repro.alloc.memkind import HeapRegistry
 from repro.binary.callstack import CallStack
-from repro.units import MiB
+from repro.units import KiB, MiB
 
 
 class DictMatcher:
@@ -104,6 +104,29 @@ class TestFreeAndRealloc:
         fm.free(a.address)
         with pytest.raises(AddressError):
             fm.subsystem_of(a.address)
+
+    def test_grow_realloc_overflowing_designated_heap(self):
+        """A grow-realloc whose new size no longer fits the designated
+        heap spills to the fallback, and every counter reflects the
+        free + capacity-fallback re-malloc it decomposes into."""
+        fm = FlexMalloc(make_registry(dram_cap=1 * MiB),
+                        DictMatcher({0xA: "dram"}))
+        a = fm.malloc(512 * KiB, STACK_A)
+        b = fm.malloc(400 * KiB, STACK_A)
+        # freeing `a` leaves DRAM holes of 512K and 112K around `b`:
+        # the grown block fits neither and must spill to PMem
+        c = fm.realloc(a.address, 700 * KiB, STACK_A)
+        assert fm.subsystem_of(c.address) == "pmem"
+        assert fm.subsystem_of(b.address) == "dram"
+        assert fm.stats.calls == 2          # realloc not double counted
+        assert fm.stats.reallocs == 1
+        assert fm.stats.frees == 1
+        assert fm.stats.matched == 3        # the re-malloc still matched
+        assert fm.stats.fallback_capacity == 1
+        assert fm.stats.fallback_total == 1
+        assert fm.stats.bytes_by_subsystem == {
+            "dram": 912 * KiB, "pmem": 700 * KiB,
+        }
 
 
 class TestAccounting:

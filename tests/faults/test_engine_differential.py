@@ -1,0 +1,63 @@
+"""The execution-engine differential over the fault corpus.
+
+Degraded profiles produce degraded *placements*; the engine must still be
+bit-identical between its batched and scalar paths on every one of them.
+The placement is derived straight from the corrupted profile (hottest
+site to DRAM, the rest to PMem, one instance overridden) with no Advisor
+repair in between — whatever the corruption suggests, both engine paths
+must agree on it exactly.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, inject
+from repro.faults.corpus import (
+    corpus_workload,
+    default_plans,
+    engine_differential_check,
+    engine_placement_from_profiles,
+)
+from repro.profiling.paramedir import Paramedir
+
+SEEDS = (0, 1, 2)
+IN_MEMORY_PLANS = [p for p in default_plans() if not p.file_level]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("plan", IN_MEMORY_PLANS,
+                         ids=[p.kind for p in IN_MEMORY_PLANS])
+class TestEveryCell:
+    def test_engine_paths_agree(self, clean_traces, plan, seed):
+        dirty = inject(clean_traces[seed], plan, seed)
+        outcome = engine_differential_check(dirty, seed=seed)
+        assert outcome.identical, "\n".join(outcome.mismatches)
+
+
+class TestPlacementDerivation:
+    def test_clean_profile_places_hot_site_in_dram(self, clean_traces):
+        profiles = Paramedir().analyze(clean_traces[0])
+        placement, overrides = engine_placement_from_profiles(
+            profiles, corpus_workload(), seed=0
+        )
+        assert placement == {
+            "w::hot": "dram", "w::cold": "pmem", "w::temp": "pmem",
+        }
+        # the multi-instance temp site gets one instance flipped so the
+        # instance_placement path is exercised in every cell
+        assert overrides == {("w::temp", 1): "dram"}
+
+    def test_empty_profile_falls_back_to_pmem(self):
+        placement, overrides = engine_placement_from_profiles(
+            {}, corpus_workload(), seed=0
+        )
+        assert set(placement.values()) == {"pmem"}
+        assert overrides == {("w::temp", 1): "dram"}
+
+    def test_unmappable_keys_are_ignored(self, clean_traces):
+        """strip_frames-style corruption can leave site keys that no longer
+        match any workload site; they must not crash the derivation."""
+        placement, _ = engine_placement_from_profiles(
+            {("bogus", "key"): Paramedir().analyze(clean_traces[0]).popitem()[1]},
+            corpus_workload(), seed=0,
+        )
+        assert set(placement.values()) == {"pmem"}

@@ -35,6 +35,7 @@ from repro.faults.corpus import (  # noqa: E402
     build_cells,
     default_plans,
     differential_check,
+    engine_differential_check,
 )
 from repro.faults.plan import inject_file  # noqa: E402
 from repro.profiling.trace import Trace  # noqa: E402
@@ -72,7 +73,7 @@ def check_file_level(seeds, verbose=True) -> int:
     return failures
 
 
-def run_check(seeds, verbose=True) -> int:
+def run_check(seeds, verbose=True, engine=False) -> int:
     """The full differential sweep; returns the number of failing cells."""
     failures = 0
     cells = build_cells(seeds=seeds, check_tracer_oracle=True)
@@ -87,6 +88,16 @@ def run_check(seeds, verbose=True) -> int:
             print(f"FAIL {cell.label}:", file=sys.stderr)
             for m in outcome.mismatches:
                 print(f"     {m}", file=sys.stderr)
+        if engine:
+            eng = engine_differential_check(cell.trace, seed=cell.seed)
+            if eng.identical:
+                if verbose:
+                    print(f"OK   {cell.label}: engine paths bit-identical")
+            else:  # pragma: no cover - the failure path
+                failures += 1
+                print(f"FAIL {cell.label} [engine]:", file=sys.stderr)
+                for m in eng.mismatches:
+                    print(f"     {m}", file=sys.stderr)
     failures += check_file_level(seeds, verbose=verbose)
     return failures
 
@@ -120,6 +131,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     parser.add_argument("--check", action="store_true",
                         help="run the differential oracle over every cell")
+    parser.add_argument("--engine", action="store_true",
+                        help="with --check: also hold the execution engine "
+                             "to its scalar oracle on each cell's placement")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -132,7 +146,8 @@ def main(argv=None) -> int:
             print(f"wrote corpus manifest {manifest}")
 
     if args.check:
-        failures = run_check(args.seeds, verbose=not args.quiet)
+        failures = run_check(args.seeds, verbose=not args.quiet,
+                             engine=args.engine)
         if failures:
             print(f"{failures} differential failure(s)", file=sys.stderr)
             return 1

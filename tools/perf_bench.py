@@ -17,6 +17,11 @@ Three sections, mirroring the three optimisation layers:
     The vectorized profiling cold path (tracer + Paramedir) against the
     scalar oracles, asserting bit-identical traces and per-site
     profiles, plus JSONL vs ``.npz`` trace (de)serialization.
+``engine``
+    The batched execution engine (``ExecutionEngine.run``) against its
+    scalar oracle (``run_scalar``) on an app-direct LULESH run (miniFE
+    in quick mode), asserting the full :class:`RunResult` bit-identical
+    via :func:`run_results_identical`.
 
 Usage::
 
@@ -50,6 +55,9 @@ from repro.profiling.paramedir import Paramedir
 from repro.profiling.pebs import PEBSConfig
 from repro.profiling.trace import Trace
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.stats import run_results_identical
+from repro.runtime.traffic import PlacementTraffic
 from repro.units import GiB, MiB
 
 LLC = dict(size=16 * MiB, line_size=64, ways=16)
@@ -246,6 +254,39 @@ def bench_profiling(quick: bool) -> dict:
     }
 
 
+def bench_engine(quick: bool) -> dict:
+    # Construction (segmentation) is timed with the run: both paths pay
+    # it, and the batched path builds the arrays eagerly in __init__.
+    wl_name = "minife" if quick else "lulesh"
+    wl = get_workload(wl_name)
+    system = pmem6_system()
+    placement = {
+        obj.site.name: ("dram" if i % 2 == 0 else "pmem")
+        for i, obj in enumerate(wl.objects)
+    }
+
+    t0 = time.perf_counter()
+    engine = ExecutionEngine(wl, system)
+    vec = engine.run(PlacementTraffic(wl, placement))
+    t_vec = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine = ExecutionEngine(wl, system)
+    sca = engine.run_scalar(PlacementTraffic(wl, placement))
+    t_scalar = time.perf_counter() - t0
+
+    mismatches = run_results_identical(vec, sca)
+    assert mismatches == [], "engine diverged: " + "; ".join(mismatches[:3])
+
+    return {
+        "workload": wl_name,
+        "segments": engine._segment_arrays.num_segments,
+        "scalar_s": round(t_scalar, 4),
+        "vectorized_s": round(t_vec, 4),
+        "speedup": round(t_scalar / t_vec, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -284,6 +325,13 @@ def main(argv=None) -> int:
           f"{prof['trace_io']['load_npz_s']}s "
           f"({prof['trace_io']['load_speedup']}x)")
 
+    print("execution engine ...", flush=True)
+    results["engine"] = bench_engine(args.quick)
+    print(f"  engine scalar {results['engine']['scalar_s']}s -> batched "
+          f"{results['engine']['vectorized_s']}s "
+          f"({results['engine']['speedup']}x, "
+          f"{results['engine']['segments']} segments)")
+
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
@@ -305,6 +353,9 @@ def main(argv=None) -> int:
             return 1
         if results["profiling"]["trace_io"]["load_speedup"] < 5.0:
             print("FAIL: npz trace load speedup below 5x", file=sys.stderr)
+            return 1
+        if results["engine"]["speedup"] < 5.0:
+            print("FAIL: execution engine speedup below 5x", file=sys.stderr)
             return 1
     return 0
 
