@@ -14,6 +14,7 @@ translation + string comparisons), each with an explicit cost account.
 """
 
 from repro.alloc.heap import Allocation, FreeListHeap, HeapManager, HeapStats
+from repro.alloc.freeindex import FreeIndex
 from repro.alloc.arenas import SizeClassArena
 from repro.alloc.memkind import (
     HeapRegistry,
@@ -27,11 +28,13 @@ from repro.alloc.matching import (
     HumanReadableMatcher,
     MatchOutcome,
     MatcherStats,
+    ResolverBackedStats,
 )
 from repro.alloc.interposer import FlexMalloc, InterposerStats
 
 __all__ = [
     "Allocation",
+    "FreeIndex",
     "FreeListHeap",
     "HeapManager",
     "HeapStats",
@@ -46,6 +49,7 @@ __all__ = [
     "HumanReadableMatcher",
     "MatchOutcome",
     "MatcherStats",
+    "ResolverBackedStats",
     "FlexMalloc",
     "InterposerStats",
 ]

@@ -6,15 +6,22 @@ free — deliberately simple, but a *real* allocator: addresses are unique,
 double frees are detected, fragmentation is possible and observable, and a
 high-water mark is tracked (the paper's Table V reports per-rank
 high-water marks).
+
+``allocate`` finds its block through an address-ordered max-free-size
+index (:class:`~repro.alloc.freeindex.FreeIndex`): O(log n) per call
+instead of the linear first-fit scan, returning the *same* lowest-address
+fitting block.  The scan is retained as ``allocate_scalar``, the oracle
+the replay differential suite holds the indexed path to.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import AllocationError, AddressError, ConfigError
+from repro.alloc.freeindex import FreeIndex
 
 #: All user allocations are rounded to this granularity (glibc-like).
 ALIGNMENT = 16
@@ -39,6 +46,7 @@ class HeapStats:
     failed: int = 0
     bytes_allocated: int = 0   # cumulative requested bytes
     high_water: int = 0        # max concurrently reserved bytes
+    peak_fragments: int = 1    # max free-list length ever observed
 
     @property
     def live_allocations(self) -> int:
@@ -56,6 +64,10 @@ class HeapManager:
 
     def allocate(self, size: int) -> Allocation:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def allocate_scalar(self, size: int) -> Allocation:
+        """Reference-path allocation; heaps without a fast path share one."""
+        return self.allocate(size)
 
     def free(self, address: int) -> int:  # pragma: no cover - interface
         raise NotImplementedError
@@ -79,6 +91,12 @@ class FreeListHeap(HeapManager):
     Free blocks are kept sorted by address; adjacent blocks are coalesced
     on free.  ``allocate`` raises :class:`AllocationError` when no block
     fits (FlexMalloc catches that to apply the fallback policy).
+
+    The sorted ``(starts, sizes)`` lists are the ground truth; a
+    :class:`FreeIndex` mirrors them so ``allocate`` locates the first-fit
+    block by a log-time descent while ``allocate_scalar`` — the retained
+    oracle — walks the lists linearly.  Both commit the allocation through
+    the same code, so stats, addresses and errors are identical.
     """
 
     def __init__(
@@ -103,6 +121,8 @@ class FreeListHeap(HeapManager):
         # free list: parallel sorted lists of (start) and (size)
         self._free_starts: List[int] = [base]
         self._free_sizes: List[int] = [capacity]
+        self._index = FreeIndex()
+        self._index.insert(base, capacity)
         self._live: Dict[int, Allocation] = {}
         self._used = 0
         self.stats = HeapStats()
@@ -110,31 +130,55 @@ class FreeListHeap(HeapManager):
     # -- allocation --------------------------------------------------------
 
     def allocate(self, size: int) -> Allocation:
+        """Indexed first-fit: the same block the scan picks, in O(log n)."""
+        return self._allocate(size, self._find_fit_indexed)
+
+    def allocate_scalar(self, size: int) -> Allocation:
+        """The linear first-fit scan: the reference oracle."""
+        return self._allocate(size, self._find_fit_scan)
+
+    def _find_fit_scan(self, padded: int) -> int:
+        for i, fsize in enumerate(self._free_sizes):
+            if fsize >= padded:
+                return i
+        return -1
+
+    def _find_fit_indexed(self, padded: int) -> int:
+        start = self._index.first_fit(padded)
+        if start is None:
+            return -1
+        return bisect.bisect_left(self._free_starts, start)
+
+    def _allocate(self, size: int, find_fit: Callable[[int], int]) -> Allocation:
         if size <= 0:
             raise AllocationError(f"heap {self.name!r}: size must be > 0, got {size}")
         padded = (size + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
-        for i, (start, fsize) in enumerate(zip(self._free_starts, self._free_sizes)):
-            if fsize >= padded:
-                if fsize == padded:
-                    del self._free_starts[i]
-                    del self._free_sizes[i]
-                else:
-                    self._free_starts[i] = start + padded
-                    self._free_sizes[i] = fsize - padded
-                alloc = Allocation(
-                    address=start, size=size, padded_size=padded, heap_name=self.name
-                )
-                self._live[start] = alloc
-                self._used += padded
-                self.stats.allocations += 1
-                self.stats.bytes_allocated += size
-                self.stats.high_water = max(self.stats.high_water, self._used)
-                return alloc
-        self.stats.failed += 1
-        raise AllocationError(
-            f"heap {self.name!r}: no block for {padded} B "
-            f"(used {self._used}/{self._capacity}, {len(self._free_starts)} fragments)"
+        i = find_fit(padded)
+        if i < 0:
+            self.stats.failed += 1
+            raise AllocationError(
+                f"heap {self.name!r}: no block for {padded} B "
+                f"(used {self._used}/{self._capacity}, {len(self._free_starts)} fragments)"
+            )
+        start = self._free_starts[i]
+        fsize = self._free_sizes[i]
+        if fsize == padded:
+            del self._free_starts[i]
+            del self._free_sizes[i]
+            self._index.remove(start)
+        else:
+            self._free_starts[i] = start + padded
+            self._free_sizes[i] = fsize - padded
+            self._index.shrink(start, start + padded, fsize - padded)
+        alloc = Allocation(
+            address=start, size=size, padded_size=padded, heap_name=self.name
         )
+        self._live[start] = alloc
+        self._used += padded
+        self.stats.allocations += 1
+        self.stats.bytes_allocated += size
+        self.stats.high_water = max(self.stats.high_water, self._used)
+        return alloc
 
     def free(self, address: int) -> int:
         alloc = self._live.pop(address, None)
@@ -153,14 +197,19 @@ class FreeListHeap(HeapManager):
         # coalesce with the following block
         if idx < len(self._free_starts) and start + size == self._free_starts[idx]:
             size += self._free_sizes[idx]
+            self._index.remove(self._free_starts[idx])
             del self._free_starts[idx]
             del self._free_sizes[idx]
         # coalesce with the preceding block
         if idx > 0 and self._free_starts[idx - 1] + self._free_sizes[idx - 1] == start:
             self._free_sizes[idx - 1] += size
+            self._index.resize(self._free_starts[idx - 1], self._free_sizes[idx - 1])
         else:
             self._free_starts.insert(idx, start)
             self._free_sizes.insert(idx, size)
+            self._index.insert(start, size)
+        if len(self._free_starts) > self.stats.peak_fragments:
+            self.stats.peak_fragments = len(self._free_starts)
 
     # -- queries -------------------------------------------------------------
 
@@ -183,13 +232,24 @@ class FreeListHeap(HeapManager):
     def live_allocations(self) -> List[Allocation]:
         return list(self._live.values())
 
+    def free_blocks(self) -> List[Tuple[int, int]]:
+        """The (start, size) free list in address order."""
+        return list(zip(self._free_starts, self._free_sizes))
+
     def fragmentation(self) -> float:
         """1 - (largest free block / total free bytes); 0 when unfragmented."""
         total_free = self._capacity - self._used
         if total_free == 0:
             return 0.0
-        largest = max(self._free_sizes, default=0)
-        return 1.0 - largest / total_free
+        return 1.0 - self._index.max_size() / total_free
+
+    def check_index(self) -> None:
+        """Assert the free index mirrors the free list exactly (tests)."""
+        self._index.check()
+        if self._index.blocks() != self.free_blocks():
+            raise AssertionError(
+                f"heap {self.name!r}: index diverged from the free list"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -101,6 +101,18 @@ class FlexMalloc:
         subsystem and the failure is counted in
         :attr:`InterposerStats.fallback_match_error`.
         """
+        return self._malloc(size, stack, scalar_heaps=False)
+
+    def malloc_scalar(self, size: int, stack: CallStack) -> Allocation:
+        """Reference-path interception: heaps use the linear first-fit scan.
+
+        Same routing, same stats, same addresses — the target heap merely
+        locates its block through ``allocate_scalar``, so the replay
+        oracle exercises the retained scan end to end.
+        """
+        return self._malloc(size, stack, scalar_heaps=True)
+
+    def _malloc(self, size: int, stack: CallStack, *, scalar_heaps: bool) -> Allocation:
         self.stats.calls += 1
         target = None
         if self.matcher is not None:
@@ -120,16 +132,18 @@ class FlexMalloc:
             target = self.fallback
             self.stats.fallback_unmatched += 1
 
-        alloc = self._allocate_with_fallback(target, size)
-        self._placement[alloc.address] = alloc.heap_name
-        return alloc
+        return self._allocate_with_fallback(target, size, scalar_heaps=scalar_heaps)
 
-    def _allocate_with_fallback(self, target: str, size: int) -> Allocation:
+    def _allocate_with_fallback(
+        self, target: str, size: int, *, scalar_heaps: bool = False
+    ) -> Allocation:
         heap = self.heaps.get(target)
+        allocate = heap.allocate_scalar if scalar_heaps else heap.allocate
         try:
-            alloc = heap.allocate(size)
+            alloc = allocate(size)
             self.stats.overhead_ns += heap.alloc_cost_ns
             self.stats._account(heap.subsystem, size)
+            self._placement[alloc.address] = heap.subsystem
             return alloc
         except AllocationError:
             if target == self.fallback:
@@ -137,9 +151,11 @@ class FlexMalloc:
         # designated subsystem full: route to the fallback (Section IV-C)
         self.stats.fallback_capacity += 1
         fb = self.heaps.get(self.fallback)
-        alloc = fb.allocate(size)  # may legitimately raise if also full
+        allocate = fb.allocate_scalar if scalar_heaps else fb.allocate
+        alloc = allocate(size)  # may legitimately raise if also full
         self.stats.overhead_ns += fb.alloc_cost_ns
         self.stats._account(fb.subsystem, size)
+        self._placement[alloc.address] = fb.subsystem
         return alloc
 
     def free(self, address: int) -> int:
@@ -163,11 +179,20 @@ class FlexMalloc:
     # -- introspection ----------------------------------------------------------
 
     def subsystem_of(self, address: int) -> str:
-        """Which subsystem a live allocation landed in."""
+        """Which subsystem a live allocation landed in (address-range probe)."""
         heap = self.heaps.heap_of_address(address)
         if heap is None or heap.lookup(address) is None:
             raise AddressError(f"address {address:#x} is not a live allocation")
         return heap.subsystem
+
+    def placement_of(self, address: int) -> str:
+        """Recorded landing subsystem of a live allocation — no heap probe."""
+        try:
+            return self._placement[address]
+        except KeyError:
+            raise AddressError(
+                f"address {address:#x} is not a live allocation"
+            ) from None
 
     def matcher_overhead_ns(self) -> float:
         """Total time spent matching (0 without a matcher)."""

@@ -13,12 +13,24 @@ Two matchers implement the same interface:
 
 Both record a :class:`MatcherStats` so experiments can quantify the
 overhead gap the paper reports in Section VIII-D.
+
+**Memoization.**  An intercepted stack's match outcome is a pure function
+of its frames, so both matchers cache it after the first lookup
+(``memoize=False`` restores the reference behaviour for the oracle
+paths).  The *simulated* costs are still charged on every call — the
+paper's point is precisely that the real FlexMalloc pays them per
+interception — and they are charged through the exact float operations
+the uncached path performs, so ``MatcherStats`` (and the resolver's
+:class:`~repro.binary.resolver.ResolutionCost`) stay bit-identical with
+the memo on or off.  The memo is keyed by call-stack *identity* (the
+replayer hands out one cached stack object per site) with the stack
+pinned in the entry, falling back to the full lookup for unseen objects.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError, MatchError
@@ -50,6 +62,30 @@ class MatcherStats:
         return self.matches / self.lookups if self.lookups else 0.0
 
 
+class ResolverBackedStats(MatcherStats):
+    """Matcher stats whose memory footprint is the resolver's, live.
+
+    ``resident_bytes`` for the human-readable path *is* the debug info the
+    resolver holds parsed; reading it from the resolver at access time
+    (rather than copying it on every lookup) keeps the two accounts from
+    drifting and takes a per-match store off the hot path.
+    """
+
+    def __init__(self, resolver: BinutilsResolver):
+        self._resolver = resolver
+        super().__init__()
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resolver.cost.debug_info_bytes_loaded
+
+    @resident_bytes.setter
+    def resident_bytes(self, value: int) -> None:
+        # the dataclass __init__ assigns the field default; the resolver
+        # is authoritative, so writes are meaningless and dropped
+        pass
+
+
 class BOMMatcher:
     """Binary Object Matching: integer address comparison per frame.
 
@@ -61,6 +97,8 @@ class BOMMatcher:
         This process's address space (provides image load bases).
     compare_ns_per_frame:
         Simulated cost of one address comparison during lookup.
+    memoize:
+        Cache per-stack outcomes (costs are charged either way).
     """
 
     def __init__(
@@ -70,6 +108,7 @@ class BOMMatcher:
         *,
         compare_ns_per_frame: float = 4.0,
         hash_ns: float = 18.0,
+        memoize: bool = True,
     ):
         if report.fmt is not StackFormat.BOM:
             raise ConfigError(f"BOMMatcher needs a BOM report, got {report.fmt}")
@@ -77,6 +116,9 @@ class BOMMatcher:
         self.compare_ns_per_frame = compare_ns_per_frame
         self.hash_ns = hash_ns
         self.stats = MatcherStats()
+        self._memo: Optional[Dict[int, Tuple[CallStack, Optional[str], int]]] = (
+            {} if memoize else None
+        )
         self._table: Dict[Tuple[int, ...], str] = {}
         # Initialization: compute absolute addresses for each report site
         # in this process (one base-address add per frame).
@@ -101,12 +143,24 @@ class BOMMatcher:
 
     def match(self, stack: CallStack) -> Optional[str]:
         """Return the target subsystem for a captured stack, or ``None``."""
-        self.stats.lookups += 1
+        stats = self.stats
+        stats.lookups += 1
+        memo = self._memo
+        if memo is not None:
+            entry = memo.get(id(stack))
+            if entry is not None and entry[0] is stack:
+                subsystem, nframes = entry[1], entry[2]
+                stats.time_ns += self.hash_ns + self.compare_ns_per_frame * nframes
+                if subsystem is not None:
+                    stats.matches += 1
+                return subsystem
         key = tuple(f.address for f in stack.frames)
-        self.stats.time_ns += self.hash_ns + self.compare_ns_per_frame * len(key)
+        stats.time_ns += self.hash_ns + self.compare_ns_per_frame * len(key)
         subsystem = self._table.get(key)
         if subsystem is not None:
-            self.stats.matches += 1
+            stats.matches += 1
+        if memo is not None:
+            memo[id(stack)] = (stack, subsystem, len(key))
         return subsystem
 
 
@@ -116,7 +170,9 @@ class HumanReadableMatcher:
     Each lookup resolves every frame through the resolver (binary search
     over the image's line table, debug info parsed and held resident on
     first touch) and then compares the rendered strings against the
-    report's site table.
+    report's site table.  A memoized repeat lookup charges exactly what
+    the uncached path would on a warm resolver — one cache hit per frame,
+    in the same accumulation order — without re-entering the resolver.
     """
 
     def __init__(
@@ -126,6 +182,7 @@ class HumanReadableMatcher:
         *,
         string_compare_ns_per_frame: float = 45.0,
         resolver: Optional[BinutilsResolver] = None,
+        memoize: bool = True,
     ):
         if report.fmt is not StackFormat.HUMAN:
             raise ConfigError(
@@ -134,11 +191,19 @@ class HumanReadableMatcher:
         self.space = space
         self.resolver = resolver or BinutilsResolver(space)
         self.string_compare_ns_per_frame = string_compare_ns_per_frame
-        self.stats = MatcherStats()
+        self.stats: MatcherStats = ResolverBackedStats(self.resolver)
+        self._memo: Optional[Dict[int, Tuple[CallStack, Optional[str]]]] = (
+            {} if memoize else None
+        )
         self._table: Dict[Tuple, str] = {entry.site: entry.subsystem for entry in report}
 
     def match(self, stack: CallStack) -> Optional[str]:
         self.stats.lookups += 1
+        memo = self._memo
+        if memo is not None:
+            entry = memo.get(id(stack))
+            if entry is not None and entry[0] is stack:
+                return self._charge_memoized(stack, entry[1])
         before = self.resolver.cost.time_ns
         try:
             human = self.resolver.resolve_stack(stack)
@@ -148,8 +213,31 @@ class HumanReadableMatcher:
             ) from exc
         self.stats.time_ns += self.resolver.cost.time_ns - before
         self.stats.time_ns += self.string_compare_ns_per_frame * len(stack)
-        self.stats.resident_bytes = self.resolver.cost.debug_info_bytes_loaded
         subsystem = self._table.get(human)
+        if subsystem is not None:
+            self.stats.matches += 1
+        if memo is not None:
+            # only successful translations are memoized: a failing stack
+            # must re-run the resolver so its error (and partial charges)
+            # reproduce exactly
+            memo[id(stack)] = (stack, subsystem)
+        return subsystem
+
+    def _charge_memoized(self, stack: CallStack, subsystem: Optional[str]) -> Optional[str]:
+        """Charge a repeat lookup's costs without re-resolving.
+
+        Mirrors the uncached path on a warm resolver float-op for
+        float-op: every frame is a resolver cache hit (charged one by
+        one, like :meth:`BinutilsResolver.resolve_frame` would), then the
+        per-frame string comparisons.
+        """
+        cost = self.resolver.cost
+        before = cost.time_ns
+        for _ in range(len(stack)):
+            cost.cache_hits += 1
+            cost.time_ns += self.resolver.cache_hit_ns
+        self.stats.time_ns += cost.time_ns - before
+        self.stats.time_ns += self.string_compare_ns_per_frame * len(stack)
         if subsystem is not None:
             self.stats.matches += 1
         return subsystem

@@ -22,6 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.alloc.interposer import FlexMalloc
+from repro.alloc.matching import BOMMatcher
+from repro.alloc.memkind import build_heaps
+from repro.alloc.report import PlacementEntry, PlacementReport
 from repro.apps.workload import AccessStats, AllocationSite, ObjectSpec, Phase, Workload
 from repro.apps.sites import SiteRegistry
 from repro.binary.callstack import StackFormat
@@ -33,6 +37,11 @@ from repro.profiling.pebs import PEBSConfig
 from repro.profiling.trace import Trace
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
 from repro.runtime.engine import ExecutionEngine
+from repro.runtime.replay import (
+    replay_allocations,
+    replay_allocations_scalar,
+    replay_results_identical,
+)
 from repro.runtime.stats import run_results_identical
 from repro.runtime.traffic import PlacementTraffic
 from repro.units import KiB
@@ -196,6 +205,8 @@ class DifferentialOutcome:
     #: "ok" or the raised error class name, per path, in strict mode
     strict_vectorized: str = "ok"
     strict_scalar: str = "ok"
+    #: the fast-path replay, for checks inspecting interposer/heap state
+    replay: Optional[object] = None
 
 
 def _strict_outcome(analyze, trace) -> Tuple[str, Optional[dict]]:
@@ -324,4 +335,77 @@ def engine_differential_check(
         identical=not mismatches,
         mismatches=mismatches,
         degradation=degradation,
+    )
+
+
+# -- the allocation-replay differential ----------------------------------------
+
+
+def replay_differential_check(
+    trace: Trace,
+    *,
+    seed: int = 0,
+    workload: Optional[Workload] = None,
+    system: Optional[MemorySystem] = None,
+    dram_limit: int = 256 * KiB,
+) -> DifferentialOutcome:
+    """Hold the batched allocation replay to its scalar oracle for one cell.
+
+    The degraded profile drives a BOM placement report (written from the
+    profiling process's layout, matched in a production process with a
+    different ASLR seed), and the workload's allocation schedule is
+    replayed through both :func:`replay_allocations` and
+    :func:`replay_allocations_scalar` — fresh heaps and matchers per
+    side, the fast side memoized, the oracle side not.
+
+    The report lists the profile's hottest site *and* the multi-instance
+    ``w::temp`` site for DRAM, leaving the rest unmatched, and the
+    default ``dram_limit`` cannot hold both the hot object and a temp
+    instance at once — so the capacity fallback, the unmatched fallback,
+    and free-list reuse all fire on typical cells.  The contract is
+    :func:`replay_results_identical`: every placement, stat and overhead
+    float equal, every dict in the same order.
+    """
+    wl = workload or corpus_workload()
+    sys_ = system or pmem6_system()
+    pm = Paramedir()
+    degradation = DegradationReport()
+    profiles = pm.analyze(trace, degradation=degradation)
+    placement, overrides = engine_placement_from_profiles(
+        profiles, wl, seed=seed
+    )
+    dram_sites = {n for n, s in placement.items() if s != "pmem"}
+    # the engine check flips one multi-instance site; the replay check
+    # pins that same site to DRAM so address reuse happens under squeeze
+    dram_sites.update(name for (name, _i) in overrides)
+
+    profiling = SiteRegistry(wl).make_process(rank=0, aslr_seed=1000 + seed)
+    report = PlacementReport(StackFormat.BOM)
+    for obj in wl.objects:
+        # sites outside the report stay unmatched, keeping the fallback
+        # path in play on every cell
+        if obj.site.name in dram_sites:
+            report.add(PlacementEntry(
+                site=profiling.site_key(obj.site, StackFormat.BOM),
+                subsystem="dram",
+            ))
+
+    registry = SiteRegistry(wl)
+
+    def side(memoize: bool):
+        production = registry.make_process(rank=0, aslr_seed=4000 + seed)
+        heaps = build_heaps(sys_, dram_limit=dram_limit)
+        matcher = BOMMatcher(report, production.space, memoize=memoize)
+        return production, FlexMalloc(heaps, matcher, fallback=report.fallback)
+
+    proc_f, flex_f = side(memoize=True)
+    proc_s, flex_s = side(memoize=False)
+    fast = replay_allocations(wl, proc_f, flex_f)
+    scalar = replay_allocations_scalar(wl, proc_s, flex_s)
+    mismatches = replay_results_identical(fast, scalar)
+    return DifferentialOutcome(
+        identical=not mismatches,
+        mismatches=mismatches,
+        degradation=degradation,
+        replay=fast,
     )

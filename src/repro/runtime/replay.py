@@ -11,12 +11,30 @@ Returns the per-instance placement map the engine's
 :class:`~repro.runtime.traffic.PlacementTraffic` consumes, plus the
 interposer and matcher statistics used by the call-stack-format
 experiments (Section VIII-D).
+
+Two implementations are provided:
+
+- :func:`replay_allocations` — the batched loop.  Edge ordering is
+  computed once with a numpy lexsort, per-site call stacks and keys are
+  resolved before the loop, and the loop body is dict and list indexing
+  plus the interposer call.  Subsystems come from
+  ``HeapRegistry.subsystem_of_heap(alloc.heap_name)`` — an O(1) name
+  lookup instead of probing every heap's address range per allocation.
+- :func:`replay_allocations_scalar` — the original per-edge loop, kept
+  verbatim as the reference oracle (scalar heap scans, uncached
+  ``subsystem_of`` address probe).
+
+:func:`replay_results_identical` proves the two produce bit-identical
+results: same placements in the same insertion order, same interposer,
+matcher, resolver and heap statistics, floats compared with ``==``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.alloc.interposer import FlexMalloc
 from repro.apps.sites import ProcessImage
@@ -41,7 +59,81 @@ def replay_allocations(
     process: ProcessImage,
     flexmalloc: FlexMalloc,
 ) -> ReplayResult:
-    """Replay the nominal allocation schedule through the interposer."""
+    """Replay the nominal allocation schedule through the interposer.
+
+    Batched: the chronological edge order is one ``np.lexsort`` over the
+    instance start/end times, and everything loop-invariant — call
+    stacks, placement keys, scaled sizes — is resolved per site or per
+    instance before the loop runs.
+    """
+    instances = workload.instances()
+    n = len(instances)
+
+    # Edge order.  The scalar oracle interleaves (start, 1) and (end, 0)
+    # edges per instance and stable-sorts by (time, kind).  Here the
+    # times are laid out as [starts..., ends...] with kinds [1..., 0...];
+    # a stable lexsort on (time, then kind) breaks same-(time, kind)
+    # ties by ascending position — instance order within each kind —
+    # which is exactly the tie order of the scalar sort.
+    times = np.empty(2 * n, dtype=np.float64)
+    kinds = np.empty(2 * n, dtype=np.int64)
+    for i, inst in enumerate(instances):
+        times[i] = inst.start
+        times[n + i] = inst.end
+    kinds[:n] = 1
+    kinds[n:] = 0
+    order = np.lexsort((kinds, times)).tolist()
+
+    # Loop-invariant resolution: one cached stack object per site (the
+    # matcher memo keys on stack identity), one key tuple and scaled
+    # size per instance.
+    ranks = workload.ranks
+    keys = [(inst.spec.site.name, inst.index) for inst in instances]
+    sizes = [inst.spec.size * ranks for inst in instances]
+    site_names = [inst.spec.site.name for inst in instances]
+    stacks = [process.callstack(inst.spec.site) for inst in instances]
+
+    instance_placement: Dict[Tuple[str, int], str] = {}
+    site_placement: Dict[str, str] = {}
+    addr_of: Dict[Tuple[str, int], int] = {}
+
+    malloc = flexmalloc.malloc
+    free = flexmalloc.free
+    subsystem_of_heap = flexmalloc.heaps.subsystem_of_heap
+    for pos in order:
+        if pos < n:  # allocation edge
+            key = keys[pos]
+            alloc = malloc(sizes[pos], stacks[pos])
+            addr_of[key] = alloc.address
+            subsystem = subsystem_of_heap(alloc.heap_name)
+            instance_placement[key] = subsystem
+            site_placement.setdefault(site_names[pos], subsystem)
+        else:  # free edge
+            address = addr_of.pop(keys[pos - n], None)
+            if address is not None:
+                free(address)
+
+    overhead_s = flexmalloc.total_overhead_ns() * 1e-9
+    return ReplayResult(
+        instance_placement=instance_placement,
+        site_placement=site_placement,
+        flexmalloc=flexmalloc,
+        overhead_s=overhead_s,
+    )
+
+
+def replay_allocations_scalar(
+    workload: Workload,
+    process: ProcessImage,
+    flexmalloc: FlexMalloc,
+) -> ReplayResult:
+    """The reference replay loop: per-edge Python sort, per-call lookups.
+
+    Kept verbatim as the differential oracle for
+    :func:`replay_allocations`.  Heaps take the linear first-fit scan
+    (``malloc_scalar``) and each placement is read back through the
+    address-range probe, so the entire scalar stack is exercised.
+    """
     instances = workload.instances()
     # chronological edges: allocs and frees interleaved; frees first at a
     # tie so back-to-back reallocation at the same site reuses the space
@@ -59,7 +151,7 @@ def replay_allocations(
         key = (inst.spec.site.name, inst.index)
         if kind == 1:
             stack = process.callstack(inst.spec.site)
-            alloc = flexmalloc.malloc(inst.spec.size * workload.ranks, stack)
+            alloc = flexmalloc.malloc_scalar(inst.spec.size * workload.ranks, stack)
             addr_of[key] = alloc.address
             subsystem = flexmalloc.subsystem_of(alloc.address)
             instance_placement[key] = subsystem
@@ -76,3 +168,80 @@ def replay_allocations(
         flexmalloc=flexmalloc,
         overhead_s=overhead_s,
     )
+
+
+def replay_results_identical(a: ReplayResult, b: ReplayResult) -> List[str]:
+    """Why two replay results differ; empty when bit-identical.
+
+    Every float is compared with ``==`` (no tolerance) and every dict is
+    also compared on key *insertion order*, so the batched loop must
+    touch instances, sites and subsystems in exactly the oracle's
+    sequence to pass.
+    """
+    diffs: List[str] = []
+
+    def eq(label: str, va, vb) -> None:
+        if va != vb:
+            diffs.append(f"{label}: {va!r} != {vb!r}")
+
+    def dict_identical(label: str, da: Dict, db: Dict) -> None:
+        eq(f"{label} keys", list(da.keys()), list(db.keys()))
+        for k in da:
+            if k in db:
+                eq(f"{label}[{k!r}]", da[k], db[k])
+
+    dict_identical("instance_placement", a.instance_placement, b.instance_placement)
+    dict_identical("site_placement", a.site_placement, b.site_placement)
+    eq("overhead_s", a.overhead_s, b.overhead_s)
+
+    sa, sb = a.flexmalloc.stats, b.flexmalloc.stats
+    for f in (
+        "calls",
+        "matched",
+        "fallback_unmatched",
+        "fallback_match_error",
+        "fallback_capacity",
+        "frees",
+        "reallocs",
+        "overhead_ns",
+    ):
+        eq(f"interposer.{f}", getattr(sa, f), getattr(sb, f))
+    dict_identical(
+        "interposer.bytes_by_subsystem", sa.bytes_by_subsystem, sb.bytes_by_subsystem
+    )
+
+    ma, mb = a.flexmalloc.matcher, b.flexmalloc.matcher
+    eq("matcher presence", ma is None, mb is None)
+    if ma is not None and mb is not None:
+        for f in ("lookups", "matches", "time_ns", "init_time_ns", "resident_bytes"):
+            eq(f"matcher.{f}", getattr(ma.stats, f), getattr(mb.stats, f))
+        ra = getattr(ma, "resolver", None)
+        rb = getattr(mb, "resolver", None)
+        if ra is not None and rb is not None:
+            for f in (
+                "frames_resolved",
+                "cache_hits",
+                "time_ns",
+                "debug_info_bytes_loaded",
+            ):
+                eq(f"resolver.{f}", getattr(ra.cost, f), getattr(rb.cost, f))
+
+    eq("subsystems", a.flexmalloc.heaps.subsystems, b.flexmalloc.heaps.subsystems)
+    for ha, hb in zip(a.flexmalloc.heaps, b.flexmalloc.heaps):
+        label = f"heap[{ha.subsystem}]"
+        for f in (
+            "allocations",
+            "frees",
+            "failed",
+            "bytes_allocated",
+            "high_water",
+            "peak_fragments",
+        ):
+            eq(f"{label}.stats.{f}", getattr(ha.stats, f), getattr(hb.stats, f))
+        eq(f"{label}.used", ha.used, hb.used)
+        fa = getattr(ha, "free_blocks", None)
+        fb = getattr(hb, "free_blocks", None)
+        if fa is not None and fb is not None:
+            eq(f"{label}.free_blocks", fa(), fb())
+
+    return diffs

@@ -97,6 +97,23 @@ class TestHumanMatcher:
         assert hm.stats.time_ns > 5 * bm.stats.time_ns
         assert hm.stats.resident_bytes > bm.stats.resident_bytes
 
+    def test_resident_bytes_is_resolver_footprint(self, env):
+        """``resident_bytes`` reads the resolver's debug-info account
+        live: after N repeat lookups it equals exactly the bytes the
+        resolver holds parsed — it is not re-stored per lookup and does
+        not scale with N."""
+        prod, _, human_report, prod_stack, _ = env
+        m = HumanReadableMatcher(human_report, prod)
+        m.match(prod_stack)
+        after_one = m.stats.resident_bytes
+        for _ in range(50):
+            m.match(prod_stack)
+        assert m.stats.resident_bytes == after_one
+        assert m.stats.resident_bytes == m.resolver.cost.debug_info_bytes_loaded
+        # writes are dropped: the resolver account is authoritative
+        m.stats.resident_bytes = 0
+        assert m.stats.resident_bytes == after_one
+
     def test_both_agree_on_outcome(self, env):
         prod, bom_report, human_report, prod_stack, other = env
         bm = BOMMatcher(bom_report, prod)

@@ -1,0 +1,275 @@
+"""Differential suite: the batched replay against its scalar oracle.
+
+``replay_allocations`` must reproduce ``replay_allocations_scalar`` bit
+for bit — placements in the same insertion order, every interposer,
+matcher, resolver and heap statistic equal, floats compared with ``==`` —
+across workloads, memory systems, report formats, and capacity-squeezed
+configurations that force fragmentation and fallback.  The building
+blocks (indexed first-fit, matcher memoization, edge tie order) each get
+their own exactness test so a regression points at the layer that broke.
+"""
+
+import random
+
+import pytest
+
+from repro.alloc import (
+    BOMMatcher,
+    FlexMalloc,
+    FreeListHeap,
+    HumanReadableMatcher,
+    build_heaps,
+)
+from repro.alloc.report import PlacementEntry, PlacementReport
+from repro.apps.registry import get_workload
+from repro.apps.sites import SiteRegistry
+from repro.apps.workload import AccessStats, ObjectSpec, Phase, Workload
+from repro.binary.callstack import StackFormat
+from repro.errors import AllocationError
+from repro.memsim.subsystem import (
+    hbm_dram_pmem_system,
+    pmem2_system,
+    pmem6_system,
+)
+from repro.runtime.replay import (
+    replay_allocations,
+    replay_allocations_scalar,
+    replay_results_identical,
+)
+from repro.units import GiB, MiB
+
+from tests.conftest import make_site, make_toy_workload
+
+
+def checkerboard_report(workload, profiling, fmt, names):
+    """Cycle the workload's sites over the system's tiers."""
+    report = PlacementReport(fmt)
+    for i, obj in enumerate(workload.objects):
+        report.add(
+            PlacementEntry(
+                site=profiling.site_key(obj.site, fmt),
+                subsystem=names[i % len(names)],
+            )
+        )
+    return report
+
+
+def build_side(registry, report, system_factory, fmt, dram_limit, *, memoize):
+    """One fresh production environment (process + heaps + matcher)."""
+    production = registry.make_process(rank=0, aslr_seed=777)
+    heaps = build_heaps(system_factory(), dram_limit=dram_limit)
+    if fmt is StackFormat.BOM:
+        matcher = BOMMatcher(report, production.space, memoize=memoize)
+    else:
+        matcher = HumanReadableMatcher(report, production.space, memoize=memoize)
+    return production, FlexMalloc(heaps, matcher, fallback=report.fallback)
+
+
+def assert_replays_identical(workload, system_factory, fmt, dram_limit):
+    """Fast replay vs the scalar oracle on fresh sides; demand [] diffs.
+
+    The oracle side runs with ``memoize=False`` matchers and
+    ``replay_allocations_scalar`` (scalar heap scans, address-probe
+    subsystem lookup), so the entire reference stack is exercised.
+    """
+    registry = SiteRegistry(workload)
+    profiling = registry.make_process(rank=0, aslr_seed=500)
+    names = system_factory().names
+    report = checkerboard_report(workload, profiling, fmt, names)
+
+    proc_f, flex_f = build_side(
+        registry, report, system_factory, fmt, dram_limit, memoize=True
+    )
+    proc_s, flex_s = build_side(
+        registry, report, system_factory, fmt, dram_limit, memoize=False
+    )
+    fast = replay_allocations(workload, proc_f, flex_f)
+    scalar = replay_allocations_scalar(workload, proc_s, flex_s)
+    assert replay_results_identical(fast, scalar) == []
+    # the fast side's free index must still mirror its free lists exactly
+    for heap in flex_f.heaps:
+        heap.check_index()
+
+
+def squeezed(workload):
+    """A DRAM budget well under the footprint: fallback + fragmentation."""
+    return max(workload.heap_high_water() // 4, 1 * MiB)
+
+
+class TestToyGrid:
+    @pytest.mark.parametrize("system_factory", [
+        pmem6_system, pmem2_system, hbm_dram_pmem_system,
+    ])
+    @pytest.mark.parametrize("fmt", [StackFormat.BOM, StackFormat.HUMAN])
+    def test_generous_dram(self, system_factory, fmt):
+        assert_replays_identical(
+            make_toy_workload(), system_factory, fmt, 1 * GiB
+        )
+
+    @pytest.mark.parametrize("system_factory", [
+        pmem6_system, pmem2_system, hbm_dram_pmem_system,
+    ])
+    @pytest.mark.parametrize("fmt", [StackFormat.BOM, StackFormat.HUMAN])
+    def test_squeezed_dram(self, system_factory, fmt):
+        wl = make_toy_workload()
+        assert_replays_identical(wl, system_factory, fmt, squeezed(wl))
+
+
+class TestAppGrid:
+    @pytest.mark.parametrize("fmt", [StackFormat.BOM, StackFormat.HUMAN])
+    def test_minife(self, fmt):
+        wl = get_workload("minife")
+        assert_replays_identical(wl, pmem6_system, fmt, squeezed(wl))
+
+    def test_minife_three_tier(self):
+        wl = get_workload("minife")
+        assert_replays_identical(
+            wl, hbm_dram_pmem_system, StackFormat.BOM, squeezed(wl)
+        )
+
+    def test_lulesh_squeezed(self):
+        """2634 instances with a DRAM budget forcing capacity fallback:
+        the perf-bench configuration, held to bit-identity here."""
+        wl = get_workload("lulesh")
+        assert_replays_identical(wl, pmem6_system, StackFormat.BOM, squeezed(wl))
+
+    def test_lulesh_three_tier_human(self):
+        wl = get_workload("lulesh")
+        assert_replays_identical(
+            wl, hbm_dram_pmem_system, StackFormat.HUMAN, squeezed(wl)
+        )
+
+    def test_openfoam_pmem2(self):
+        wl = get_workload("openfoam")
+        assert_replays_identical(wl, pmem2_system, StackFormat.BOM, squeezed(wl))
+
+    def test_openfoam_human(self):
+        wl = get_workload("openfoam")
+        assert_replays_identical(wl, pmem6_system, StackFormat.HUMAN, squeezed(wl))
+
+
+class TestEdgeTieOrder:
+    def test_end_equals_start_frees_first(self):
+        """lifetime == period makes instance *i*'s end coincide with
+        instance *i+1*'s start; both paths must free before allocating so
+        a DRAM budget fitting exactly one instance suffices."""
+        spec = ObjectSpec(
+            site=make_site("tie::obj"),
+            size=8 * MiB,
+            alloc_count=4,
+            first_alloc=0.5,
+            lifetime=1.0,
+            period=1.0,
+            access={"compute": AccessStats(load_rate=1e6, accessor="k")},
+        )
+        wl = Workload(
+            name="tie",
+            phases=[Phase("compute", compute_time=1.0, repeat=5)],
+            objects=[spec],
+            ranks=1,
+            mlp=4.0,
+            locality=0.8,
+            conflict_pressure=0.3,
+        )
+        assert_replays_identical(wl, pmem6_system, StackFormat.BOM, 8 * MiB)
+
+        registry = SiteRegistry(wl)
+        profiling = registry.make_process(rank=0, aslr_seed=500)
+        report = checkerboard_report(
+            wl, profiling, StackFormat.BOM, ["dram"]
+        )
+        proc, flex = build_side(
+            registry, report, pmem6_system, StackFormat.BOM, 8 * MiB,
+            memoize=True,
+        )
+        result = replay_allocations(wl, proc, flex)
+        assert set(result.instance_placement.values()) == {"dram"}
+
+
+class TestIndexedHeapAgainstScan:
+    def test_random_traffic_same_addresses(self):
+        """Indexed and scan heaps fed the same alloc/free sequence hand
+        out identical addresses, stats and free lists throughout."""
+        rng = random.Random(42)
+        fast = FreeListHeap("fast", base=0, capacity=1 << 20)
+        slow = FreeListHeap("slow", base=0, capacity=1 << 20)
+        live = []
+        for _ in range(2000):
+            if live and rng.random() < 0.45:
+                addr = live.pop(rng.randrange(len(live)))
+                assert fast.free(addr) == slow.free(addr)
+            else:
+                size = rng.randrange(1, 4096)
+                try:
+                    a = fast.allocate(size)
+                except AllocationError:
+                    with pytest.raises(AllocationError):
+                        slow.allocate_scalar(size)
+                    continue
+                b = slow.allocate_scalar(size)
+                assert (a.address, a.padded_size) == (b.address, b.padded_size)
+                live.append(a.address)
+        assert fast.free_blocks() == slow.free_blocks()
+        for f in ("allocations", "frees", "failed", "bytes_allocated",
+                  "high_water", "peak_fragments"):
+            assert getattr(fast.stats, f) == getattr(slow.stats, f)
+        fast.check_index()
+
+
+class TestMemoizedMatcherStats:
+    def _stack(self, memoize):
+        wl = make_toy_workload()
+        registry = SiteRegistry(wl)
+        profiling = registry.make_process(rank=0, aslr_seed=500)
+        production = registry.make_process(rank=0, aslr_seed=777)
+        return wl, profiling, production
+
+    @pytest.mark.parametrize("fmt", [StackFormat.BOM, StackFormat.HUMAN])
+    def test_repeat_lookups_charge_identically(self, fmt):
+        """100 repeat matches: the memoized matcher's stats (and the
+        resolver's cost account, for HUMAN) equal the uncached run's,
+        float for float."""
+        wl, profiling, production = self._stack(True)
+        report = checkerboard_report(wl, profiling, fmt, ["dram", "pmem"])
+
+        def run(memoize):
+            prod = SiteRegistry(wl).make_process(rank=0, aslr_seed=777)
+            if fmt is StackFormat.BOM:
+                m = BOMMatcher(report, prod.space, memoize=memoize)
+            else:
+                m = HumanReadableMatcher(report, prod.space, memoize=memoize)
+            outcomes = []
+            for obj in wl.objects:
+                stack = prod.callstack(obj.site)
+                for _ in range(100):
+                    outcomes.append(m.match(stack))
+            return m, outcomes
+
+        memo, out_a = run(True)
+        ref, out_b = run(False)
+        assert out_a == out_b
+        for f in ("lookups", "matches", "time_ns", "init_time_ns",
+                  "resident_bytes"):
+            assert getattr(memo.stats, f) == getattr(ref.stats, f), f
+        if fmt is StackFormat.HUMAN:
+            for f in ("frames_resolved", "cache_hits", "time_ns",
+                      "debug_info_bytes_loaded"):
+                assert (getattr(memo.resolver.cost, f)
+                        == getattr(ref.resolver.cost, f)), f
+
+    def test_unseen_stack_object_bypasses_memo(self):
+        """The memo pins stack identity: an equal-valued but distinct
+        stack object takes the full lookup and matches the same."""
+        wl, profiling, production = self._stack(True)
+        report = checkerboard_report(
+            wl, profiling, StackFormat.BOM, ["dram"]
+        )
+        m = BOMMatcher(report, production.space)
+        site = wl.objects[0].site
+        first = production.callstack(site)
+        assert m.match(first) == "dram"
+        other = SiteRegistry(wl).make_process(rank=0, aslr_seed=777)
+        clone = other.callstack(site)
+        assert clone == first and clone is not first
+        assert m.match(clone) == "dram"
+        assert m.stats.matches == 2

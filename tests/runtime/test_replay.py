@@ -71,3 +71,29 @@ class TestReplay:
         wl, proc, flex = build_env(dram_limit=1 * GiB)
         result = replay_allocations(wl, proc, flex)
         assert result.overhead_s > 0
+
+
+class TestSubsystemDerivation:
+    def test_heap_name_agrees_with_address_probe_under_fallback(self):
+        """The O(1) ``subsystem_of_heap(alloc.heap_name)`` lookup the
+        batched replay uses must agree with the address-range probe for
+        every live allocation — including ones the capacity fallback
+        bounced to a different subsystem than the matcher designated."""
+        wl, proc, flex = build_env(dram_limit=8 * MiB)  # forces fallback
+        instances = wl.instances()
+        live = []
+        for inst in instances:
+            stack = proc.callstack(inst.spec.site)
+            live.append(flex.malloc(inst.spec.size * wl.ranks, stack))
+        assert flex.stats.fallback_capacity >= 1
+        for alloc in live:
+            assert (
+                flex.heaps.subsystem_of_heap(alloc.heap_name)
+                == flex.subsystem_of(alloc.address)
+                == flex.placement_of(alloc.address)
+            )
+
+    def test_unknown_heap_name_rejected(self):
+        wl, proc, flex = build_env(dram_limit=1 * GiB)
+        with pytest.raises(KeyError):
+            flex.heaps.subsystem_of_heap("no-such-heap")

@@ -36,6 +36,7 @@ from repro.faults.corpus import (  # noqa: E402
     default_plans,
     differential_check,
     engine_differential_check,
+    replay_differential_check,
 )
 from repro.faults.plan import inject_file  # noqa: E402
 from repro.profiling.trace import Trace  # noqa: E402
@@ -73,7 +74,7 @@ def check_file_level(seeds, verbose=True) -> int:
     return failures
 
 
-def run_check(seeds, verbose=True, engine=False) -> int:
+def run_check(seeds, verbose=True, engine=False, replay=False) -> int:
     """The full differential sweep; returns the number of failing cells."""
     failures = 0
     cells = build_cells(seeds=seeds, check_tracer_oracle=True)
@@ -97,6 +98,16 @@ def run_check(seeds, verbose=True, engine=False) -> int:
                 failures += 1
                 print(f"FAIL {cell.label} [engine]:", file=sys.stderr)
                 for m in eng.mismatches:
+                    print(f"     {m}", file=sys.stderr)
+        if replay:
+            rep = replay_differential_check(cell.trace, seed=cell.seed)
+            if rep.identical:
+                if verbose:
+                    print(f"OK   {cell.label}: replay paths bit-identical")
+            else:  # pragma: no cover - the failure path
+                failures += 1
+                print(f"FAIL {cell.label} [replay]:", file=sys.stderr)
+                for m in rep.mismatches:
                     print(f"     {m}", file=sys.stderr)
     failures += check_file_level(seeds, verbose=verbose)
     return failures
@@ -134,6 +145,9 @@ def main(argv=None) -> int:
     parser.add_argument("--engine", action="store_true",
                         help="with --check: also hold the execution engine "
                              "to its scalar oracle on each cell's placement")
+    parser.add_argument("--replay", action="store_true",
+                        help="with --check: also hold the allocation replay "
+                             "to its scalar oracle on each cell's placement")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -147,7 +161,7 @@ def main(argv=None) -> int:
 
     if args.check:
         failures = run_check(args.seeds, verbose=not args.quiet,
-                             engine=args.engine)
+                             engine=args.engine, replay=args.replay)
         if failures:
             print(f"{failures} differential failure(s)", file=sys.stderr)
             return 1

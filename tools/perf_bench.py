@@ -22,6 +22,15 @@ Three sections, mirroring the three optimisation layers:
     scalar oracle (``run_scalar``) on an app-direct LULESH run (miniFE
     in quick mode), asserting the full :class:`RunResult` bit-identical
     via :func:`run_results_identical`.
+``replay``
+    The batched allocation replay (``replay_allocations``: indexed
+    first-fit heaps, memoized matcher, lexsorted edges) against its
+    scalar oracle (``replay_allocations_scalar``) on a
+    fragmentation-heavy LULESH replay — capacity-squeezed DRAM and
+    heaps pre-fragmented with thousands of pinned 16 B holes, the free
+    list of a long-running node — asserting the full
+    :class:`ReplayResult` bit-identical via
+    :func:`replay_results_identical`.
 
 Usage::
 
@@ -42,10 +51,14 @@ import time
 
 import numpy as np
 
+from repro.alloc import BOMMatcher, FlexMalloc, build_heaps
+from repro.alloc.report import PlacementEntry, PlacementReport
 from repro.apps import get_workload
 from repro.apps.generators import (
     Region, hot_cold_stream, random_access, sequential_stream,
 )
+from repro.apps.sites import SiteRegistry
+from repro.binary.callstack import StackFormat
 from repro.experiments.fig6_sweep import compute_fig6
 from repro.experiments.harness import run_ecohmem
 from repro.memsim.cache import SetAssociativeCache
@@ -56,6 +69,11 @@ from repro.profiling.pebs import PEBSConfig
 from repro.profiling.trace import Trace
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
 from repro.runtime.engine import ExecutionEngine
+from repro.runtime.replay import (
+    replay_allocations,
+    replay_allocations_scalar,
+    replay_results_identical,
+)
 from repro.runtime.stats import run_results_identical
 from repro.runtime.traffic import PlacementTraffic
 from repro.units import GiB, MiB
@@ -287,6 +305,73 @@ def bench_engine(quick: bool) -> dict:
     }
 
 
+def _prefragment(heap, holes: int) -> None:
+    """Checkerboard ``holes`` pinned 16 B holes at the base of the heap.
+
+    The state of a long-running node's allocator: a free list thousands
+    of entries long whose holes are too small for any replay allocation,
+    so every scalar first-fit scan walks past all of them while the
+    indexed path takes a log-depth descent.  The live odd blocks pin the
+    holes open (no coalescing).
+    """
+    blocks = [heap.allocate(16) for _ in range(2 * holes)]
+    for alloc in blocks[::2]:
+        heap.free(alloc.address)
+
+
+def bench_replay(quick: bool) -> dict:
+    # Full mode replays LULESH (2634 instances) over heavily
+    # pre-fragmented heaps with a capacity-squeezed DRAM budget — the
+    # configuration where the scalar path's linear first-fit scan
+    # dominates; quick mode uses miniFE with a lighter fragment load.
+    wl_name, holes = ("minife", 512) if quick else ("lulesh", 8192)
+    wl = get_workload(wl_name)
+    registry = SiteRegistry(wl)
+    profiling = registry.make_process(rank=0, aslr_seed=500)
+    report = PlacementReport(StackFormat.BOM)
+    for i, obj in enumerate(wl.objects):
+        if i % 2 == 0:
+            report.add(PlacementEntry(
+                site=profiling.site_key(obj.site, StackFormat.BOM),
+                subsystem="dram",
+            ))
+    dram_limit = max(wl.heap_high_water() // 4, 1 * MiB)
+
+    def side(memoize: bool):
+        production = registry.make_process(rank=0, aslr_seed=777)
+        heaps = build_heaps(pmem6_system(), dram_limit=dram_limit)
+        for heap in heaps:
+            _prefragment(heap, holes)
+        matcher = BOMMatcher(report, production.space, memoize=memoize)
+        return production, FlexMalloc(heaps, matcher)
+
+    proc_f, flex_f = side(memoize=True)
+    t0 = time.perf_counter()
+    fast = replay_allocations(wl, proc_f, flex_f)
+    t_vec = time.perf_counter() - t0
+
+    proc_s, flex_s = side(memoize=False)
+    t0 = time.perf_counter()
+    scalar = replay_allocations_scalar(wl, proc_s, flex_s)
+    t_scalar = time.perf_counter() - t0
+
+    mismatches = replay_results_identical(fast, scalar)
+    assert mismatches == [], "replay diverged: " + "; ".join(mismatches[:3])
+
+    return {
+        "workload": wl_name,
+        "instances": len(wl.instances()),
+        "prefragment_holes": holes,
+        "peak_fragments": {
+            h.subsystem: h.stats.peak_fragments for h in flex_f.heaps
+        },
+        "capacity_fallbacks": flex_f.stats.fallback_capacity,
+        "scalar_s": round(t_scalar, 4),
+        "vectorized_s": round(t_vec, 4),
+        "speedup": round(t_scalar / t_vec, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -332,6 +417,14 @@ def main(argv=None) -> int:
           f"({results['engine']['speedup']}x, "
           f"{results['engine']['segments']} segments)")
 
+    print("allocation replay ...", flush=True)
+    results["replay"] = bench_replay(args.quick)
+    rep = results["replay"]
+    print(f"  replay scalar {rep['scalar_s']}s -> batched "
+          f"{rep['vectorized_s']}s ({rep['speedup']}x, "
+          f"{rep['instances']} instances, "
+          f"{rep['prefragment_holes']} holes)")
+
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
@@ -356,6 +449,9 @@ def main(argv=None) -> int:
             return 1
         if results["engine"]["speedup"] < 5.0:
             print("FAIL: execution engine speedup below 5x", file=sys.stderr)
+            return 1
+        if results["replay"]["speedup"] < 5.0:
+            print("FAIL: allocation replay speedup below 5x", file=sys.stderr)
             return 1
     return 0
 
