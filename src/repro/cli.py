@@ -12,6 +12,8 @@ Commands
     Print the Advisor placement report for a workload.
 ``validate-trace``
     Load a trace file, run the analyzer over it, and report degradation.
+``results``
+    Inspect the cross-run result ledger (``--results`` / ``REPRO_RESULT_DB``).
 """
 
 from __future__ import annotations
@@ -24,7 +26,8 @@ from repro.apps import get_workload, list_workloads
 from repro.baselines.memory_mode import run_memory_mode
 from repro.binary.callstack import StackFormat
 from repro.experiments.harness import run_ecohmem
-from repro.experiments.reporting import render_table
+from repro.experiments.parallel import add_jobs_argument
+from repro.experiments.reporting import render_result_record, render_table
 from repro.memsim.subsystem import pmem2_system, pmem6_system
 from repro.units import GiB, fmt_bandwidth, fmt_size
 
@@ -161,7 +164,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                            title="Figure 2: bandwidth vs latency"))
     elif name == "fig6":
         from repro.experiments.fig6_sweep import compute_fig6, fig6_rows
-        result = compute_fig6(apps=args.apps or None, jobs=args.jobs)
+        result = compute_fig6(apps=args.apps or None, jobs=args.jobs,
+                              manifest=args.manifest, results=args.results)
         print(render_table(
             ["app", "pmem", "dram", "metrics", "speedup"],
             fig6_rows(result), title="Figure 6: speedup vs memory mode",
@@ -178,7 +182,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "tab8":
         from repro.experiments.tab8_full_apps import compute_tab8
         rows = [[r.app, r.algorithm, f"{r.dram_limit_gb} GB", r.speedup,
-                 r.paper_speedup] for r in compute_tab8(jobs=args.jobs)]
+                 r.paper_speedup]
+                for r in compute_tab8(jobs=args.jobs, manifest=args.manifest,
+                                      results=args.results)]
         print(render_table(
             ["app", "algorithm", "dram", "speedup", "paper"],
             rows, title="Table VIII: full applications",
@@ -231,7 +237,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments import ablations
         kind = name.split("-", 1)[1]
         if kind == "combined":
-            results = ablations.combined_policy_comparison()
+            results = ablations.combined_policy_comparison(
+                results=args.results)
             print(render_table(["policy", "speedup"],
                                sorted(results.items(), key=lambda kv: kv[1]),
                                title="Ablation: proactive + reactive"))
@@ -242,7 +249,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 "sampling": ablations.sampling_frequency_sweep,
                 "input": ablations.input_sensitivity,
             }[kind]
-            points = sweep(jobs=args.jobs)
+            points = sweep(jobs=args.jobs, manifest=args.manifest,
+                           results=args.results)
             print(render_table(
                 ["knob", "speedup", "detail"],
                 [[p.knob, p.speedup, p.detail] for p in points],
@@ -271,6 +279,37 @@ def cmd_experiment(args: argparse.Namespace) -> int:
               f"{r.matcher_time_human_ns / 1e6:.2f} ms")
     else:
         raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    """Inspect the cross-run result ledger."""
+    from repro.experiments.sweep import resolve_result_db
+
+    db = resolve_result_db(args.db)
+    if db is None:
+        raise SystemExit("no result database: pass --db or set REPRO_RESULT_DB")
+    if args.experiment:
+        if args.seed is None:
+            record = db.latest_any(args.experiment, label=args.label)
+        else:
+            record = db.latest(args.experiment, label=args.label,
+                               seed=args.seed)
+        if record is None:
+            raise SystemExit(
+                f"no record for experiment={args.experiment!r} "
+                f"label={args.label!r} in {db.root}")
+        print(render_result_record(record))
+        return 0
+    identities = db.experiments()
+    if not identities:
+        print(f"result database {db.root} is empty")
+        return 0
+    rows = [[exp, label, "-" if seed is None else seed]
+            for exp, label, seed in sorted(
+                identities, key=lambda t: (t[0], t[1], t[2] or 0))]
+    print(render_table(["experiment", "label", "seed"], rows,
+                       title=f"result ledger at {db.root}"))
     return 0
 
 
@@ -312,9 +351,25 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
     exp_p.add_argument("--apps", nargs="*", default=None)
-    exp_p.add_argument("--jobs", type=int, default=None,
-                       help="sweep worker processes (default: REPRO_JOBS or "
-                            "serial; 0 = all cores)")
+    add_jobs_argument(exp_p)
+    exp_p.add_argument("--manifest", default=None,
+                       help="JSONL sweep manifest: journal completed cells "
+                            "and resume a killed sweep from it (default: "
+                            "REPRO_SWEEP_MANIFEST or off)")
+    exp_p.add_argument("--results", default=None,
+                       help="cross-run result database directory to append "
+                            "finished tables to (default: REPRO_RESULT_DB "
+                            "or off)")
+
+    res_p = sub.add_parser("results",
+                           help="inspect the cross-run result ledger")
+    res_p.add_argument("--db", default=None,
+                       help="result database directory (default: "
+                            "REPRO_RESULT_DB)")
+    res_p.add_argument("--experiment", default=None,
+                       help="render the latest record for this experiment")
+    res_p.add_argument("--label", default="default")
+    res_p.add_argument("--seed", type=int, default=None)
     return parser
 
 
@@ -326,6 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "experiment": cmd_experiment,
         "validate-trace": cmd_validate_trace,
+        "results": cmd_results,
     }
     return handlers[args.command](args)
 

@@ -19,14 +19,33 @@ from repro.experiments.harness import (
     run_profdp_best,
     speedup_table,
 )
-from repro.experiments.parallel import resolve_jobs, run_sweep
+from repro.experiments.parallel import (
+    add_jobs_argument,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.experiments.sweep import (
+    ResultDB,
+    SweepManifest,
+    resolve_manifest,
+    resolve_result_db,
+    run_scheduled,
+    run_sweep_cells,
+)
 
 __all__ = [
     "EcoHMEMResult",
+    "ResultDB",
+    "SweepManifest",
+    "add_jobs_argument",
     "profile_workload",
+    "resolve_jobs",
+    "resolve_manifest",
+    "resolve_result_db",
     "run_ecohmem",
     "run_profdp_best",
-    "speedup_table",
-    "resolve_jobs",
+    "run_scheduled",
     "run_sweep",
+    "run_sweep_cells",
+    "speedup_table",
 ]

@@ -18,7 +18,8 @@ Four sweeps, each isolating one knob of the methodology:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.advisor.config import AdvisorConfig, config_for_system
 from repro.apps import get_workload
@@ -26,9 +27,17 @@ from repro.apps.workload import AccessStats, ObjectSpec, Workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.baselines.tiering import run_combined, run_tiering
 from repro.experiments.harness import run_ecohmem
-from repro.experiments.parallel import run_sweep
+from repro.experiments.sweep import (
+    ResultDB,
+    SweepManifest,
+    resolve_result_db,
+    run_sweep_cells,
+)
 from repro.memsim.subsystem import pmem6_system
 from repro.units import GiB
+
+ManifestArg = Union[None, str, Path, SweepManifest]
+ResultsArg = Union[None, str, Path, ResultDB]
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,19 @@ class AblationPoint:
     knob: float
     speedup: float
     detail: str = ""
+
+
+def _ablation_sweep(
+    kind: str, task, specs, *, app: str, seed: int,
+    jobs: Optional[int], manifest: ManifestArg, results: ResultsArg,
+) -> List[AblationPoint]:
+    """Dispatch one ablation grid through the sweep engine + ledger."""
+    points = run_sweep_cells(task, specs, jobs=jobs,
+                             experiment=f"ablation-{kind}", manifest=manifest)
+    db = resolve_result_db(results)
+    if db is not None:
+        db.append(f"ablation-{kind}", points, label=app, seed=seed)
+    return points
 
 
 def _sampling_point(spec) -> AblationPoint:
@@ -55,6 +77,7 @@ def sampling_frequency_sweep(
     frequencies: Sequence[float] = (5.0, 20.0, 100.0, 500.0),
     *, dram_limit: int = 12 * GiB, seed: int = 11,
     jobs: Optional[int] = None,
+    manifest: ManifestArg = None, results: ResultsArg = None,
 ) -> List[AblationPoint]:
     """Placement quality vs PEBS sampling rate.
 
@@ -64,7 +87,9 @@ def sampling_frequency_sweep(
     baseline = run_memory_mode(get_workload(app), pmem6_system())
     specs = [(app, hz, dram_limit, seed, baseline.total_time)
              for hz in frequencies]
-    return run_sweep(_sampling_point, specs, jobs=jobs)
+    return _ablation_sweep("sampling", _sampling_point, specs, app=app,
+                           seed=seed, jobs=jobs, manifest=manifest,
+                           results=results)
 
 
 def _store_coefficient_point(spec) -> AblationPoint:
@@ -85,6 +110,7 @@ def store_coefficient_sweep(
     coefficients: Sequence[float] = (0.0, 1.0, 3.0, 6.0, 12.0),
     *, dram_limit: int = 12 * GiB, seed: int = 11,
     jobs: Optional[int] = None,
+    manifest: ManifestArg = None, results: ResultsArg = None,
 ) -> List[AblationPoint]:
     """Section V's store coefficient on a store-sensitive application.
 
@@ -94,7 +120,9 @@ def store_coefficient_sweep(
     baseline = run_memory_mode(get_workload(app), pmem6_system())
     specs = [(app, coef, dram_limit, seed, baseline.total_time)
              for coef in coefficients]
-    return run_sweep(_store_coefficient_point, specs, jobs=jobs)
+    return _ablation_sweep("stores", _store_coefficient_point, specs, app=app,
+                           seed=seed, jobs=jobs, manifest=manifest,
+                           results=results)
 
 
 def _threshold_point(spec) -> AblationPoint:
@@ -117,6 +145,7 @@ def threshold_sweep(
     thresholds: Sequence[float] = (0.40, 0.70, 0.90, 0.97),
     *, dram_limit: int = 11 * GiB, seed: int = 11,
     jobs: Optional[int] = None,
+    manifest: ManifestArg = None, results: ResultsArg = None,
 ) -> List[AblationPoint]:
     """Table IV's ``T_PMEMHIGH`` on the bandwidth-aware algorithm.
 
@@ -127,7 +156,9 @@ def threshold_sweep(
     baseline = run_memory_mode(get_workload(app), pmem6_system())
     specs = [(app, t_high, dram_limit, seed, baseline.total_time)
              for t_high in thresholds]
-    return run_sweep(_threshold_point, specs, jobs=jobs)
+    return _ablation_sweep("thresholds", _threshold_point, specs, app=app,
+                           seed=seed, jobs=jobs, manifest=manifest,
+                           results=results)
 
 
 def scale_workload(workload: Workload, *, rate_scale: float = 1.0,
@@ -193,6 +224,7 @@ def input_sensitivity(
                                              (1.0, 1.3), (2.0, 1.5)),
     *, dram_limit: int = 12 * GiB, seed: int = 11,
     jobs: Optional[int] = None,
+    manifest: ManifestArg = None, results: ResultsArg = None,
 ) -> List[AblationPoint]:
     """Profile the nominal input, run a scaled one (paper future work).
 
@@ -205,11 +237,14 @@ def input_sensitivity(
     """
     specs = [(app, rate_scale, size_scale, dram_limit, seed)
              for rate_scale, size_scale in scales]
-    return run_sweep(_input_sensitivity_point, specs, jobs=jobs)
+    return _ablation_sweep("input", _input_sensitivity_point, specs, app=app,
+                           seed=seed, jobs=jobs, manifest=manifest,
+                           results=results)
 
 
 def combined_policy_comparison(
     app: str = "minife", *, dram_limit: int = 12 * GiB, seed: int = 11,
+    results: ResultsArg = None,
 ) -> Dict[str, float]:
     """ecoHMEM alone vs kernel tiering alone vs the combined policy."""
     system = pmem6_system()
@@ -218,9 +253,13 @@ def combined_policy_comparison(
                       seed=seed)
     tier = run_tiering(get_workload(app), system)
     combined = run_combined(get_workload(app), system, eco.site_placement)
-    return {
+    out = {
         "memory-mode": 1.0,
         "kernel-tiering": tier.speedup_vs(baseline),
         "ecohmem": eco.run.speedup_vs(baseline),
         "combined": combined.speedup_vs(baseline),
     }
+    db = resolve_result_db(results)
+    if db is not None:
+        db.append("ablation-combined", out, label=app, seed=seed)
+    return out

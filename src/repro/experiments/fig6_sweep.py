@@ -5,21 +5,31 @@ Five miniapps x {Loads, Loads+stores} x DRAM limits {4, 8, 12 GB} x
 configuration — plus the kernel-tiering and best-of-four ProfDP rows.
 
 Every cell is an independent deterministic pipeline run, so the sweep is
-dispatched through :func:`repro.experiments.parallel.run_sweep`: serial
-by default, process-parallel under ``jobs``/``REPRO_JOBS``, with results
-reassembled in cell order so parallel output is bit-identical to serial.
+dispatched through the sweep engine
+(:func:`repro.experiments.sweep.run_sweep_cells`): work-stealing worker
+processes under ``jobs``/``REPRO_JOBS``, an optional JSONL manifest for
+kill/restart resume, and results reassembled in cell order so every
+dispatch mode is bit-identical to the retained serial oracle
+(:func:`repro.experiments.parallel.run_sweep`).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.apps import get_workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.baselines.tiering import run_tiering
 from repro.experiments.harness import run_ecohmem, run_profdp_best
-from repro.experiments.parallel import run_sweep
+from repro.experiments.sweep import (
+    ResultDB,
+    SweepManifest,
+    resolve_result_db,
+    run_sweep_cells,
+)
 from repro.memsim.subsystem import MemorySystem, pmem2_system, pmem6_system
 from repro.units import GiB
 
@@ -116,18 +126,28 @@ def compute_fig6(
     include_baseline_rows: bool = True,
     seed: int = 11,
     jobs: Optional[int] = None,
+    manifest: Union[None, str, Path, SweepManifest] = None,
+    results: Union[None, str, Path, ResultDB] = None,
 ) -> Fig6Result:
     """Run the full sweep (or a subset) and collect speedups.
 
     ``jobs`` (default: ``REPRO_JOBS`` or serial) sets the worker count;
-    the parallel result is bit-identical to the serial one.
+    the scheduled result is bit-identical to the serial one.  With a
+    ``manifest`` (or ``REPRO_SWEEP_MANIFEST``) completed cells are
+    journaled and a restarted sweep re-runs only the missing ones; with
+    ``results`` (or ``REPRO_RESULT_DB``) the finished grid is appended to
+    the cross-run result ledger.
     """
+    t0 = time.perf_counter()
     apps = apps or MINIAPPS
     dram_limits_gb = dram_limits_gb or DRAM_LIMITS_GB
     dimms_list = [d for d in (6, 2) if d in pmem_configs]
 
     pairs = [(app, dimms) for app in apps for dimms in dimms_list]
-    base_time = dict(zip(pairs, run_sweep(_baseline_task, pairs, jobs=jobs)))
+    base_time = dict(zip(pairs, run_sweep_cells(
+        _baseline_task, pairs, jobs=jobs,
+        experiment="fig6/baseline", manifest=manifest,
+    )))
 
     cell_specs = [
         (app, dimms, limit_gb, metrics, seed, base_time[(app, dimms)])
@@ -136,15 +156,34 @@ def compute_fig6(
         for limit_gb in dram_limits_gb
         for metrics in METRIC_CONFIGS
     ]
-    result = Fig6Result(cells=run_sweep(_cell_task, cell_specs, jobs=jobs))
+    result = Fig6Result(cells=run_sweep_cells(
+        _cell_task, cell_specs, jobs=jobs,
+        experiment="fig6/cells", manifest=manifest,
+    ))
 
     if include_baseline_rows and 6 in dimms_list:
         row_specs = [(app, seed, base_time[(app, 6)]) for app in apps]
-        rows = run_sweep(_baseline_rows_task, row_specs, jobs=jobs)
+        rows = run_sweep_cells(
+            _baseline_rows_task, row_specs, jobs=jobs,
+            experiment="fig6/baseline-rows", manifest=manifest,
+        )
         for app, (tier_s, profdp_s, profdp_v) in zip(apps, rows):
             result.tiering[app] = tier_s
             result.profdp[app] = profdp_s
             result.profdp_variant[app] = profdp_v
+
+    db = resolve_result_db(results)
+    if db is not None:
+        db.append(
+            "fig6", result, seed=seed,
+            params={
+                "apps": list(apps),
+                "pmem_configs": list(pmem_configs),
+                "dram_limits_gb": list(dram_limits_gb),
+                "include_baseline_rows": include_baseline_rows,
+            },
+            elapsed_s=round(time.perf_counter() - t0, 4),
+        )
     return result
 
 

@@ -41,6 +41,11 @@ from repro.profiling.cache import (
     resolve_store,
     workload_fingerprint,
 )
+from repro.profiling.tracestore import (
+    TraceStore,
+    resolve_trace_store,
+    trace_digest,
+)
 from repro.profiling.paramedir import Paramedir, SiteProfile
 from repro.profiling.pebs import PEBSConfig
 from repro.profiling.tracer import ExtraeTracer, TracerConfig
@@ -116,6 +121,7 @@ def profile_workload(
     rank_jitter: float = 0.0,
     registry: Optional[SiteRegistry] = None,
     profile_store: Optional[ProfileStore] = None,
+    trace_store: Optional[TraceStore] = None,
 ) -> Dict[Tuple, SiteProfile]:
     """The profiling stage: Extrae trace + Paramedir analysis, memoized.
 
@@ -125,7 +131,15 @@ def profile_workload(
     shared by every pipeline run with the same configuration — one trace
     per configuration instead of one per sweep cell.  A custom
     ``registry`` changes the address spaces behind the site keys, so it
-    bypasses the cache.
+    bypasses both caches.
+
+    Below the profile cache sits the memory-mapped trace store
+    (:mod:`repro.profiling.tracestore`, ``trace_store`` or the
+    ``REPRO_TRACE_STORE_DIR`` default): on a profile-cache miss the
+    tracer run is skipped entirely when another process already
+    published the same trace — the columns arrive as a zero-copy
+    read-only mapping shared through the page cache, and the analysis
+    over them is bit-identical to a fresh tracer run.
 
     Determinism is per rank, not per profiling session: the tracer
     derives each run's generators from ``(seed, rank)``, so profiling
@@ -134,6 +148,15 @@ def profile_workload(
     scalar oracles) — cached profiles stay valid however the ranks were
     produced.
     """
+    key = ProfileKey(
+        workload=workload.name,
+        fingerprint=workload_fingerprint(workload),
+        seed=seed,
+        stack_format=stack_format.value,
+        pebs_hz=float(pebs_hz),
+        profile_ranks=int(profile_ranks),
+        rank_jitter=float(rank_jitter),
+    )
 
     def compute() -> Dict[Tuple, SiteProfile]:
         reg = registry or SiteRegistry(workload)
@@ -144,10 +167,26 @@ def profile_workload(
                          rank_jitter=rank_jitter),
             reg,
         )
+        # a custom registry changes the traces, so only keyed (default
+        # registry) runs may read or publish the shared trace store
+        tstore = resolve_trace_store(trace_store) if registry is None else None
+
+        def run_rank(rank: int, aslr_seed: int) -> "Trace":
+            if tstore is None:
+                return tracer.run(rank=rank, aslr_seed=aslr_seed)
+            digest = trace_digest(key.digest(), rank=rank, aslr_seed=aslr_seed)
+            attached = tstore.attach(digest)
+            if attached is not None:
+                return attached
+            trace = tracer.run(rank=rank, aslr_seed=aslr_seed)
+            tstore.put(digest, trace)
+            return trace
+
         paramedir = Paramedir()
         if profile_ranks > 1:
-            traces = tracer.run_all_ranks(ranks=profile_ranks,
-                                          aslr_base_seed=1000 + seed)
+            # rank r of run_all_ranks(aslr_base_seed=b) is run(r, b + r)
+            traces = [run_rank(r, 1000 + seed + r)
+                      for r in range(profile_ranks)]
             per_rank = [paramedir.analyze(t) for t in traces]
             profiles = paramedir.merge(per_rank, mode="sum")
             # cross-rank sums describe profile_ranks processes; the advisor's
@@ -156,8 +195,7 @@ def profile_workload(
                 prof.load_misses /= profile_ranks
                 prof.store_misses /= profile_ranks
         else:
-            trace = tracer.run(rank=0, aslr_seed=1000 + seed)
-            profiles = paramedir.analyze(trace)
+            profiles = paramedir.analyze(run_rank(0, 1000 + seed))
         return profiles
 
     if registry is not None:
@@ -165,15 +203,6 @@ def profile_workload(
     store = resolve_store(profile_store)
     if store is None:
         return compute()
-    key = ProfileKey(
-        workload=workload.name,
-        fingerprint=workload_fingerprint(workload),
-        seed=seed,
-        stack_format=stack_format.value,
-        pebs_hz=float(pebs_hz),
-        profile_ranks=int(profile_ranks),
-        rank_jitter=float(rank_jitter),
-    )
     return store.get_or_compute(key, compute)
 
 

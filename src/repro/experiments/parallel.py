@@ -24,6 +24,7 @@ concurrent cells reuse each other's profiling work across processes (see
 
 from __future__ import annotations
 
+import argparse
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -42,12 +43,31 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
             try:
                 jobs = int(env)
             except ValueError:
-                raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+                raise ValueError(
+                    f"{JOBS_ENV}={env!r} is not a valid worker count: "
+                    f"expected an integer (e.g. {JOBS_ENV}=4; 0 or a "
+                    f"negative value means all cores)"
+                )
         else:
             jobs = 1
     if jobs < 1:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the canonical ``--jobs`` flag to an argument parser.
+
+    Every entry point that fans a sweep out over workers (``ecohmem
+    experiment``, ``tools/perf_bench.py``, ``tools/fault_corpus.py``)
+    shares this definition, so the flag's name, type, default chain
+    (explicit > ``REPRO_JOBS`` > serial) and help text never drift apart.
+    """
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=f"sweep worker processes (default: {JOBS_ENV} or serial; "
+             f"0 = all cores)",
+    )
 
 
 def run_sweep(

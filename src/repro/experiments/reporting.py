@@ -3,10 +3,17 @@
 Every experiment module returns plain data structures; these helpers turn
 them into the table/series text the benches print, so the output of
 ``pytest benchmarks/`` reads like the paper's tables.
+
+The cross-run result ledger (:class:`repro.experiments.sweep.ResultDB`)
+stores those same structures, so :func:`result_rows` /
+:func:`render_result_record` regenerate any recorded experiment table —
+EXPERIMENTS.md-style — from the ledger without re-running the pipeline.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import time as _time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -63,6 +70,46 @@ def render_series(
         bar = "#" * int(width * y / y_max)
         lines.append(f"{x:12.2f} | {bar} {y:.3g}")
     return "\n".join(lines)
+
+
+def result_rows(rows: object) -> Tuple[List[str], List[List[object]]]:
+    """(headers, table rows) for whatever shape a ledger record holds.
+
+    The drivers record lists of row dataclasses (``Tab8Row``,
+    ``AblationPoint``), result dataclasses whose first list field is the
+    row list (``Fig6Result``), or plain ``{name: value}`` dicts — this
+    normalizes all three so one renderer covers every experiment.
+    """
+    if dataclasses.is_dataclass(rows) and not isinstance(rows, type):
+        for f in dataclasses.fields(rows):
+            value = getattr(rows, f.name)
+            if f.init and isinstance(value, list) and value:
+                return result_rows(value)
+        rows = {f.name: getattr(rows, f.name)
+                for f in dataclasses.fields(rows) if f.init}
+    if isinstance(rows, dict):
+        return ["name", "value"], [[k, v] for k, v in rows.items()]
+    if isinstance(rows, (list, tuple)) and rows:
+        first = rows[0]
+        if dataclasses.is_dataclass(first) and not isinstance(first, type):
+            names = [f.name for f in dataclasses.fields(first) if f.init]
+            return names, [[getattr(r, n) for n in names] for r in rows]
+        if isinstance(first, (list, tuple)):
+            width = max(len(r) for r in rows)
+            return ([f"col{i}" for i in range(width)],
+                    [list(r) for r in rows])
+        return ["value"], [[r] for r in rows]
+    return ["value"], []
+
+
+def render_result_record(record: dict, *, float_fmt: str = "{:.3f}") -> str:
+    """One ledger record as a titled monospace table."""
+    headers, rows = result_rows(record["rows"])
+    when = _time.strftime("%Y-%m-%d %H:%M:%S",
+                          _time.localtime(record.get("ts", 0)))
+    title = (f"{record['experiment']} [{record['label']}]"
+             f" seed={record['seed']} recorded {when}")
+    return render_table(headers, rows, title=title, float_fmt=float_fmt)
 
 
 def fmt_speedup(value: Optional[float]) -> str:

@@ -1,0 +1,49 @@
+"""Fleet-scale sweep engine: scheduler, manifest resume, result ledger.
+
+Three layers, composable and individually optional:
+
+- :mod:`repro.experiments.sweep.scheduler` — work-stealing dispatch of
+  sweep cells over worker processes, bit-identical to the retained
+  :func:`repro.experiments.parallel.run_sweep` oracle;
+- :mod:`repro.experiments.sweep.manifest` — a JSONL journal of completed
+  cells so a killed sweep resumes from where it died;
+- :mod:`repro.experiments.sweep.results` — an append-only cross-run
+  ledger of finished experiment tables, read back by ``reporting.py``.
+
+The shared-memory trace store that feeds the workers lives with the
+profiling layer (:mod:`repro.profiling.tracestore`).
+"""
+
+from repro.experiments.sweep.manifest import (
+    SweepManifest,
+    cell_key,
+    code_fingerprint,
+    resolve_manifest,
+    task_name,
+)
+from repro.experiments.sweep.results import (
+    RESULT_DB_ENV,
+    ResultDB,
+    resolve_result_db,
+)
+from repro.experiments.sweep.scheduler import (
+    CellProgress,
+    SweepWorkerDied,
+    run_scheduled,
+    run_sweep_cells,
+)
+
+__all__ = [
+    "CellProgress",
+    "RESULT_DB_ENV",
+    "ResultDB",
+    "SweepManifest",
+    "SweepWorkerDied",
+    "cell_key",
+    "code_fingerprint",
+    "resolve_manifest",
+    "resolve_result_db",
+    "run_scheduled",
+    "run_sweep_cells",
+    "task_name",
+]

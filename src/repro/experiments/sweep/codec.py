@@ -1,0 +1,96 @@
+"""Exact JSON codec for sweep specs and results.
+
+The manifest (:mod:`repro.experiments.sweep.manifest`) has to round-trip
+whatever the experiment task functions consume and produce — tuples of
+primitives for specs; dataclasses like ``Fig6Cell``/``Tab8Row``/
+``AblationPoint``, tuples, and plain containers for results — **exactly**,
+because a resumed sweep must return bit-identical values to an
+uninterrupted one.  JSON already round-trips Python floats exactly
+(``repr``-based shortest round-trip encoding) and ints/strings/bools/None
+trivially; this codec adds the two shapes JSON cannot represent natively:
+
+- tuples, tagged ``{"__tuple__": [...]}`` so they come back as tuples
+  (dataclass equality depends on it);
+- dataclasses, tagged ``{"__dataclass__": "module:QualName", "fields":
+  {...}}`` and reconstructed by importing the class and calling it with
+  its init fields.
+
+Anything else (arbitrary objects, ndarray results, non-string dict keys)
+is rejected loudly at *encode* time — a sweep that cannot be resumed
+should fail when the manifest is written, not when it is read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+from typing import Any
+
+from repro.errors import ConfigError
+
+_TUPLE_TAG = "__tuple__"
+_DATACLASS_TAG = "__dataclass__"
+_TAGS = (_TUPLE_TAG, _DATACLASS_TAG)
+
+
+def encode(obj: Any) -> Any:
+    """A JSON-serializable structure that :func:`decode` inverts exactly."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, tuple):
+        return {_TUPLE_TAG: [encode(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode(v) for v in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise ConfigError(
+                    f"sweep codec: dict keys must be strings, got {k!r}"
+                )
+            if k in _TAGS:
+                raise ConfigError(
+                    f"sweep codec: dict key {k!r} collides with a codec tag"
+                )
+            out[k] = encode(v)
+        return out
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = {
+            f.name: encode(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.init
+        }
+        return {
+            _DATACLASS_TAG: f"{cls.__module__}:{cls.__qualname__}",
+            "fields": fields,
+        }
+    raise ConfigError(
+        f"sweep codec: cannot serialize {type(obj).__name__} "
+        f"({obj!r}); sweep results must be built from primitives, "
+        f"tuples, lists, string-keyed dicts, and dataclasses thereof"
+    )
+
+
+def decode(data: Any) -> Any:
+    """Invert :func:`encode`."""
+    if isinstance(data, list):
+        return [decode(v) for v in data]
+    if isinstance(data, dict):
+        if _TUPLE_TAG in data:
+            return tuple(decode(v) for v in data[_TUPLE_TAG])
+        if _DATACLASS_TAG in data:
+            module, _, qualname = data[_DATACLASS_TAG].partition(":")
+            cls: Any = importlib.import_module(module)
+            for part in qualname.split("."):
+                cls = getattr(cls, part)
+            kwargs = {k: decode(v) for k, v in data["fields"].items()}
+            return cls(**kwargs)
+        return {k: decode(v) for k, v in data.items()}
+    return data
+
+
+def canonical(obj: Any) -> str:
+    """A deterministic string form of ``obj`` (stable cell-key material)."""
+    return json.dumps(encode(obj), sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,186 @@
+"""The sweep manifest: a JSONL journal of completed cells, for resume.
+
+Every cell the scheduler finishes is appended as one JSON line carrying
+the cell's identity, outcome, encoded result, and timing.  On restart the
+scheduler replays the journal and re-runs **only** cells that are missing
+or failed — the ``run_missing_experiments`` pattern — so a sweep killed
+mid-run costs only its incomplete cells.
+
+A cell's identity is a content hash over:
+
+``experiment``
+    the driver-chosen sweep name (``fig6``, ``tab8``, ...);
+``task``
+    the fully-qualified task function name;
+``spec``
+    the canonical JSON of the cell spec (:func:`codec.canonical`);
+``fingerprint``
+    a hash of the task function's *module source* — edit the experiment
+    code and every recorded cell silently becomes stale instead of
+    serving results the current code would not produce.
+
+The journal is written by the scheduler process only (workers return
+results over the pool), one flushed line per cell, so a crash can tear at
+most the final line; :meth:`SweepManifest.completed` tolerates torn and
+foreign lines by skipping them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.experiments.sweep import codec
+
+#: bump when the manifest line layout changes; old entries are skipped
+_MANIFEST_VERSION = 1
+
+_fingerprint_cache: Dict[str, str] = {}
+
+
+def task_name(fn: Callable) -> str:
+    """The stable fully-qualified name a cell records for its task."""
+    return f"{fn.__module__}.{fn.__qualname__}"
+
+
+def code_fingerprint(fn: Callable) -> str:
+    """A hash of the task function's module source (cached per module).
+
+    Any edit to the module invalidates recorded cells for its tasks —
+    coarse on purpose: cheaper to re-run a grid than to debug a stale
+    manifest serving results the edited code would never produce.
+    """
+    module = getattr(fn, "__module__", None) or "?"
+    cached = _fingerprint_cache.get(module)
+    if cached is not None:
+        return cached
+    try:
+        source = inspect.getsource(sys.modules[module])
+    except (KeyError, OSError, TypeError):
+        source = module  # no source (REPL, frozen): stable per module name
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    _fingerprint_cache[module] = digest
+    return digest
+
+
+def cell_key(experiment: str, task: str, spec_canonical: str,
+             fingerprint: str) -> str:
+    """The content hash identifying one sweep cell in the journal."""
+    canon = json.dumps(
+        {
+            "experiment": experiment,
+            "task": task,
+            "spec": spec_canonical,
+            "fingerprint": fingerprint,
+            "version": _MANIFEST_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()[:32]
+
+
+class SweepManifest:
+    """Append-only journal of sweep cells at one path."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.skipped_lines = 0
+
+    # -- read ------------------------------------------------------------------
+
+    def entries(self) -> Dict[str, dict]:
+        """All journal entries by key, last write wins; torn lines skipped."""
+        entries: Dict[str, dict] = {}
+        self.skipped_lines = 0
+        try:
+            fh = self.path.open()
+        except OSError:
+            return entries
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    self.skipped_lines += 1
+                    continue
+                if (not isinstance(entry, dict)
+                        or entry.get("version") != _MANIFEST_VERSION
+                        or "key" not in entry):
+                    self.skipped_lines += 1
+                    continue
+                entries[entry["key"]] = entry
+        return entries
+
+    def completed(self) -> Dict[str, dict]:
+        """Successfully completed cells by key (what resume may reuse)."""
+        return {k: e for k, e in self.entries().items()
+                if e.get("status") == "ok"}
+
+    # -- write -----------------------------------------------------------------
+
+    def record(
+        self,
+        key: str,
+        *,
+        experiment: str,
+        task: str,
+        spec: Any,
+        fingerprint: str,
+        status: str,
+        result: Any = None,
+        error: Optional[str] = None,
+        elapsed_s: Optional[float] = None,
+        attempt: int = 0,
+    ) -> dict:
+        """Append one cell outcome.
+
+        The line is flushed to the OS before returning, so killing the
+        scheduler process can tear at most the line being written —
+        everything recorded earlier survives for resume.
+        """
+        entry = {
+            "version": _MANIFEST_VERSION,
+            "key": key,
+            "experiment": experiment,
+            "task": task,
+            "spec": codec.encode(spec),
+            "fingerprint": fingerprint,
+            "status": status,
+            "result": codec.encode(result) if status == "ok" else None,
+            "error": error,
+            "elapsed_s": elapsed_s,
+            "attempt": attempt,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+        return entry
+
+
+def resolve_manifest(
+    manifest: Union[None, str, Path, SweepManifest],
+) -> Optional[SweepManifest]:
+    """The manifest a sweep should journal into; ``None`` = no journal.
+
+    Accepts an existing :class:`SweepManifest` or a path; with neither,
+    falls back to the ``REPRO_SWEEP_MANIFEST`` environment variable so a
+    whole fleet of experiment entry points can share one journal without
+    plumbing a flag through every call site.
+    """
+    if isinstance(manifest, SweepManifest):
+        return manifest
+    if manifest is not None:
+        return SweepManifest(manifest)
+    env = os.environ.get("REPRO_SWEEP_MANIFEST", "").strip()
+    if env:
+        return SweepManifest(env)
+    return None

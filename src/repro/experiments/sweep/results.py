@@ -1,0 +1,244 @@
+"""Cross-run result database: an append-only JSONL ledger of experiment rows.
+
+Every experiment driver (``fig6_sweep``, ``tab8_full_apps``, the
+ablations, the fault corpus) can append its finished tables here, so a
+fleet of runs — different machines, different days, different seeds —
+accumulates into one queryable ledger instead of a pile of regenerated
+markdown.  ``reporting.py`` reads the ledger back to regenerate the
+EXPERIMENTS.md tables programmatically from recorded rows.
+
+Layout:
+
+``results.jsonl``
+    One JSON line per record: identity fields (``experiment``, ``label``,
+    ``seed``), a wall-clock ``ts``, free-form ``params``, and the encoded
+    ``rows`` (via the exact sweep codec, so dataclass rows round-trip
+    bit-identically).
+``results.index.json``
+    A small sidecar mapping each identity to the byte offset of its
+    *latest* record, so :meth:`ResultDB.latest` seeks straight to it
+    without scanning the ledger.  The index is a pure cache — it is
+    rebuilt from the ledger whenever it is missing or stale (the ledger
+    grew past the indexed byte count), so deleting it is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.experiments.sweep import codec
+
+#: bump when the record layout changes; old records are skipped
+_DB_VERSION = 1
+
+_LEDGER_NAME = "results.jsonl"
+_INDEX_NAME = "results.index.json"
+
+RESULT_DB_ENV = "REPRO_RESULT_DB"
+
+
+def _identity(experiment: str, label: str, seed: Optional[int]) -> str:
+    return json.dumps(
+        {"experiment": experiment, "label": label, "seed": seed},
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+class ResultDB:
+    """Append-only experiment-result ledger rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.ledger = self.root / _LEDGER_NAME
+        self.index_path = self.root / _INDEX_NAME
+
+    # -- write -----------------------------------------------------------------
+
+    def append(
+        self,
+        experiment: str,
+        rows: Any,
+        *,
+        label: str = "default",
+        seed: Optional[int] = None,
+        params: Optional[Dict[str, Any]] = None,
+        elapsed_s: Optional[float] = None,
+    ) -> dict:
+        """Append one result record and update the offset index.
+
+        ``rows`` is whatever table the driver produced (lists of
+        dataclass rows, dicts of lists, ...) as long as the sweep codec
+        can encode it — which is exactly the set of shapes a resumable
+        sweep may produce.
+        """
+        record = {
+            "version": _DB_VERSION,
+            "experiment": experiment,
+            "label": label,
+            "seed": seed,
+            "ts": time.time(),
+            "params": codec.encode(params or {}),
+            "elapsed_s": elapsed_s,
+            "rows": codec.encode(rows),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self.ledger.open("a") as fh:
+            offset = fh.tell()
+            fh.write(line)
+            fh.flush()
+        self._update_index(_identity(experiment, label, seed), offset,
+                           offset + len(line.encode()))
+        return record
+
+    def _update_index(self, identity: str, offset: int, end: int) -> None:
+        index = self._read_index()
+        if index is None:
+            index = {"version": _DB_VERSION, "bytes": 0, "offsets": {}}
+        index["offsets"][identity] = offset
+        index["bytes"] = max(int(index.get("bytes", 0)), end)
+        # atomic publish: a crash mid-write must not tear the sidecar
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=".tmp-idx-")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(index, fh)
+            os.replace(tmp, self.index_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _read_index(self) -> Optional[dict]:
+        try:
+            index = json.loads(self.index_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(index, dict)
+                or index.get("version") != _DB_VERSION
+                or not isinstance(index.get("offsets"), dict)):
+            return None
+        return index
+
+    # -- read ------------------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """Every record in the ledger, oldest first; torn lines skipped."""
+        try:
+            fh = self.ledger.open()
+        except OSError:
+            return
+        with fh:
+            for line in fh:
+                record = self._parse(line)
+                if record is not None:
+                    yield record
+
+    @staticmethod
+    def _parse(line: str) -> Optional[dict]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        if (not isinstance(record, dict)
+                or record.get("version") != _DB_VERSION):
+            return None
+        return record
+
+    def latest(self, experiment: str, *, label: str = "default",
+               seed: Optional[int] = None,
+               decode_rows: bool = True) -> Optional[dict]:
+        """The most recent record for one identity (index-assisted)."""
+        identity = _identity(experiment, label, seed)
+        record = self._latest_via_index(identity)
+        if record is None:
+            for candidate in self.records():
+                if _identity(candidate["experiment"], candidate["label"],
+                             candidate["seed"]) == identity:
+                    record = candidate
+        if record is None:
+            return None
+        if decode_rows:
+            record = dict(record)
+            record["rows"] = codec.decode(record["rows"])
+            record["params"] = codec.decode(record["params"])
+        return record
+
+    def _latest_via_index(self, identity: str) -> Optional[dict]:
+        index = self._read_index()
+        if index is None:
+            return None
+        try:
+            size = self.ledger.stat().st_size
+        except OSError:
+            return None
+        if size > int(index.get("bytes", 0)):
+            return None  # ledger grew past the index: treat as stale
+        offset = index["offsets"].get(identity)
+        if offset is None:
+            return None
+        try:
+            with self.ledger.open() as fh:
+                fh.seek(offset)
+                record = self._parse(fh.readline())
+        except (OSError, ValueError):
+            return None
+        if record is None:
+            return None
+        if _identity(record.get("experiment"), record.get("label"),
+                     record.get("seed")) != identity:
+            return None  # foreign ledger edit: fall back to the scan
+        return record
+
+    def latest_any(self, experiment: str, *, label: Optional[str] = None,
+                   decode_rows: bool = True) -> Optional[dict]:
+        """The newest record for an experiment across all seeds/labels."""
+        best = None
+        for record in self.records():
+            if record["experiment"] != experiment:
+                continue
+            if label is not None and record["label"] != label:
+                continue
+            if best is None or record["ts"] >= best["ts"]:
+                best = record
+        if best is None:
+            return None
+        if decode_rows:
+            best = dict(best)
+            best["rows"] = codec.decode(best["rows"])
+            best["params"] = codec.decode(best["params"])
+        return best
+
+    def experiments(self) -> List[Tuple[str, str, Optional[int]]]:
+        """All identities present in the ledger (experiment, label, seed)."""
+        seen: Dict[Tuple[str, str, Optional[int]], None] = {}
+        for record in self.records():
+            seen[(record["experiment"], record["label"],
+                  record["seed"])] = None
+        return list(seen)
+
+
+def resolve_result_db(
+    db: Union[None, str, Path, ResultDB],
+) -> Optional[ResultDB]:
+    """The DB a driver should append to; ``None`` = no ledger.
+
+    Accepts an existing :class:`ResultDB` or a directory path; with
+    neither, falls back to the ``REPRO_RESULT_DB`` environment variable.
+    """
+    if isinstance(db, ResultDB):
+        return db
+    if db is not None:
+        return ResultDB(db)
+    env = os.environ.get(RESULT_DB_ENV, "").strip()
+    if env:
+        return ResultDB(env)
+    return None

@@ -10,13 +10,20 @@ DRAM so aggressively that the larger limit runs out of memory).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.apps import get_workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.experiments.harness import run_ecohmem
-from repro.experiments.parallel import run_sweep
+from repro.experiments.sweep import (
+    ResultDB,
+    SweepManifest,
+    resolve_result_db,
+    run_sweep_cells,
+)
 from repro.memsim.subsystem import pmem6_system
 from repro.units import GiB
 
@@ -59,12 +66,35 @@ def _tab8_baseline_task(app: str) -> float:
     return run_memory_mode(get_workload(app), pmem6_system()).total_time
 
 
-def compute_tab8(*, seed: int = 11, jobs: Optional[int] = None) -> List[Tab8Row]:
+def compute_tab8(
+    *,
+    seed: int = 11,
+    jobs: Optional[int] = None,
+    manifest: Union[None, str, Path, SweepManifest] = None,
+    results: Union[None, str, Path, ResultDB] = None,
+) -> List[Tab8Row]:
+    """Run the full-application grid through the sweep engine.
+
+    ``manifest``/``results`` behave as in
+    :func:`repro.experiments.fig6_sweep.compute_fig6`: journal cells for
+    resume, append the finished table to the cross-run ledger.
+    """
+    t0 = time.perf_counter()
     apps = list(DRAM_LIMITS)
-    base_time = dict(zip(apps, run_sweep(_tab8_baseline_task, apps, jobs=jobs)))
+    base_time = dict(zip(apps, run_sweep_cells(
+        _tab8_baseline_task, apps, jobs=jobs,
+        experiment="tab8/baseline", manifest=manifest,
+    )))
     specs = [
         (app, algorithm, limit_gb, seed, base_time[app])
         for app, (limit_main, limit_bw) in DRAM_LIMITS.items()
         for algorithm, limit_gb in (("density", limit_main), ("bw-aware", limit_bw))
     ]
-    return run_sweep(_tab8_task, specs, jobs=jobs)
+    rows = run_sweep_cells(_tab8_task, specs, jobs=jobs,
+                           experiment="tab8/cells", manifest=manifest)
+    db = resolve_result_db(results)
+    if db is not None:
+        db.append("tab8", rows, seed=seed,
+                  params={"apps": apps},
+                  elapsed_s=round(time.perf_counter() - t0, 4))
+    return rows

@@ -247,12 +247,18 @@ class ProfileStore:
                 data = json.load(fh)
         except (OSError, ValueError):
             return None
-        if data.get("version") != _DISK_FORMAT_VERSION:
+        # a foreign or corrupted-but-parseable file (crash-truncated then
+        # rewritten, wrong schema, hand-edited) must behave as a miss, not
+        # raise into the profiling path
+        try:
+            if data.get("version") != _DISK_FORMAT_VERSION:
+                return None
+            profiles = {}
+            for entry in data["profiles"]:
+                prof = _decode_profile(entry)
+                profiles[prof.site_key] = prof
+        except (AttributeError, KeyError, TypeError, IndexError, ConfigError):
             return None
-        profiles = {}
-        for entry in data["profiles"]:
-            prof = _decode_profile(entry)
-            profiles[prof.site_key] = prof
         return profiles
 
     def _write_disk(self, key: ProfileKey, profiles: Profiles) -> None:
@@ -264,13 +270,21 @@ class ProfileStore:
             "key": asdict(key),
             "profiles": [_encode_profile(p) for p in profiles.values()],
         }
-        # atomic publish: concurrent sweep workers may race on the same key
+        # atomic publish: concurrent sweep workers may race on the same
+        # key, and a crash mid-write must never leave a torn file at the
+        # final path — the payload lands in a temp file first and becomes
+        # visible only via os.replace
         fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, self._path(key))
-        except OSError:  # pragma: no cover - disk layer is best-effort
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, self._path(key))
+            except OSError:  # pragma: no cover - disk layer is best-effort
+                pass
+        finally:
+            # whatever failed (full disk, an encode bug raising through
+            # json.dump), never leak the temp file into the cache dir
             try:
                 os.unlink(tmp)
             except OSError:

@@ -153,6 +153,8 @@ class Trace:
         allocs: List[AllocEvent],
         frees: List[FreeEvent],
         columns: Optional[SampleColumns] = None,
+        *,
+        copy: bool = True,
     ) -> "Trace":
         """Assemble a trace directly from event lists and sample columns.
 
@@ -161,19 +163,31 @@ class Trace:
         to build *deliberately* inconsistent traces (orphan frees,
         overlapping allocations, unattributable samples); consumers are
         expected to detect those at replay time, not here.
+
+        ``copy=False`` adopts the column arrays as-is instead of copying
+        them — the zero-copy path the memory-mapped trace store
+        (:mod:`repro.profiling.tracestore`) uses to hand many processes
+        views of one on-disk array.  The caller then guarantees the
+        arrays are never mutated (e.g. read-only ``np.memmap`` views).
         """
         trace = cls(meta)
         trace.allocs = list(allocs)
         trace.frees = list(frees)
         if columns is not None and len(columns):
-            trace._chunks = [(
-                np.array(columns.times, dtype=np.float64, copy=True),
-                np.array(columns.addresses, dtype=np.int64, copy=True),
-                np.array(columns.codes, dtype=np.uint8, copy=True),
-                np.array(columns.ranks, dtype=np.int32, copy=True),
-                np.array(columns.latencies, dtype=np.float64, copy=True),
-                np.array(columns.weights, dtype=np.float64, copy=True),
-            )]
+            if copy:
+                trace._chunks = [(
+                    np.array(columns.times, dtype=np.float64, copy=True),
+                    np.array(columns.addresses, dtype=np.int64, copy=True),
+                    np.array(columns.codes, dtype=np.uint8, copy=True),
+                    np.array(columns.ranks, dtype=np.int32, copy=True),
+                    np.array(columns.latencies, dtype=np.float64, copy=True),
+                    np.array(columns.weights, dtype=np.float64, copy=True),
+                )]
+            else:
+                trace._chunks = [(
+                    columns.times, columns.addresses, columns.codes,
+                    columns.ranks, columns.latencies, columns.weights,
+                )]
         return trace
 
     # -- columnar access -------------------------------------------------------

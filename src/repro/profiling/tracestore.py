@@ -1,0 +1,267 @@
+"""Shared-memory columnar trace store (memory-mapped ``.npy`` columns).
+
+The npz trace format (:meth:`Trace.dump_npz`) made single traces an order
+of magnitude faster to (de)serialize, but a *sweep* still pays that
+deserialization once per worker per cell: every process that needs the
+same profiling trace inflates its own private copy of the sample columns.
+The :class:`TraceStore` removes that copy entirely:
+
+- :meth:`TraceStore.put` publishes a trace as a **directory** of one
+  plain ``.npy`` file per sample column plus a small ``meta.json``
+  (header + alloc/free events).  Publication is atomic — columns are
+  written into a temp directory and renamed into place — so concurrent
+  sweep workers racing on the same key can never observe a torn entry.
+- :meth:`TraceStore.attach` opens the columns with
+  ``np.load(mmap_mode="r")``: the arrays are read-only views of the page
+  cache, so N workers sweeping the same workload *map one physical copy*
+  of the sample data instead of re-deserializing per cell.  A
+  per-process attach cache makes repeat attaches O(1) (the alloc/free
+  event lists are decoded once and shared; events are frozen
+  dataclasses).
+
+Attached traces are bit-identical to the trace that was stored: the
+``.npy`` round trip preserves every array bit-exactly, and the event
+JSON round trip preserves floats exactly (``repr``-based shortest
+round-trip encoding) — so profiles computed from an attached trace equal
+profiles computed from a fresh tracer run.
+
+Environment knobs (read by :func:`resolve_trace_store`):
+
+``REPRO_TRACE_STORE``
+    Set to ``0``/``off``/``false`` to disable the store even when a
+    directory is configured.
+``REPRO_TRACE_STORE_DIR``
+    Directory for the process-wide default store; unset means no store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.profiling.events import AllocEvent, FreeEvent
+from repro.profiling.trace import (
+    SampleColumns,
+    Trace,
+    _decode_site,
+    _encode_site,
+)
+
+#: bump when the on-disk layout changes; stale entries are ignored
+_STORE_VERSION = 1
+
+#: sample column file names, in :class:`SampleColumns` field order
+_COLUMN_FILES = (
+    ("times", np.float64),
+    ("addresses", np.int64),
+    ("codes", np.uint8),
+    ("ranks", np.int32),
+    ("latencies", np.float64),
+    ("weights", np.float64),
+)
+
+
+def trace_digest(profile_digest: str, *, rank: int, aslr_seed: int) -> str:
+    """The store key for one profiling run's trace.
+
+    ``profile_digest`` is the :meth:`ProfileKey.digest` covering workload
+    content, tracer seed, stack format, PEBS rate and jitter; the rank
+    and ASLR seed pin down the single run within a multi-rank session.
+    """
+    canon = json.dumps(
+        {
+            "profile": profile_digest,
+            "rank": int(rank),
+            "aslr_seed": int(aslr_seed),
+            "version": _STORE_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()[:32]
+
+
+class _Attached:
+    """One decoded store entry, shared by every attach in this process."""
+
+    __slots__ = ("header", "allocs", "frees", "columns")
+
+    def __init__(self, header: dict, allocs: List[AllocEvent],
+                 frees: List[FreeEvent], columns: SampleColumns):
+        self.header = header
+        self.allocs = allocs
+        self.frees = frees
+        self.columns = columns
+
+
+#: per-process attach cache: (store root, digest) -> decoded entry
+_ATTACH_CACHE: Dict[Tuple[str, str], _Attached] = {}
+
+
+def reset_attach_cache() -> None:
+    """Drop this process's attach cache (tests, or to release mappings)."""
+    _ATTACH_CACHE.clear()
+
+
+class TraceStore:
+    """Content-addressed, memory-mapped columnar trace storage."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.attach_hits = 0
+        self.attach_mmaps = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _dir(self, digest: str) -> Path:
+        return self.root / f"trace-{digest}"
+
+    def contains(self, digest: str) -> bool:
+        return (self._dir(digest) / "meta.json").exists()
+
+    # -- publish ---------------------------------------------------------------
+
+    def put(self, digest: str, trace: Trace) -> None:
+        """Publish ``trace`` under ``digest`` (atomic; losing a race is fine)."""
+        final = self._dir(digest)
+        if (final / "meta.json").exists():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        cols = trace.sample_columns()
+        tmp = Path(tempfile.mkdtemp(dir=self.root, prefix=".tmp-put-"))
+        try:
+            for (name, dtype), arr in zip(
+                _COLUMN_FILES,
+                (cols.times, cols.addresses, cols.codes,
+                 cols.ranks, cols.latencies, cols.weights),
+            ):
+                np.save(tmp / f"sample_{name}.npy",
+                        np.ascontiguousarray(arr, dtype=dtype),
+                        allow_pickle=False)
+            meta = {
+                "version": _STORE_VERSION,
+                "header": trace._header_dict(),
+                "allocs": [
+                    [e.time, e.address, e.size, e.rank,
+                     _encode_site(e.site_key)]
+                    for e in trace.allocs
+                ],
+                "frees": [[e.time, e.address, e.rank] for e in trace.frees],
+            }
+            # meta.json lands last inside tmp, then the whole directory is
+            # renamed into place — attach() keys existence off meta.json,
+            # so a half-written entry is never visible under `final`.
+            (tmp / "meta.json").write_text(json.dumps(meta))
+            os.rename(tmp, final)
+            self.puts += 1
+        except OSError:
+            # lost the publish race (final exists) or the store is
+            # read-only/full: the store is best-effort, callers keep the
+            # in-memory trace they just computed either way
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    # -- attach ----------------------------------------------------------------
+
+    def attach(self, digest: str) -> Optional[Trace]:
+        """A zero-copy view of the stored trace, or ``None`` if absent.
+
+        The sample columns are read-only memory maps shared through the
+        page cache with every other process attached to the same entry;
+        each call returns a fresh :class:`Trace` (event lists are
+        per-trace, the frozen event objects and arrays are shared).
+        """
+        cache_key = (str(self.root), digest)
+        entry = _ATTACH_CACHE.get(cache_key)
+        if entry is None:
+            entry = self._map(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            _ATTACH_CACHE[cache_key] = entry
+            self.attach_mmaps += 1
+        else:
+            self.attach_hits += 1
+        meta = Trace._from_header(entry.header).meta
+        return Trace.from_parts(meta, entry.allocs, entry.frees,
+                                entry.columns, copy=False)
+
+    def _map(self, digest: str) -> Optional[_Attached]:
+        path = self._dir(digest)
+        try:
+            meta = json.loads((path / "meta.json").read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(meta, dict) or meta.get("version") != _STORE_VERSION:
+            return None
+        try:
+            header = meta["header"]
+            shell = Trace._from_header(header)
+            fmt = shell.meta.stack_format
+            allocs = [
+                AllocEvent(time=t, address=addr, size=size,
+                           site_key=_decode_site(site, fmt), rank=rank)
+                for t, addr, size, rank, site in meta["allocs"]
+            ]
+            frees = [
+                FreeEvent(time=t, address=addr, rank=rank)
+                for t, addr, rank in meta["frees"]
+            ]
+            arrays = []
+            for name, dtype in _COLUMN_FILES:
+                arr = np.load(path / f"sample_{name}.npy",
+                              mmap_mode="r", allow_pickle=False)
+                if arr.dtype != dtype:
+                    raise TraceError(
+                        f"{path}: column {name} has dtype {arr.dtype}, "
+                        f"expected {np.dtype(dtype)}"
+                    )
+                arrays.append(arr)
+            sizes = {a.size for a in arrays}
+            if len(sizes) > 1:
+                raise TraceError(f"{path}: ragged sample columns {sizes}")
+            columns = SampleColumns(*arrays)
+        except (OSError, ValueError, KeyError, TypeError, TraceError):
+            # torn or foreign entry: behave as a miss, never raise into
+            # the profiling path
+            return None
+        return _Attached(header=header, allocs=allocs, frees=frees,
+                         columns=columns)
+
+
+_default_trace_store: Optional[TraceStore] = None
+
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+TRACE_STORE_DIR_ENV = "REPRO_TRACE_STORE_DIR"
+
+
+def default_trace_store() -> Optional[TraceStore]:
+    """The process-wide store (root from ``REPRO_TRACE_STORE_DIR``)."""
+    global _default_trace_store
+    if _default_trace_store is None:
+        root = os.environ.get(TRACE_STORE_DIR_ENV) or None
+        if root:
+            _default_trace_store = TraceStore(root)
+    return _default_trace_store
+
+
+def reset_default_trace_store() -> None:
+    """Drop the process-wide store (tests, or to re-read the environment)."""
+    global _default_trace_store
+    _default_trace_store = None
+    reset_attach_cache()
+
+
+def resolve_trace_store(store: Optional[TraceStore]) -> Optional[TraceStore]:
+    """The store a profiling run should use; ``None`` = store off."""
+    if store is not None:
+        return store
+    if os.environ.get(TRACE_STORE_ENV, "1").lower() in ("0", "off", "false", "no"):
+        return None
+    return default_trace_store()

@@ -9,7 +9,12 @@ Figure 6 sweep end to end.
 import pytest
 
 from repro.experiments.fig6_sweep import compute_fig6
-from repro.experiments.parallel import JOBS_ENV, resolve_jobs, run_sweep
+from repro.experiments.parallel import (
+    JOBS_ENV,
+    add_jobs_argument,
+    resolve_jobs,
+    run_sweep,
+)
 
 
 def _square(x):
@@ -43,6 +48,43 @@ class TestResolveJobs:
         monkeypatch.setenv(JOBS_ENV, "many")
         with pytest.raises(ValueError):
             resolve_jobs()
+
+    def test_garbage_env_message_names_the_knob(self, monkeypatch):
+        """The error must say which variable is bad and what it accepts."""
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError) as exc:
+            resolve_jobs()
+        message = str(exc.value)
+        assert JOBS_ENV in message
+        assert "'many'" in message
+        assert "integer" in message
+        assert "all cores" in message
+
+
+class TestAddJobsArgument:
+    """One shared --jobs definition for every sweep entry point."""
+
+    def _parser(self):
+        import argparse
+        parser = argparse.ArgumentParser()
+        add_jobs_argument(parser)
+        return parser
+
+    def test_default_defers_to_resolve_jobs(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "6")
+        args = self._parser().parse_args([])
+        assert args.jobs is None          # CLI default never masks the env
+        assert resolve_jobs(args.jobs) == 6
+
+    def test_explicit_value_parsed_as_int(self):
+        assert self._parser().parse_args(["--jobs", "3"]).jobs == 3
+        assert self._parser().parse_args(["--jobs", "0"]).jobs == 0
+
+    def test_help_mentions_env_and_all_cores(self):
+        parser = self._parser()
+        help_text = " ".join(parser.format_help().split())  # unwrap
+        assert JOBS_ENV in help_text
+        assert "all cores" in help_text
 
 
 class TestRunSweep:

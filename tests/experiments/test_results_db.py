@@ -1,0 +1,142 @@
+"""The cross-run result database (repro.experiments.sweep.results).
+
+The ledger is the durable artifact — append-only JSONL that tolerates
+torn tails — and the offset index is a pure cache: stale or deleted, the
+full scan gives the same answer.  Rows round-trip through the exact
+codec, so recorded experiment tables decode bit-identically.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.fig6_sweep import Fig6Cell
+from repro.experiments.sweep import ResultDB, resolve_result_db
+from repro.experiments.tab8_full_apps import Tab8Row
+
+
+@pytest.fixture
+def db(tmp_path):
+    return ResultDB(tmp_path / "db")
+
+
+class TestAppendLatest:
+    def test_roundtrip_dataclass_rows(self, db):
+        rows = [Tab8Row(app="lammps", algorithm="density", dram_limit_gb=14,
+                        speedup=1.0724563341178921, paper_speedup=1.09,
+                        swaps=3)]
+        db.append("tab8", rows, seed=11, params={"apps": ("lammps",)},
+                  elapsed_s=1.5)
+        record = db.latest("tab8", seed=11)
+        assert record["rows"] == rows
+        assert isinstance(record["rows"][0], Tab8Row)
+        assert record["params"] == {"apps": ("lammps",)}
+        assert record["elapsed_s"] == 1.5
+
+    def test_float_rows_bit_exact(self, db):
+        rows = [0.1 + 0.2, math.pi, 5e-324, 1.0 / 3.0]
+        db.append("floats", rows)
+        back = db.latest("floats")["rows"]
+        assert [v.hex() for v in back] == [v.hex() for v in rows]
+
+    def test_missing_identity_returns_none(self, db):
+        assert db.latest("nope") is None
+        db.append("exp", [1], seed=1)
+        assert db.latest("exp", seed=2) is None
+        assert db.latest("exp", label="other", seed=1) is None
+
+    def test_last_append_wins(self, db):
+        db.append("exp", ["old"], seed=3)
+        db.append("exp", ["new"], seed=3)
+        assert db.latest("exp", seed=3)["rows"] == ["new"]
+
+    def test_latest_any_picks_newest_across_seeds(self, db):
+        db.append("exp", ["s1"], seed=1)
+        db.append("exp", ["s2"], seed=2)
+        db.append("other", ["x"])
+        assert db.latest_any("exp")["rows"] == ["s2"]
+        assert db.latest_any("exp", label="nolabel") is None
+
+    def test_experiments_lists_identities(self, db):
+        db.append("a", [1], seed=1)
+        db.append("a", [2], seed=1)  # same identity, no duplicate
+        db.append("b", [3], label="lammps", seed=2)
+        assert db.experiments() == [("a", "default", 1),
+                                    ("b", "lammps", 2)]
+
+    def test_records_oldest_first(self, db):
+        for i in range(4):
+            db.append("exp", [i], seed=i)
+        assert [r["seed"] for r in db.records()] == [0, 1, 2, 3]
+
+
+class TestIndexIsACache:
+    def test_deleted_index_falls_back_to_scan(self, db):
+        db.append("exp", [Fig6Cell(app="minife", pmem_dimms=6,
+                                   dram_limit_gb=12, metrics="loads",
+                                   speedup=2.07)], seed=11)
+        indexed = db.latest("exp", seed=11)
+        db.index_path.unlink()
+        scanned = db.latest("exp", seed=11)
+        assert scanned["rows"] == indexed["rows"]
+
+    def test_stale_index_falls_back_to_scan(self, db):
+        db.append("exp", ["first"], seed=1)
+        # grow the ledger behind the index's back
+        record = dict(json.loads(db.ledger.read_text().splitlines()[0]))
+        record["rows"] = ["second"]
+        record["ts"] += 1.0
+        with db.ledger.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+        assert db.latest("exp", seed=1)["rows"] == ["second"]
+
+    def test_corrupt_index_ignored(self, db):
+        db.append("exp", [7], seed=1)
+        db.index_path.write_text("{ torn")
+        assert db.latest("exp", seed=1)["rows"] == [7]
+
+    def test_foreign_index_offset_rejected(self, db):
+        db.append("a", ["a-rows"], seed=1)
+        db.append("b", ["b-rows"], seed=2)
+        index = json.loads(db.index_path.read_text())
+        ids = list(index["offsets"])
+        index["offsets"][ids[0]], index["offsets"][ids[1]] = \
+            index["offsets"][ids[1]], index["offsets"][ids[0]]
+        db.index_path.write_text(json.dumps(index))
+        # identity check catches the swapped offset; scan recovers truth
+        assert db.latest("a", seed=1)["rows"] == ["a-rows"]
+
+
+class TestTornLedger:
+    def test_torn_tail_skipped(self, db):
+        db.append("exp", ["good"], seed=1)
+        with db.ledger.open("a") as fh:
+            fh.write('{"version": 1, "experiment": "exp", "rows"')
+        assert [r["rows"] for r in db.records()] == [["good"]]
+        assert db.latest("exp", seed=1)["rows"] == ["good"]
+
+    def test_foreign_version_skipped(self, db):
+        db.append("exp", [1], seed=1)
+        with db.ledger.open("a") as fh:
+            fh.write(json.dumps({"version": 99, "experiment": "exp"}) + "\n")
+        assert len(list(db.records())) == 1
+
+    def test_empty_db(self, db):
+        assert list(db.records()) == []
+        assert db.latest("x") is None
+        assert db.latest_any("x") is None
+        assert db.experiments() == []
+
+
+class TestResolve:
+    def test_resolve_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_DB", raising=False)
+        assert resolve_result_db(None) is None
+        monkeypatch.setenv("REPRO_RESULT_DB", str(tmp_path / "envdb"))
+        via_env = resolve_result_db(None)
+        assert isinstance(via_env, ResultDB)
+        assert via_env.root == tmp_path / "envdb"
+        explicit = ResultDB(tmp_path / "mine")
+        assert resolve_result_db(explicit) is explicit
+        assert resolve_result_db(tmp_path / "path").root == tmp_path / "path"

@@ -1,0 +1,247 @@
+"""The exact codec and the sweep manifest (repro.experiments.sweep).
+
+Resume soundness rests on two properties proved here: the codec
+round-trips every value a sweep records *bit-exactly* (floats via JSON's
+shortest-roundtrip reprs, tuples and dataclasses via tags), and a sweep
+killed mid-run re-runs only the missing cells while returning results
+identical to an uninterrupted run.
+"""
+
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.fig6_sweep import Fig6Cell, Fig6Result
+from repro.experiments.sweep import (
+    SweepManifest,
+    cell_key,
+    code_fingerprint,
+    resolve_manifest,
+    run_scheduled,
+    task_name,
+)
+from repro.experiments.sweep import codec
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -7, 2**62, "x", "",
+        0.1, 1.0 / 3.0, math.pi, 5e-324, 1.7976931348623157e308,
+        [1, 2.5, "a"], (1, (2, "b")), {"k": [1.5, (2, 3)]},
+        {"nested": {"deeper": (0.1, None)}},
+    ])
+    def test_roundtrip_exact(self, value):
+        through_json = json.loads(json.dumps(codec.encode(value)))
+        assert codec.decode(through_json) == value
+        # tuples stay tuples, lists stay lists
+        assert type(codec.decode(through_json)) is type(value)
+
+    def test_float_bit_exact(self):
+        vals = [0.1 + 0.2, math.nextafter(1.0, 2.0), 1e-17]
+        decoded = codec.decode(json.loads(json.dumps(codec.encode(vals))))
+        assert [v.hex() for v in decoded] == [v.hex() for v in vals]
+
+    def test_dataclass_roundtrip(self):
+        cell = Fig6Cell(app="minife", pmem_dimms=6, dram_limit_gb=12,
+                        metrics="loads", speedup=2.0724563341)
+        result = Fig6Result(cells=[cell], tiering={"minife": 1.25})
+        back = codec.decode(json.loads(json.dumps(codec.encode(result))))
+        assert back == result
+        assert isinstance(back, Fig6Result)
+        assert isinstance(back.cells[0], Fig6Cell)
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(ConfigError):
+            codec.encode(object())
+
+    def test_rejects_non_string_dict_keys(self):
+        with pytest.raises(ConfigError):
+            codec.encode({1: "a"})
+
+    def test_rejects_tag_collisions(self):
+        with pytest.raises(ConfigError):
+            codec.encode({"__tuple__": [1]})
+
+    def test_canonical_is_deterministic(self):
+        a = codec.canonical({"b": 2, "a": (1, 2)})
+        b = codec.canonical({"a": (1, 2), "b": 2})
+        assert a == b
+
+
+def _task(x):
+    return x + 1
+
+
+class TestCellKey:
+    def test_distinguishes_every_component(self):
+        base = cell_key("exp", "mod.task", '"spec"', "f" * 16)
+        assert cell_key("exp2", "mod.task", '"spec"', "f" * 16) != base
+        assert cell_key("exp", "mod.other", '"spec"', "f" * 16) != base
+        assert cell_key("exp", "mod.task", '"spec2"', "f" * 16) != base
+        assert cell_key("exp", "mod.task", '"spec"', "0" * 16) != base
+
+    def test_task_name_and_fingerprint(self):
+        assert task_name(_task).endswith("test_sweep_manifest._task")
+        fp = code_fingerprint(_task)
+        assert len(fp) == 16 and fp == code_fingerprint(_task)
+
+
+class TestManifest:
+    def test_record_and_completed(self, tmp_path):
+        man = SweepManifest(tmp_path / "m.jsonl")
+        man.record("k1", experiment="e", task="t", spec=(1,),
+                   fingerprint="f", status="ok", result=0.25, elapsed_s=0.1)
+        man.record("k2", experiment="e", task="t", spec=(2,),
+                   fingerprint="f", status="failed", error="boom")
+        completed = man.completed()
+        assert list(completed) == ["k1"]
+        assert codec.decode(completed["k1"]["result"]) == 0.25
+        assert len(man.entries()) == 2
+
+    def test_last_write_wins(self, tmp_path):
+        man = SweepManifest(tmp_path / "m.jsonl")
+        man.record("k", experiment="e", task="t", spec=1,
+                   fingerprint="f", status="failed", error="first")
+        man.record("k", experiment="e", task="t", spec=1,
+                   fingerprint="f", status="ok", result=7)
+        assert codec.decode(man.completed()["k"]["result"]) == 7
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        man = SweepManifest(path)
+        man.record("k", experiment="e", task="t", spec=1,
+                   fingerprint="f", status="ok", result=1)
+        with path.open("a") as fh:
+            fh.write('{"version": 1, "key": "torn", "status":')  # torn tail
+        with path.open("a") as fh:
+            fh.write("\n")
+            fh.write(json.dumps({"version": 99, "key": "foreign"}) + "\n")
+            fh.write("not json at all\n")
+        assert list(man.entries()) == ["k"]
+        assert man.skipped_lines == 3
+
+    def test_resolve_manifest_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MANIFEST", raising=False)
+        assert resolve_manifest(None) is None
+        monkeypatch.setenv("REPRO_SWEEP_MANIFEST", str(tmp_path / "m.jsonl"))
+        man = resolve_manifest(None)
+        assert isinstance(man, SweepManifest)
+        explicit = SweepManifest(tmp_path / "other.jsonl")
+        assert resolve_manifest(explicit) is explicit
+
+
+class TestSchedulerResume:
+    def test_manifest_serves_completed_cells(self, tmp_path):
+        man = SweepManifest(tmp_path / "m.jsonl")
+        first = run_scheduled(_task, range(5), jobs=1, experiment="e",
+                              manifest=man)
+        statuses = []
+        again = run_scheduled(_task, range(5), jobs=1, experiment="e",
+                              manifest=man,
+                              progress=lambda p: statuses.append(p.status))
+        assert again == first
+        assert statuses == ["cached"] * 5
+
+    def test_stale_fingerprint_forces_rerun(self, tmp_path, monkeypatch):
+        man = SweepManifest(tmp_path / "m.jsonl")
+        run_scheduled(_task, range(3), jobs=1, experiment="e", manifest=man)
+        import repro.experiments.sweep.scheduler as sched
+        monkeypatch.setattr(sched, "code_fingerprint", lambda fn: "0" * 16)
+        statuses = []
+        run_scheduled(_task, range(3), jobs=1, experiment="e", manifest=man,
+                      progress=lambda p: statuses.append(p.status))
+        assert statuses == ["ok"] * 3  # nothing served from the manifest
+
+    def test_failed_cells_rerun_on_resume(self, tmp_path):
+        man = SweepManifest(tmp_path / "m.jsonl")
+        with pytest.raises(ValueError):
+            run_scheduled(_fail_on_three, range(5), jobs=1, experiment="e",
+                          manifest=man)
+        assert len(man.completed()) == 3  # 0, 1, 2 ran before the failure
+        # "fix the bug" by swapping in a task with the same identity is
+        # not possible (fingerprint), so re-run the failing task: only
+        # the journaled prefix is served
+        statuses = []
+        with pytest.raises(ValueError):
+            run_scheduled(_fail_on_three, range(5), jobs=1, experiment="e",
+                          manifest=man,
+                          progress=lambda p: statuses.append(p.status))
+        assert statuses.count("cached") == 3
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+_RESUME_SCRIPT = """\
+import json, os, sys
+sys.path.insert(0, {src!r})
+from repro.experiments.sweep import SweepManifest, run_scheduled
+
+LOG, MANIFEST, KILL_AFTER = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+def cell(spec):
+    with open(LOG, "a") as fh:
+        fh.write(f"ran {{spec}}\\n")
+    return {{"spec": spec, "value": spec * 0.1 + 1 / 3}}
+
+done = 0
+def progress(p):
+    global done
+    if p.status == "ok":
+        done += 1
+        if KILL_AFTER >= 0 and done >= KILL_AFTER:
+            os.kill(os.getpid(), 9)   # SIGKILL: no cleanup, no flush help
+
+res = run_scheduled(cell, list(range(8)), jobs=1, experiment="kill-test",
+                    manifest=SweepManifest(MANIFEST), progress=progress)
+print(json.dumps(res))
+"""
+
+
+class TestKillRestart:
+    """The acceptance check: SIGKILL mid-sweep, restart, only missing
+    cells re-run, results identical to an uninterrupted sweep."""
+
+    def _run(self, script, log, manifest, kill_after):
+        return subprocess.run(
+            [sys.executable, str(script), str(log), str(manifest),
+             str(kill_after)],
+            capture_output=True, text=True, cwd=str(REPO),
+        )
+
+    def test_kill_restart_runs_only_missing_cells(self, tmp_path):
+        script = tmp_path / "resume_script.py"
+        script.write_text(_RESUME_SCRIPT.format(src=str(REPO / "src")))
+        log = tmp_path / "executed.log"
+        manifest = tmp_path / "manifest.jsonl"
+
+        killed = self._run(script, log, manifest, kill_after=3)
+        assert killed.returncode == -signal.SIGKILL
+        ran_before = log.read_text().splitlines()
+        assert len(ran_before) == 3
+
+        resumed = self._run(script, log, manifest, kill_after=-1)
+        assert resumed.returncode == 0, resumed.stderr
+        ran_total = log.read_text().splitlines()
+        assert len(ran_total) == 8  # 3 before the kill + 5 on resume
+        assert ran_total[:3] == ran_before
+
+        # identical to a clean uninterrupted sweep (fresh journal + log)
+        clean_log = tmp_path / "clean.log"
+        clean_manifest = tmp_path / "clean-manifest.jsonl"
+        clean = self._run(script, clean_log, clean_manifest, kill_after=-1)
+        assert clean.returncode == 0, clean.stderr
+        assert resumed.stdout == clean.stdout
+        assert len(clean_log.read_text().splitlines()) == 8

@@ -113,6 +113,79 @@ class TestProfileStoreDisk:
         assert recomputed == fresh
 
 
+class TestCrashSafety:
+    """The disk layer publishes atomically and never trusts what it reads.
+
+    A sweep worker can be killed at any instruction; the cache directory
+    must end up in one of exactly two states — old content or complete
+    new content — with no temp-file litter and no torn final file.
+    """
+
+    def _computed(self, store):
+        return profile_workload(make_toy_workload(), profile_store=store)
+
+    def test_crash_before_replace_leaves_no_final_file(
+        self, tmp_path, monkeypatch
+    ):
+        """Die between writing the temp file and publishing it."""
+        import os as os_mod
+
+        import repro.profiling.cache as cache_mod
+
+        def crashing_replace(src, dst):
+            raise OSError("simulated crash at publish")
+
+        monkeypatch.setattr(cache_mod.os, "replace", crashing_replace)
+        store = ProfileStore(disk_dir=str(tmp_path))
+        fresh = self._computed(store)
+        monkeypatch.undo()
+        # nothing published, nothing leaked
+        assert list(tmp_path.iterdir()) == []
+        # the store still serves correct results (memory layer) and a
+        # fresh store recomputes identically
+        reader = ProfileStore(disk_dir=str(tmp_path))
+        assert self._computed(reader) == fresh
+        assert reader.misses == 1 and reader.disk_hits == 0
+        assert os_mod.replace is not crashing_replace  # undo restored it
+
+    def test_encode_failure_cleans_temp_file(self, tmp_path, monkeypatch):
+        """An exception raising through json.dump must not leak the temp."""
+        import repro.profiling.cache as cache_mod
+
+        def exploding_dump(payload, fh):
+            fh.write('{"version":')  # partial bytes, then die
+            raise TypeError("simulated unserializable payload")
+
+        monkeypatch.setattr(cache_mod.json, "dump", exploding_dump)
+        store = ProfileStore(disk_dir=str(tmp_path))
+        with pytest.raises(TypeError):
+            store.put(_key(), {})
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_valid_json_wrong_schema_is_a_miss(self, tmp_path):
+        """A parseable-but-foreign file must recompute, not raise."""
+        store = ProfileStore(disk_dir=str(tmp_path))
+        fresh = self._computed(store)
+        for path in tmp_path.iterdir():
+            path.write_text('{"version": 2, "profiles": [{"bogus": 1}]}')
+        reader = ProfileStore(disk_dir=str(tmp_path))
+        assert self._computed(reader) == fresh
+        assert reader.misses == 1 and reader.disk_hits == 0
+
+    def test_concurrent_writers_last_publish_intact(self, tmp_path):
+        """Two stores racing on one key leave one complete file."""
+        a = ProfileStore(disk_dir=str(tmp_path))
+        b = ProfileStore(disk_dir=str(tmp_path))
+        fresh = self._computed(a)
+        self._computed(b)  # b misses in memory, hits a's disk file
+        assert b.disk_hits == 1
+        files = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+        assert len(files) == 1
+        reader = ProfileStore(disk_dir=str(tmp_path))
+        assert self._computed(reader) == fresh
+
+
 class TestCrossProcessDeterminism:
     def test_site_keys_stable_across_hash_seeds(self):
         """BOM site keys must not depend on PYTHONHASHSEED.

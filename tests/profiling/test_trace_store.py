@@ -1,0 +1,224 @@
+"""The shared-memory columnar trace store (repro.profiling.tracestore).
+
+The contract: an attached trace is bit-identical to the trace that was
+stored — its sample columns arrive as read-only memory maps shared
+through the page cache — and a torn, foreign, or missing entry behaves
+as a miss, never an error.  The harness integration proves the
+profile-once property across processes: a second profiling run attaches
+the published trace instead of re-running the tracer, and the resulting
+per-site profiles are equal.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import profile_workload
+from repro.profiling.paramedir import Paramedir
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.profiling.tracestore import (
+    TRACE_STORE_DIR_ENV,
+    TRACE_STORE_ENV,
+    TraceStore,
+    default_trace_store,
+    reset_attach_cache,
+    reset_default_trace_store,
+    resolve_trace_store,
+    trace_digest,
+)
+
+from tests.conftest import make_toy_workload
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _fresh_attach_cache():
+    reset_attach_cache()
+    yield
+    reset_attach_cache()
+
+
+@pytest.fixture(scope="module")
+def toy_trace():
+    wl = make_toy_workload()
+    return ExtraeTracer(wl, TracerConfig(seed=5)).run(rank=0, aslr_seed=42)
+
+
+class TestPutAttach:
+    def test_attached_bit_identical(self, toy_trace, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        attached = store.attach("d" * 32)
+        assert attached is not None
+        assert attached.same_events(toy_trace)
+
+    def test_columns_are_readonly_memmaps(self, toy_trace, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        cols = store.attach("d" * 32).sample_columns()
+        for arr in (cols.times, cols.addresses, cols.codes,
+                    cols.ranks, cols.latencies, cols.weights):
+            assert isinstance(arr, np.memmap)
+            assert not arr.flags.writeable
+
+    def test_attached_profiles_equal_fresh(self, toy_trace, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        fresh = Paramedir().analyze(toy_trace)
+        via_store = Paramedir().analyze(store.attach("d" * 32))
+        assert via_store == fresh
+
+    def test_put_is_idempotent(self, toy_trace, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        store.put("d" * 32, toy_trace)  # lost race / repeat: no-op
+        assert store.puts == 1
+        assert store.attach("d" * 32).same_events(toy_trace)
+
+    def test_attach_cache_counters(self, toy_trace, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        first = store.attach("d" * 32)
+        second = store.attach("d" * 32)
+        assert (store.attach_mmaps, store.attach_hits) == (1, 1)
+        # fresh Trace objects each time, shared frozen events underneath
+        assert first is not second
+        assert first.allocs[0] is second.allocs[0]
+
+    def test_missing_digest_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        assert store.attach("0" * 32) is None
+        assert store.misses == 1
+        assert not store.contains("0" * 32)
+
+
+class TestTornEntries:
+    def _stored(self, toy_trace, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        return store, store._dir("d" * 32)
+
+    def test_missing_column_file_is_a_miss(self, toy_trace, tmp_path):
+        store, entry = self._stored(toy_trace, tmp_path)
+        (entry / "sample_times.npy").unlink()
+        assert store.attach("d" * 32) is None
+
+    def test_corrupt_meta_is_a_miss(self, toy_trace, tmp_path):
+        store, entry = self._stored(toy_trace, tmp_path)
+        (entry / "meta.json").write_text('{"version": 1, "header"')
+        assert store.attach("d" * 32) is None
+
+    def test_foreign_version_is_a_miss(self, toy_trace, tmp_path):
+        store, entry = self._stored(toy_trace, tmp_path)
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["version"] = 99
+        (entry / "meta.json").write_text(json.dumps(meta))
+        assert store.attach("d" * 32) is None
+
+    def test_wrong_dtype_is_a_miss(self, toy_trace, tmp_path):
+        store, entry = self._stored(toy_trace, tmp_path)
+        np.save(entry / "sample_times.npy",
+                np.zeros(3, dtype=np.int16), allow_pickle=False)
+        assert store.attach("d" * 32) is None
+
+
+class TestDigest:
+    def test_distinguishes_every_component(self):
+        base = trace_digest("p" * 32, rank=0, aslr_seed=1011)
+        assert trace_digest("q" * 32, rank=0, aslr_seed=1011) != base
+        assert trace_digest("p" * 32, rank=1, aslr_seed=1011) != base
+        assert trace_digest("p" * 32, rank=0, aslr_seed=1012) != base
+        assert trace_digest("p" * 32, rank=0, aslr_seed=1011) == base
+
+
+class TestResolve:
+    def test_env_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TRACE_STORE_ENV, raising=False)
+        monkeypatch.delenv(TRACE_STORE_DIR_ENV, raising=False)
+        reset_default_trace_store()
+        assert resolve_trace_store(None) is None
+        monkeypatch.setenv(TRACE_STORE_DIR_ENV, str(tmp_path / "env-store"))
+        reset_default_trace_store()
+        store = resolve_trace_store(None)
+        assert isinstance(store, TraceStore)
+        assert store is default_trace_store()
+        monkeypatch.setenv(TRACE_STORE_ENV, "off")
+        assert resolve_trace_store(None) is None
+        explicit = TraceStore(tmp_path / "mine")
+        assert resolve_trace_store(explicit) is explicit
+        reset_default_trace_store()
+
+
+class TestHarnessIntegration:
+    def test_second_profile_attaches_instead_of_tracing(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PROFILE_CACHE", "off")
+        wl = make_toy_workload()
+        store = TraceStore(tmp_path / "store")
+        first = profile_workload(wl, seed=7, trace_store=store)
+        assert store.puts == 1 and store.misses == 1
+        second = profile_workload(wl, seed=7, trace_store=store)
+        assert store.puts == 1  # no new trace published
+        assert store.attach_mmaps + store.attach_hits >= 1
+        assert second == first
+
+    def test_different_seed_misses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_CACHE", "off")
+        wl = make_toy_workload()
+        store = TraceStore(tmp_path / "store")
+        profile_workload(wl, seed=7, trace_store=store)
+        profile_workload(wl, seed=8, trace_store=store)
+        assert store.puts == 2
+
+
+_READER_SCRIPT = """\
+import hashlib, sys
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.profiling.tracestore import TraceStore
+
+store = TraceStore(sys.argv[1])
+trace = store.attach(sys.argv[2])
+assert trace is not None, "attach failed"
+cols = trace.sample_columns()
+assert isinstance(cols.times, np.memmap)
+h = hashlib.sha256()
+for arr in (cols.times, cols.addresses, cols.codes,
+            cols.ranks, cols.latencies, cols.weights):
+    h.update(np.ascontiguousarray(arr).tobytes())
+print(f"{{len(trace.allocs)}} {{len(trace.frees)}} "
+      f"{{cols.times.size}} {{h.hexdigest()}}")
+"""
+
+
+class TestConcurrentReaders:
+    def test_multiprocess_attach_sees_identical_bytes(
+        self, toy_trace, tmp_path
+    ):
+        store = TraceStore(tmp_path / "store")
+        store.put("d" * 32, toy_trace)
+        script = tmp_path / "reader.py"
+        script.write_text(_READER_SCRIPT.format(src=str(REPO / "src")))
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(store.root), "d" * 32],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(3)
+        ]
+        outputs = []
+        for p in procs:
+            out, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err
+            outputs.append(out.strip())
+        # every reader saw the same event counts and column bytes
+        assert len(set(outputs)) == 1
+        counts = outputs[0].split()
+        assert int(counts[0]) == len(toy_trace.allocs)
+        assert int(counts[2]) == toy_trace.sample_columns().times.size

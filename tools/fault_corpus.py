@@ -15,8 +15,12 @@ Usage::
     PYTHONPATH=src python tools/fault_corpus.py --check --seeds 0 1 2
 
 ``--out`` writes each cell as ``<kind>_seed<seed>.jsonl`` plus a
-``manifest.json`` describing every cell; ``--check`` exits 1 on the first
-differential mismatch (and is what the CI ``faults`` job runs).
+``manifest.json`` describing every cell; ``--check`` exits 1 on any
+differential mismatch (and is what the CI ``faults`` job runs).  The
+check is dispatched through the sweep engine one seed per cell —
+``--jobs`` fans seeds out over workers, ``--sweep-manifest`` journals
+completed seeds for kill/restart resume, and ``--results`` appends the
+outcome summary to the cross-run result ledger.
 """
 
 from __future__ import annotations
@@ -30,6 +34,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import TraceError  # noqa: E402
+from repro.experiments.parallel import add_jobs_argument  # noqa: E402
+from repro.experiments.sweep import (  # noqa: E402
+    resolve_result_db,
+    run_scheduled,
+)
 from repro.faults.corpus import (  # noqa: E402
     base_trace,
     build_cells,
@@ -74,42 +83,81 @@ def check_file_level(seeds, verbose=True) -> int:
     return failures
 
 
-def run_check(seeds, verbose=True, engine=False, replay=False) -> int:
-    """The full differential sweep; returns the number of failing cells."""
-    failures = 0
-    cells = build_cells(seeds=seeds, check_tracer_oracle=True)
-    for cell in cells:
+def _seed_check_task(spec):
+    """All differential checks for one seed — one sweep-engine cell.
+
+    Runs in a worker process; returns JSON-safe outcome dicts so the
+    sweep manifest can journal them and a resumed check replays verbatim.
+    """
+    seed, engine, replay = spec
+    outcomes = []
+    for cell in build_cells(seeds=[seed], check_tracer_oracle=True):
         outcome = differential_check(cell.trace)
-        if outcome.identical:
-            if verbose:
-                print(f"OK   {cell.label}: deg={outcome.degradation!r} "
-                      f"strict={outcome.strict_vectorized}")
-        else:  # pragma: no cover - the failure path
-            failures += 1
-            print(f"FAIL {cell.label}:", file=sys.stderr)
-            for m in outcome.mismatches:
-                print(f"     {m}", file=sys.stderr)
+        entry = {
+            "label": cell.label,
+            "identical": outcome.identical,
+            "degradation": repr(outcome.degradation),
+            "strict": str(outcome.strict_vectorized),
+            "mismatches": [str(m) for m in outcome.mismatches],
+        }
         if engine:
             eng = engine_differential_check(cell.trace, seed=cell.seed)
-            if eng.identical:
-                if verbose:
-                    print(f"OK   {cell.label}: engine paths bit-identical")
-            else:  # pragma: no cover - the failure path
-                failures += 1
-                print(f"FAIL {cell.label} [engine]:", file=sys.stderr)
-                for m in eng.mismatches:
-                    print(f"     {m}", file=sys.stderr)
+            entry["engine_identical"] = eng.identical
+            entry["engine_mismatches"] = [str(m) for m in eng.mismatches]
         if replay:
             rep = replay_differential_check(cell.trace, seed=cell.seed)
-            if rep.identical:
+            entry["replay_identical"] = rep.identical
+            entry["replay_mismatches"] = [str(m) for m in rep.mismatches]
+        outcomes.append(entry)
+    return outcomes
+
+
+def run_check(seeds, verbose=True, engine=False, replay=False, jobs=None,
+              sweep_manifest=None, results=None) -> int:
+    """The full differential sweep; returns the number of failing cells.
+
+    One sweep-engine cell per seed: ``jobs`` fans seeds out over worker
+    processes, ``sweep_manifest`` journals finished seeds so a killed
+    check resumes where it died, and the printed outcome order stays
+    deterministic (results are reassembled in seed order).
+    """
+    failures = 0
+    specs = [(seed, engine, replay) for seed in seeds]
+    per_seed = run_scheduled(_seed_check_task, specs, jobs=jobs,
+                             experiment="fault-corpus",
+                             manifest=sweep_manifest)
+    for outcomes in per_seed:
+        for entry in outcomes:
+            label = entry["label"]
+            if entry["identical"]:
                 if verbose:
-                    print(f"OK   {cell.label}: replay paths bit-identical")
+                    print(f"OK   {label}: deg={entry['degradation']} "
+                          f"strict={entry['strict']}")
             else:  # pragma: no cover - the failure path
                 failures += 1
-                print(f"FAIL {cell.label} [replay]:", file=sys.stderr)
-                for m in rep.mismatches:
+                print(f"FAIL {label}:", file=sys.stderr)
+                for m in entry["mismatches"]:
                     print(f"     {m}", file=sys.stderr)
+            for side in ("engine", "replay"):
+                if f"{side}_identical" not in entry:
+                    continue
+                if entry[f"{side}_identical"]:
+                    if verbose:
+                        print(f"OK   {label}: {side} paths bit-identical")
+                else:  # pragma: no cover - the failure path
+                    failures += 1
+                    print(f"FAIL {label} [{side}]:", file=sys.stderr)
+                    for m in entry[f"{side}_mismatches"]:
+                        print(f"     {m}", file=sys.stderr)
     failures += check_file_level(seeds, verbose=verbose)
+    db = resolve_result_db(results)
+    if db is not None:
+        db.append(
+            "fault-corpus",
+            {"failures": failures, "outcomes": per_seed},
+            label=",".join(str(s) for s in seeds),
+            params={"engine": engine, "replay": replay},
+        )
     return failures
 
 
@@ -148,6 +196,14 @@ def main(argv=None) -> int:
     parser.add_argument("--replay", action="store_true",
                         help="with --check: also hold the allocation replay "
                              "to its scalar oracle on each cell's placement")
+    add_jobs_argument(parser)
+    parser.add_argument("--sweep-manifest", default=None,
+                        help="JSONL sweep manifest: journal completed seeds "
+                             "and resume a killed --check run (default: "
+                             "REPRO_SWEEP_MANIFEST or off)")
+    parser.add_argument("--results", default=None,
+                        help="result database directory to append the check "
+                             "summary to (default: REPRO_RESULT_DB or off)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -161,7 +217,10 @@ def main(argv=None) -> int:
 
     if args.check:
         failures = run_check(args.seeds, verbose=not args.quiet,
-                             engine=args.engine, replay=args.replay)
+                             engine=args.engine, replay=args.replay,
+                             jobs=args.jobs,
+                             sweep_manifest=args.sweep_manifest,
+                             results=args.results)
         if failures:
             print(f"{failures} differential failure(s)", file=sys.stderr)
             return 1

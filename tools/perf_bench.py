@@ -31,10 +31,17 @@ Three sections, mirroring the three optimisation layers:
     list of a long-running node — asserting the full
     :class:`ReplayResult` bit-identical via
     :func:`replay_results_identical`.
+``sweep``
+    The fleet-scale sweep engine on the full Table VIII grid: the
+    serial/uncached ``run_sweep`` seed behaviour vs the scheduled cold
+    path (work-stealing dispatch + shared profile cache + mmap trace
+    store + manifest journal) vs a warm manifest resume of the same
+    sweep, asserting every path bit-identical.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_bench.py [--quick] [-o BENCH_pipeline.json]
+    PYTHONPATH=src python tools/perf_bench.py [--quick] [--jobs N]
+        [-o BENCH_pipeline.json]
 
 ``--quick`` shrinks the streams and the sweep for CI smoke runs; the
 speedup assertions (kernel >= 10x) only apply to the full run.
@@ -61,6 +68,9 @@ from repro.apps.sites import SiteRegistry
 from repro.binary.callstack import StackFormat
 from repro.experiments.fig6_sweep import compute_fig6
 from repro.experiments.harness import run_ecohmem
+from repro.experiments.parallel import add_jobs_argument, resolve_jobs
+from repro.experiments.tab8_full_apps import compute_tab8
+from repro.profiling.tracestore import reset_default_trace_store
 from repro.memsim.cache import SetAssociativeCache
 from repro.memsim.subsystem import pmem6_system
 from repro.profiling.cache import ProfileStore, reset_default_store
@@ -156,9 +166,10 @@ def _fig6_kwargs(quick: bool) -> dict:
                 dram_limits_gb=[8, 12], include_baseline_rows=True)
 
 
-def bench_fig6(quick: bool) -> dict:
+def bench_fig6(quick: bool, jobs=None) -> dict:
     kwargs = _fig6_kwargs(quick)
     env = os.environ
+    jobs = resolve_jobs(jobs) if jobs is not None else None
 
     # serial, memoization off: the seed behaviour
     env["REPRO_PROFILE_CACHE"] = "off"
@@ -172,7 +183,8 @@ def bench_fig6(quick: bool) -> dict:
         env.pop("REPRO_PROFILE_CACHE", None)
         env["REPRO_PROFILE_CACHE_DIR"] = cache_dir
         reset_default_store()
-        jobs = min(os.cpu_count() or 1, 8)
+        if jobs is None:
+            jobs = min(os.cpu_count() or 1, 8)
         t0 = time.perf_counter()
         fast = compute_fig6(jobs=jobs, **kwargs)
         t_fast = time.perf_counter() - t0
@@ -188,6 +200,80 @@ def bench_fig6(quick: bool) -> dict:
         "serial_uncached_s": round(t_serial, 4),
         "parallel_cached_s": round(t_fast, 4),
         "speedup": round(t_serial / t_fast, 2),
+    }
+
+
+def bench_sweep(quick: bool, jobs=None) -> dict:
+    """The sweep engine on the full Table VIII grid, three ways.
+
+    ``serial_uncached`` is the seed behaviour (``run_sweep``-equivalent
+    inline loop, no caches, no journal); ``scheduled_cold`` adds the
+    work-stealing pool, the shared on-disk profile cache, the mmap trace
+    store and the sweep manifest; ``resume`` re-runs the same sweep
+    against the populated manifest — every cell is served from the
+    journal, so this is the fleet's steady-state restart cost.  All
+    three produce bit-identical rows.
+    """
+    env = os.environ
+    jobs = resolve_jobs(jobs) if jobs is not None else min(
+        os.cpu_count() or 1, 8)
+
+    def _reset():
+        reset_default_store()
+        reset_default_trace_store()
+
+    # serial, everything off: the seed behaviour
+    saved = {k: env.pop(k, None) for k in (
+        "REPRO_PROFILE_CACHE", "REPRO_PROFILE_CACHE_DIR",
+        "REPRO_TRACE_STORE", "REPRO_TRACE_STORE_DIR",
+        "REPRO_SWEEP_MANIFEST", "REPRO_RESULT_DB",
+    )}
+    try:
+        env["REPRO_PROFILE_CACHE"] = "off"
+        env["REPRO_TRACE_STORE"] = "off"
+        _reset()
+        t0 = time.perf_counter()
+        serial = compute_tab8(jobs=1)
+        t_serial = time.perf_counter() - t0
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as td:
+            env.pop("REPRO_PROFILE_CACHE", None)
+            env.pop("REPRO_TRACE_STORE", None)
+            env["REPRO_PROFILE_CACHE_DIR"] = os.path.join(td, "profiles")
+            env["REPRO_TRACE_STORE_DIR"] = os.path.join(td, "traces")
+            _reset()
+            manifest = os.path.join(td, "manifest.jsonl")
+
+            t0 = time.perf_counter()
+            cold = compute_tab8(jobs=jobs, manifest=manifest)
+            t_cold = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            resumed = compute_tab8(jobs=jobs, manifest=manifest)
+            t_resume = time.perf_counter() - t0
+    finally:
+        for k in ("REPRO_PROFILE_CACHE", "REPRO_PROFILE_CACHE_DIR",
+                  "REPRO_TRACE_STORE", "REPRO_TRACE_STORE_DIR"):
+            env.pop(k, None)
+        for k, v in saved.items():
+            if v is not None:
+                env[k] = v
+        _reset()
+
+    assert cold == serial, "scheduled sweep diverged from serial oracle"
+    assert resumed == serial, "manifest resume diverged from serial oracle"
+    cells = len(serial)
+    return {
+        "cells": cells,
+        "jobs": jobs,
+        "serial_uncached_s": round(t_serial, 4),
+        "scheduled_cold_s": round(t_cold, 4),
+        "resume_s": round(t_resume, 4),
+        "cold_speedup": round(t_serial / t_cold, 2),
+        "resume_speedup": round(t_serial / t_resume, 2),
+        "serial_runs_per_s": round(cells / t_serial, 2),
+        "cold_runs_per_s": round(cells / t_cold, 2),
+        "resume_runs_per_s": round(cells / t_resume, 2),
     }
 
 
@@ -376,6 +462,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small streams / reduced sweep (CI smoke)")
+    add_jobs_argument(parser)
     parser.add_argument("-o", "--output", default="BENCH_pipeline.json")
     args = parser.parse_args(argv)
 
@@ -394,7 +481,7 @@ def main(argv=None) -> int:
           f"({results['profile_cache']['speedup']}x)")
 
     print("fig6 sweep ...", flush=True)
-    results["fig6_sweep"] = bench_fig6(args.quick)
+    results["fig6_sweep"] = bench_fig6(args.quick, jobs=args.jobs)
     print(f"  serial/uncached {results['fig6_sweep']['serial_uncached_s']}s "
           f"-> parallel/cached {results['fig6_sweep']['parallel_cached_s']}s "
           f"({results['fig6_sweep']['speedup']}x, "
@@ -425,6 +512,14 @@ def main(argv=None) -> int:
           f"{rep['instances']} instances, "
           f"{rep['prefragment_holes']} holes)")
 
+    print("sweep engine (tab8) ...", flush=True)
+    results["sweep"] = bench_sweep(args.quick, jobs=args.jobs)
+    sw = results["sweep"]
+    print(f"  serial/uncached {sw['serial_uncached_s']}s -> scheduled cold "
+          f"{sw['scheduled_cold_s']}s ({sw['cold_speedup']}x, "
+          f"jobs={sw['jobs']}) -> manifest resume {sw['resume_s']}s "
+          f"({sw['resume_speedup']}x, {sw['cells']} rows)")
+
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
@@ -452,6 +547,23 @@ def main(argv=None) -> int:
             return 1
         if results["replay"]["speedup"] < 5.0:
             print("FAIL: allocation replay speedup below 5x", file=sys.stderr)
+            return 1
+        if results["sweep"]["serial_uncached_s"] >= 10.0:
+            print("FAIL: cold full tab8 took double-digit seconds",
+                  file=sys.stderr)
+            return 1
+        if (results["sweep"]["jobs"] > 1
+                and results["sweep"]["cold_speedup"] < 5.0):
+            # as with the fig6 floor: one worker bypasses the pool, so
+            # the fan-out floor only applies when it actually fans out
+            print("FAIL: scheduled cold sweep below 5x over serial seed "
+                  "behaviour", file=sys.stderr)
+            return 1
+        if results["sweep"]["resume_speedup"] < 5.0:
+            # holds on any core count: a warm resume decodes journaled
+            # cells instead of running the pipeline
+            print("FAIL: manifest resume below 5x over serial seed "
+                  "behaviour", file=sys.stderr)
             return 1
     return 0
 
