@@ -17,8 +17,19 @@ configuration and report emission together.
 
 from repro.advisor.model import BandwidthObservation, MemObject, Placement
 from repro.advisor.config import AdvisorConfig
-from repro.advisor.knapsack import KnapsackItem, greedy_knapsack, greedy_multiple_knapsack
-from repro.advisor.density import density_placement
+from repro.advisor.knapsack import (
+    KnapsackItem,
+    greedy_knapsack,
+    greedy_knapsack_scalar,
+    greedy_multiple_knapsack,
+    greedy_order,
+)
+from repro.advisor.density import (
+    SiteFeatures,
+    density_batch,
+    density_placement,
+    density_placement_scalar,
+)
 from repro.advisor.bandwidth_aware import (
     Category,
     bandwidth_aware_placement,
@@ -33,8 +44,13 @@ __all__ = [
     "AdvisorConfig",
     "KnapsackItem",
     "greedy_knapsack",
+    "greedy_knapsack_scalar",
     "greedy_multiple_knapsack",
+    "greedy_order",
+    "SiteFeatures",
+    "density_batch",
     "density_placement",
+    "density_placement_scalar",
     "Category",
     "categorize",
     "bandwidth_aware_placement",

@@ -10,17 +10,177 @@ divided by the object's size when ranking (the knapsack density), which
 for the two-tier DRAM/PMem case reduces exactly to the paper's "ratio of
 cache misses divided by object size" weighted by the per-subsystem load
 and store coefficients.
+
+Two implementations share this module:
+
+- :func:`density_placement` ranks with stacked per-site feature arrays
+  and one :func:`np.lexsort` per knapsack (the fast path), and
+  :func:`density_batch` extends that to *many* advisory queries against
+  one profile — every (query, knapsack) value row comes out of a single
+  broadcast multiply-add over the shared feature arrays, which is what
+  lets the placement service amortize one profile load over a whole
+  batch of concurrent queries.
+- :func:`density_placement_scalar` is the retained per-object Python
+  path, kept as the bit-identity oracle the vectorized paths are tested
+  against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import PlacementError
 from repro.advisor.config import AdvisorConfig
-from repro.advisor.knapsack import KnapsackItem, greedy_multiple_knapsack
+from repro.advisor.knapsack import (
+    KnapsackItem,
+    greedy_knapsack_scalar,
+    greedy_multiple_knapsack,
+    greedy_order,
+)
 from repro.advisor.model import MemObject, Placement, SiteKey
 from repro.memsim.subsystem import MemorySystem
+
+
+@dataclass
+class SiteFeatures:
+    """Per-site profile features stacked into columnar arrays.
+
+    Built once per profile and shared by every advisory query against
+    it; the arrays are read-only inputs to the value computation.
+    """
+
+    keys: List[SiteKey]
+    sizes: np.ndarray          # int64, largest allocation bytes per rank
+    load_misses: np.ndarray    # float64
+    store_misses: np.ndarray   # float64
+
+    @classmethod
+    def from_objects(cls, objects: Dict[SiteKey, MemObject]) -> "SiteFeatures":
+        if not objects:
+            raise PlacementError("no objects to place")
+        return cls(
+            keys=list(objects),
+            sizes=np.array([o.size for o in objects.values()], dtype=np.int64),
+            load_misses=np.array(
+                [o.load_misses for o in objects.values()], dtype=np.float64),
+            store_misses=np.array(
+                [o.store_misses for o in objects.values()], dtype=np.float64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass
+class _QueryPlan:
+    """One query's fill order, capacities, and coefficient deltas."""
+
+    names: List[str]                       # fill order, fallback last
+    capacities: Dict[str, Optional[int]]
+    coeff_deltas: List[Tuple[float, float]]  # (fb_load - load_c, fb_store - store_c)
+
+
+def _query_plan(system: MemorySystem, config: AdvisorConfig) -> _QueryPlan:
+    """Replicates the scalar path's setup, coefficient lookups included."""
+    names = system.names
+    fallback = system.fallback.name
+    if names[-1] != fallback:
+        # keep the fallback last in fill order
+        names = [n for n in names if n != fallback] + [fallback]
+
+    fb_load, fb_store = config.coefficient(fallback)
+    deltas = []
+    for name in names[:-1]:
+        load_c, store_c = config.coefficient(name)
+        deltas.append((fb_load - load_c, fb_store - store_c))
+
+    capacities: Dict[str, Optional[int]] = {}
+    for name in names:
+        sub = system.get(name)
+        cap: Optional[int] = sub.capacity
+        if name == "dram":
+            cap = min(cap, config.dram_limit)
+        capacities[name] = cap
+    capacities[names[-1]] = None  # fallback absorbs the rest
+    return _QueryPlan(names=names, capacities=capacities, coeff_deltas=deltas)
+
+
+def _value_rows(feats: SiteFeatures, plan: _QueryPlan) -> np.ndarray:
+    """(knapsacks x sites) value matrix for one query.
+
+    ``np.where(v < 0, 0, v)`` replicates the scalar ``max(v, 0.0)``
+    bitwise (Python ``max`` keeps ``-0.0`` when the arguments compare
+    equal, and so does the ``<`` predicate here).
+    """
+    if not plan.coeff_deltas:
+        return np.empty((0, len(feats)), dtype=np.float64)
+    dl = np.array([d[0] for d in plan.coeff_deltas], dtype=np.float64)
+    ds = np.array([d[1] for d in plan.coeff_deltas], dtype=np.float64)
+    v = (dl[:, None] * feats.load_misses[None, :]
+         + ds[:, None] * feats.store_misses[None, :])
+    return np.where(v < 0.0, 0.0, v)
+
+
+def _pack(
+    feats: SiteFeatures,
+    config: AdvisorConfig,
+    plan: _QueryPlan,
+    value_rows: np.ndarray,
+) -> Placement:
+    """The greedy multiple-knapsack fill over precomputed value rows.
+
+    Mirrors :func:`greedy_multiple_knapsack` exactly — same capacity
+    checks, same skip conditions, same assignment insertion order (taken
+    order per knapsack, then leftovers in profile order).
+    """
+    names = plan.names
+    if not names:
+        raise PlacementError("need at least one knapsack")
+    for name in names:
+        if name not in plan.capacities:
+            raise PlacementError(f"no capacity entry for knapsack {name!r}")
+
+    weights = feats.sizes * int(config.ranks)
+    bad = np.flatnonzero(weights <= 0)
+    if bad.size:
+        key = feats.keys[int(bad[0])]
+        raise PlacementError(f"item {key!r}: weight must be > 0")
+    densities = value_rows / weights.astype(np.float64)
+
+    placement = Placement(subsystems=names, fallback=names[-1])
+    pending = np.ones(len(feats), dtype=bool)
+    for row, name in enumerate(names[:-1]):
+        capacity = plan.capacities[name]
+        if capacity is None:
+            raise PlacementError(
+                f"only the last knapsack may be unbounded, {name!r} is not last"
+            )
+        if capacity < 0:
+            raise PlacementError(f"negative capacity {capacity}")
+        values = value_rows[row]
+        remaining = capacity
+        for i in greedy_order(values, densities[row]):
+            if not pending[i]:
+                continue
+            weight = int(weights[i])
+            if values[i] > 0 and weight <= remaining:
+                placement.assign(feats.keys[i], name)
+                pending[i] = False
+                remaining -= weight
+    last = names[-1]
+    last_cap = plan.capacities[last]
+    if last_cap is not None:  # pragma: no cover - fallback is always unbounded here
+        total = int(weights[pending].sum())
+        if total > last_cap:
+            raise PlacementError(
+                f"fallback knapsack {last!r} overflows: {total} > {last_cap} bytes"
+            )
+    for i in np.flatnonzero(pending):
+        placement.assign(feats.keys[int(i)], last)
+    return placement
 
 
 def density_placement(
@@ -28,12 +188,72 @@ def density_placement(
     system: MemorySystem,
     config: AdvisorConfig,
 ) -> Placement:
-    """Run the greedy multiple-knapsack placement.
+    """Run the greedy multiple-knapsack placement (vectorized ranking).
 
     Subsystems are filled in the order ``system`` lists them (highest
     performance first); the fallback (last) subsystem is unbounded for
     assignment purposes — FlexMalloc's capacity fallback handles overflow
     at runtime, mirroring the real division of labour.
+
+    Bit-identical to :func:`density_placement_scalar`: the per-site value
+    expression evaluates the same float operations element-wise, and the
+    ranking is a stable :func:`np.lexsort` over the same sort key.
+    """
+    feats = SiteFeatures.from_objects(objects)
+    plan = _query_plan(system, config)
+    return _pack(feats, config, plan, _value_rows(feats, plan))
+
+
+def density_batch(
+    objects: Dict[SiteKey, MemObject],
+    queries: Sequence[Tuple[MemorySystem, AdvisorConfig]],
+) -> List[Placement]:
+    """Placements for many advisory queries against one profile.
+
+    The per-site feature arrays are stacked once and every
+    (query, knapsack) value row is computed in a single broadcast
+    multiply-add, so N concurrent queries against the same profile pay
+    one feature extraction and one vectorized value pass; only the cheap
+    per-query pack loop remains serial.  Each returned placement is
+    bit-identical to ``density_placement(objects, system, config)`` for
+    the matching query.
+    """
+    if not queries:
+        return []
+    feats = SiteFeatures.from_objects(objects)
+    plans = [_query_plan(system, config) for system, config in queries]
+
+    # one stacked value pass across every query's knapsack rows
+    deltas = [d for plan in plans for d in plan.coeff_deltas]
+    if deltas:
+        dl = np.array([d[0] for d in deltas], dtype=np.float64)
+        ds = np.array([d[1] for d in deltas], dtype=np.float64)
+        stacked = (dl[:, None] * feats.load_misses[None, :]
+                   + ds[:, None] * feats.store_misses[None, :])
+        stacked = np.where(stacked < 0.0, 0.0, stacked)
+    else:  # pragma: no cover - systems always have a non-fallback tier
+        stacked = np.empty((0, len(feats)), dtype=np.float64)
+
+    placements = []
+    row = 0
+    for (_, config), plan in zip(queries, plans):
+        n_rows = len(plan.coeff_deltas)
+        placements.append(
+            _pack(feats, config, plan, stacked[row:row + n_rows]))
+        row += n_rows
+    return placements
+
+
+def density_placement_scalar(
+    objects: Dict[SiteKey, MemObject],
+    system: MemorySystem,
+    config: AdvisorConfig,
+) -> Placement:
+    """The retained scalar oracle for :func:`density_placement`.
+
+    The original per-object implementation: Python dict value tables,
+    :class:`KnapsackItem` construction, and the per-object sort inside
+    :func:`greedy_knapsack_scalar`.
     """
     if not objects:
         raise PlacementError("no objects to place")
@@ -69,7 +289,9 @@ def density_placement(
         KnapsackItem(key=key, value=0.0, weight=obj.size * config.ranks)
         for key, obj in objects.items()
     ]
-    assignment = greedy_multiple_knapsack(items, capacities, names, values)
+    assignment = greedy_multiple_knapsack(
+        items, capacities, names, values, knapsack=greedy_knapsack_scalar
+    )
 
     placement = Placement(subsystems=names, fallback=fallback)
     for key, subsystem in assignment.items():

@@ -10,7 +10,9 @@ density (value / weight) and packs while capacity lasts — the classical
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import PlacementError
 
@@ -34,6 +36,19 @@ class KnapsackItem:
         return self.value / self.weight
 
 
+def greedy_order(values: np.ndarray, densities: np.ndarray) -> np.ndarray:
+    """Packing order over stacked arrays: one ``np.lexsort``.
+
+    Sorts by descending density, ties toward higher value, remaining ties
+    by position (``lexsort`` is stable) — exactly the key the scalar
+    ``sorted(..., key=(-density, -value, i))`` path uses.  Densities and
+    values are finite and non-negative, so negating them is a bit-exact
+    order reversal.
+    """
+    return np.lexsort((-np.asarray(values, dtype=np.float64),
+                       -np.asarray(densities, dtype=np.float64)))
+
+
 def greedy_knapsack(
     items: Sequence[KnapsackItem], capacity: int
 ) -> Tuple[List[KnapsackItem], List[KnapsackItem]]:
@@ -41,8 +56,42 @@ def greedy_knapsack(
 
     Returns ``(taken, rejected)``.  Zero-value items are never taken (they
     gain nothing from the faster subsystem and would waste its capacity).
-    Ties in density break toward higher total value, then insertion order
-    (stable sort), keeping results deterministic.
+    Ties in density break toward higher total value, then insertion order,
+    keeping results deterministic.
+
+    The ranking runs as a single :func:`np.lexsort` over the stacked
+    value/density arrays; :func:`greedy_knapsack_scalar` retains the
+    per-object Python sort as the bit-identity oracle.
+    """
+    if capacity < 0:
+        raise PlacementError(f"negative capacity {capacity}")
+    if items:
+        values = np.array([i.value for i in items], dtype=np.float64)
+        weights = np.array([i.weight for i in items], dtype=np.float64)
+        order = greedy_order(values, values / weights)
+    else:
+        order = ()
+    taken: List[KnapsackItem] = []
+    rejected: List[KnapsackItem] = []
+    remaining = capacity
+    for i in order:
+        item = items[i]
+        if item.value > 0 and item.weight <= remaining:
+            taken.append(item)
+            remaining -= item.weight
+        else:
+            rejected.append(item)
+    return taken, rejected
+
+
+def greedy_knapsack_scalar(
+    items: Sequence[KnapsackItem], capacity: int
+) -> Tuple[List[KnapsackItem], List[KnapsackItem]]:
+    """The retained scalar oracle for :func:`greedy_knapsack`.
+
+    Identical semantics, but the ranking is the original per-object
+    Python sort — the reference the vectorized path must reproduce
+    bit-identically.
     """
     if capacity < 0:
         raise PlacementError(f"negative capacity {capacity}")
@@ -68,6 +117,8 @@ def greedy_multiple_knapsack(
     capacities: "Dict[str, Optional[int]]",
     order: Sequence[str],
     values: "Dict[str, Dict[object, float]]",
+    knapsack: Callable[..., Tuple[List[KnapsackItem], List[KnapsackItem]]]
+    = greedy_knapsack,
 ) -> Dict[object, str]:
     """Distribute items over several knapsacks in performance order.
 
@@ -84,6 +135,9 @@ def greedy_multiple_knapsack(
     values:
         ``knapsack -> key -> value``: the benefit of placing that item in
         that knapsack (relative to the fallback).
+    knapsack:
+        The single-knapsack packer; pass :func:`greedy_knapsack_scalar`
+        to run the retained Python-sort oracle end to end.
 
     Returns the ``key -> knapsack`` assignment covering every item.
     """
@@ -105,7 +159,7 @@ def greedy_multiple_knapsack(
                          weight=i.weight)
             for i in pending
         ]
-        taken, rejected = greedy_knapsack(revalued, capacity)
+        taken, rejected = knapsack(revalued, capacity)
         for t in taken:
             assignment[t.key] = name
         rejected_keys = {r.key for r in rejected}

@@ -14,6 +14,11 @@ Commands
     Load a trace file, run the analyzer over it, and report degradation.
 ``results``
     Inspect the cross-run result ledger (``--results`` / ``REPRO_RESULT_DB``).
+``query``
+    One advisory query (no server): print or save the placement report.
+``serve``
+    Run the placement server over a JSONL request file, coalescing
+    concurrent queries, and write one JSONL report per request.
 """
 
 from __future__ import annotations
@@ -313,6 +318,131 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _advisory_request(args: argparse.Namespace):
+    from repro.service import AdvisoryRequest
+    from repro.units import GiB as _GiB
+
+    return AdvisoryRequest(
+        dram_limit=int(args.dram_limit_gb * _GiB),
+        workload=args.workload,
+        trace=args.trace,
+        system=args.system,
+        use_stores=not args.loads_only,
+        algorithm=args.algorithm,
+        stack_format="human" if args.human_stacks else "bom",
+        seed=args.seed,
+    )
+
+
+def _render_advisory(report, out=None) -> None:
+    out = out or sys.stdout
+    req = report.request
+    source = req.workload or req.trace
+    print(f"query     : {source} on {req.system}, "
+          f"DRAM {fmt_size(req.dram_limit)}, {req.algorithm}", file=out)
+    if not report.ok:
+        print(f"status    : error: {report.error}", file=out)
+        return
+    print(f"status    : ok ({report.objects_placed} objects placed, "
+          f"fallback {report.fallback})", file=out)
+    for sub, nbytes in report.bytes_by_subsystem.items():
+        print(f"  {sub:6s}: {fmt_size(nbytes)}", file=out)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """One-shot advisory: the sequential (per-query oracle) path."""
+    from repro.errors import ConfigError
+    from repro.service import sequential_advisory
+
+    try:
+        request = _advisory_request(args)
+        request.validate()
+    except ConfigError as exc:
+        raise SystemExit(str(exc))
+    report = sequential_advisory(request)
+    if args.report and report.ok:
+        sys.stdout.write(report.report_text)
+        return 0
+    _render_advisory(report)
+    return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Batch-serve a JSONL request file through the placement server.
+
+    Each input line is a JSON object of :class:`AdvisoryRequest` fields
+    (``dram_limit_gb`` accepted as a convenience for ``dram_limit``).
+    Every request is submitted before any result is awaited, so
+    same-profile queries coalesce into vectorized batches.  One JSONL
+    report (exact codec encoding, round-trips to an equal
+    ``AdvisoryReport``) is written per request, in input order.
+    """
+    import json
+
+    from repro.errors import ReproError
+    from repro.experiments.sweep.codec import encode
+    from repro.service import AdvisoryRequest, PlacementServer
+    from repro.units import GiB as _GiB
+
+    requests = []
+    with open(args.requests) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                fields = json.loads(line)
+                if "dram_limit_gb" in fields:
+                    fields["dram_limit"] = int(
+                        fields.pop("dram_limit_gb") * _GiB)
+                requests.append(AdvisoryRequest(**fields))
+            except (ValueError, TypeError) as exc:
+                raise SystemExit(
+                    f"{args.requests}:{lineno}: bad request: {exc}")
+    if not requests:
+        raise SystemExit(f"no requests in {args.requests}")
+
+    server = PlacementServer(
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        artifact_store=args.artifact_dir,
+        report_store=args.report_dir,
+    )
+    try:
+        with server:
+            reports = server.query_many(requests)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for report in reports:
+            out.write(json.dumps(encode(report), sort_keys=True))
+            out.write("\n")
+    finally:
+        if args.out:
+            out.close()
+    stats = server.stats
+    errors = sum(1 for r in reports if not r.ok)
+    print(f"served {stats.requests} requests in {stats.batches} batch(es), "
+          f"{stats.profile_loads} profile load(s), "
+          f"largest group {stats.max_group}, {errors} error(s)",
+          file=sys.stderr)
+    return 0 if errors == 0 else 1
+
+
+def _add_advisory_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dram-limit-gb", type=float, default=12.0)
+    p.add_argument("--system", default="pmem6",
+                   help="memory system: pmem6, pmem2, hbm-dram-pmem")
+    p.add_argument("--algorithm", default="density",
+                   choices=("density", "bw-aware"))
+    p.add_argument("--loads-only", action="store_true")
+    p.add_argument("--human-stacks", action="store_true")
+    p.add_argument("--seed", type=int, default=11)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ecohmem", description=__doc__,
@@ -361,6 +491,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "finished tables to (default: REPRO_RESULT_DB "
                             "or off)")
 
+    qry_p = sub.add_parser("query", help="one advisory query (no server)")
+    qry_src = qry_p.add_mutually_exclusive_group(required=True)
+    qry_src.add_argument("--workload", help="registered workload name")
+    qry_src.add_argument("--trace", help="trace file (.jsonl or .npz)")
+    _add_advisory_arguments(qry_p)
+    qry_p.add_argument("--report", action="store_true",
+                       help="print the raw FlexMalloc report instead of "
+                            "the summary")
+
+    srv_p = sub.add_parser("serve",
+                           help="serve a JSONL advisory request file")
+    srv_p.add_argument("--requests", required=True,
+                       help="JSONL file: one AdvisoryRequest object per line")
+    srv_p.add_argument("--out", default=None,
+                       help="JSONL output file (default: stdout)")
+    srv_p.add_argument("--workers", type=int, default=None,
+                       help="worker threads (default: REPRO_SERVICE_WORKERS "
+                            "or 4)")
+    srv_p.add_argument("--batch-window-ms", type=float, default=None,
+                       help="coalescing window in ms (default: "
+                            "REPRO_SERVICE_BATCH_WINDOW_MS or 5)")
+    srv_p.add_argument("--max-batch", type=int, default=None,
+                       help="max requests per batch (default: "
+                            "REPRO_SERVICE_MAX_BATCH or 64)")
+    srv_p.add_argument("--artifact-dir", default=None,
+                       help="content-addressed artifact store (default: "
+                            "REPRO_ARTIFACT_DIR or off)")
+    srv_p.add_argument("--report-dir", default=None,
+                       help="persistent report store (default: "
+                            "REPRO_SERVICE_REPORT_DIR or off)")
+
     res_p = sub.add_parser("results",
                            help="inspect the cross-run result ledger")
     res_p.add_argument("--db", default=None,
@@ -382,6 +543,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "validate-trace": cmd_validate_trace,
         "results": cmd_results,
+        "query": cmd_query,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

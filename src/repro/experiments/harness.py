@@ -13,46 +13,49 @@
    :class:`BOMMatcher`/:class:`HumanReadableMatcher`, allocations replayed
    through FlexMalloc (capacity fallback live), and the engine timing the
    result with the interposer's overhead charged.
+
+The stages themselves live in :mod:`repro.pipeline.stages` — this module
+wires them into the paper's workflow and keeps the public entry points
+(:func:`run_ecohmem`, :func:`run_profdp_best`, :func:`profile_workload`)
+where they have always been.  With ``REPRO_ARTIFACT_DIR`` set (or an
+explicit ``artifact_store``), stage outputs are content-addressed and
+reused across processes; results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.advisor import AdvisorConfig, HMemAdvisor, Placement
 from repro.advisor.config import config_for_system, default_config
-from repro.alloc import (
-    BOMMatcher,
-    FlexMalloc,
-    HumanReadableMatcher,
-    PlacementReport,
-    build_heaps,
-)
+from repro.alloc import PlacementReport
 from repro.apps.sites import SiteRegistry
 from repro.apps.workload import Workload
 from repro.baselines.profdp import ALL_VARIANTS, ProfDPVariant, profdp_placement
 from repro.binary.callstack import StackFormat
 from repro.errors import SimulationError
 from repro.memsim.subsystem import MemorySystem
-from repro.profiling.cache import (
-    ProfileKey,
-    ProfileStore,
-    resolve_store,
-    workload_fingerprint,
+from repro.pipeline.artifacts import ArtifactStore, resolve_artifact_store
+from repro.pipeline.stages import (
+    bandwidth_observer,
+    placement_stage,
+    profile_stage,
+    profile_workload,
+    run_stage,
 )
-from repro.profiling.tracestore import (
-    TraceStore,
-    resolve_trace_store,
-    trace_digest,
-)
-from repro.profiling.paramedir import Paramedir, SiteProfile
-from repro.profiling.pebs import PEBSConfig
-from repro.profiling.tracer import ExtraeTracer, TracerConfig
-from repro.runtime.engine import EngineParams, ExecutionEngine
-from repro.runtime.replay import ReplayResult, replay_allocations
+from repro.profiling.cache import ProfileStore
+from repro.runtime.engine import EngineParams
+from repro.runtime.replay import ReplayResult
 from repro.runtime.stats import RunResult
-from repro.runtime.traffic import PlacementTraffic
+
+__all__ = [
+    "EcoHMEMResult",
+    "profile_workload",
+    "run_ecohmem",
+    "run_profdp_best",
+    "speedup_table",
+]
 
 
 @dataclass
@@ -68,142 +71,6 @@ class EcoHMEMResult:
     base_placement: Optional[Placement] = None
     categories: Optional[dict] = None
     swaps: Optional[list] = None
-
-
-def _production_run(
-    workload: Workload,
-    system: MemorySystem,
-    registry: SiteRegistry,
-    report: PlacementReport,
-    *,
-    dram_limit: int,
-    stack_format: StackFormat,
-    aslr_seed: int,
-    engine_params: EngineParams,
-    label: str,
-    charge_overhead: bool = True,
-) -> Tuple[RunResult, ReplayResult]:
-    """Match + replay + time one production execution."""
-    process = registry.make_process(rank=0, aslr_seed=aslr_seed)
-    if stack_format is StackFormat.BOM:
-        matcher = BOMMatcher(report, process.space)
-    else:
-        matcher = HumanReadableMatcher(report, process.space)
-    heaps = build_heaps(system, dram_limit=dram_limit)
-    flex = FlexMalloc(heaps, matcher=matcher, fallback=report.fallback)
-    replay = replay_allocations(workload, process, flex)
-
-    # sites whose every instance fell back still need a default mapping
-    site_placement = dict(replay.site_placement)
-    for obj in workload.objects:
-        site_placement.setdefault(obj.site.name, report.fallback)
-
-    model = PlacementTraffic(
-        workload, site_placement, instance_placement=replay.instance_placement
-    )
-    engine = ExecutionEngine(workload, system, engine_params)
-    run = engine.run(
-        model,
-        label=label,
-        interposer_overhead_s=replay.overhead_s if charge_overhead else 0.0,
-        interposer_stats=flex.stats,
-    )
-    return run, replay
-
-
-def profile_workload(
-    workload: Workload,
-    *,
-    seed: int = 11,
-    stack_format: StackFormat = StackFormat.BOM,
-    pebs_hz: float = 100.0,
-    profile_ranks: int = 1,
-    rank_jitter: float = 0.0,
-    registry: Optional[SiteRegistry] = None,
-    profile_store: Optional[ProfileStore] = None,
-    trace_store: Optional[TraceStore] = None,
-) -> Dict[Tuple, SiteProfile]:
-    """The profiling stage: Extrae trace + Paramedir analysis, memoized.
-
-    The result is a deterministic function of (workload content, seed,
-    stack format, PEBS rate, profiled ranks, rank jitter), so it is
-    cached through a :class:`~repro.profiling.cache.ProfileStore` and
-    shared by every pipeline run with the same configuration — one trace
-    per configuration instead of one per sweep cell.  A custom
-    ``registry`` changes the address spaces behind the site keys, so it
-    bypasses both caches.
-
-    Below the profile cache sits the memory-mapped trace store
-    (:mod:`repro.profiling.tracestore`, ``trace_store`` or the
-    ``REPRO_TRACE_STORE_DIR`` default): on a profile-cache miss the
-    tracer run is skipped entirely when another process already
-    published the same trace — the columns arrive as a zero-copy
-    read-only mapping shared through the page cache, and the analysis
-    over them is bit-identical to a fresh tracer run.
-
-    Determinism is per rank, not per profiling session: the tracer
-    derives each run's generators from ``(seed, rank)``, so profiling
-    rank ``r`` alone yields the same trace as profiling ranks ``0..r``
-    (and the vectorized tracer/analyzer are bit-identical to their
-    scalar oracles) — cached profiles stay valid however the ranks were
-    produced.
-    """
-    key = ProfileKey(
-        workload=workload.name,
-        fingerprint=workload_fingerprint(workload),
-        seed=seed,
-        stack_format=stack_format.value,
-        pebs_hz=float(pebs_hz),
-        profile_ranks=int(profile_ranks),
-        rank_jitter=float(rank_jitter),
-    )
-
-    def compute() -> Dict[Tuple, SiteProfile]:
-        reg = registry or SiteRegistry(workload)
-        tracer = ExtraeTracer(
-            workload,
-            TracerConfig(stack_format=stack_format, seed=seed,
-                         pebs=PEBSConfig(frequency_hz=pebs_hz, seed=seed * 7 + 1),
-                         rank_jitter=rank_jitter),
-            reg,
-        )
-        # a custom registry changes the traces, so only keyed (default
-        # registry) runs may read or publish the shared trace store
-        tstore = resolve_trace_store(trace_store) if registry is None else None
-
-        def run_rank(rank: int, aslr_seed: int) -> "Trace":
-            if tstore is None:
-                return tracer.run(rank=rank, aslr_seed=aslr_seed)
-            digest = trace_digest(key.digest(), rank=rank, aslr_seed=aslr_seed)
-            attached = tstore.attach(digest)
-            if attached is not None:
-                return attached
-            trace = tracer.run(rank=rank, aslr_seed=aslr_seed)
-            tstore.put(digest, trace)
-            return trace
-
-        paramedir = Paramedir()
-        if profile_ranks > 1:
-            # rank r of run_all_ranks(aslr_base_seed=b) is run(r, b + r)
-            traces = [run_rank(r, 1000 + seed + r)
-                      for r in range(profile_ranks)]
-            per_rank = [paramedir.analyze(t) for t in traces]
-            profiles = paramedir.merge(per_rank, mode="sum")
-            # cross-rank sums describe profile_ranks processes; the advisor's
-            # density ranking is scale-invariant, so no renormalization needed
-            for prof in profiles.values():
-                prof.load_misses /= profile_ranks
-                prof.store_misses /= profile_ranks
-        else:
-            profiles = paramedir.analyze(run_rank(0, 1000 + seed))
-        return profiles
-
-    if registry is not None:
-        return compute()
-    store = resolve_store(profile_store)
-    if store is None:
-        return compute()
-    return store.get_or_compute(key, compute)
 
 
 def run_ecohmem(
@@ -223,6 +90,7 @@ def run_ecohmem(
     profile_ranks: int = 1,
     rank_jitter: float = 0.0,
     profile_store: Optional[ProfileStore] = None,
+    artifact_store: "ArtifactStore | str | None" = None,
 ) -> EcoHMEMResult:
     """The full ecoHMEM workflow for one configuration.
 
@@ -238,7 +106,8 @@ def run_ecohmem(
     ``rank_jitter`` load imbalance) and sums the per-rank profiles, the
     way a real multi-process Extrae trace is aggregated.  The profiling
     stage is memoized (see :func:`profile_workload`); ``profile_store``
-    overrides the process-wide default store.
+    overrides the process-wide default store and ``artifact_store`` the
+    content-addressed stage cache (``REPRO_ARTIFACT_DIR``).
     """
     if algorithm not in ("density", "bw-aware"):
         raise SimulationError(f"unknown algorithm {algorithm!r}")
@@ -246,7 +115,8 @@ def run_ecohmem(
 
     custom_registry = registry
     registry = registry or SiteRegistry(workload)
-    profiles = profile_workload(
+    astore = resolve_artifact_store(artifact_store)
+    profiles, profile_key = profile_stage(
         workload,
         seed=seed,
         stack_format=stack_format,
@@ -255,6 +125,7 @@ def run_ecohmem(
         rank_jitter=rank_jitter,
         registry=custom_registry,
         profile_store=profile_store,
+        artifact_store=astore,
     )
 
     advisor_config = config or config_for_system(
@@ -263,54 +134,32 @@ def run_ecohmem(
     advisor_config = advisor_config.with_dram_limit(dram_limit)
     if not use_stores:
         advisor_config = advisor_config.loads_only()
-    advisor = HMemAdvisor(system, advisor_config)
-    objects = advisor.objects_from_profiles(profiles)
-    placement = advisor.advise_density(objects)
 
-    base_placement = None
-    categories = None
-    swaps = None
-    if algorithm == "bw-aware":
-        base_placement = placement
-        # intermediate run with the density placement to observe bandwidth
-        density_report = advisor.to_report(placement, stack_format)
-        density_run, _ = _production_run(
-            workload, system, registry, density_report,
-            dram_limit=dram_limit, stack_format=stack_format,
-            aslr_seed=2000 + seed, engine_params=engine_params,
-            label="density-observation", charge_overhead=False,
-        )
-        # bridge site names <-> stable site keys
-        probe = registry.make_process(rank=0, aslr_seed=3000 + seed)
-        name_to_key = {
-            obj.site.name: probe.site_key(obj.site, stack_format)
-            for obj in workload.objects
-        }
-        by_name = density_run.observations()
-        observations = {}
-        for name, obs in by_name.items():
-            key = name_to_key.get(name)
-            if key is not None and key in objects:
-                observations[key] = obs
-        # sites that never went live in the observation run get zeros
-        from repro.advisor.model import BandwidthObservation
-        for key in objects:
-            observations.setdefault(key, BandwidthObservation(0.0, 0.0, 0.0))
-        result = advisor.advise_bandwidth_aware(objects, observations, base=placement)
-        placement = result.placement
-        categories = result.categories
-        swaps = result.swaps
-
-    report = advisor.to_report(placement, stack_format)
-    # serialize + parse round trip: run exactly what FlexMalloc would read
-    report = PlacementReport.loads(report.dumps())
+    observe = bandwidth_observer(
+        workload, system, registry,
+        dram_limit=dram_limit, stack_format=stack_format,
+        seed=seed, engine_params=engine_params,
+    )
+    outcome = placement_stage(
+        profiles, system, advisor_config,
+        algorithm=algorithm,
+        stack_format=stack_format,
+        observe=observe,
+        artifact_store=astore,
+        upstream=(profile_key,) if profile_key else (),
+    )
+    report = outcome.report
 
     prod_wl = production_workload or workload
-    run, replay = _production_run(
+    run, replay, _ = run_stage(
         prod_wl, system, registry, report,
         dram_limit=dram_limit, stack_format=stack_format,
         aslr_seed=4000 + seed, engine_params=engine_params,
         label=f"ecohmem-{algorithm}" + ("" if use_stores else "-loads"),
+        # a custom registry changes the run but is not part of the run
+        # key, so it bypasses provenance publishing like the other stages
+        artifact_store=astore if custom_registry is None else None,
+        upstream=(outcome.artifact_key,) if outcome.artifact_key else (),
     )
     site_placement = dict(replay.site_placement)
     for obj in prod_wl.objects:
@@ -318,13 +167,13 @@ def run_ecohmem(
 
     return EcoHMEMResult(
         run=run,
-        placement=placement,
+        placement=outcome.placement,
         report=report,
         replay=replay,
         site_placement=site_placement,
-        base_placement=base_placement,
-        categories=categories,
-        swaps=swaps,
+        base_placement=outcome.base_placement,
+        categories=outcome.categories,
+        swaps=outcome.swaps,
     )
 
 
@@ -338,6 +187,7 @@ def run_profdp_best(
     seed: int = 11,
     pebs_hz: float = 100.0,
     profile_store: Optional[ProfileStore] = None,
+    artifact_store: "ArtifactStore | str | None" = None,
 ) -> Tuple[Optional[ProfDPVariant], Optional[RunResult]]:
     """Run all four ProfDP variants, return the fastest (paper's method).
 
@@ -348,19 +198,21 @@ def run_profdp_best(
     The profiling stage goes through the same memoized
     :func:`profile_workload` as :func:`run_ecohmem`, so an ecoHMEM sweep
     and its ProfDP comparison rows share one trace + analysis per
-    configuration.
+    configuration — and, with an artifact store, one profile artifact.
     """
     if workload.name == "minimd":
         return None, None
     engine_params = engine_params or EngineParams()
 
     registry = SiteRegistry(workload)
-    profiles = profile_workload(
+    astore = resolve_artifact_store(artifact_store)
+    profiles, profile_key = profile_stage(
         workload,
         seed=seed,
         stack_format=stack_format,
         pebs_hz=pebs_hz,
         profile_store=profile_store,
+        artifact_store=astore,
     )
     advisor = HMemAdvisor(system, default_config(dram_limit, ranks=workload.ranks))
     objects = advisor.objects_from_profiles(profiles)
@@ -371,11 +223,13 @@ def run_profdp_best(
             objects, system, variant, dram_limit, ranks=workload.ranks, seed=seed
         )
         report = advisor.to_report(placement, stack_format)
-        run, _ = _production_run(
+        run, _, _ = run_stage(
             workload, system, registry, report,
             dram_limit=dram_limit, stack_format=stack_format,
             aslr_seed=5000 + seed, engine_params=engine_params,
             label=variant.label,
+            artifact_store=astore,
+            upstream=(profile_key,) if profile_key else (),
         )
         if best[1] is None or run.total_time < best[1].total_time:
             best = (variant, run)

@@ -31,6 +31,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+try:  # POSIX only; without it index updates are last-writer-wins
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.experiments.sweep import codec
 
 #: bump when the record layout changes; old records are skipped
@@ -75,6 +80,14 @@ class ResultDB:
         dataclass rows, dicts of lists, ...) as long as the sweep codec
         can encode it — which is exactly the set of shapes a resumable
         sweep may produce.
+
+        Safe under concurrent appenders from several processes: each
+        record is published with a single ``write(2)`` on an ``O_APPEND``
+        descriptor (the kernel seeks to end-of-file and writes atomically,
+        so two writers can never interleave bytes within a line), and the
+        record's true offset is derived from the descriptor's position
+        *after* the write — never from the pre-write file size, which
+        another writer may have grown in between.
         """
         record = {
             "version": _DB_VERSION,
@@ -87,20 +100,41 @@ class ResultDB:
             "rows": codec.encode(rows),
         }
         self.root.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True) + "\n"
-        with self.ledger.open("a") as fh:
-            offset = fh.tell()
-            fh.write(line)
-            fh.flush()
-        self._update_index(_identity(experiment, label, seed), offset,
-                           offset + len(line.encode()))
+        data = (json.dumps(record, sort_keys=True) + "\n").encode()
+        fd = os.open(str(self.ledger),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            written = os.write(fd, data)
+            end = os.lseek(fd, 0, os.SEEK_CUR)
+        finally:
+            os.close(fd)
+        if written == len(data):
+            # a short write (ENOSPC) leaves a torn tail line readers
+            # already skip; only intact records earn an index entry
+            self._update_index(_identity(experiment, label, seed),
+                               end - written, end)
         return record
 
     def _update_index(self, identity: str, offset: int, end: int) -> None:
+        lock_fd = os.open(str(self.root / ".index.lock"),
+                          os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(lock_fd, fcntl.LOCK_EX)
+            self._update_index_locked(identity, offset, end)
+        finally:
+            os.close(lock_fd)  # releases the flock
+
+    def _update_index_locked(self, identity: str, offset: int, end: int) -> None:
         index = self._read_index()
         if index is None:
             index = {"version": _DB_VERSION, "bytes": 0, "offsets": {}}
-        index["offsets"][identity] = offset
+        prev = index["offsets"].get(identity)
+        # ledger offsets grow monotonically, so the largest offset IS the
+        # latest record — a slow writer finishing late can't roll an
+        # identity back to an older record
+        if prev is None or offset > int(prev):
+            index["offsets"][identity] = offset
         index["bytes"] = max(int(index.get("bytes", 0)), end)
         # atomic publish: a crash mid-write must not tear the sidecar
         fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=".tmp-idx-")

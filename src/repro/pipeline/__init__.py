@@ -1,0 +1,54 @@
+"""The staged ecoHMEM pipeline: trace → profile → placement → run.
+
+Each stage is an individually addressable function whose output is keyed
+by a content address — a sha256 over the upstream artifacts' keys plus
+the canonical encoding of the stage's own spec (the exact JSON codec
+from :mod:`repro.experiments.sweep.codec`).  Keys are computed the same
+way everywhere, so the CLI, the experiment harness
+(:func:`repro.experiments.harness.run_ecohmem` delegates here), and the
+placement service (:mod:`repro.service`) all share one engine and one
+cache.
+
+The :class:`~repro.pipeline.artifacts.ArtifactStore` is the on-disk
+layer: sharded directories, atomic tmpdir-rename publish (the same
+crash-safety contract as ``tracestore.put`` — a SIGKILL mid-publish can
+never leave a torn artifact visible to readers).  It layers *over* the
+existing ``ProfileStore``/``TraceStore``: profile artifacts shortcut the
+tracer + analyzer, placement artifacts shortcut the advisor, and run
+artifacts record provenance (run results embed timelines that are not
+codec-serializable, so they are summaries, never read back).
+"""
+
+from repro.pipeline.artifacts import (
+    ArtifactStore,
+    artifact_key,
+    reset_default_artifact_store,
+    resolve_artifact_store,
+)
+from repro.pipeline.stages import (
+    PlacementOutcome,
+    PlacementSpec,
+    ProfileSpec,
+    RunSpec,
+    bandwidth_observer,
+    placement_stage,
+    profile_stage,
+    profile_workload,
+    run_stage,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "artifact_key",
+    "reset_default_artifact_store",
+    "resolve_artifact_store",
+    "PlacementOutcome",
+    "PlacementSpec",
+    "ProfileSpec",
+    "RunSpec",
+    "bandwidth_observer",
+    "placement_stage",
+    "profile_stage",
+    "profile_workload",
+    "run_stage",
+]

@@ -1,0 +1,568 @@
+"""The pipeline stages: profile → placement → run, individually keyed.
+
+Each stage function mirrors exactly what the monolithic harness used to
+do inline — the refactor moved the code, not the computation, so staged
+results are byte-identical to the pre-refactor pipeline.  On top of the
+existing ``ProfileStore``/``TraceStore`` caches, every stage can consult
+an :class:`~repro.pipeline.artifacts.ArtifactStore`:
+
+- **profile** artifacts persist the per-site profiles (the same encoding
+  the profile cache uses), shortcutting tracer + analyzer;
+- **placement** artifacts persist density placements (assignment order
+  included — report row order depends on it), shortcutting the advisor;
+- **run** artifacts are provenance summaries only (run results embed
+  timelines the codec cannot represent), never read back.
+
+A custom :class:`~repro.apps.sites.SiteRegistry` changes the address
+spaces behind the site keys, so it bypasses the artifact layer the same
+way it bypasses the profile cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.advisor import AdvisorConfig, HMemAdvisor, Placement
+from repro.alloc import (
+    BOMMatcher,
+    FlexMalloc,
+    HumanReadableMatcher,
+    PlacementReport,
+    build_heaps,
+)
+from repro.apps.sites import SiteRegistry
+from repro.apps.workload import Workload
+from repro.binary.callstack import StackFormat
+from repro.errors import SimulationError
+from repro.memsim.subsystem import MemorySystem
+from repro.pipeline.artifacts import (
+    ArtifactStore,
+    artifact_key,
+    resolve_artifact_store,
+)
+from repro.profiling.cache import (
+    ProfileKey,
+    ProfileStore,
+    _decode_profile,
+    _decode_site_key,
+    _encode_profile,
+    _encode_site_key,
+    resolve_store,
+    workload_fingerprint,
+)
+from repro.profiling.paramedir import Paramedir, SiteProfile
+from repro.profiling.pebs import PEBSConfig
+from repro.profiling.tracer import ExtraeTracer, TracerConfig
+from repro.profiling.tracestore import (
+    TraceStore,
+    resolve_trace_store,
+    trace_digest,
+)
+from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.replay import ReplayResult, replay_allocations
+from repro.runtime.stats import RunResult
+from repro.runtime.traffic import PlacementTraffic
+
+Profiles = Dict[Tuple, SiteProfile]
+
+
+# -- stage specs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Everything the profiling stage's output depends on."""
+
+    workload: str
+    fingerprint: str
+    seed: int
+    stack_format: str
+    pebs_hz: float
+    profile_ranks: int
+    rank_jitter: float
+
+    @classmethod
+    def for_workload(
+        cls,
+        workload: Workload,
+        *,
+        seed: int,
+        stack_format: StackFormat,
+        pebs_hz: float,
+        profile_ranks: int,
+        rank_jitter: float,
+    ) -> "ProfileSpec":
+        return cls(
+            workload=workload.name,
+            fingerprint=workload_fingerprint(workload),
+            seed=seed,
+            stack_format=stack_format.value,
+            pebs_hz=float(pebs_hz),
+            profile_ranks=int(profile_ranks),
+            rank_jitter=float(rank_jitter),
+        )
+
+    def key(self) -> str:
+        return artifact_key("profile", self)
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """What a density placement depends on: profile + system + policy.
+
+    The profile enters through the upstream artifact key, not the spec;
+    ``config`` already folds in the DRAM limit, rank count and the
+    loads-only policy, so (system, config, stack format) is complete.
+    """
+
+    system: MemorySystem
+    config: AdvisorConfig
+    stack_format: str
+
+    def key(self, upstream: "tuple[str, ...]") -> str:
+        return artifact_key("placement", self, upstream)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Provenance identity of one production run (summaries only)."""
+
+    workload: str
+    fingerprint: str
+    system: MemorySystem
+    dram_limit: int
+    stack_format: str
+    aslr_seed: int
+    engine_params: EngineParams
+    label: str
+    charge_overhead: bool
+    report_digest: str
+
+    def key(self, upstream: "tuple[str, ...]") -> str:
+        return artifact_key("run", self, upstream)
+
+
+# -- profiling ----------------------------------------------------------------
+
+
+def profile_workload(
+    workload: Workload,
+    *,
+    seed: int = 11,
+    stack_format: StackFormat = StackFormat.BOM,
+    pebs_hz: float = 100.0,
+    profile_ranks: int = 1,
+    rank_jitter: float = 0.0,
+    registry: Optional[SiteRegistry] = None,
+    profile_store: Optional[ProfileStore] = None,
+    trace_store: Optional[TraceStore] = None,
+) -> Profiles:
+    """The profiling stage: Extrae trace + Paramedir analysis, memoized.
+
+    The result is a deterministic function of (workload content, seed,
+    stack format, PEBS rate, profiled ranks, rank jitter), so it is
+    cached through a :class:`~repro.profiling.cache.ProfileStore` and
+    shared by every pipeline run with the same configuration — one trace
+    per configuration instead of one per sweep cell.  A custom
+    ``registry`` changes the address spaces behind the site keys, so it
+    bypasses both caches.
+
+    Below the profile cache sits the memory-mapped trace store
+    (:mod:`repro.profiling.tracestore`, ``trace_store`` or the
+    ``REPRO_TRACE_STORE_DIR`` default): on a profile-cache miss the
+    tracer run is skipped entirely when another process already
+    published the same trace — the columns arrive as a zero-copy
+    read-only mapping shared through the page cache, and the analysis
+    over them is bit-identical to a fresh tracer run.
+
+    Determinism is per rank, not per profiling session: the tracer
+    derives each run's generators from ``(seed, rank)``, so profiling
+    rank ``r`` alone yields the same trace as profiling ranks ``0..r``
+    (and the vectorized tracer/analyzer are bit-identical to their
+    scalar oracles) — cached profiles stay valid however the ranks were
+    produced.
+    """
+    key = ProfileKey(
+        workload=workload.name,
+        fingerprint=workload_fingerprint(workload),
+        seed=seed,
+        stack_format=stack_format.value,
+        pebs_hz=float(pebs_hz),
+        profile_ranks=int(profile_ranks),
+        rank_jitter=float(rank_jitter),
+    )
+
+    def compute() -> Profiles:
+        reg = registry or SiteRegistry(workload)
+        tracer = ExtraeTracer(
+            workload,
+            TracerConfig(stack_format=stack_format, seed=seed,
+                         pebs=PEBSConfig(frequency_hz=pebs_hz, seed=seed * 7 + 1),
+                         rank_jitter=rank_jitter),
+            reg,
+        )
+        # a custom registry changes the traces, so only keyed (default
+        # registry) runs may read or publish the shared trace store
+        tstore = resolve_trace_store(trace_store) if registry is None else None
+
+        def run_rank(rank: int, aslr_seed: int) -> "Trace":
+            if tstore is None:
+                return tracer.run(rank=rank, aslr_seed=aslr_seed)
+            digest = trace_digest(key.digest(), rank=rank, aslr_seed=aslr_seed)
+            attached = tstore.attach(digest)
+            if attached is not None:
+                return attached
+            trace = tracer.run(rank=rank, aslr_seed=aslr_seed)
+            tstore.put(digest, trace)
+            return trace
+
+        paramedir = Paramedir()
+        if profile_ranks > 1:
+            # rank r of run_all_ranks(aslr_base_seed=b) is run(r, b + r)
+            traces = [run_rank(r, 1000 + seed + r)
+                      for r in range(profile_ranks)]
+            per_rank = [paramedir.analyze(t) for t in traces]
+            profiles = paramedir.merge(per_rank, mode="sum")
+            # cross-rank sums describe profile_ranks processes; the advisor's
+            # density ranking is scale-invariant, so no renormalization needed
+            for prof in profiles.values():
+                prof.load_misses /= profile_ranks
+                prof.store_misses /= profile_ranks
+        else:
+            profiles = paramedir.analyze(run_rank(0, 1000 + seed))
+        return profiles
+
+    if registry is not None:
+        return compute()
+    store = resolve_store(profile_store)
+    if store is None:
+        return compute()
+    return store.get_or_compute(key, compute)
+
+
+def profile_stage(
+    workload: Workload,
+    *,
+    seed: int = 11,
+    stack_format: StackFormat = StackFormat.BOM,
+    pebs_hz: float = 100.0,
+    profile_ranks: int = 1,
+    rank_jitter: float = 0.0,
+    registry: Optional[SiteRegistry] = None,
+    profile_store: Optional[ProfileStore] = None,
+    trace_store: Optional[TraceStore] = None,
+    artifact_store: "ArtifactStore | str | None" = None,
+) -> Tuple[Profiles, Optional[str]]:
+    """:func:`profile_workload` with the artifact layer on top.
+
+    Returns ``(profiles, artifact_key)``; the key is ``None`` when the
+    artifact layer is off or bypassed (custom registry).  A stored
+    profile artifact decodes bit-identically to a fresh computation —
+    it uses the profile cache's exact float-preserving encoding.
+    """
+    store = resolve_artifact_store(artifact_store)
+    if store is None or registry is not None:
+        profiles = profile_workload(
+            workload, seed=seed, stack_format=stack_format, pebs_hz=pebs_hz,
+            profile_ranks=profile_ranks, rank_jitter=rank_jitter,
+            registry=registry, profile_store=profile_store,
+            trace_store=trace_store,
+        )
+        return profiles, None
+
+    spec = ProfileSpec.for_workload(
+        workload, seed=seed, stack_format=stack_format, pebs_hz=pebs_hz,
+        profile_ranks=profile_ranks, rank_jitter=rank_jitter,
+    )
+    key = spec.key()
+    payload = store.get(key)
+    if payload is not None:
+        try:
+            profiles = {}
+            for entry in payload["profiles"]:
+                prof = _decode_profile(entry)
+                profiles[prof.site_key] = prof
+            return profiles, key
+        except Exception:
+            pass  # corrupt payload: recompute below
+    profiles = profile_workload(
+        workload, seed=seed, stack_format=stack_format, pebs_hz=pebs_hz,
+        profile_ranks=profile_ranks, rank_jitter=rank_jitter,
+        profile_store=profile_store, trace_store=trace_store,
+    )
+    store.put(key, {"profiles": [_encode_profile(p) for p in profiles.values()]})
+    return profiles, key
+
+
+# -- placement ----------------------------------------------------------------
+
+
+#: bandwidth observer: (advisor, density placement, objects) -> observations
+ObserveFn = Callable[[HMemAdvisor, Placement, dict], dict]
+
+
+def bandwidth_observer(
+    workload: Workload,
+    system: MemorySystem,
+    registry: SiteRegistry,
+    *,
+    dram_limit: int,
+    stack_format: StackFormat,
+    seed: int,
+    engine_params: EngineParams,
+) -> ObserveFn:
+    """The Section VII observation step as an :data:`ObserveFn`.
+
+    Runs the workload once under the density placement (overhead not
+    charged — it is an offline profiling step), bridges the run's
+    per-name bandwidth observations back to stable site keys through a
+    probe process, and zero-fills sites that never went live.  Both the
+    harness and the placement service build their bandwidth-aware
+    pipelines from this one implementation.
+    """
+
+    def observe(advisor: HMemAdvisor, placement: Placement, objects: dict) -> dict:
+        from repro.advisor.model import BandwidthObservation
+
+        density_report = advisor.to_report(placement, stack_format)
+        density_run, _ = _production_run(
+            workload, system, registry, density_report,
+            dram_limit=dram_limit, stack_format=stack_format,
+            aslr_seed=2000 + seed, engine_params=engine_params,
+            label="density-observation", charge_overhead=False,
+        )
+        # bridge site names <-> stable site keys
+        probe = registry.make_process(rank=0, aslr_seed=3000 + seed)
+        name_to_key = {
+            obj.site.name: probe.site_key(obj.site, stack_format)
+            for obj in workload.objects
+        }
+        by_name = density_run.observations()
+        observations = {}
+        for name, obs in by_name.items():
+            key = name_to_key.get(name)
+            if key is not None and key in objects:
+                observations[key] = obs
+        # sites that never went live in the observation run get zeros
+        for key in objects:
+            observations.setdefault(key, BandwidthObservation(0.0, 0.0, 0.0))
+        return observations
+
+    return observe
+
+
+@dataclass
+class PlacementOutcome:
+    """Everything the placement stage produced."""
+
+    placement: Placement
+    #: the report after a dumps/loads round trip — exactly what
+    #: FlexMalloc would read in the production run
+    report: PlacementReport
+    base_placement: Optional[Placement] = None
+    categories: Optional[dict] = None
+    swaps: Optional[list] = None
+    artifact_key: Optional[str] = None
+    cached: bool = False
+
+
+def _encode_placement(placement: Placement) -> dict:
+    return {
+        "subsystems": list(placement.subsystems),
+        "fallback": placement.fallback,
+        # assignment order is part of the contract: it fixes report row order
+        "assignment": [[_encode_site_key(key), name]
+                       for key, name in placement.items()],
+    }
+
+
+def _decode_placement(data: dict) -> Placement:
+    placement = Placement(subsystems=list(data["subsystems"]),
+                          fallback=data["fallback"])
+    for frames, name in data["assignment"]:
+        placement.assign(_decode_site_key(frames), name)
+    return placement
+
+
+def placement_stage(
+    profiles: Profiles,
+    system: MemorySystem,
+    config: AdvisorConfig,
+    *,
+    algorithm: str = "density",
+    stack_format: StackFormat = StackFormat.BOM,
+    observe: Optional[ObserveFn] = None,
+    artifact_store: "ArtifactStore | str | None" = None,
+    upstream: "tuple[str, ...]" = (),
+) -> PlacementOutcome:
+    """Profiles in, placement + FlexMalloc-ready report out.
+
+    ``config`` must already fold in the DRAM limit and loads-only policy
+    (the harness does this before delegating).  For ``bw-aware`` the
+    ``observe`` callback supplies the Section VII bandwidth observations
+    for the density base placement — the harness passes the
+    density-observation production run, the service does the same, so
+    both share one implementation.
+
+    The density placement is artifact-cached when ``upstream`` carries
+    the profile artifact key; the bandwidth-aware refinement is not (it
+    embeds an engine run), but its density base still hits the cache.
+    """
+    if algorithm not in ("density", "bw-aware"):
+        raise SimulationError(f"unknown algorithm {algorithm!r}")
+
+    advisor = HMemAdvisor(system, config)
+    objects = advisor.objects_from_profiles(profiles)
+
+    store = resolve_artifact_store(artifact_store)
+    key = None
+    cached = False
+    placement = None
+    if store is not None and upstream:
+        key = PlacementSpec(system=system, config=config,
+                            stack_format=stack_format.value).key(upstream)
+        payload = store.get(key)
+        if payload is not None:
+            try:
+                placement = _decode_placement(payload)
+                cached = True
+            except Exception:
+                placement = None
+    if placement is None:
+        placement = advisor.advise_density(objects)
+        if store is not None and key is not None:
+            store.put(key, _encode_placement(placement))
+    else:
+        # the cached assignment skipped validation; re-check cheaply so a
+        # cache hit can never mask an infeasible profile
+        advisor.validate_feasible(objects)
+
+    base_placement = None
+    categories = None
+    swaps = None
+    if algorithm == "bw-aware":
+        if observe is None:
+            raise SimulationError(
+                "bw-aware placement needs an `observe` callback for the "
+                "density-observation run"
+            )
+        base_placement = placement
+        observations = observe(advisor, placement, objects)
+        result = advisor.advise_bandwidth_aware(
+            objects, observations, base=placement)
+        placement = result.placement
+        categories = result.categories
+        swaps = result.swaps
+        key = None  # refined placements are not cached
+
+    report = advisor.to_report(placement, stack_format)
+    # serialize + parse round trip: run exactly what FlexMalloc would read
+    report = PlacementReport.loads(report.dumps())
+    return PlacementOutcome(
+        placement=placement,
+        report=report,
+        base_placement=base_placement,
+        categories=categories,
+        swaps=swaps,
+        artifact_key=key,
+        cached=cached,
+    )
+
+
+# -- production run -----------------------------------------------------------
+
+
+def _production_run(
+    workload: Workload,
+    system: MemorySystem,
+    registry: SiteRegistry,
+    report: PlacementReport,
+    *,
+    dram_limit: int,
+    stack_format: StackFormat,
+    aslr_seed: int,
+    engine_params: EngineParams,
+    label: str,
+    charge_overhead: bool = True,
+) -> Tuple[RunResult, ReplayResult]:
+    """Match + replay + time one production execution."""
+    process = registry.make_process(rank=0, aslr_seed=aslr_seed)
+    if stack_format is StackFormat.BOM:
+        matcher = BOMMatcher(report, process.space)
+    else:
+        matcher = HumanReadableMatcher(report, process.space)
+    heaps = build_heaps(system, dram_limit=dram_limit)
+    flex = FlexMalloc(heaps, matcher=matcher, fallback=report.fallback)
+    replay = replay_allocations(workload, process, flex)
+
+    # sites whose every instance fell back still need a default mapping
+    site_placement = dict(replay.site_placement)
+    for obj in workload.objects:
+        site_placement.setdefault(obj.site.name, report.fallback)
+
+    model = PlacementTraffic(
+        workload, site_placement, instance_placement=replay.instance_placement
+    )
+    engine = ExecutionEngine(workload, system, engine_params)
+    run = engine.run(
+        model,
+        label=label,
+        interposer_overhead_s=replay.overhead_s if charge_overhead else 0.0,
+        interposer_stats=flex.stats,
+    )
+    return run, replay
+
+
+def run_stage(
+    workload: Workload,
+    system: MemorySystem,
+    registry: SiteRegistry,
+    report: PlacementReport,
+    *,
+    dram_limit: int,
+    stack_format: StackFormat,
+    aslr_seed: int,
+    engine_params: EngineParams,
+    label: str,
+    charge_overhead: bool = True,
+    artifact_store: "ArtifactStore | str | None" = None,
+    upstream: "tuple[str, ...]" = (),
+) -> Tuple[RunResult, ReplayResult, Optional[str]]:
+    """The production run, with a provenance artifact published.
+
+    Run results embed bandwidth timelines the codec cannot represent, so
+    the artifact is a distilled summary (label, total time, key upstream
+    links) — a ledger entry for "which placement produced which run",
+    never read back to shortcut an execution.
+    """
+    run, replay = _production_run(
+        workload, system, registry, report,
+        dram_limit=dram_limit, stack_format=stack_format,
+        aslr_seed=aslr_seed, engine_params=engine_params,
+        label=label, charge_overhead=charge_overhead,
+    )
+    store = resolve_artifact_store(artifact_store)
+    key = None
+    if store is not None:
+        spec = RunSpec(
+            workload=workload.name,
+            fingerprint=workload_fingerprint(workload),
+            system=system,
+            dram_limit=dram_limit,
+            stack_format=stack_format.value,
+            aslr_seed=aslr_seed,
+            engine_params=engine_params,
+            label=label,
+            charge_overhead=charge_overhead,
+            report_digest=hashlib.sha256(
+                report.dumps().encode()).hexdigest()[:32],
+        )
+        key = spec.key(upstream)
+        store.put(key, {
+            "label": run.config_label,
+            "total_time": run.total_time,
+            "upstream": list(upstream),
+        })
+    return run, replay, key

@@ -1,0 +1,44 @@
+"""Advisor-as-a-service: a long-running placement server.
+
+The paper's methodology is a one-shot offline pipeline; this package
+turns the placement stage into a persistent service so *many advisory
+queries* can be answered against *few profiles*:
+
+- :mod:`~repro.service.protocol` — the request/report dataclasses
+  (codec-encodable, so they round-trip through JSONL exactly);
+- :mod:`~repro.service.server` — :class:`PlacementServer`: a stdlib
+  ``ThreadPoolExecutor`` + ``queue`` server whose dispatcher coalesces
+  concurrent requests into batches keyed by profile artifact — N queries
+  against one workload pay one profile load and one vectorized
+  ``advise_batch`` pass, with results bit-identical to serving each
+  query alone (the retained scalar path is the oracle);
+- :mod:`~repro.service.reports` — the persistent report store keyed by
+  (workload, config, seed).
+
+Environment knobs: ``REPRO_SERVICE_WORKERS``,
+``REPRO_SERVICE_BATCH_WINDOW_MS``, ``REPRO_SERVICE_MAX_BATCH``,
+``REPRO_SERVICE_REPORT_DIR`` — plus ``REPRO_ARTIFACT_DIR`` for the
+shared stage cache.
+"""
+
+from repro.service.protocol import (
+    SERVICE_SYSTEMS,
+    AdvisoryReport,
+    AdvisoryRequest,
+    system_for_name,
+)
+from repro.service.reports import ReportStore, resolve_report_store
+from repro.service.server import PlacementServer, ServiceSession, ServiceStats, sequential_advisory
+
+__all__ = [
+    "SERVICE_SYSTEMS",
+    "AdvisoryReport",
+    "AdvisoryRequest",
+    "system_for_name",
+    "ReportStore",
+    "resolve_report_store",
+    "PlacementServer",
+    "ServiceSession",
+    "ServiceStats",
+    "sequential_advisory",
+]

@@ -1,0 +1,110 @@
+"""The placement service's wire types.
+
+Requests and reports are frozen/plain dataclasses built only from
+primitives, so the exact JSON codec (:mod:`repro.experiments.sweep.codec`)
+round-trips them bit-identically — a report read back from the report
+store or a JSONL response file compares equal, float for float, with the
+one the server produced.  Reports carry no timestamps for the same
+reason: batched and sequential serving must yield *equal* values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.memsim.subsystem import (
+    MemorySystem,
+    hbm_dram_pmem_system,
+    pmem2_system,
+    pmem6_system,
+)
+
+#: named memory systems a request may ask for
+SERVICE_SYSTEMS = {
+    "pmem6": pmem6_system,
+    "pmem2": pmem2_system,
+    "hbm-dram-pmem": hbm_dram_pmem_system,
+}
+
+
+def system_for_name(name: str) -> MemorySystem:
+    try:
+        factory = SERVICE_SYSTEMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown memory system {name!r} "
+            f"(have {sorted(SERVICE_SYSTEMS)})"
+        )
+    return factory()
+
+
+@dataclass(frozen=True)
+class AdvisoryRequest:
+    """One advisory query: a profile source + memory config + policy.
+
+    The profile source is either ``workload`` (a registered workload
+    name, profiled through the shared pipeline stages) or ``trace`` (a
+    path to a ``.jsonl``/``.npz`` trace file, analyzed on first use and
+    keyed by content digest).  Exactly one must be set.
+    """
+
+    dram_limit: int
+    workload: Optional[str] = None
+    trace: Optional[str] = None
+    system: str = "pmem6"
+    use_stores: bool = True
+    algorithm: str = "density"
+    stack_format: str = "bom"
+    seed: int = 11
+    pebs_hz: float = 100.0
+    profile_ranks: int = 1
+    rank_jitter: float = 0.0
+    session: str = "default"
+
+    def validate(self) -> None:
+        if (self.workload is None) == (self.trace is None):
+            raise ConfigError(
+                "exactly one of workload= or trace= must be set"
+            )
+        if self.algorithm not in ("density", "bw-aware"):
+            raise ConfigError(f"unknown algorithm {self.algorithm!r}")
+        if self.dram_limit <= 0:
+            raise ConfigError(f"DRAM limit must be > 0, got {self.dram_limit}")
+        system_for_name(self.system)
+
+    def with_session(self, session: str) -> "AdvisoryRequest":
+        return replace(self, session=session)
+
+
+@dataclass
+class AdvisoryReport:
+    """The server's answer to one :class:`AdvisoryRequest`.
+
+    ``report_text`` is the exact FlexMalloc input file content —
+    byte-identical to what ``run_ecohmem`` would have fed the production
+    run for the same query.  ``status`` is ``"ok"`` or ``"error"``; an
+    errored report carries the message and no placement.  All fields are
+    deterministic functions of the request and the profile, so equality
+    (``==``, every float exact) across serving modes is the service's
+    correctness contract.
+    """
+
+    request: AdvisoryRequest
+    status: str
+    error: Optional[str] = None
+    report_text: Optional[str] = None
+    fallback: Optional[str] = None
+    #: bytes assigned per subsystem (node-level: object size x ranks)
+    bytes_by_subsystem: Dict[str, int] = field(default_factory=dict)
+    objects_placed: int = 0
+    #: cache accounting — excluded from equality so batched and
+    #: sequential reports compare equal regardless of cache temperature
+    profile_key: Optional[str] = field(default=None, compare=False)
+    #: True when the profile came from a cache (artifact store or memo)
+    profile_cached: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"

@@ -1,0 +1,129 @@
+"""Persistent advisory report storage keyed by (workload, config, seed).
+
+Every ``"ok"`` report the server produces is published here, so a repeat
+query — same profile source, same memory config, same seed — can be
+answered from disk by any later server (or inspected offline) without
+recomputing the placement.  The identity covers everything the report
+depends on *except* the session: sessions scope listings inside one
+server, not the durable artifact.
+
+Publish follows the same crash-safety contract as the artifact store:
+payload written to a temp file, ``os.replace`` into place, torn or
+foreign files read as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.sweep.codec import canonical, decode, encode
+from repro.service.protocol import AdvisoryReport, AdvisoryRequest
+
+_REPORT_VERSION = 1
+
+
+def report_identity(request: AdvisoryRequest) -> str:
+    """The durable key of a request's report: profile source + config + seed."""
+    material = canonical({
+        "workload": request.workload,
+        "trace": request.trace,
+        "system": request.system,
+        "dram_limit": request.dram_limit,
+        "use_stores": request.use_stores,
+        "algorithm": request.algorithm,
+        "stack_format": request.stack_format,
+        "seed": request.seed,
+        "pebs_hz": request.pebs_hz,
+        "profile_ranks": request.profile_ranks,
+        "rank_jitter": request.rank_jitter,
+        "version": _REPORT_VERSION,
+    })
+    return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+
+class ReportStore:
+    """Sharded on-disk store of advisory reports."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, identity: str) -> Path:
+        return self.root / identity[:2] / f"report-{identity}.json"
+
+    def put(self, report: AdvisoryReport) -> str:
+        identity = report_identity(report.request)
+        path = self._path(identity)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump({"version": _REPORT_VERSION,
+                               "report": encode(report)}, fh)
+                os.replace(tmp, path)
+                self.puts += 1
+            finally:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        except OSError:
+            pass  # best-effort persistence; the caller keeps the report
+        return identity
+
+    def get(self, request: AdvisoryRequest) -> Optional[AdvisoryReport]:
+        return self.get_identity(report_identity(request))
+
+    def get_identity(self, identity: str) -> Optional[AdvisoryReport]:
+        try:
+            data = json.loads(self._path(identity).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(data, dict) or data.get("version") != _REPORT_VERSION:
+            self.misses += 1
+            return None
+        try:
+            report = decode(data["report"])
+        except Exception:
+            self.misses += 1
+            return None
+        if not isinstance(report, AdvisoryReport):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def identities(self) -> List[str]:
+        """Every stored report identity, sorted."""
+        out = []
+        if not self.root.exists():
+            return out
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("report-*.json")):
+                out.append(path.stem[len("report-"):])
+        return out
+
+
+def resolve_report_store(
+    store: "Union[ReportStore, str, Path, None]" = None,
+) -> Optional[ReportStore]:
+    """Explicit store/path wins; else ``REPRO_SERVICE_REPORT_DIR``; else off."""
+    if isinstance(store, ReportStore):
+        return store
+    if store is not None:
+        return ReportStore(store)
+    root = os.environ.get("REPRO_SERVICE_REPORT_DIR")
+    if not root:
+        return None
+    return ReportStore(root)

@@ -1,0 +1,579 @@
+"""The concurrent placement server.
+
+Architecture (stdlib only):
+
+- ``submit()`` enqueues ``(request, future)`` pairs;
+- a dispatcher thread drains the queue, holding the first request for a
+  short **batch window** (``REPRO_SERVICE_BATCH_WINDOW_MS``) so
+  concurrent arrivals coalesce, up to ``REPRO_SERVICE_MAX_BATCH``;
+- the batch is split into groups by **profile identity** (the profile
+  artifact key for workload requests, the file path for trace requests)
+  and each group runs on a ``ThreadPoolExecutor`` worker
+  (``REPRO_SERVICE_WORKERS``);
+- a group pays one profile load (artifact store → profile store →
+  tracer, whichever hits first) and one vectorized
+  :func:`~repro.advisor.density.density_batch` pass for *all* its
+  density queries; bandwidth-aware queries run individually (they embed
+  an engine observation run) against the same loaded profile.
+
+Request failures are isolated: a bad request errors its own report,
+never the batch.  Results are bit-identical to serving each query alone
+— :func:`sequential_advisory` is the retained scalar oracle (per-query
+Python-sort ranking) the test suite and perf bench compare against.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.advisor import HMemAdvisor, Placement, density_batch
+from repro.advisor.config import config_for_system
+from repro.advisor.density import density_placement_scalar
+from repro.apps import get_workload
+from repro.apps.sites import SiteRegistry
+from repro.binary.callstack import StackFormat
+from repro.errors import ReproError
+from repro.pipeline.artifacts import ArtifactStore, resolve_artifact_store
+from repro.pipeline.stages import (
+    ProfileSpec,
+    bandwidth_observer,
+    profile_stage,
+)
+from repro.profiling.cache import ProfileStore, _decode_profile, _encode_profile
+from repro.profiling.paramedir import Paramedir
+from repro.profiling.trace import Trace
+from repro.runtime.engine import EngineParams
+from repro.service.protocol import (
+    AdvisoryReport,
+    AdvisoryRequest,
+    system_for_name,
+)
+from repro.service.reports import ReportStore, resolve_report_store
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServiceStats:
+    """Counters for one server's lifetime (cold/warm hit accounting)."""
+
+    requests: int = 0
+    batches: int = 0
+    #: requests answered by the largest single batch group
+    max_group: int = 0
+    #: profile loads actually performed (tracer, artifact or disk cache)
+    profile_loads: int = 0
+    #: groups answered from the in-process profile memo (no load at all)
+    memo_hits: int = 0
+    errors: int = 0
+    bw_aware: int = 0
+
+
+@dataclass
+class _LoadedProfile:
+    profiles: dict
+    objects: dict
+    ranks: int
+    profile_key: Optional[str]
+    cached: bool
+    workload: Optional[object] = None  # Workload for bw-aware requests
+
+
+class ServiceSession:
+    """A named view of the server: submissions tagged, listings scoped."""
+
+    def __init__(self, server: "PlacementServer", name: str):
+        self.server = server
+        self.name = name
+
+    def submit(self, request: AdvisoryRequest) -> "Future[AdvisoryReport]":
+        return self.server.submit(request.with_session(self.name))
+
+    def query(self, request: AdvisoryRequest) -> AdvisoryReport:
+        return self.submit(request).result()
+
+    def query_many(self, requests: Sequence[AdvisoryRequest]) -> List[AdvisoryReport]:
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def reports(self) -> List[AdvisoryReport]:
+        return self.server.session_reports(self.name)
+
+
+class PlacementServer:
+    """Long-running advisory service over the staged pipeline."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        batch_window_ms: Optional[float] = None,
+        max_batch: Optional[int] = None,
+        artifact_store: "ArtifactStore | str | None" = None,
+        report_store: "ReportStore | str | None" = None,
+        profile_store: Optional[ProfileStore] = None,
+        engine_params: Optional[EngineParams] = None,
+    ):
+        self.workers = workers or _env_int("REPRO_SERVICE_WORKERS", 4)
+        self.batch_window_s = (
+            batch_window_ms
+            if batch_window_ms is not None
+            else _env_float("REPRO_SERVICE_BATCH_WINDOW_MS", 5.0)
+        ) / 1000.0
+        self.max_batch = max_batch or _env_int("REPRO_SERVICE_MAX_BATCH", 64)
+        self.artifact_store = resolve_artifact_store(artifact_store)
+        self.report_store = resolve_report_store(report_store)
+        self.profile_store = profile_store
+        self.engine_params = engine_params or EngineParams()
+        self.stats = ServiceStats()
+
+        self._queue: "queue.Queue" = queue.Queue()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._profile_memo: Dict[str, _LoadedProfile] = {}
+        self._memo_lock = threading.Lock()
+        #: request-identity -> group key; only the dispatcher touches it
+        self._gkey_memo: Dict[tuple, str] = {}
+        self._session_reports: Dict[str, List[AdvisoryReport]] = {}
+        self._session_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "PlacementServer":
+        if self._dispatcher is not None:
+            return self
+        self._stopping.clear()
+        self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="placement-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        if self._dispatcher is None:
+            return
+        self._stopping.set()
+        self._queue.put(None)  # wake the dispatcher
+        self._dispatcher.join()
+        self._dispatcher = None
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    def __enter__(self) -> "PlacementServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, request: AdvisoryRequest) -> "Future[AdvisoryReport]":
+        if self._dispatcher is None:
+            raise ReproError("server is not running (use `with PlacementServer(...)`)")
+        future: "Future[AdvisoryReport]" = Future()
+        self._queue.put((request, future))
+        return future
+
+    def query(self, request: AdvisoryRequest) -> AdvisoryReport:
+        return self.submit(request).result()
+
+    def query_many(self, requests: Sequence[AdvisoryRequest]) -> List[AdvisoryReport]:
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def session(self, name: str) -> ServiceSession:
+        return ServiceSession(self, name)
+
+    def session_reports(self, name: str) -> List[AdvisoryReport]:
+        with self._session_lock:
+            return list(self._session_reports.get(name, []))
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        import time
+
+        while True:
+            item = self._queue.get()
+            if item is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            batch = [item]
+            deadline = time.monotonic() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    if self._stopping.is_set():
+                        self._fail_batch(batch, "server stopped")
+                        return
+                    continue
+                batch.append(nxt)
+            self.stats.batches += 1
+
+            groups: Dict[str, List[Tuple[AdvisoryRequest, Future]]] = {}
+            for request, future in batch:
+                try:
+                    request.validate()
+                    gkey = self._group_key(request)
+                except Exception as exc:
+                    self._resolve(
+                        future,
+                        AdvisoryReport(request=request, status="error",
+                                       error=str(exc)),
+                        request,
+                    )
+                    continue
+                groups.setdefault(gkey, []).append((request, future))
+            assert self._executor is not None
+            for gkey, items in groups.items():
+                self.stats.max_group = max(self.stats.max_group, len(items))
+                self._executor.submit(self._run_group, gkey, items)
+
+    def _fail_batch(self, batch, message: str) -> None:
+        for request, future in batch:
+            self._resolve(
+                future,
+                AdvisoryReport(request=request, status="error", error=message),
+                request,
+            )
+
+    # -- profile loading -------------------------------------------------------
+
+    def _group_key(self, request: AdvisoryRequest) -> str:
+        if request.trace is not None:
+            return f"trace:{request.trace}"
+        # the spec key hashes the workload fingerprint — too slow to
+        # recompute per request on the dispatcher thread, and a pure
+        # function of these fields, so memoized (dispatcher-only state)
+        ident = (request.workload, request.seed, request.stack_format,
+                 request.pebs_hz, request.profile_ranks, request.rank_jitter)
+        key = self._gkey_memo.get(ident)
+        if key is None:
+            wl = get_workload(request.workload)
+            spec = ProfileSpec.for_workload(
+                wl,
+                seed=request.seed,
+                stack_format=StackFormat(request.stack_format),
+                pebs_hz=request.pebs_hz,
+                profile_ranks=request.profile_ranks,
+                rank_jitter=request.rank_jitter,
+            )
+            key = spec.key()
+            self._gkey_memo[ident] = key
+        return key
+
+    def _load_profiles(self, gkey: str, request: AdvisoryRequest) -> _LoadedProfile:
+        with self._memo_lock:
+            memo = self._profile_memo.get(gkey)
+        if memo is not None:
+            self.stats.memo_hits += 1
+            return memo
+
+        if request.trace is not None:
+            loaded = self._load_trace_profiles(request)
+        else:
+            wl = get_workload(request.workload)
+            store = self.artifact_store
+            cached = store.contains(gkey) if store is not None else False
+            profiles, key = profile_stage(
+                wl,
+                seed=request.seed,
+                stack_format=StackFormat(request.stack_format),
+                pebs_hz=request.pebs_hz,
+                profile_ranks=request.profile_ranks,
+                rank_jitter=request.rank_jitter,
+                profile_store=self.profile_store,
+                artifact_store=store,
+            )
+            objects = HMemAdvisor.objects_from_profiles(profiles)
+            loaded = _LoadedProfile(
+                profiles=profiles, objects=objects, ranks=wl.ranks,
+                profile_key=key, cached=cached, workload=wl,
+            )
+        self.stats.profile_loads += 1
+        with self._memo_lock:
+            self._profile_memo[gkey] = loaded
+        return loaded
+
+    def _load_trace_profiles(self, request: AdvisoryRequest) -> _LoadedProfile:
+        """Analyze a trace file; artifact-cache the profiles by content."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            open(request.trace, "rb").read()).hexdigest()[:32]
+        store = self.artifact_store
+        key = None
+        if store is not None:
+            from repro.pipeline.artifacts import artifact_key
+
+            key = artifact_key("trace-profile", {"digest": digest})
+            payload = store.get(key)
+            if payload is not None:
+                try:
+                    profiles = {}
+                    for entry in payload["profiles"]:
+                        prof = _decode_profile(entry)
+                        profiles[prof.site_key] = prof
+                    objects = HMemAdvisor.objects_from_profiles(profiles)
+                    return _LoadedProfile(
+                        profiles=profiles, objects=objects,
+                        ranks=int(payload.get("ranks", 1)),
+                        profile_key=key, cached=True,
+                    )
+                except Exception:
+                    pass
+        trace = Trace.load(request.trace)
+        profiles = Paramedir().analyze(trace)
+        if store is not None and key is not None:
+            store.put(key, {
+                "profiles": [_encode_profile(p) for p in profiles.values()],
+                "ranks": trace.meta.ranks,
+            })
+        objects = HMemAdvisor.objects_from_profiles(profiles)
+        return _LoadedProfile(
+            profiles=profiles, objects=objects, ranks=trace.meta.ranks,
+            profile_key=key, cached=False,
+        )
+
+    # -- batch execution -------------------------------------------------------
+
+    def _run_group(self, gkey: str, items: List[Tuple[AdvisoryRequest, Future]]) -> None:
+        try:
+            loaded = self._load_profiles(gkey, items[0][0])
+        except Exception as exc:
+            for request, future in items:
+                self._resolve(
+                    future,
+                    AdvisoryReport(request=request, status="error",
+                                   error=str(exc)),
+                    request,
+                )
+            return
+
+        density: List[Tuple[AdvisoryRequest, Future, object, object]] = []
+        for request, future in items:
+            if request.algorithm == "bw-aware":
+                self._run_bw_aware(request, future, loaded)
+                continue
+            try:
+                system = system_for_name(request.system)
+                config = self._config_for(request, loaded)
+                HMemAdvisor(system, config).validate_feasible(loaded.objects)
+            except Exception as exc:
+                self._resolve(
+                    future,
+                    AdvisoryReport(request=request, status="error",
+                                   error=str(exc)),
+                    request,
+                )
+                continue
+            density.append((request, future, system, config))
+
+        if not density:
+            return
+        # the coalesced fast path: one vectorized pass for the whole group
+        queries = [(system, config) for _, _, system, config in density]
+        try:
+            placements = density_batch(loaded.objects, queries)
+        except Exception as exc:
+            for request, future, _, _ in density:
+                self._resolve(
+                    future,
+                    AdvisoryReport(request=request, status="error",
+                                   error=str(exc)),
+                    request,
+                )
+            return
+        for (request, future, system, config), placement in zip(
+                density, placements):
+            report = self._to_report(request, loaded, system, config, placement)
+            self._resolve(future, report, request)
+
+    def _run_bw_aware(
+        self, request: AdvisoryRequest, future: Future, loaded: _LoadedProfile
+    ) -> None:
+        self.stats.bw_aware += 1
+        try:
+            if loaded.workload is None:
+                raise ReproError(
+                    "bw-aware advisories need a registered workload "
+                    "(the observation run replays its allocations)"
+                )
+            system = system_for_name(request.system)
+            config = self._config_for(request, loaded)
+            advisor = HMemAdvisor(system, config)
+            advisor.validate_feasible(loaded.objects)
+            base = advisor.advise_density(loaded.objects)
+            observe = bandwidth_observer(
+                loaded.workload, system, SiteRegistry(loaded.workload),
+                dram_limit=request.dram_limit,
+                stack_format=StackFormat(request.stack_format),
+                seed=request.seed, engine_params=self.engine_params,
+            )
+            observations = observe(advisor, base, loaded.objects)
+            result = advisor.advise_bandwidth_aware(
+                loaded.objects, observations, base=base)
+            report = self._to_report(
+                request, loaded, system, config, result.placement)
+        except Exception as exc:
+            report = AdvisoryReport(request=request, status="error",
+                                    error=str(exc))
+        self._resolve(future, report, request)
+
+    def _config_for(self, request: AdvisoryRequest, loaded: _LoadedProfile):
+        system = system_for_name(request.system)
+        config = config_for_system(
+            system, request.dram_limit, ranks=loaded.ranks
+        ).with_dram_limit(request.dram_limit)
+        if not request.use_stores:
+            config = config.loads_only()
+        return config
+
+    def _to_report(
+        self, request: AdvisoryRequest, loaded: _LoadedProfile,
+        system, config, placement: Placement,
+    ) -> AdvisoryReport:
+        fmt = StackFormat(request.stack_format)
+        advisor = HMemAdvisor(system, config)
+        text = advisor.to_report(placement, fmt).dumps()
+        bytes_by = {
+            name: placement.bytes_in(name, loaded.objects, ranks=config.ranks)
+            for name in placement.subsystems
+        }
+        return AdvisoryReport(
+            request=request,
+            status="ok",
+            report_text=text,
+            fallback=placement.fallback,
+            bytes_by_subsystem=bytes_by,
+            objects_placed=len(placement),
+            profile_key=loaded.profile_key,
+            profile_cached=loaded.cached,
+        )
+
+    def _resolve(
+        self, future: Future, report: AdvisoryReport, request: AdvisoryRequest
+    ) -> None:
+        self.stats.requests += 1
+        if report.status == "error":
+            self.stats.errors += 1
+        else:
+            if self.report_store is not None:
+                self.report_store.put(report)
+        with self._session_lock:
+            self._session_reports.setdefault(request.session, []).append(report)
+        future.set_result(report)
+
+
+def sequential_advisory(
+    request: AdvisoryRequest,
+    *,
+    profile_store: Optional[ProfileStore] = None,
+    artifact_store: "ArtifactStore | str | None" = None,
+    engine_params: Optional[EngineParams] = None,
+) -> AdvisoryReport:
+    """The retained per-query oracle: no server, no batching, scalar ranking.
+
+    Loads the profile through the same stages, then ranks with the
+    original per-object Python sort (:func:`density_placement_scalar`).
+    A batched server answer must compare ``==`` to this, float for
+    float — the bit-identity contract of the coalescing fast path.
+    """
+    try:
+        request.validate()
+        if request.trace is not None:
+            trace = Trace.load(request.trace)
+            profiles = Paramedir().analyze(trace)
+            ranks = trace.meta.ranks
+            wl = None
+            key = None
+        else:
+            wl = get_workload(request.workload)
+            profiles, key = profile_stage(
+                wl,
+                seed=request.seed,
+                stack_format=StackFormat(request.stack_format),
+                pebs_hz=request.pebs_hz,
+                profile_ranks=request.profile_ranks,
+                rank_jitter=request.rank_jitter,
+                profile_store=profile_store,
+                artifact_store=artifact_store,
+            )
+            ranks = wl.ranks
+        system = system_for_name(request.system)
+        config = config_for_system(
+            system, request.dram_limit, ranks=ranks
+        ).with_dram_limit(request.dram_limit)
+        if not request.use_stores:
+            config = config.loads_only()
+        advisor = HMemAdvisor(system, config)
+        objects = advisor.objects_from_profiles(profiles)
+        advisor.validate_feasible(objects)
+        if request.algorithm == "bw-aware":
+            if wl is None:
+                raise ReproError(
+                    "bw-aware advisories need a registered workload "
+                    "(the observation run replays its allocations)"
+                )
+            base = density_placement_scalar(objects, system, config)
+            observe = bandwidth_observer(
+                wl, system, SiteRegistry(wl),
+                dram_limit=request.dram_limit,
+                stack_format=StackFormat(request.stack_format),
+                seed=request.seed,
+                engine_params=engine_params or EngineParams(),
+            )
+            observations = observe(advisor, base, objects)
+            placement = advisor.advise_bandwidth_aware(
+                objects, observations, base=base).placement
+        else:
+            placement = density_placement_scalar(objects, system, config)
+        fmt = StackFormat(request.stack_format)
+        text = advisor.to_report(placement, fmt).dumps()
+        return AdvisoryReport(
+            request=request,
+            status="ok",
+            report_text=text,
+            fallback=placement.fallback,
+            bytes_by_subsystem={
+                name: placement.bytes_in(name, objects, ranks=config.ranks)
+                for name in placement.subsystems
+            },
+            objects_placed=len(placement),
+            profile_key=key,
+        )
+    except Exception as exc:
+        return AdvisoryReport(request=request, status="error", error=str(exc))

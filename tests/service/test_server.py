@@ -1,0 +1,340 @@
+"""The placement server (repro.service).
+
+The service's contract is bit-identity across serving modes: a batched,
+coalesced, multi-threaded answer must compare ``==`` — every float exact
+— to the per-query scalar-oracle path (:func:`sequential_advisory`), and
+to itself regardless of cache temperature.  On top of that: sessions see
+only their own reports, errors stay isolated to their own request, and
+the artifact/report stores account cold vs warm hits honestly.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.sweep import codec
+from repro.pipeline import ArtifactStore
+from repro.profiling.cache import ProfileStore
+from repro.service import (
+    AdvisoryReport,
+    AdvisoryRequest,
+    PlacementServer,
+    ReportStore,
+    resolve_report_store,
+    sequential_advisory,
+    system_for_name,
+)
+from repro.service.reports import report_identity
+from repro.units import GiB
+
+
+@pytest.fixture(autouse=True)
+def _no_service_env(monkeypatch):
+    for var in ("REPRO_ARTIFACT_DIR", "REPRO_SERVICE_WORKERS",
+                "REPRO_SERVICE_BATCH_WINDOW_MS", "REPRO_SERVICE_MAX_BATCH",
+                "REPRO_SERVICE_REPORT_DIR"):
+        monkeypatch.delenv(var, raising=False)
+
+
+@pytest.fixture(scope="module")
+def shared_profile_store():
+    return ProfileStore()
+
+
+def _requests(n=6, workload="minife"):
+    return [
+        AdvisoryRequest(
+            workload=workload,
+            dram_limit=(2 + (i % 13)) * GiB,
+            use_stores=(i % 3 != 0),
+        )
+        for i in range(n)
+    ]
+
+
+class TestProtocol:
+    def test_request_needs_exactly_one_source(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            AdvisoryRequest(dram_limit=GiB).validate()
+        with pytest.raises(ConfigError):
+            AdvisoryRequest(dram_limit=GiB, workload="minife",
+                            trace="t.jsonl").validate()
+        AdvisoryRequest(dram_limit=GiB, workload="minife").validate()
+
+    def test_request_rejects_bad_fields(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            AdvisoryRequest(dram_limit=0, workload="minife").validate()
+        with pytest.raises(ConfigError):
+            AdvisoryRequest(dram_limit=GiB, workload="minife",
+                            algorithm="magic").validate()
+        with pytest.raises(ConfigError):
+            AdvisoryRequest(dram_limit=GiB, workload="minife",
+                            system="optane9").validate()
+
+    def test_system_names(self):
+        assert system_for_name("pmem6").fallback.name == "pmem"
+        assert system_for_name("hbm-dram-pmem").names == [
+            "hbm", "dram", "pmem"]
+
+    def test_report_roundtrips_through_codec(self, shared_profile_store):
+        report = sequential_advisory(
+            _requests(1)[0], profile_store=shared_profile_store)
+        assert report.ok
+        again = codec.decode(codec.encode(report))
+        assert again == report
+
+    def test_cache_fields_do_not_affect_equality(self):
+        req = AdvisoryRequest(dram_limit=GiB, workload="minife")
+        a = AdvisoryReport(request=req, status="ok", profile_key="abc",
+                           profile_cached=True)
+        b = AdvisoryReport(request=req, status="ok", profile_key=None,
+                           profile_cached=False)
+        assert a == b
+
+
+class TestEndToEnd:
+    def test_round_trip(self, shared_profile_store):
+        req = AdvisoryRequest(workload="minife", dram_limit=8 * GiB)
+        with PlacementServer(workers=2,
+                             profile_store=shared_profile_store) as srv:
+            report = srv.query(req)
+        assert report.ok
+        assert report.report_text.startswith("# ecohmem-placement")
+        assert report.fallback == "pmem"
+        assert set(report.bytes_by_subsystem) == {"dram", "pmem"}
+        assert report.bytes_by_subsystem["dram"] <= 8 * GiB
+        assert report.objects_placed > 0
+
+    def test_matches_run_ecohmem_report(self, shared_profile_store):
+        # the service's report_text is the exact FlexMalloc artifact the
+        # full pipeline would have produced for the same query
+        from repro.apps import get_workload
+        from repro.experiments.harness import run_ecohmem
+        from repro.memsim.subsystem import pmem6_system
+
+        eco = run_ecohmem(get_workload("minife"), pmem6_system(),
+                          dram_limit=8 * GiB,
+                          profile_store=shared_profile_store)
+        with PlacementServer(workers=2,
+                             profile_store=shared_profile_store) as srv:
+            report = srv.query(
+                AdvisoryRequest(workload="minife", dram_limit=8 * GiB))
+        assert report.report_text == eco.report.dumps()
+
+    def test_trace_request(self, shared_profile_store, tmp_path):
+        from repro.apps import get_workload
+        from repro.profiling.pebs import PEBSConfig
+        from repro.profiling.tracer import ExtraeTracer, TracerConfig
+
+        wl = get_workload("minife")
+        tracer = ExtraeTracer(
+            wl, TracerConfig(seed=11, pebs=PEBSConfig(frequency_hz=100.0)))
+        trace = tracer.run(rank=0, aslr_seed=1011)
+        path = tmp_path / "minife.jsonl"
+        trace.dump(str(path))
+
+        req = AdvisoryRequest(trace=str(path), dram_limit=8 * GiB)
+        with PlacementServer(workers=2) as srv:
+            batched = srv.query(req)
+        assert batched.ok
+        assert batched == sequential_advisory(req)
+
+    def test_submit_requires_running_server(self):
+        from repro.errors import ReproError
+
+        srv = PlacementServer()
+        with pytest.raises(ReproError):
+            srv.submit(AdvisoryRequest(workload="minife", dram_limit=GiB))
+
+    def test_error_isolation(self, shared_profile_store):
+        reqs = [
+            AdvisoryRequest(workload="minife", dram_limit=8 * GiB),
+            AdvisoryRequest(workload="no-such-wl", dram_limit=8 * GiB),
+            AdvisoryRequest(workload="minife", dram_limit=8 * GiB,
+                            system="pmem2"),
+        ]
+        with PlacementServer(workers=2,
+                             profile_store=shared_profile_store) as srv:
+            out = srv.query_many(reqs)
+            assert srv.stats.errors == 1
+        assert out[0].ok and out[2].ok
+        assert not out[1].ok
+        assert "no-such-wl" in out[1].error
+        # errored requests still compare == to the sequential oracle
+        assert out[1] == sequential_advisory(reqs[1])
+
+
+class TestCoalescingIdentity:
+    def test_concurrent_equals_sequential(self, shared_profile_store):
+        """K coalesced concurrent queries == K sequential oracle queries.
+
+        Every float in every report must be exactly equal — the batch
+        shares one profile load and one vectorized ranking pass, but the
+        answers must be indistinguishable from serving each alone.
+        """
+        reqs = _requests(12)
+        with PlacementServer(workers=4, batch_window_ms=50.0,
+                             max_batch=len(reqs),
+                             profile_store=shared_profile_store) as srv:
+            batched = srv.query_many(reqs)
+            stats = srv.stats
+        assert stats.max_group == len(reqs), "queries did not coalesce"
+        assert stats.profile_loads + stats.memo_hits >= 1
+        sequential = [sequential_advisory(r,
+                                          profile_store=shared_profile_store)
+                      for r in reqs]
+        for b, s in zip(batched, sequential):
+            assert b.ok and s.ok, (b.error, s.error)
+            assert b == s
+
+    def test_batched_equals_one_by_one_service(self, shared_profile_store):
+        # same server, zero batch window: each query its own batch
+        reqs = _requests(6)
+        with PlacementServer(workers=2, batch_window_ms=50.0,
+                             max_batch=len(reqs),
+                             profile_store=shared_profile_store) as srv:
+            coalesced = srv.query_many(reqs)
+        with PlacementServer(workers=1, batch_window_ms=0.0, max_batch=1,
+                             profile_store=shared_profile_store) as srv:
+            singles = [srv.query(r) for r in reqs]
+            assert srv.stats.batches == len(reqs)
+        assert coalesced == singles
+
+    def test_mixed_algorithms_coalesce(self, shared_profile_store):
+        reqs = _requests(4) + [
+            AdvisoryRequest(workload="minife", dram_limit=12 * GiB,
+                            algorithm="bw-aware"),
+        ]
+        with PlacementServer(workers=2, batch_window_ms=50.0,
+                             max_batch=len(reqs),
+                             profile_store=shared_profile_store) as srv:
+            batched = srv.query_many(reqs)
+            assert srv.stats.bw_aware == 1
+        for b, r in zip(batched, reqs):
+            assert b.ok
+            assert b == sequential_advisory(
+                r, profile_store=shared_profile_store)
+
+
+class TestSessions:
+    def test_session_isolation(self, shared_profile_store):
+        with PlacementServer(workers=2,
+                             profile_store=shared_profile_store) as srv:
+            alice = srv.session("alice")
+            bob = srv.session("bob")
+            a1 = alice.query(
+                AdvisoryRequest(workload="minife", dram_limit=4 * GiB))
+            b1 = bob.query(
+                AdvisoryRequest(workload="minife", dram_limit=8 * GiB))
+            a2 = alice.query(
+                AdvisoryRequest(workload="minife", dram_limit=12 * GiB))
+
+            assert alice.reports() == [a1, a2]
+            assert bob.reports() == [b1]
+            # session tagging never leaks into the placement answer
+            assert a1.request.session == "alice"
+            assert b1.request.session == "bob"
+
+    def test_default_session_collects_untagged(self, shared_profile_store):
+        with PlacementServer(workers=2,
+                             profile_store=shared_profile_store) as srv:
+            r = srv.query(
+                AdvisoryRequest(workload="minife", dram_limit=8 * GiB))
+            assert srv.session_reports("default") == [r]
+            assert srv.session_reports("other") == []
+
+    def test_session_identity_matches_unsessioned(self, shared_profile_store):
+        # the session name is excluded from the report identity, so the
+        # same query from two sessions persists to one report slot
+        base = AdvisoryRequest(workload="minife", dram_limit=8 * GiB)
+        assert report_identity(base) == report_identity(
+            base.with_session("alice"))
+
+
+class TestStores:
+    def test_cold_then_warm_artifact_accounting(self, tmp_path):
+        astore = ArtifactStore(tmp_path / "artifacts")
+        req = AdvisoryRequest(workload="minife", dram_limit=8 * GiB)
+
+        with PlacementServer(workers=2, artifact_store=astore,
+                             profile_store=ProfileStore()) as srv:
+            cold = srv.query(req)
+            assert srv.stats.profile_loads == 1
+        assert astore.puts == 1
+        assert not cold.profile_cached
+
+        # a new server over the same artifact dir: the profile artifact
+        # is the only thing standing between it and the tracer
+        with PlacementServer(workers=2, artifact_store=astore,
+                             profile_store=ProfileStore()) as srv:
+            warm = srv.query(req)
+            assert srv.stats.profile_loads == 1
+        assert astore.hits >= 1
+        assert warm.profile_cached
+        assert warm.profile_key == cold.profile_key
+        assert warm == cold  # cache temperature cannot change the answer
+
+    def test_memo_hit_accounting(self, shared_profile_store):
+        req = AdvisoryRequest(workload="minife", dram_limit=8 * GiB)
+        with PlacementServer(workers=2, batch_window_ms=0.0, max_batch=1,
+                             profile_store=shared_profile_store) as srv:
+            first = srv.query(req)
+            second = srv.query(
+                AdvisoryRequest(workload="minife", dram_limit=4 * GiB))
+            assert srv.stats.profile_loads == 1
+            assert srv.stats.memo_hits == 1
+        assert first.ok and second.ok
+
+    def test_report_store_persists_ok_reports(self, tmp_path,
+                                              shared_profile_store):
+        rstore = ReportStore(tmp_path / "reports")
+        reqs = _requests(3) + [
+            AdvisoryRequest(workload="no-such-wl", dram_limit=GiB)]
+        with PlacementServer(workers=2, report_store=rstore,
+                             profile_store=shared_profile_store) as srv:
+            out = srv.query_many(reqs)
+        assert rstore.puts == 3  # the errored report is not persisted
+        for report in out[:3]:
+            assert rstore.get(report.request) == report
+        assert rstore.get(reqs[3]) is None
+        assert len(rstore.identities()) == 3
+
+    def test_report_store_keyed_by_workload_config_seed(self, tmp_path):
+        rstore = ReportStore(tmp_path / "reports")
+        a = AdvisoryRequest(workload="minife", dram_limit=8 * GiB, seed=11)
+        b = AdvisoryRequest(workload="minife", dram_limit=8 * GiB, seed=12)
+        c = AdvisoryRequest(workload="minife", dram_limit=4 * GiB, seed=11)
+        assert len({report_identity(r) for r in (a, b, c)}) == 3
+
+    def test_resolve_report_store(self, tmp_path, monkeypatch):
+        assert resolve_report_store(None) is None
+        monkeypatch.setenv("REPRO_SERVICE_REPORT_DIR",
+                           str(tmp_path / "envreports"))
+        via_env = resolve_report_store(None)
+        assert isinstance(via_env, ReportStore)
+        explicit = ReportStore(tmp_path / "mine")
+        assert resolve_report_store(explicit) is explicit
+        assert resolve_report_store(str(tmp_path / "p")).root == tmp_path / "p"
+
+
+class TestEnvKnobs:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "7")
+        monkeypatch.setenv("REPRO_SERVICE_BATCH_WINDOW_MS", "12.5")
+        monkeypatch.setenv("REPRO_SERVICE_MAX_BATCH", "9")
+        srv = PlacementServer()
+        assert srv.workers == 7
+        assert srv.batch_window_s == pytest.approx(0.0125)
+        assert srv.max_batch == 9
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "7")
+        assert PlacementServer(workers=2).workers == 2
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "many")
+        assert PlacementServer().workers == 4

@@ -118,3 +118,74 @@ class TestValidateTrace:
     def test_oracle_mode_degraded(self, trace_dir, capsys):
         assert main(["validate-trace", str(trace_dir / "dirty.jsonl"),
                      "--oracle"]) == 1
+
+
+class TestQueryServe:
+    def test_query_summary(self, capsys):
+        assert main(["query", "--workload", "minife",
+                     "--dram-limit-gb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "status    : ok" in out
+        assert "dram" in out and "pmem" in out
+
+    def test_query_report_matches_report_command(self, capsys):
+        assert main(["report", "minife", "--dram-limit-gb", "8"]) == 0
+        via_report = capsys.readouterr().out
+        assert main(["query", "--workload", "minife",
+                     "--dram-limit-gb", "8", "--report"]) == 0
+        assert capsys.readouterr().out == via_report
+
+    def test_query_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--dram-limit-gb", "8"])
+
+    def test_query_unknown_workload_errors(self, capsys):
+        assert main(["query", "--workload", "nope",
+                     "--dram-limit-gb", "8"]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_serve_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.sweep import codec
+        from repro.service import AdvisoryReport, sequential_advisory
+
+        reqs = tmp_path / "requests.jsonl"
+        reqs.write_text(
+            '{"workload": "minife", "dram_limit_gb": 2}\n'
+            "# comments and blank lines are skipped\n"
+            "\n"
+            '{"workload": "minife", "dram_limit_gb": 8, "use_stores": false}\n'
+            '{"workload": "minife", "dram_limit_gb": 12, "seed": 11}\n'
+        )
+        out_path = tmp_path / "reports.jsonl"
+        assert main(["serve", "--requests", str(reqs),
+                     "--out", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 3
+        reports = [codec.decode(json.loads(line)) for line in lines]
+        for report in reports:
+            assert isinstance(report, AdvisoryReport)
+            assert report.ok
+            # the served answer round-trips to == the sequential oracle
+            assert report == sequential_advisory(report.request)
+
+    def test_serve_reports_errors_in_exit_code(self, tmp_path, capsys):
+        reqs = tmp_path / "requests.jsonl"
+        reqs.write_text('{"workload": "nope", "dram_limit_gb": 8}\n')
+        out_path = tmp_path / "reports.jsonl"
+        assert main(["serve", "--requests", str(reqs),
+                     "--out", str(out_path)]) == 1
+        assert len(out_path.read_text().splitlines()) == 1
+
+    def test_serve_rejects_bad_request_line(self, tmp_path):
+        reqs = tmp_path / "requests.jsonl"
+        reqs.write_text('{"workload": "minife"\n')
+        with pytest.raises(SystemExit, match="bad request"):
+            main(["serve", "--requests", str(reqs)])
+
+    def test_serve_rejects_empty_file(self, tmp_path):
+        reqs = tmp_path / "requests.jsonl"
+        reqs.write_text("\n")
+        with pytest.raises(SystemExit, match="no requests"):
+            main(["serve", "--requests", str(reqs)])

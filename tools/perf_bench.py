@@ -37,14 +37,23 @@ Three sections, mirroring the three optimisation layers:
     path (work-stealing dispatch + shared profile cache + mmap trace
     store + manifest journal) vs a warm manifest resume of the same
     sweep, asserting every path bit-identical.
+``service``
+    The placement server's coalesced advisory path (one profile load +
+    one vectorized ``density_batch`` pass per group) against the naive
+    per-query ``run_ecohmem`` loop on a warm profile, asserting every
+    batched report ``==`` its sequential scalar-oracle report (every
+    float exact) and a >= 20x queries/second floor — in quick mode too.
 
 Usage::
 
     PYTHONPATH=src python tools/perf_bench.py [--quick] [--jobs N]
-        [-o BENCH_pipeline.json]
+        [--section NAME ...] [-o BENCH_pipeline.json]
 
 ``--quick`` shrinks the streams and the sweep for CI smoke runs; the
-speedup assertions (kernel >= 10x) only apply to the full run.
+speedup assertions (kernel >= 10x) only apply to the full run, except
+the service floor which always holds.  ``--section`` (repeatable) runs a
+subset; the output JSON is then merged over the existing file so CI jobs
+each refresh only their own sections.
 """
 
 from __future__ import annotations
@@ -458,113 +467,230 @@ def bench_replay(quick: bool) -> dict:
     }
 
 
+def bench_service(quick: bool) -> dict:
+    """The coalesced advisory service vs naive per-query ``run_ecohmem``.
+
+    The naive baseline answers each advisory by running the full pipeline
+    (placement + production run) on a warm profile — what a client had to
+    do before the service existed.  The server answers the same stream of
+    queries through one profile load and one vectorized ``density_batch``
+    pass per coalesced group.  Every batched report must compare ``==``
+    (every float exact) to :func:`sequential_advisory`'s scalar-oracle
+    answer, and the throughput floor (>= 20x) is asserted in quick mode
+    too — it is CI's contract for the service.
+    """
+    from repro.service import (
+        AdvisoryRequest, PlacementServer, sequential_advisory,
+    )
+
+    wl_name = "minife"
+    wl = get_workload(wl_name)
+    system = pmem6_system()
+    store = ProfileStore()
+    n_naive = 6 if quick else 12
+    n_queries = 64 if quick else 256
+    limits = [(2 + (i % 13)) * GiB for i in range(n_queries)]
+
+    # naive baseline: one full run_ecohmem per advisory, profile warm
+    run_ecohmem(wl, system, dram_limit=limits[0], profile_store=store)
+    t0 = time.perf_counter()
+    for i in range(n_naive):
+        run_ecohmem(wl, system, dram_limit=limits[i % len(limits)],
+                    profile_store=store)
+    t_naive = time.perf_counter() - t0
+    naive_qps = n_naive / t_naive
+
+    requests = [
+        AdvisoryRequest(workload=wl_name, dram_limit=limits[i],
+                        use_stores=(i % 3 != 0))
+        for i in range(n_queries)
+    ]
+    with PlacementServer(workers=4, batch_window_ms=25.0,
+                         max_batch=n_queries, profile_store=store) as srv:
+        t0 = time.perf_counter()
+        batched = srv.query_many(requests)
+        t_batched = time.perf_counter() - t0
+        stats = srv.stats
+
+    sequential = [sequential_advisory(r, profile_store=store)
+                  for r in requests]
+    for b, s in zip(batched, sequential):
+        assert b.ok and s.ok, (b.error, s.error)
+        assert b == s, "batched report diverged from sequential oracle"
+
+    qps = n_queries / t_batched
+    speedup = qps / naive_qps
+    return {
+        "workload": wl_name,
+        "queries": n_queries,
+        "naive_queries": n_naive,
+        "naive_s": round(t_naive, 4),
+        "batched_s": round(t_batched, 4),
+        "naive_qps": round(naive_qps, 2),
+        "batched_qps": round(qps, 2),
+        "speedup": round(speedup, 2),
+        "batches": stats.batches,
+        "profile_loads": stats.profile_loads,
+        "max_group": stats.max_group,
+    }
+
+
+#: section name -> benchmark callable (jobs-aware ones wrapped in main)
+SECTIONS = ("kernel", "profile_cache", "fig6_sweep", "profiling",
+            "engine", "replay", "sweep", "service")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small streams / reduced sweep (CI smoke)")
     add_jobs_argument(parser)
+    parser.add_argument("--section", action="append", choices=SECTIONS,
+                        dest="sections", metavar="NAME",
+                        help="run only this section (repeatable); the "
+                             "output JSON is merged over the existing file")
     parser.add_argument("-o", "--output", default="BENCH_pipeline.json")
     args = parser.parse_args(argv)
+    want = set(args.sections or SECTIONS)
 
     results = {"quick": args.quick}
-    print(f"cache kernel ({'quick' if args.quick else 'full'}) ...",
-          flush=True)
-    results["kernel"] = bench_kernel(args.quick)
-    print(f"  scalar {results['kernel']['scalar_s']}s -> vectorized "
-          f"{results['kernel']['vectorized_s']}s "
-          f"({results['kernel']['speedup']}x)")
+    if args.sections and os.path.exists(args.output):
+        # subset run: refresh only the selected sections in place
+        try:
+            with open(args.output) as fh:
+                previous = json.load(fh)
+            if isinstance(previous, dict):
+                previous.update(results)
+                results = previous
+        except ValueError:
+            pass
 
-    print("profile memoization ...", flush=True)
-    results["profile_cache"] = bench_profile_cache(args.quick)
-    print(f"  cold {results['profile_cache']['cold_s']}s -> warm "
-          f"{results['profile_cache']['warm_s']}s "
-          f"({results['profile_cache']['speedup']}x)")
+    if "kernel" in want:
+        print(f"cache kernel ({'quick' if args.quick else 'full'}) ...",
+              flush=True)
+        results["kernel"] = bench_kernel(args.quick)
+        print(f"  scalar {results['kernel']['scalar_s']}s -> vectorized "
+              f"{results['kernel']['vectorized_s']}s "
+              f"({results['kernel']['speedup']}x)")
 
-    print("fig6 sweep ...", flush=True)
-    results["fig6_sweep"] = bench_fig6(args.quick, jobs=args.jobs)
-    print(f"  serial/uncached {results['fig6_sweep']['serial_uncached_s']}s "
-          f"-> parallel/cached {results['fig6_sweep']['parallel_cached_s']}s "
-          f"({results['fig6_sweep']['speedup']}x, "
-          f"jobs={results['fig6_sweep']['jobs']})")
+    if "profile_cache" in want:
+        print("profile memoization ...", flush=True)
+        results["profile_cache"] = bench_profile_cache(args.quick)
+        print(f"  cold {results['profile_cache']['cold_s']}s -> warm "
+              f"{results['profile_cache']['warm_s']}s "
+              f"({results['profile_cache']['speedup']}x)")
 
-    print("profiling cold path ...", flush=True)
-    results["profiling"] = bench_profiling(args.quick)
-    prof = results["profiling"]
-    print(f"  tracer+analyzer scalar {prof['scalar_s']}s -> vectorized "
-          f"{prof['vectorized_s']}s ({prof['speedup']}x, "
-          f"{prof['samples']} samples)")
-    print(f"  trace load jsonl {prof['trace_io']['load_jsonl_s']}s -> npz "
-          f"{prof['trace_io']['load_npz_s']}s "
-          f"({prof['trace_io']['load_speedup']}x)")
+    if "fig6_sweep" in want:
+        print("fig6 sweep ...", flush=True)
+        results["fig6_sweep"] = bench_fig6(args.quick, jobs=args.jobs)
+        print(f"  serial/uncached "
+              f"{results['fig6_sweep']['serial_uncached_s']}s "
+              f"-> parallel/cached "
+              f"{results['fig6_sweep']['parallel_cached_s']}s "
+              f"({results['fig6_sweep']['speedup']}x, "
+              f"jobs={results['fig6_sweep']['jobs']})")
 
-    print("execution engine ...", flush=True)
-    results["engine"] = bench_engine(args.quick)
-    print(f"  engine scalar {results['engine']['scalar_s']}s -> batched "
-          f"{results['engine']['vectorized_s']}s "
-          f"({results['engine']['speedup']}x, "
-          f"{results['engine']['segments']} segments)")
+    if "profiling" in want:
+        print("profiling cold path ...", flush=True)
+        results["profiling"] = bench_profiling(args.quick)
+        prof = results["profiling"]
+        print(f"  tracer+analyzer scalar {prof['scalar_s']}s -> vectorized "
+              f"{prof['vectorized_s']}s ({prof['speedup']}x, "
+              f"{prof['samples']} samples)")
+        print(f"  trace load jsonl {prof['trace_io']['load_jsonl_s']}s -> "
+              f"npz {prof['trace_io']['load_npz_s']}s "
+              f"({prof['trace_io']['load_speedup']}x)")
 
-    print("allocation replay ...", flush=True)
-    results["replay"] = bench_replay(args.quick)
-    rep = results["replay"]
-    print(f"  replay scalar {rep['scalar_s']}s -> batched "
-          f"{rep['vectorized_s']}s ({rep['speedup']}x, "
-          f"{rep['instances']} instances, "
-          f"{rep['prefragment_holes']} holes)")
+    if "engine" in want:
+        print("execution engine ...", flush=True)
+        results["engine"] = bench_engine(args.quick)
+        print(f"  engine scalar {results['engine']['scalar_s']}s -> batched "
+              f"{results['engine']['vectorized_s']}s "
+              f"({results['engine']['speedup']}x, "
+              f"{results['engine']['segments']} segments)")
 
-    print("sweep engine (tab8) ...", flush=True)
-    results["sweep"] = bench_sweep(args.quick, jobs=args.jobs)
-    sw = results["sweep"]
-    print(f"  serial/uncached {sw['serial_uncached_s']}s -> scheduled cold "
-          f"{sw['scheduled_cold_s']}s ({sw['cold_speedup']}x, "
-          f"jobs={sw['jobs']}) -> manifest resume {sw['resume_s']}s "
-          f"({sw['resume_speedup']}x, {sw['cells']} rows)")
+    if "replay" in want:
+        print("allocation replay ...", flush=True)
+        results["replay"] = bench_replay(args.quick)
+        rep = results["replay"]
+        print(f"  replay scalar {rep['scalar_s']}s -> batched "
+              f"{rep['vectorized_s']}s ({rep['speedup']}x, "
+              f"{rep['instances']} instances, "
+              f"{rep['prefragment_holes']} holes)")
+
+    if "sweep" in want:
+        print("sweep engine (tab8) ...", flush=True)
+        results["sweep"] = bench_sweep(args.quick, jobs=args.jobs)
+        sw = results["sweep"]
+        print(f"  serial/uncached {sw['serial_uncached_s']}s -> scheduled "
+              f"cold {sw['scheduled_cold_s']}s ({sw['cold_speedup']}x, "
+              f"jobs={sw['jobs']}) -> manifest resume {sw['resume_s']}s "
+              f"({sw['resume_speedup']}x, {sw['cells']} rows)")
+
+    if "service" in want:
+        print("placement service ...", flush=True)
+        results["service"] = bench_service(args.quick)
+        svc = results["service"]
+        print(f"  naive {svc['naive_qps']} q/s -> batched "
+              f"{svc['batched_qps']} q/s ({svc['speedup']}x, "
+              f"{svc['queries']} queries in {svc['batches']} batch(es), "
+              f"{svc['profile_loads']} profile load(s))")
 
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
 
+    if "service" in want and results["service"]["speedup"] < 20.0:
+        # the service floor holds in quick mode too: coalescing must
+        # beat the naive per-query pipeline by 20x on a warm profile
+        print("FAIL: service advisory throughput below 20x naive",
+              file=sys.stderr)
+        return 1
     if not args.quick:
-        if results["kernel"]["speedup"] < 10.0:
+        if "kernel" in want and results["kernel"]["speedup"] < 10.0:
             print("FAIL: cache kernel speedup below 10x", file=sys.stderr)
             return 1
-        if (results["fig6_sweep"]["jobs"] > 1
+        if ("fig6_sweep" in want
+                and results["fig6_sweep"]["jobs"] > 1
                 and results["fig6_sweep"]["speedup"] < 2.0):
             # with one worker the parallel path is bypassed entirely, so
             # the floor only applies when the pool actually fans out
             print("FAIL: fig6 sweep speedup below 2x", file=sys.stderr)
             return 1
-        if results["profiling"]["speedup"] < 10.0:
-            print("FAIL: profiling cold path speedup below 10x",
-                  file=sys.stderr)
-            return 1
-        if results["profiling"]["trace_io"]["load_speedup"] < 5.0:
-            print("FAIL: npz trace load speedup below 5x", file=sys.stderr)
-            return 1
-        if results["engine"]["speedup"] < 5.0:
+        if "profiling" in want:
+            if results["profiling"]["speedup"] < 10.0:
+                print("FAIL: profiling cold path speedup below 10x",
+                      file=sys.stderr)
+                return 1
+            if results["profiling"]["trace_io"]["load_speedup"] < 5.0:
+                print("FAIL: npz trace load speedup below 5x",
+                      file=sys.stderr)
+                return 1
+        if "engine" in want and results["engine"]["speedup"] < 5.0:
             print("FAIL: execution engine speedup below 5x", file=sys.stderr)
             return 1
-        if results["replay"]["speedup"] < 5.0:
+        if "replay" in want and results["replay"]["speedup"] < 5.0:
             print("FAIL: allocation replay speedup below 5x", file=sys.stderr)
             return 1
-        if results["sweep"]["serial_uncached_s"] >= 10.0:
-            print("FAIL: cold full tab8 took double-digit seconds",
-                  file=sys.stderr)
-            return 1
-        if (results["sweep"]["jobs"] > 1
-                and results["sweep"]["cold_speedup"] < 5.0):
-            # as with the fig6 floor: one worker bypasses the pool, so
-            # the fan-out floor only applies when it actually fans out
-            print("FAIL: scheduled cold sweep below 5x over serial seed "
-                  "behaviour", file=sys.stderr)
-            return 1
-        if results["sweep"]["resume_speedup"] < 5.0:
-            # holds on any core count: a warm resume decodes journaled
-            # cells instead of running the pipeline
-            print("FAIL: manifest resume below 5x over serial seed "
-                  "behaviour", file=sys.stderr)
-            return 1
+        if "sweep" in want:
+            if results["sweep"]["serial_uncached_s"] >= 10.0:
+                print("FAIL: cold full tab8 took double-digit seconds",
+                      file=sys.stderr)
+                return 1
+            if (results["sweep"]["jobs"] > 1
+                    and results["sweep"]["cold_speedup"] < 5.0):
+                # as with the fig6 floor: one worker bypasses the pool, so
+                # the fan-out floor only applies when it actually fans out
+                print("FAIL: scheduled cold sweep below 5x over serial "
+                      "seed behaviour", file=sys.stderr)
+                return 1
+            if results["sweep"]["resume_speedup"] < 5.0:
+                # holds on any core count: a warm resume decodes journaled
+                # cells instead of running the pipeline
+                print("FAIL: manifest resume below 5x over serial seed "
+                      "behaviour", file=sys.stderr)
+                return 1
     return 0
 
 
