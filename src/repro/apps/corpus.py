@@ -1,0 +1,254 @@
+"""Seeded workload corpus generator.
+
+Samples concrete :class:`~repro.apps.workload.Workload` scenarios from a
+:class:`~repro.apps.dsl.spec.CorpusSpec`'s parameter distributions.  Each
+corpus cell draws from its own ``(corpus_seed, cell_index)``-derived
+:func:`numpy.random.default_rng` stream — the same derivation discipline
+as the fault injectors — so corpora are reproducible bit-for-bit across
+processes and ``PYTHONHASHSEED`` values, and any cell can be regenerated
+in isolation (the work-stealing quality sweep depends on that).
+
+**Node contention** is modelled inside one workload: a cell samples
+``jobs_per_node`` co-located jobs, then merges them onto one shared epoch
+timeline.  Per-job MPI ranks are folded into object sizes and access
+rates (the generated workload always has ``ranks=1``), so the jobs
+genuinely compete for one :class:`MemorySystem`'s bandwidth and capacity
+— the engine needs no notion of jobs at all.  Arrival policies stagger
+``first_alloc``/``period`` so contention varies over the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.dsl.spec import AccessPatternSpec, CorpusSpec, EnergyModel
+from repro.apps.dsl.yamlio import dumps_workload_yaml
+from repro.apps.workload import (
+    AccessStats,
+    AllocationSite,
+    ObjectSpec,
+    Phase,
+    Workload,
+)
+
+#: domain-separation tag mixed into every cell's rng seed sequence
+_RNG_TAG = zlib.crc32(b"workload-corpus")
+
+_CACHE_LINE = 64
+
+
+def cell_rng(corpus_seed: int, cell_index: int) -> "np.random.Generator":
+    """The deterministic RNG stream of one corpus cell."""
+    return np.random.default_rng([corpus_seed, cell_index, _RNG_TAG])
+
+
+@dataclass(frozen=True)
+class JobInfo:
+    """Provenance of one generated job inside a contention cell."""
+
+    index: int
+    ranks: int
+    arrival: str
+    objects: int
+    pattern_mix: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GeneratedCell:
+    """One generated scenario: the workload plus its provenance."""
+
+    corpus_seed: int
+    cell_index: int
+    spec_name: str
+    workload: Workload
+    jobs: Tuple[JobInfo, ...]
+    energy: Optional[EnergyModel]
+
+    def digest(self) -> str:
+        """sha256 of the canonical YAML — the identity the goldens pin."""
+        text = dumps_workload_yaml(self.workload)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _sample_pattern(spec: CorpusSpec,
+                    rng: "np.random.Generator") -> AccessPatternSpec:
+    weights = np.array([p.weight for p in spec.patterns], dtype=float)
+    prob = weights / weights.sum()
+    return spec.patterns[int(rng.choice(len(spec.patterns), p=prob))]
+
+
+def _sample_arrival(spec: CorpusSpec, rng: "np.random.Generator") -> str:
+    policies = [policy for policy, _w in spec.arrival]
+    weights = np.array([w for _p, w in spec.arrival], dtype=float)
+    return policies[int(rng.choice(len(policies), p=weights / weights.sum()))]
+
+
+def _sample_phases(spec: CorpusSpec,
+                   rng: "np.random.Generator") -> List[Phase]:
+    count = max(1, int(spec.phase_count.sample(rng)))
+    phases = []
+    for i in range(count):
+        compute = max(1e-3, float(spec.phase_compute_time.sample(rng)))
+        repeat = max(1, int(spec.phase_repeat.sample(rng)))
+        phases.append(Phase(name=f"epoch{i}", compute_time=compute,
+                            repeat=repeat))
+    return phases
+
+
+def _object_timing(policy: str, duration: float, lifetime: Optional[float],
+                   alloc_count: int,
+                   rng: "np.random.Generator") -> Tuple[float, Optional[float], int]:
+    """(first_alloc, period, alloc_count) under one arrival policy."""
+    if lifetime is None:
+        alloc_count = 1  # repeated allocations need a lifetime
+    if policy == "start":
+        return 0.0, None, alloc_count
+    if policy == "staggered":
+        first = float(rng.uniform(0.0, 0.5)) * duration
+        return min(first, 0.9 * duration), None, alloc_count
+    # periodic: spread the instances across the remaining run
+    first = float(rng.uniform(0.0, 0.25)) * duration
+    first = min(first, 0.9 * duration)
+    if alloc_count <= 1:
+        return first, None, alloc_count
+    period = max((duration - first) / alloc_count, 1e-3)
+    return first, period, alloc_count
+
+
+def _generate_object(spec: CorpusSpec, rng: "np.random.Generator",
+                     *, job: int, obj: int, ranks: int, arrival: str,
+                     phases: List[Phase],
+                     duration: float) -> Tuple[ObjectSpec, str]:
+    depth = max(1, int(spec.stack_depth.sample(rng)))
+    stack = tuple(
+        [f"alloc_j{job}_o{obj}"]
+        + [f"level{d}_j{job}" for d in range(1, depth - 1)]
+        + ([f"main"] if depth > 1 else [])
+    )
+    site = AllocationSite(name=f"j{job}_obj{obj}", image=f"job{job}.x",
+                          stack=stack)
+
+    # per-rank sample, folded to node level (generated workloads run ranks=1)
+    size = max(_CACHE_LINE, int(spec.size_bytes.sample(rng))) * ranks
+
+    lifetime: Optional[float] = None
+    if float(rng.random()) >= spec.whole_run_fraction:
+        frac = float(spec.lifetime_fraction.sample(rng))
+        lifetime = max(1e-3, min(frac, 1.0) * duration)
+    alloc_count = max(1, int(spec.alloc_count.sample(rng)))
+    first_alloc, period, alloc_count = _object_timing(
+        arrival, duration, lifetime, alloc_count, rng)
+
+    pattern = _sample_pattern(spec, rng)
+    store_fraction = min(max(float(spec.store_fraction.sample(rng)), 0.0), 1.0)
+    l1d_inflation = max(1.0, float(spec.l1d_inflation.sample(rng)))
+    serial = min(max(float(pattern.serial_fraction.sample(rng)), 0.0), 1.0)
+    visibility = min(max(float(pattern.visibility.sample(rng)), 1e-3), 1.0)
+
+    access: Dict[str, AccessStats] = {}
+    active = [float(rng.random()) < spec.activity for _ in phases]
+    if not any(active):
+        active[obj % len(phases)] = True  # every object touches >= 1 phase
+    for phase, is_active in zip(phases, active):
+        if not is_active:
+            continue
+        intensity = float(pattern.intensity.sample(rng))
+        if pattern.kind == "stream":
+            load_rate = (size / _CACHE_LINE) * max(intensity, 0.0)
+        else:
+            load_rate = max(intensity, 0.0) * ranks
+        store_rate = load_rate * store_fraction
+        l1d = store_rate * l1d_inflation if store_rate > 0.0 else None
+        access[phase.name] = AccessStats(
+            load_rate=load_rate,
+            store_rate=store_rate,
+            l1d_store_rate=l1d,
+            accessor=f"{pattern.name}_kernel_j{job}",
+        )
+
+    return (
+        ObjectSpec(
+            site=site,
+            size=size,
+            alloc_count=alloc_count,
+            first_alloc=first_alloc,
+            lifetime=lifetime,
+            period=period,
+            access=access,
+            sampling_visibility=visibility,
+            serial_fraction=serial,
+        ),
+        pattern.name,
+    )
+
+
+def generate_cell(spec: CorpusSpec, corpus_seed: int,
+                  cell_index: int) -> GeneratedCell:
+    """Generate one corpus cell deterministically.
+
+    The draw order is fixed (phases, then per job: ranks/arrival/objects,
+    then per object: stack, size, lifetime, timing, pattern, rates, per
+    phase activity), so the same ``(spec, corpus_seed, cell_index)``
+    always yields byte-identical YAML.
+    """
+    rng = cell_rng(corpus_seed, cell_index)
+
+    phases = _sample_phases(spec, rng)
+    duration = sum(p.compute_time * p.repeat for p in phases)
+
+    job_count = max(1, int(spec.jobs_per_node.sample(rng)))
+    objects: List[ObjectSpec] = []
+    jobs: List[JobInfo] = []
+    for job in range(job_count):
+        ranks = max(1, int(spec.job_ranks.sample(rng)))
+        arrival = _sample_arrival(spec, rng)
+        per_job = max(1, int(spec.objects_per_job.sample(rng)))
+        mix: List[str] = []
+        for obj in range(per_job):
+            obj_spec, pattern_name = _generate_object(
+                spec, rng, job=job, obj=obj, ranks=ranks, arrival=arrival,
+                phases=phases, duration=duration)
+            objects.append(obj_spec)
+            mix.append(pattern_name)
+        jobs.append(JobInfo(index=job, ranks=ranks, arrival=arrival,
+                            objects=per_job, pattern_mix=tuple(mix)))
+
+    workload = Workload(
+        f"corpus-{spec.name}-s{corpus_seed}-c{cell_index}",
+        phases,
+        objects,
+        ranks=1,  # job ranks are folded into sizes and rates above
+        threads=max(1, int(spec.threads.sample(rng))),
+        mlp=max(1.0, float(spec.mlp.sample(rng))),
+        locality=min(max(float(spec.locality.sample(rng)), 0.0), 1.0),
+        conflict_pressure=max(0.0, float(spec.conflict_pressure.sample(rng))),
+        ws_factor=min(max(float(spec.ws_factor.sample(rng)), 1e-3), 1.0),
+        non_heap_bytes=max(0, int(spec.non_heap_bytes.sample(rng))),
+    )
+    return GeneratedCell(
+        corpus_seed=corpus_seed,
+        cell_index=cell_index,
+        spec_name=spec.name,
+        workload=workload,
+        jobs=tuple(jobs),
+        energy=spec.energy,
+    )
+
+
+def generate_corpus(spec: CorpusSpec, corpus_seed: int, count: int,
+                    *, start: int = 0) -> List[GeneratedCell]:
+    """Generate cells ``start .. start+count-1`` of a corpus."""
+    return [generate_cell(spec, corpus_seed, start + i) for i in range(count)]
+
+
+def corpus_digest(cells: List[GeneratedCell]) -> str:
+    """One digest over a whole corpus slice (order-sensitive)."""
+    h = hashlib.sha256()
+    for cell in cells:
+        h.update(cell.digest().encode())
+    return h.hexdigest()

@@ -1,0 +1,59 @@
+"""The YAML workload DSL: workloads as data, not code.
+
+Two layers:
+
+- **Concrete workloads** (:mod:`~repro.apps.dsl.schema` +
+  :mod:`~repro.apps.dsl.yamlio`): a validated YAML description of one
+  :class:`~repro.apps.workload.Workload` — sites, object sizes and
+  lifetimes, per-phase access rates, phase/repeat structure.  Every
+  registered application model exports to YAML and reloads to an equal
+  ``Workload`` (``ecohmem corpus export`` / ``corpus check``), and the
+  dumper is canonical: the same workload always produces byte-identical
+  YAML, which is what the golden-corpus regression tests pin.
+- **Corpus specifications** (:mod:`~repro.apps.dsl.spec`): parameter
+  *distributions* over that space — object size/lifetime distributions,
+  an access-pattern mix, phase structure, arrival policies, node
+  contention (several jobs sharing one memory system) and an optional
+  per-tier energy objective — which the seeded generator in
+  :mod:`repro.apps.corpus` samples into thousands of concrete workloads.
+
+All schema violations raise :class:`~repro.errors.WorkloadError` with a
+``path.to.the.field`` context, never a bare ``KeyError``/``TypeError``.
+"""
+
+from repro.apps.dsl.schema import workload_from_dict, workload_to_dict
+from repro.apps.dsl.spec import (
+    AccessPatternSpec,
+    CorpusSpec,
+    DistSpec,
+    EnergyModel,
+    corpus_from_dict,
+    corpus_to_dict,
+    default_corpus_spec,
+    load_corpus_yaml,
+    loads_corpus_yaml,
+)
+from repro.apps.dsl.yamlio import (
+    dump_workload_yaml,
+    dumps_workload_yaml,
+    load_workload_yaml,
+    loads_workload_yaml,
+)
+
+__all__ = [
+    "AccessPatternSpec",
+    "CorpusSpec",
+    "DistSpec",
+    "EnergyModel",
+    "corpus_from_dict",
+    "corpus_to_dict",
+    "default_corpus_spec",
+    "dump_workload_yaml",
+    "dumps_workload_yaml",
+    "load_corpus_yaml",
+    "load_workload_yaml",
+    "loads_corpus_yaml",
+    "loads_workload_yaml",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,255 @@
+"""Concrete-workload schema: validated dicts <-> :class:`Workload`.
+
+The dict layout is the YAML document layout (see ``docs/WORKLOADS.md``).
+:func:`workload_to_dict` is **canonical**: keys appear in a fixed order,
+optional fields that are ``None`` are omitted, sizes/counts stay ints and
+rates/times become floats — so the same workload always serializes to the
+same dict and hence (through :mod:`~repro.apps.dsl.yamlio`) to
+byte-identical YAML.  :func:`workload_from_dict` validates structure and
+types with ``path.to.the.field`` error context before handing the values
+to the ``Workload`` constructors, whose own semantic checks then apply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.workload import (
+    AccessStats,
+    AllocationSite,
+    ObjectSpec,
+    Phase,
+    Workload,
+)
+from repro.errors import WorkloadError
+
+#: top-level scalar fields in canonical order: (key, type, default)
+_WORKLOAD_SCALARS: Tuple[Tuple[str, type, Any], ...] = (
+    ("ranks", int, 1),
+    ("threads", int, 1),
+    ("mlp", float, 6.0),
+    ("locality", float, 0.8),
+    ("conflict_pressure", float, 0.35),
+    ("ws_factor", float, 1.0),
+    ("non_heap_bytes", int, 0),
+)
+
+
+def _fail(path: str, message: str) -> "WorkloadError":
+    return WorkloadError(f"{path}: {message}")
+
+
+def _require_mapping(value: Any, path: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise _fail(path, f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+def _require_list(value: Any, path: str) -> List[Any]:
+    if not isinstance(value, list):
+        raise _fail(path, f"expected a list, got {type(value).__name__}")
+    return value
+
+
+def _reject_unknown(mapping: Dict[str, Any], allowed: Tuple[str, ...],
+                    path: str) -> None:
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise _fail(path, f"unknown field(s) {unknown}; allowed: {list(allowed)}")
+
+
+def _take(mapping: Dict[str, Any], key: str, kind: type, path: str,
+          *, required: bool = True, default: Any = None) -> Any:
+    """Fetch + type-check one field; ints are accepted for float fields."""
+    if key not in mapping:
+        if required:
+            raise _fail(path, f"missing required field {key!r}")
+        return default
+    value = mapping[key]
+    if kind is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _fail(f"{path}.{key}",
+                        f"expected a number, got {type(value).__name__}")
+        return float(value)
+    if kind is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _fail(f"{path}.{key}",
+                        f"expected an integer, got {type(value).__name__}")
+        return value
+    if kind is str:
+        if not isinstance(value, str):
+            raise _fail(f"{path}.{key}",
+                        f"expected a string, got {type(value).__name__}")
+        return value
+    raise AssertionError(f"unsupported schema kind {kind!r}")  # pragma: no cover
+
+
+# -- Workload -> dict ----------------------------------------------------------
+
+
+def _site_to_dict(site: AllocationSite) -> Dict[str, Any]:
+    return {
+        "name": site.name,
+        "image": site.image,
+        "stack": list(site.stack),
+    }
+
+
+def _access_to_dict(stats: AccessStats) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "load_rate": float(stats.load_rate),
+        "store_rate": float(stats.store_rate),
+    }
+    if stats.l1d_store_rate is not None:
+        out["l1d_store_rate"] = float(stats.l1d_store_rate)
+    out["accessor"] = stats.accessor
+    return out
+
+
+def _object_to_dict(obj: ObjectSpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "site": _site_to_dict(obj.site),
+        "size": int(obj.size),
+        "alloc_count": int(obj.alloc_count),
+        "first_alloc": float(obj.first_alloc),
+    }
+    if obj.lifetime is not None:
+        out["lifetime"] = float(obj.lifetime)
+    if obj.period is not None:
+        out["period"] = float(obj.period)
+    out["sampling_visibility"] = float(obj.sampling_visibility)
+    out["serial_fraction"] = float(obj.serial_fraction)
+    out["access"] = {
+        phase: _access_to_dict(stats) for phase, stats in obj.access.items()
+    }
+    return out
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """The canonical dict form of a workload (stable key order)."""
+    out: Dict[str, Any] = {"name": workload.name}
+    for key, kind, _default in _WORKLOAD_SCALARS:
+        out[key] = kind(getattr(workload, key))
+    out["phases"] = [
+        {"name": p.name, "compute_time": float(p.compute_time),
+         "repeat": int(p.repeat)}
+        for p in workload.phases
+    ]
+    out["objects"] = [_object_to_dict(obj) for obj in workload.objects]
+    return out
+
+
+# -- dict -> Workload ----------------------------------------------------------
+
+
+def _site_from_dict(data: Any, path: str) -> AllocationSite:
+    mapping = _require_mapping(data, path)
+    _reject_unknown(mapping, ("name", "image", "stack"), path)
+    stack = _require_list(mapping.get("stack", []), f"{path}.stack")
+    for i, frame in enumerate(stack):
+        if not isinstance(frame, str):
+            raise _fail(f"{path}.stack[{i}]",
+                        f"expected a string frame, got {type(frame).__name__}")
+    return AllocationSite(
+        name=_take(mapping, "name", str, path),
+        image=_take(mapping, "image", str, path),
+        stack=tuple(stack),
+    )
+
+
+def _access_from_dict(data: Any, path: str) -> AccessStats:
+    mapping = _require_mapping(data, path)
+    _reject_unknown(
+        mapping, ("load_rate", "store_rate", "l1d_store_rate", "accessor"), path
+    )
+    l1d: Optional[float] = None
+    if "l1d_store_rate" in mapping:
+        l1d = _take(mapping, "l1d_store_rate", float, path)
+    return AccessStats(
+        load_rate=_take(mapping, "load_rate", float, path,
+                        required=False, default=0.0),
+        store_rate=_take(mapping, "store_rate", float, path,
+                         required=False, default=0.0),
+        l1d_store_rate=l1d,
+        accessor=_take(mapping, "accessor", str, path,
+                       required=False, default=""),
+    )
+
+
+def _object_from_dict(data: Any, path: str) -> ObjectSpec:
+    mapping = _require_mapping(data, path)
+    _reject_unknown(
+        mapping,
+        ("site", "size", "alloc_count", "first_alloc", "lifetime", "period",
+         "sampling_visibility", "serial_fraction", "access"),
+        path,
+    )
+    if "site" not in mapping:
+        raise _fail(path, "missing required field 'site'")
+    site = _site_from_dict(mapping["site"], f"{path}.site")
+    access: Dict[str, AccessStats] = {}
+    if "access" in mapping:
+        for phase, stats in _require_mapping(mapping["access"],
+                                             f"{path}.access").items():
+            if not isinstance(phase, str):
+                raise _fail(f"{path}.access",
+                            f"phase names must be strings, got {phase!r}")
+            access[phase] = _access_from_dict(stats, f"{path}.access.{phase}")
+    lifetime = (_take(mapping, "lifetime", float, path)
+                if "lifetime" in mapping else None)
+    period = _take(mapping, "period", float, path) if "period" in mapping else None
+    return ObjectSpec(
+        site=site,
+        size=_take(mapping, "size", int, path),
+        alloc_count=_take(mapping, "alloc_count", int, path,
+                          required=False, default=1),
+        first_alloc=_take(mapping, "first_alloc", float, path,
+                          required=False, default=0.0),
+        lifetime=lifetime,
+        period=period,
+        access=access,
+        sampling_visibility=_take(mapping, "sampling_visibility", float, path,
+                                  required=False, default=1.0),
+        serial_fraction=_take(mapping, "serial_fraction", float, path,
+                              required=False, default=0.0),
+    )
+
+
+def workload_from_dict(data: Any, *, path: str = "workload") -> Workload:
+    """Validate a workload dict and build the :class:`Workload`.
+
+    Structural problems (wrong types, unknown fields, missing required
+    fields) raise :class:`WorkloadError` naming the offending path;
+    semantic problems (negative sizes, unknown phase references) raise
+    through the ``Workload`` constructors as usual.
+    """
+    mapping = _require_mapping(data, path)
+    allowed = ("name", "phases", "objects") + tuple(
+        key for key, _k, _d in _WORKLOAD_SCALARS
+    )
+    _reject_unknown(mapping, allowed, path)
+    name = _take(mapping, "name", str, path)
+    kwargs: Dict[str, Any] = {}
+    for key, kind, default in _WORKLOAD_SCALARS:
+        kwargs[key] = _take(mapping, key, kind, path,
+                            required=False, default=default)
+    if "phases" not in mapping:
+        raise _fail(path, "missing required field 'phases'")
+    phases = []
+    for i, entry in enumerate(_require_list(mapping["phases"], f"{path}.phases")):
+        ppath = f"{path}.phases[{i}]"
+        pmap = _require_mapping(entry, ppath)
+        _reject_unknown(pmap, ("name", "compute_time", "repeat"), ppath)
+        phases.append(Phase(
+            name=_take(pmap, "name", str, ppath),
+            compute_time=_take(pmap, "compute_time", float, ppath),
+            repeat=_take(pmap, "repeat", int, ppath, required=False, default=1),
+        ))
+    if "objects" not in mapping:
+        raise _fail(path, "missing required field 'objects'")
+    objects = [
+        _object_from_dict(entry, f"{path}.objects[{i}]")
+        for i, entry in enumerate(
+            _require_list(mapping["objects"], f"{path}.objects"))
+    ]
+    return Workload(name, phases, objects, **kwargs)

@@ -1,0 +1,77 @@
+"""YAML (de)serialization for the workload DSL.
+
+The dumper is deterministic: keys keep the canonical order
+:func:`~repro.apps.dsl.schema.workload_to_dict` builds them in
+(``sort_keys=False``), floats serialize through ``repr`` (PyYAML's
+representer), so they round-trip exactly, and block style is forced so
+nesting never depends on content length.  ``dumps(load(dumps(w)))`` is
+therefore the identity on text — the property the golden-corpus
+regression tests and the hypothesis suite pin.
+
+Parse failures and non-mapping documents raise
+:class:`~repro.errors.WorkloadError`, never a raw ``yaml.YAMLError``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Union
+
+import yaml
+
+from repro.apps.dsl.schema import workload_from_dict, workload_to_dict
+from repro.apps.workload import Workload
+from repro.errors import WorkloadError
+
+
+def dump_canonical_yaml(data: Any) -> str:
+    """Serialize a dict deterministically (insertion order, block style)."""
+    return yaml.safe_dump(
+        data,
+        sort_keys=False,
+        default_flow_style=False,
+        width=10_000,  # never wrap: wrapping depends on frame-name lengths
+        allow_unicode=True,
+    )
+
+
+def parse_yaml_mapping(text: str, *, source: str = "<string>") -> Any:
+    """Parse one YAML document that must be a mapping."""
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise WorkloadError(f"{source}: invalid YAML: {exc}") from exc
+    if not isinstance(data, dict):
+        raise WorkloadError(
+            f"{source}: expected a YAML mapping at the top level, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def dumps_workload_yaml(workload: Workload) -> str:
+    """The canonical YAML text of a workload (byte-stable)."""
+    return dump_canonical_yaml(workload_to_dict(workload))
+
+
+def dump_workload_yaml(workload: Workload, path: Union[str, Path]) -> Path:
+    """Write the canonical YAML of a workload to ``path``."""
+    path = Path(path)
+    path.write_text(dumps_workload_yaml(workload))
+    return path
+
+
+def loads_workload_yaml(text: str, *, source: str = "<string>") -> Workload:
+    """Parse and validate one workload from YAML text."""
+    return workload_from_dict(parse_yaml_mapping(text, source=source),
+                              path=source)
+
+
+def load_workload_yaml(path: Union[str, Path]) -> Workload:
+    """Load and validate one workload from a YAML file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise WorkloadError(f"cannot read workload file {path}: {exc}") from exc
+    return loads_workload_yaml(text, source=str(path))

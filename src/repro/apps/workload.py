@@ -375,6 +375,27 @@ class Workload:
                 total += spec.size
         return total
 
+    def _defining_state(self) -> Tuple:
+        return (
+            self.name, self.phases, self.objects, self.ranks, self.threads,
+            self.mlp, self.locality, self.conflict_pressure, self.ws_factor,
+            self.non_heap_bytes,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality over the defining state.
+
+        Phases/objects are frozen dataclasses, so this compares the full
+        model — the property the YAML round-trip tests assert.
+        """
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return self._defining_state() == other._defining_state()
+
+    # keep identity hashing: objects hold dicts, and experiment code uses
+    # workloads as cache keys by identity
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Workload({self.name!r}, {len(self.objects)} sites, "

@@ -16,6 +16,10 @@ Commands
     Inspect the cross-run result ledger (``--results`` / ``REPRO_RESULT_DB``).
 ``query``
     One advisory query (no server): print or save the placement report.
+``corpus``
+    Workload-DSL tooling: ``generate`` seeded corpus cells to YAML,
+    ``export`` registered models to YAML, ``check`` DSL round-trip and
+    generator-determinism integrity.
 ``serve``
     Run the placement server over a JSONL request file, coalescing
     concurrent queries, and write one JSONL report per request.
@@ -432,6 +436,106 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if errors == 0 else 1
 
 
+def _corpus_spec(args: argparse.Namespace):
+    from repro.apps.dsl import default_corpus_spec, load_corpus_yaml
+
+    return load_corpus_yaml(args.spec) if args.spec else default_corpus_spec()
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """Workload-DSL tooling: generate / export / check."""
+    from pathlib import Path
+
+    from repro.apps.corpus import corpus_digest, generate_cell, generate_corpus
+    from repro.apps.dsl import dumps_workload_yaml, loads_workload_yaml
+    from repro.errors import WorkloadError
+
+    if args.corpus_command == "generate":
+        try:
+            spec = _corpus_spec(args)
+            cells = generate_corpus(spec, args.corpus_seed, args.cells,
+                                    start=args.start)
+        except WorkloadError as exc:
+            raise SystemExit(str(exc))
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            for cell in cells:
+                path = out / f"cell_{cell.cell_index:06d}.yaml"
+                path.write_text(dumps_workload_yaml(cell.workload))
+            print(f"wrote {len(cells)} workloads to {out}")
+        rows = [[c.cell_index, c.workload.name, len(c.jobs),
+                 fmt_size(c.workload.heap_high_water()), c.digest()[:12]]
+                for c in cells]
+        print(render_table(["cell", "workload", "jobs", "node HWM", "digest"],
+                           rows, title=f"corpus {spec.name!r} "
+                                       f"seed {args.corpus_seed}"))
+        print(f"corpus digest: {corpus_digest(cells)}")
+        return 0
+
+    if args.corpus_command == "export":
+        if args.show_spec:
+            from repro.apps.dsl import corpus_to_dict
+            from repro.apps.dsl.yamlio import dump_canonical_yaml
+
+            sys.stdout.write(dump_canonical_yaml(
+                corpus_to_dict(_corpus_spec(args))))
+            return 0
+        names = args.workloads or list_workloads()
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            for name in names:
+                (out / f"{name}.yaml").write_text(
+                    dumps_workload_yaml(get_workload(name)))
+            print(f"exported {len(names)} workload(s) to {out}")
+        else:
+            for name in names:
+                sys.stdout.write(dumps_workload_yaml(get_workload(name)))
+        return 0
+
+    # check: DSL round-trip on every registered model + generator integrity
+    failures = 0
+    for name in list_workloads():
+        wl = get_workload(name)
+        text = dumps_workload_yaml(wl)
+        try:
+            reloaded = loads_workload_yaml(text, source=name)
+        except WorkloadError as exc:  # pragma: no cover - the failure path
+            print(f"FAIL {name}: reload error: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if reloaded != wl:  # pragma: no cover - the failure path
+            print(f"FAIL {name}: reloaded workload differs", file=sys.stderr)
+            failures += 1
+        elif dumps_workload_yaml(reloaded) != text:  # pragma: no cover
+            print(f"FAIL {name}: YAML not byte-stable", file=sys.stderr)
+            failures += 1
+        elif not args.quiet:
+            print(f"OK   {name}: round-trips byte-identically")
+    spec = _corpus_spec(args)
+    for index in range(args.start, args.start + args.cells):
+        a = generate_cell(spec, args.corpus_seed, index)
+        b = generate_cell(spec, args.corpus_seed, index)
+        text = dumps_workload_yaml(a.workload)
+        if a.digest() != b.digest():  # pragma: no cover - the failure path
+            print(f"FAIL cell {index}: generation not deterministic",
+                  file=sys.stderr)
+            failures += 1
+        elif loads_workload_yaml(text) != a.workload:  # pragma: no cover
+            print(f"FAIL cell {index}: round-trip differs", file=sys.stderr)
+            failures += 1
+        elif not args.quiet:
+            print(f"OK   cell {index}: deterministic, round-trips "
+                  f"({a.digest()[:12]})")
+    if failures:
+        print(f"{failures} corpus check failure(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("corpus check passed")
+    return 0
+
+
 def _add_advisory_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dram-limit-gb", type=float, default=12.0)
     p.add_argument("--system", default="pmem6",
@@ -522,6 +626,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent report store (default: "
                             "REPRO_SERVICE_REPORT_DIR or off)")
 
+    cor_p = sub.add_parser("corpus", help="workload-DSL corpus tooling")
+    cor_sub = cor_p.add_subparsers(dest="corpus_command", required=True)
+
+    gen_p = cor_sub.add_parser("generate",
+                               help="generate seeded corpus cells")
+    exp2_p = cor_sub.add_parser("export",
+                                help="export registered workloads to YAML")
+    chk_p = cor_sub.add_parser("check",
+                               help="round-trip + determinism integrity check")
+    for p in (gen_p, chk_p):
+        p.add_argument("--spec", default=None,
+                       help="corpus spec YAML (default: built-in family)")
+        p.add_argument("--corpus-seed", type=int, default=2026)
+        p.add_argument("--cells", type=int, default=8)
+        p.add_argument("--start", type=int, default=0)
+    gen_p.add_argument("--out", default=None,
+                       help="directory to write one YAML per cell")
+    exp2_p.add_argument("workloads", nargs="*",
+                        help="workload names (default: all registered)")
+    exp2_p.add_argument("--out", default=None,
+                        help="directory to write one YAML per workload "
+                             "(default: concatenated to stdout)")
+    exp2_p.add_argument("--spec", default=None,
+                        help="with --show-spec: corpus spec YAML to echo")
+    exp2_p.add_argument("--show-spec", action="store_true",
+                        help="print the corpus spec (canonical YAML) instead "
+                             "of workloads — a starting point for editing")
+    chk_p.add_argument("--quiet", action="store_true")
+
     res_p = sub.add_parser("results",
                            help="inspect the cross-run result ledger")
     res_p.add_argument("--db", default=None,
@@ -545,6 +678,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "results": cmd_results,
         "query": cmd_query,
         "serve": cmd_serve,
+        "corpus": cmd_corpus,
     }
     return handlers[args.command](args)
 

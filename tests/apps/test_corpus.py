@@ -1,0 +1,123 @@
+"""The seeded corpus generator: determinism, contention, arrival policies.
+
+The acceptance-scale check lives here: a 1000-cell corpus generates
+deterministically from one seed (structural equality on every cell,
+byte-level digests on a slice), and the generated population actually
+exercises the axes the spec promises — multi-job contention, all three
+arrival policies, every access pattern, repeated allocations.
+"""
+
+import pytest
+
+from repro.apps.corpus import (
+    JobInfo,
+    cell_rng,
+    corpus_digest,
+    generate_cell,
+    generate_corpus,
+)
+from repro.apps.dsl import default_corpus_spec, loads_workload_yaml, dumps_workload_yaml
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return default_corpus_spec()
+
+
+@pytest.fixture(scope="module")
+def population(spec):
+    return generate_corpus(spec, 2026, 200)
+
+
+def test_thousand_cell_corpus_is_deterministic(spec):
+    a = generate_corpus(spec, 7, 1000)
+    b = generate_corpus(spec, 7, 1000)
+    assert len(a) == len(b) == 1000
+    for cell_a, cell_b in zip(a, b):
+        assert cell_a.workload == cell_b.workload
+        assert cell_a.jobs == cell_b.jobs
+    # byte-level identity (YAML digests) on a spread of the corpus
+    sample = list(range(0, 1000, 97))
+    assert [a[i].digest() for i in sample] == [b[i].digest() for i in sample]
+    # all thousand cells are distinct scenarios
+    names = {cell.workload.name for cell in a}
+    assert len(names) == 1000
+
+
+def test_different_seeds_differ(spec):
+    assert generate_cell(spec, 1, 0).digest() != generate_cell(spec, 2, 0).digest()
+
+
+def test_start_slices_compose(spec):
+    whole = generate_corpus(spec, 3, 6)
+    parts = generate_corpus(spec, 3, 3) + generate_corpus(spec, 3, 3, start=3)
+    assert [c.digest() for c in whole] == [c.digest() for c in parts]
+    assert corpus_digest(whole) == corpus_digest(parts)
+
+
+def test_cell_metadata(spec):
+    cell = generate_cell(spec, 2026, 0)
+    assert cell.corpus_seed == 2026 and cell.cell_index == 0
+    assert cell.spec_name == "default"
+    assert cell.workload.name == "corpus-default-s2026-c0"
+    assert cell.energy is spec.energy
+    assert all(isinstance(j, JobInfo) for j in cell.jobs)
+    assert sum(j.objects for j in cell.jobs) == len(cell.workload.objects)
+
+
+def test_population_covers_the_scenario_axes(population):
+    """The default family generates everything it advertises."""
+    job_counts = {len(c.jobs) for c in population}
+    assert {1, 2, 3} <= job_counts, "contention axis: 1-3 jobs per node"
+    arrivals = {j.arrival for c in population for j in c.jobs}
+    assert arrivals == {"start", "staggered", "periodic"}
+    patterns = {p for c in population for j in c.jobs for p in j.pattern_mix}
+    assert patterns == {"stream", "gather", "chase", "burst"}
+    assert any(obj.alloc_count > 1
+               for c in population for obj in c.workload.objects), \
+        "repeated allocations occur"
+    assert any(obj.lifetime is None
+               for c in population for obj in c.workload.objects), \
+        "whole-run objects occur"
+    assert any(obj.first_alloc > 0
+               for c in population for obj in c.workload.objects), \
+        "staggered arrivals move first_alloc"
+
+
+def test_contention_jobs_share_one_timeline(population):
+    """Merged jobs reference the same epoch phases — one memory system's
+    bandwidth and capacity is genuinely shared."""
+    contended = next(c for c in population if len(c.jobs) >= 2)
+    wl = contended.workload
+    phase_names = {p.name for p in wl.phases}
+    images = {obj.site.image for obj in wl.objects}
+    assert len(images) == len(contended.jobs), "one binary image per job"
+    for obj in wl.objects:
+        assert set(obj.access) <= phase_names
+    # per-job ranks are folded in: the merged workload is single-rank
+    assert wl.ranks == 1
+    assert any(j.ranks > 1 for c in population for j in c.jobs)
+
+
+def test_rank_folding_scales_sizes(spec):
+    """A job's ranks multiply its object sizes (node-level footprint)."""
+    population = generate_corpus(spec, 2026, 50)
+    # same generated sizes are always multiples of the job's rank count
+    for cell in population:
+        offset = 0
+        for job in cell.jobs:
+            for obj in cell.workload.objects[offset:offset + job.objects]:
+                assert obj.size % job.ranks == 0
+            offset += job.objects
+
+
+def test_generated_yaml_round_trips(population):
+    for cell in population[:5]:
+        text = dumps_workload_yaml(cell.workload)
+        assert loads_workload_yaml(text) == cell.workload
+
+
+def test_cell_rng_streams_are_independent():
+    r0 = cell_rng(11, 0).random(4)
+    r1 = cell_rng(11, 1).random(4)
+    assert not (r0 == r1).any()

@@ -1,0 +1,93 @@
+"""Golden-corpus regression: generator and DSL drift show up as a diff.
+
+Eight generated cells (corpus seed 2026, indices 0-7) are pinned two
+ways:
+
+- **byte-identical YAML** under ``tests/apps/golden/cell_*.yaml`` — any
+  change to the generator's draw order, the schema's canonical dict
+  layout, or the YAML dumper shows up as a byte diff;
+- **float-exact advisor results** in ``advisor_results.json`` — the
+  quality cell (advisor time at full/half budget, tiering time, peak
+  DRAM bytes) reproduced exactly, so a pipeline change that shifts
+  placement behaviour on generated workloads is caught as a numeric
+  diff, not a silent distribution shift.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src:. python tests/apps/test_golden_corpus.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.corpus import generate_cell
+from repro.apps.dsl import default_corpus_spec, dumps_workload_yaml
+from repro.experiments.quality import _quality_cell_task
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+CORPUS_SEED = 2026
+CELLS = range(8)
+RESULTS_FILE = GOLDEN_DIR / "advisor_results.json"
+
+
+def _cell_result(index: int) -> dict:
+    cell = _quality_cell_task((CORPUS_SEED, index, "", 6, 0.5, 11))
+    return {
+        "workload_name": cell.workload_name,
+        "digest": cell.digest,
+        "jobs": cell.jobs,
+        "hwm_bytes": cell.hwm_bytes,
+        "dram_limit": cell.dram_limit,
+        "advisor_time": cell.advisor_time,
+        "advisor_half_time": cell.advisor_half_time,
+        "tiering_time": cell.tiering_time,
+        "peak_dram_bytes": cell.peak_dram_bytes,
+        "advisor_energy_j": cell.advisor_energy_j,
+        "tiering_energy_j": cell.tiering_energy_j,
+    }
+
+
+@pytest.mark.parametrize("index", CELLS)
+def test_golden_yaml_byte_identical(index):
+    path = GOLDEN_DIR / f"cell_{index:04d}.yaml"
+    expected = path.read_text()
+    cell = generate_cell(default_corpus_spec(), CORPUS_SEED, index)
+    assert dumps_workload_yaml(cell.workload) == expected, (
+        f"generated YAML for cell {index} drifted from the golden fixture; "
+        f"if intentional, regenerate with: PYTHONPATH=src:. python "
+        f"{Path(__file__).relative_to(Path.cwd())} --regen"
+    )
+
+
+def test_golden_advisor_results_float_exact():
+    golden = json.loads(RESULTS_FILE.read_text())
+    assert sorted(golden) == [str(i) for i in sorted(CELLS)]
+    for index in CELLS:
+        got = _cell_result(index)
+        want = golden[str(index)]
+        # json round-trips floats through repr, so == is float-exact
+        assert got == want, f"advisor results for cell {index} drifted"
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    spec = default_corpus_spec()
+    for index in CELLS:
+        cell = generate_cell(spec, CORPUS_SEED, index)
+        (GOLDEN_DIR / f"cell_{index:04d}.yaml").write_text(
+            dumps_workload_yaml(cell.workload))
+    results = {str(i): _cell_result(i) for i in CELLS}
+    RESULTS_FILE.write_text(json.dumps(results, indent=2, sort_keys=True)
+                            + "\n")
+    print(f"regenerated {len(list(CELLS))} golden cells in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,87 @@
+"""Registry error paths and lazy-loading guarantees.
+
+The duplicate-``register_workload`` and unknown-``get_workload`` messages
+are load-bearing (the CLI and the advisory service surface them
+verbatim), and both ``get_workload`` *and* ``list_workloads`` must force
+the model modules to load — a fresh process that only calls
+``list_workloads`` has to see all registered applications.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps import registry
+from repro.apps.registry import get_workload, list_workloads, register_workload
+from repro.errors import WorkloadError
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_duplicate_register_message():
+    name = "test-registry-dup"
+    register_workload(name, lambda: None)
+    try:
+        with pytest.raises(WorkloadError,
+                           match=r"workload 'test-registry-dup' already "
+                                 r"registered"):
+            register_workload(name, lambda: None)
+    finally:
+        del registry._REGISTRY[name]
+
+
+def test_duplicate_register_keeps_original_factory():
+    name = "test-registry-keep"
+    first = object()
+    register_workload(name, lambda: first)
+    try:
+        with pytest.raises(WorkloadError):
+            register_workload(name, lambda: object())
+        assert registry._REGISTRY[name]() is first
+    finally:
+        del registry._REGISTRY[name]
+
+
+def test_unknown_get_message_lists_available():
+    with pytest.raises(KeyError) as exc:
+        get_workload("no-such-app")
+    message = str(exc.value)
+    assert "no workload named 'no-such-app'" in message
+    assert "available:" in message
+    # the hint names the real models, so typos are self-diagnosing
+    assert "lulesh" in message and "minife" in message
+
+
+def test_get_workload_returns_fresh_instances():
+    a = get_workload("minife")
+    b = get_workload("minife")
+    assert a is not b
+    assert a == b  # structurally equal (factories, not singletons)
+
+
+def test_list_workloads_is_sorted_and_complete():
+    names = list_workloads()
+    assert names == sorted(names)
+    assert {"cloverleaf3d", "hpcg", "lammps", "lulesh",
+            "minife", "minimd", "openfoam"} <= set(names)
+
+
+def test_list_workloads_forces_model_loading():
+    """A fresh interpreter calling ONLY list_workloads sees every model —
+    the lazy import fires for listing exactly as it does for get."""
+    code = (
+        "from repro.apps.registry import list_workloads\n"
+        "names = list_workloads()\n"
+        "assert 'lulesh' in names and 'openfoam' in names, names\n"
+        "assert len(names) >= 7, names\n"
+        "print(len(names))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "0", "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True,
+    )
+    assert out.returncode == 0, out.stderr
+    assert int(out.stdout.strip()) >= 7

@@ -1,0 +1,172 @@
+"""The placement-CI quality sweep (repro.experiments.quality).
+
+Covers the per-cell task (feasibility accounting, energy scoring), the
+report aggregates, the gate's failure messages, scheduler dispatch with
+manifest resume (a resumed sweep re-runs only missing cells and the
+report is bit-identical), and the ResultDB ledger append.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.quality import (
+    QualityCell,
+    QualityReport,
+    _quality_cell_task,
+    cell_system,
+    check_quality,
+    dram_peak_bytes,
+    run_quality,
+)
+from repro.experiments.sweep import ResultDB, SweepManifest
+from repro.units import GiB
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_quality(cells=6)
+
+
+def _cell(**overrides):
+    base = dict(
+        corpus_seed=2026, cell_index=0, workload_name="w", digest="d",
+        jobs=1, hwm_bytes=4 * GiB, dram_limit=2 * GiB,
+        advisor_time=10.0, advisor_half_time=11.0, tiering_time=20.0,
+        peak_dram_bytes=GiB,
+    )
+    base.update(overrides)
+    return QualityCell(**base)
+
+
+class TestQualityCell:
+    def test_flags(self):
+        c = _cell()
+        assert c.win and c.feasible and c.monotone
+        assert not _cell(advisor_time=30.0).win
+        assert not _cell(peak_dram_bytes=3 * GiB).feasible
+        assert not _cell(advisor_time=12.0, tiering_time=30.0).monotone
+
+    def test_cell_system_scales_to_the_footprint(self):
+        system, limit = cell_system(8 * GiB, dram_frac=0.5, dimms=6)
+        assert limit == 4 * GiB
+        assert system.get("dram").capacity == limit
+        assert system.get("pmem").capacity == 32 * GiB
+        # small workloads keep a meaningful floor
+        _, floor_limit = cell_system(GiB, dram_frac=0.25, dimms=6)
+        assert floor_limit == GiB
+
+    def test_dimms_scale_pmem_bandwidth(self):
+        six, _ = cell_system(8 * GiB, dram_frac=0.5, dimms=6)
+        two, _ = cell_system(8 * GiB, dram_frac=0.5, dimms=2)
+        assert (two.get("pmem").peak_read_bw
+                < six.get("pmem").peak_read_bw)
+
+    def test_dram_peak_counts_only_dram_instances(self):
+        from tests.conftest import make_toy_workload
+
+        wl = make_toy_workload()
+        placement = {}
+        for inst in wl.instances():
+            placement[(inst.spec.site.name, inst.index)] = (
+                "dram" if inst.spec.site.name == "toy::hot" else "pmem")
+        hot = wl.object_by_site("toy::hot")
+        assert dram_peak_bytes(wl, placement) == hot.size * wl.ranks
+        assert dram_peak_bytes(wl, {}) == 0
+
+    def test_task_scores_energy(self):
+        cell = _quality_cell_task((2026, 1, "", 6, 0.5, 11))
+        assert cell.advisor_energy_j is not None
+        assert cell.tiering_energy_j is not None
+        assert 0 < cell.advisor_energy_j < cell.tiering_energy_j
+
+
+class TestQualityReport:
+    def test_aggregates(self, report):
+        assert len(report.cells) == 6
+        assert 0.0 <= report.win_rate <= 1.0
+        assert 0.0 <= report.monotone_rate <= 1.0
+        assert report.mean_speedup > 0
+        assert report.energy_win_rate() is not None
+        assert report.cells == sorted(report.cells,
+                                      key=lambda c: c.cell_index)
+
+    def test_empty_report(self):
+        empty = QualityReport()
+        assert empty.win_rate == 0.0
+        assert empty.monotone_rate == 0.0
+        assert empty.mean_speedup == 0.0
+        assert empty.energy_win_rate() is None
+        assert check_quality(empty, win_rate_floor=0.5) == \
+            ["no cells were swept"]
+
+    def test_gate_messages(self, report):
+        assert check_quality(report, win_rate_floor=0.0,
+                             monotone_rate_floor=0.0) == []
+        bad = QualityReport(cells=[
+            _cell(cell_index=3, advisor_time=30.0, peak_dram_bytes=4 * GiB),
+        ])
+        failures = check_quality(bad, win_rate_floor=0.9,
+                                 monotone_rate_floor=0.9)
+        assert len(failures) == 3
+        assert "win rate 0.000 below floor 0.900" in failures[0]
+        assert "cells [3]" in failures[0]
+        assert "placement infeasible" in failures[1]
+        assert "monotone rate 0.000" in failures[2]
+
+    def test_energy_only_counts_scored_cells(self):
+        rep = QualityReport(cells=[
+            _cell(advisor_energy_j=1.0, tiering_energy_j=2.0),
+            _cell(cell_index=1),  # unscored: no energy model
+        ])
+        assert rep.energy_win_rate() == 1.0
+
+
+class TestDispatch:
+    def test_scheduled_matches_serial(self, report):
+        scheduled = run_quality(cells=6, jobs=2)
+        assert scheduled.cells == report.cells  # bit-identical reassembly
+
+    def test_manifest_resume(self, tmp_path, report):
+        man = SweepManifest(tmp_path / "q.jsonl")
+        partial = run_quality(cells=3, manifest=man)
+        assert partial.cells == report.cells[:3]
+        assert len(man.completed()) == 3
+        resumed = run_quality(cells=6, manifest=man)
+        assert resumed.cells == report.cells
+        # the first three cells were decoded from the journal, not re-run
+        assert len(SweepManifest(man.path).completed()) == 6
+
+    def test_result_db_append(self, tmp_path, report):
+        db = ResultDB(tmp_path / "db")
+        run_quality(cells=2, results=db)
+        record = db.latest("quality", seed=11)
+        assert record is not None
+        assert record["params"]["cells"] == 2
+        assert record["params"]["win_rate"] == QualityReport(
+            cells=report.cells[:2]).win_rate
+        rows = record["rows"]
+        assert len(rows) == 2
+
+    def test_custom_spec_path(self, tmp_path, report):
+        from repro.apps.dsl import default_corpus_spec, corpus_to_dict
+        from repro.apps.dsl.yamlio import dump_canonical_yaml
+        from repro.errors import WorkloadError
+
+        path = tmp_path / "corpus.yaml"
+        path.write_text(dump_canonical_yaml(
+            corpus_to_dict(default_corpus_spec())))
+        custom = run_quality(path, cells=2)
+        assert custom.cells == report.cells[:2]
+        with pytest.raises(WorkloadError):
+            run_quality(tmp_path / "missing.yaml", cells=1)
+
+
+def test_cells_are_codec_serializable(report):
+    """QualityCell rows survive the sweep codec (manifest + ResultDB)."""
+    from repro.experiments.sweep.codec import decode, encode
+
+    cell = report.cells[0]
+    rebuilt = decode(encode(cell))
+    assert rebuilt == cell
+    assert dataclasses.asdict(rebuilt) == dataclasses.asdict(cell)

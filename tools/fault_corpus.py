@@ -161,6 +161,73 @@ def run_check(seeds, verbose=True, engine=False, replay=False, jobs=None,
     return failures
 
 
+def _dsl_check_task(spec):
+    """All differential checks for one generated-workload corpus cell.
+
+    Generates the workload inside the worker from its ``(corpus_seed,
+    cell_index)`` stream — resumed sweeps regenerate exactly the missing
+    cells — then runs the fault corpus' differential oracle over traces
+    of that workload instead of the built-in corpus workload.
+    """
+    spec_path, corpus_seed, cell_index, seed = spec
+    from repro.apps.corpus import generate_cell
+    from repro.apps.dsl import default_corpus_spec, load_corpus_yaml
+
+    cspec = load_corpus_yaml(spec_path) if spec_path else default_corpus_spec()
+    workload = generate_cell(cspec, corpus_seed, cell_index).workload
+    outcomes = []
+    for cell in build_cells(seeds=[seed], workload=workload,
+                            check_tracer_oracle=True):
+        outcome = differential_check(cell.trace)
+        outcomes.append({
+            "label": f"{workload.name}/{cell.label}",
+            "identical": outcome.identical,
+            "degradation": repr(outcome.degradation),
+            "strict": str(outcome.strict_vectorized),
+            "mismatches": [str(m) for m in outcome.mismatches],
+        })
+    return outcomes
+
+
+def run_dsl_check(spec_path, cells, *, corpus_seed=2026, seed=0,
+                  verbose=True, jobs=None, sweep_manifest=None,
+                  results=None) -> int:
+    """Differential checks over generated workloads; returns failure count.
+
+    One sweep-engine cell per generated workload: every registered fault
+    kind is injected into a trace of that workload and the vectorized
+    analyzer held to its scalar oracle, exactly as for the built-in
+    corpus workload.
+    """
+    specs = [(spec_path or "", corpus_seed, index, seed)
+             for index in range(cells)]
+    per_cell = run_scheduled(_dsl_check_task, specs, jobs=jobs,
+                             experiment="fault-corpus/dsl",
+                             manifest=sweep_manifest)
+    failures = 0
+    for outcomes in per_cell:
+        for entry in outcomes:
+            if entry["identical"]:
+                if verbose:
+                    print(f"OK   {entry['label']}: deg={entry['degradation']} "
+                          f"strict={entry['strict']}")
+            else:  # pragma: no cover - the failure path
+                failures += 1
+                print(f"FAIL {entry['label']}:", file=sys.stderr)
+                for m in entry["mismatches"]:
+                    print(f"     {m}", file=sys.stderr)
+    db = resolve_result_db(results)
+    if db is not None:
+        db.append(
+            "fault-corpus",
+            {"failures": failures, "outcomes": per_cell},
+            label=f"dsl-{corpus_seed}",
+            params={"spec_path": spec_path or None, "cells": cells,
+                    "corpus_seed": corpus_seed, "seed": seed},
+        )
+    return failures
+
+
 def write_corpus(out_dir: Path, seeds) -> Path:
     """Dump every in-memory cell as JSONL plus a manifest."""
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -204,11 +271,21 @@ def main(argv=None) -> int:
     parser.add_argument("--results", default=None,
                         help="result database directory to append the check "
                              "summary to (default: REPRO_RESULT_DB or off)")
+    parser.add_argument("--dsl", nargs="?", const="", default=None,
+                        metavar="CORPUS_YAML",
+                        help="also run the differential checks over "
+                             "generated DSL workloads: pass a corpus spec "
+                             "YAML, or no value for the built-in family")
+    parser.add_argument("--dsl-cells", type=int, default=2,
+                        help="number of generated workloads to check "
+                             "with --dsl")
+    parser.add_argument("--dsl-corpus-seed", type=int, default=2026,
+                        help="corpus seed for --dsl cell generation")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
-    if not args.out and not args.check:
-        parser.error("nothing to do: pass --out and/or --check")
+    if not args.out and not args.check and args.dsl is None:
+        parser.error("nothing to do: pass --out, --check and/or --dsl")
 
     if args.out:
         manifest = write_corpus(args.out, args.seeds)
@@ -226,6 +303,20 @@ def main(argv=None) -> int:
             return 1
         if not args.quiet:
             print("all cells bit-identical between vectorized and scalar paths")
+
+    if args.dsl is not None:
+        failures = run_dsl_check(args.dsl, args.dsl_cells,
+                                 corpus_seed=args.dsl_corpus_seed,
+                                 seed=args.seeds[0],
+                                 verbose=not args.quiet, jobs=args.jobs,
+                                 sweep_manifest=args.sweep_manifest,
+                                 results=args.results)
+        if failures:
+            print(f"{failures} DSL differential failure(s)", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"all {args.dsl_cells} generated workload(s) bit-identical "
+                  "between vectorized and scalar paths")
     return 0
 
 

@@ -535,9 +535,51 @@ def bench_service(quick: bool) -> dict:
     }
 
 
+def bench_corpus(quick: bool, jobs=None) -> dict:
+    """Workload-corpus generation + the placement-CI quality sweep.
+
+    Times (a) seeded generation of a corpus slice plus a determinism
+    re-check (same seed must reproduce the same digests), and (b) the
+    64-cell advisor-vs-tiering quality sweep dispatched through the
+    work-stealing scheduler.  The wall-clock budget on generate+sweep is
+    CI's contract that corpus-scale placement evaluation stays cheap —
+    it holds in quick mode too.
+    """
+    from repro.apps.corpus import corpus_digest, generate_corpus
+    from repro.apps.dsl import default_corpus_spec
+    from repro.experiments.quality import run_quality
+
+    spec = default_corpus_spec()
+    n_generate = 256 if quick else 1000
+    t0 = time.perf_counter()
+    cells = generate_corpus(spec, 2026, n_generate)
+    t_generate = time.perf_counter() - t0
+
+    digest = corpus_digest(cells[:64])
+    again = corpus_digest(generate_corpus(spec, 2026, 64))
+    deterministic = digest == again
+
+    t0 = time.perf_counter()
+    report = run_quality(cells=64, jobs=jobs)
+    t_sweep = time.perf_counter() - t0
+
+    return {
+        "generated": n_generate,
+        "generate_s": round(t_generate, 4),
+        "deterministic": deterministic,
+        "digest": digest[:16],
+        "sweep_cells": len(report.cells),
+        "sweep_s": round(t_sweep, 4),
+        "total_s": round(t_generate + t_sweep, 4),
+        "win_rate": round(report.win_rate, 4),
+        "monotone_rate": round(report.monotone_rate, 4),
+        "jobs": resolve_jobs(jobs),
+    }
+
+
 #: section name -> benchmark callable (jobs-aware ones wrapped in main)
 SECTIONS = ("kernel", "profile_cache", "fig6_sweep", "profiling",
-            "engine", "replay", "sweep", "service")
+            "engine", "replay", "sweep", "service", "corpus")
 
 
 def main(argv=None) -> int:
@@ -636,11 +678,31 @@ def main(argv=None) -> int:
               f"{svc['queries']} queries in {svc['batches']} batch(es), "
               f"{svc['profile_loads']} profile load(s))")
 
+    if "corpus" in want:
+        print("workload corpus ...", flush=True)
+        results["corpus"] = bench_corpus(args.quick, jobs=args.jobs)
+        cor = results["corpus"]
+        print(f"  generate {cor['generated']} cells {cor['generate_s']}s "
+              f"(deterministic={cor['deterministic']}) -> quality sweep "
+              f"{cor['sweep_cells']} cells {cor['sweep_s']}s "
+              f"(win rate {cor['win_rate']}, jobs={cor['jobs']})")
+
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
 
+    if "corpus" in want:
+        # the corpus floors hold in quick mode too: they are CI's contract
+        # that corpus-scale placement evaluation stays cheap and seeded
+        if not results["corpus"]["deterministic"]:
+            print("FAIL: corpus regeneration changed digests",
+                  file=sys.stderr)
+            return 1
+        if results["corpus"]["total_s"] >= 120.0:
+            print("FAIL: corpus generate+sweep exceeded the 120 s budget",
+                  file=sys.stderr)
+            return 1
     if "service" in want and results["service"]["speedup"] < 20.0:
         # the service floor holds in quick mode too: coalescing must
         # beat the naive per-query pipeline by 20x on a warm profile

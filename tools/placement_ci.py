@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Placement CI: gate advisor quality on a generated workload corpus.
+
+Sweeps ecoHMEM-advisor-vs-kernel-tiering over a slice of the seeded
+workload corpus (:mod:`repro.apps.corpus`) through the work-stealing
+scheduler, then asserts the quality gate
+(:func:`repro.experiments.quality.check_quality`):
+
+- advisor-beats-tiering win rate >= ``--win-rate-floor``;
+- every cell's replayed placement stays within its DRAM budget;
+- runtime monotonicity vs the DRAM limit >= ``--monotone-rate-floor``.
+
+Usage::
+
+    PYTHONPATH=src python tools/placement_ci.py --cells 64 --jobs 2
+    PYTHONPATH=src python tools/placement_ci.py --spec my_corpus.yaml \
+        --cells 128 --sweep-manifest quality.jsonl
+
+Exits 1 on any gate failure (what the CI ``quality`` job asserts).
+``--sweep-manifest`` journals completed cells so a killed run resumes
+where it died; ``--results`` appends the report to the cross-run ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.parallel import add_jobs_argument  # noqa: E402
+from repro.experiments.quality import (  # noqa: E402
+    check_quality,
+    run_quality,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default=None,
+                        help="corpus spec YAML (default: the built-in "
+                             "default corpus family)")
+    parser.add_argument("--corpus-seed", type=int, default=2026,
+                        help="corpus seed the cell RNG streams derive from")
+    parser.add_argument("--cells", type=int, default=64,
+                        help="number of corpus cells to sweep")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first cell index (slices a larger corpus)")
+    parser.add_argument("--dimms", type=int, default=6,
+                        help="PMem DIMM count (bandwidth scaling)")
+    parser.add_argument("--dram-frac", type=float, default=0.5,
+                        help="advisor DRAM budget as a fraction of each "
+                             "cell's heap high-water mark")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="pipeline seed (profiling/ASLR)")
+    parser.add_argument("--win-rate-floor", type=float, default=0.9,
+                        help="minimum advisor-beats-tiering rate")
+    parser.add_argument("--monotone-rate-floor", type=float, default=0.85,
+                        help="minimum fraction of cells where doubling the "
+                             "DRAM budget does not slow the advisor down")
+    add_jobs_argument(parser)
+    parser.add_argument("--sweep-manifest", default=None,
+                        help="JSONL sweep manifest: journal completed cells "
+                             "and resume a killed run (default: "
+                             "REPRO_SWEEP_MANIFEST or off)")
+    parser.add_argument("--results", default=None,
+                        help="result database directory to append the report "
+                             "to (default: REPRO_RESULT_DB or off)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = run_quality(
+        args.spec,
+        corpus_seed=args.corpus_seed,
+        cells=args.cells,
+        start=args.start,
+        dimms=args.dimms,
+        dram_frac=args.dram_frac,
+        seed=args.seed,
+        jobs=args.jobs,
+        manifest=args.sweep_manifest,
+        results=args.results,
+    )
+
+    if not args.quiet:
+        energy = report.energy_win_rate()
+        print(f"swept {len(report.cells)} cells "
+              f"(corpus seed {args.corpus_seed}, start {args.start})")
+        print(f"win rate        {report.win_rate:.3f} "
+              f"(floor {args.win_rate_floor:.3f})")
+        print(f"mean speedup    {report.mean_speedup:.3f}x vs kernel tiering")
+        print(f"monotone rate   {report.monotone_rate:.3f} "
+              f"(floor {args.monotone_rate_floor:.3f})")
+        print(f"infeasible      {len(report.infeasible)}")
+        if energy is not None:
+            print(f"energy win rate {energy:.3f}")
+
+    failures = check_quality(
+        report,
+        win_rate_floor=args.win_rate_floor,
+        monotone_rate_floor=args.monotone_rate_floor,
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("placement quality gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
