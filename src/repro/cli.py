@@ -436,6 +436,82 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if errors == 0 else 1
 
 
+def _load_candidates(path: str):
+    """Read candidate placements: a JSON list or JSONL, one per entry.
+
+    Each entry is either a bare ``{site: subsystem}`` mapping or a
+    ``{"label": ..., "placement": {...}}`` object.  Returns parallel
+    (labels, placements) lists.
+    """
+    import json
+
+    text = open(path).read()
+    if text.lstrip().startswith("["):
+        entries = json.loads(text)
+    else:
+        entries = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError as exc:
+                raise SystemExit(f"{path}:{lineno}: bad candidate: {exc}")
+    labels, placements = [], []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise SystemExit(
+                f"{path}: candidate {i} is not a JSON object")
+        if "placement" in entry:
+            labels.append(str(entry.get("label", f"candidate-{i}")))
+            placements.append(dict(entry["placement"]))
+        else:
+            labels.append(f"candidate-{i}")
+            placements.append(dict(entry))
+    return labels, placements
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Score K candidate placements in one fused engine pass."""
+    import json
+
+    from repro.apps import get_workload
+    from repro.errors import ReproError
+    from repro.pipeline.whatif import evaluate_placements, rank_placements
+    from repro.service import system_for_name
+
+    labels, placements = _load_candidates(args.candidates)
+    if not placements:
+        raise SystemExit(f"no candidate placements in {args.candidates}")
+    try:
+        workload = get_workload(args.workload)
+        system = system_for_name(args.system)
+        times = [float(t) for t in evaluate_placements(
+            workload, system, placements)]
+    except (ReproError, KeyError) as exc:
+        raise SystemExit(str(exc))
+    ranking = rank_placements(times)
+
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "system": args.system,
+            "labels": labels,
+            "predicted_times": times,
+            "ranking": ranking,
+        }, sort_keys=True))
+        return 0
+    print(f"what-if   : {args.workload} on {args.system}, "
+          f"{len(placements)} candidate(s)")
+    width = max(len(label) for label in labels)
+    for pos, idx in enumerate(ranking, 1):
+        marker = "*" if pos == 1 else " "
+        print(f"  {marker} #{pos:<3d}{labels[idx]:<{width}s}  "
+              f"predicted {times[idx]:.6f} s")
+    return 0
+
+
 def _corpus_spec(args: argparse.Namespace):
     from repro.apps.dsl import default_corpus_spec, load_corpus_yaml
 
@@ -626,6 +702,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent report store (default: "
                             "REPRO_SERVICE_REPORT_DIR or off)")
 
+    wif_p = sub.add_parser("whatif",
+                           help="score candidate placements in one fused "
+                                "engine pass")
+    wif_p.add_argument("workload", help="registered workload name")
+    wif_p.add_argument("--candidates", required=True,
+                       help="JSON list or JSONL of {site: subsystem} "
+                            "mappings (or {label, placement} objects)")
+    wif_p.add_argument("--system", default="pmem6",
+                       help="memory system: pmem6, pmem2, hbm-dram-pmem")
+    wif_p.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON object instead "
+                            "of the ranking table")
+
     cor_p = sub.add_parser("corpus", help="workload-DSL corpus tooling")
     cor_sub = cor_p.add_subparsers(dest="corpus_command", required=True)
 
@@ -678,6 +767,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "results": cmd_results,
         "query": cmd_query,
         "serve": cmd_serve,
+        "whatif": cmd_whatif,
         "corpus": cmd_corpus,
     }
     return handlers[args.command](args)

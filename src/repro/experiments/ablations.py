@@ -26,7 +26,7 @@ from repro.apps import get_workload
 from repro.apps.workload import AccessStats, ObjectSpec, Workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.baselines.tiering import run_combined, run_tiering
-from repro.experiments.harness import run_ecohmem
+from repro.experiments.harness import EcoCell, run_ecohmem, run_ecohmem_batch
 from repro.experiments.sweep import (
     ResultDB,
     SweepManifest,
@@ -53,9 +53,15 @@ def _ablation_sweep(
     kind: str, task, specs, *, app: str, seed: int,
     jobs: Optional[int], manifest: ManifestArg, results: ResultsArg,
 ) -> List[AblationPoint]:
-    """Dispatch one ablation grid through the sweep engine + ledger."""
-    points = run_sweep_cells(task, specs, jobs=jobs,
-                             experiment=f"ablation-{kind}", manifest=manifest)
+    """Dispatch one ablation grid through the sweep engine + ledger.
+
+    A task may return a single point or a whole group of them (the
+    what-if path batches a sweep's placements into one fused engine
+    pass); either way the ledger records the flat point list.
+    """
+    raw = run_sweep_cells(task, specs, jobs=jobs,
+                          experiment=f"ablation-{kind}", manifest=manifest)
+    points = [p for r in raw for p in (r if isinstance(r, list) else [r])]
     db = resolve_result_db(results)
     if db is not None:
         db.append(f"ablation-{kind}", points, label=app, seed=seed)
@@ -72,6 +78,26 @@ def _sampling_point(spec) -> AblationPoint:
     )
 
 
+def _sampling_group(spec) -> List[AblationPoint]:
+    """All sampling-rate points in one fused engine pass.
+
+    Bit-identical to :func:`_sampling_point` per point (the retained
+    per-point oracle): each rate profiles separately, but the resulting
+    placements run through one :func:`run_ecohmem_batch`.
+    """
+    app, frequencies, dram_limit, seed, baseline_time = spec
+    cells = [EcoCell(dram_limit=dram_limit, pebs_hz=hz) for hz in frequencies]
+    batch = run_ecohmem_batch(get_workload(app), pmem6_system(), cells,
+                              seed=seed)
+    return [
+        AblationPoint(
+            knob=hz, speedup=baseline_time / eco.run.total_time,
+            detail=f"{len(eco.report)} DRAM rows",
+        )
+        for hz, eco in zip(frequencies, batch)
+    ]
+
+
 def sampling_frequency_sweep(
     app: str = "minife",
     frequencies: Sequence[float] = (5.0, 20.0, 100.0, 500.0),
@@ -85,9 +111,8 @@ def sampling_frequency_sweep(
     advisor's ranking; beyond the paper's 100 Hz the returns flatten.
     """
     baseline = run_memory_mode(get_workload(app), pmem6_system())
-    specs = [(app, hz, dram_limit, seed, baseline.total_time)
-             for hz in frequencies]
-    return _ablation_sweep("sampling", _sampling_point, specs, app=app,
+    specs = [(app, tuple(frequencies), dram_limit, seed, baseline.total_time)]
+    return _ablation_sweep("sampling", _sampling_group, specs, app=app,
                            seed=seed, jobs=jobs, manifest=manifest,
                            results=results)
 
@@ -95,14 +120,34 @@ def sampling_frequency_sweep(
 def _store_coefficient_point(spec) -> AblationPoint:
     app, coef, dram_limit, seed, baseline_time = spec
     wl = get_workload(app)
-    config = AdvisorConfig(
+    config = _store_coefficient_config(wl, coef, dram_limit)
+    eco = run_ecohmem(wl, pmem6_system(), dram_limit=dram_limit,
+                      config=config, seed=seed)
+    return AblationPoint(knob=coef, speedup=baseline_time / eco.run.total_time)
+
+
+def _store_coefficient_config(wl, coef: float, dram_limit: int) -> AdvisorConfig:
+    return AdvisorConfig(
         coefficients={"dram": (1.0, 1.0), "pmem": (2.1, max(coef, 0.0))},
         dram_limit=dram_limit,
         ranks=wl.ranks,
     )
-    eco = run_ecohmem(wl, pmem6_system(), dram_limit=dram_limit,
-                      config=config, seed=seed)
-    return AblationPoint(knob=coef, speedup=baseline_time / eco.run.total_time)
+
+
+def _store_coefficient_group(spec) -> List[AblationPoint]:
+    """All store-coefficient points in one fused engine pass."""
+    app, coefficients, dram_limit, seed, baseline_time = spec
+    wl = get_workload(app)
+    cells = [
+        EcoCell(dram_limit=dram_limit,
+                config=_store_coefficient_config(wl, coef, dram_limit))
+        for coef in coefficients
+    ]
+    batch = run_ecohmem_batch(wl, pmem6_system(), cells, seed=seed)
+    return [
+        AblationPoint(knob=coef, speedup=baseline_time / eco.run.total_time)
+        for coef, eco in zip(coefficients, batch)
+    ]
 
 
 def store_coefficient_sweep(
@@ -118,9 +163,8 @@ def store_coefficient_sweep(
     PMem; far beyond it, store-heavy objects crowd out read-hot ones.
     """
     baseline = run_memory_mode(get_workload(app), pmem6_system())
-    specs = [(app, coef, dram_limit, seed, baseline.total_time)
-             for coef in coefficients]
-    return _ablation_sweep("stores", _store_coefficient_point, specs, app=app,
+    specs = [(app, tuple(coefficients), dram_limit, seed, baseline.total_time)]
+    return _ablation_sweep("stores", _store_coefficient_group, specs, app=app,
                            seed=seed, jobs=jobs, manifest=manifest,
                            results=results)
 
@@ -129,15 +173,44 @@ def _threshold_point(spec) -> AblationPoint:
     app, t_high, dram_limit, seed, baseline_time = spec
     system = pmem6_system()
     wl = get_workload(app)
-    config = config_for_system(system, dram_limit, ranks=wl.ranks)
-    config = dc_replace(config, t_pmem_high=t_high,
-                        t_pmem_low=min(0.20, t_high / 2))
+    config = _threshold_config(system, wl, t_high, dram_limit)
     eco = run_ecohmem(wl, system, dram_limit=dram_limit,
                       algorithm="bw-aware", config=config, seed=seed)
     return AblationPoint(
         knob=t_high, speedup=baseline_time / eco.run.total_time,
         detail=f"{len(eco.swaps or [])} swaps",
     )
+
+
+def _threshold_config(system, wl, t_high: float, dram_limit: int) -> AdvisorConfig:
+    config = config_for_system(system, dram_limit, ranks=wl.ranks)
+    return dc_replace(config, t_pmem_high=t_high,
+                      t_pmem_low=min(0.20, t_high / 2))
+
+
+def _threshold_group(spec) -> List[AblationPoint]:
+    """All T_PMEMHIGH points in one fused engine pass.
+
+    Each threshold still runs its own bandwidth-aware refinement (the
+    observation run is part of the placement, not the production run);
+    the K refined placements then share one fused production pass.
+    """
+    app, thresholds, dram_limit, seed, baseline_time = spec
+    system = pmem6_system()
+    wl = get_workload(app)
+    cells = [
+        EcoCell(dram_limit=dram_limit, algorithm="bw-aware",
+                config=_threshold_config(system, wl, t_high, dram_limit))
+        for t_high in thresholds
+    ]
+    batch = run_ecohmem_batch(wl, system, cells, seed=seed)
+    return [
+        AblationPoint(
+            knob=t_high, speedup=baseline_time / eco.run.total_time,
+            detail=f"{len(eco.swaps or [])} swaps",
+        )
+        for t_high, eco in zip(thresholds, batch)
+    ]
 
 
 def threshold_sweep(
@@ -154,9 +227,8 @@ def threshold_sweep(
     classification and stay in PMem.
     """
     baseline = run_memory_mode(get_workload(app), pmem6_system())
-    specs = [(app, t_high, dram_limit, seed, baseline.total_time)
-             for t_high in thresholds]
-    return _ablation_sweep("thresholds", _threshold_point, specs, app=app,
+    specs = [(app, tuple(thresholds), dram_limit, seed, baseline.total_time)]
+    return _ablation_sweep("thresholds", _threshold_group, specs, app=app,
                            seed=seed, jobs=jobs, manifest=manifest,
                            results=results)
 

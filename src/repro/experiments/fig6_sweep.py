@@ -23,7 +23,12 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.apps import get_workload
 from repro.baselines.memory_mode import run_memory_mode
 from repro.baselines.tiering import run_tiering
-from repro.experiments.harness import run_ecohmem, run_profdp_best
+from repro.experiments.harness import (
+    EcoCell,
+    run_ecohmem,
+    run_ecohmem_batch,
+    run_profdp_best,
+)
 from repro.experiments.sweep import (
     ResultDB,
     SweepManifest,
@@ -59,14 +64,22 @@ class Fig6Result:
     _index: Optional[Dict[Tuple[str, int, int, str], float]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: the exact cell contents the index was built from; a length check
+    #: alone misses in-place replacement and same-length mutation
+    _index_src: Optional[list] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def lookup(self, app: str, pmem: int, limit_gb: int, metrics: str) -> float:
-        # rebuilt whenever cells were appended since the last lookup
-        if self._index is None or len(self._index) != len(self.cells):
-            self._index = {
-                (c.app, c.pmem_dimms, c.dram_limit_gb, c.metrics): c.speedup
-                for c in self.cells
-            }
+        # rebuilt whenever the cells changed in *any* way since the last
+        # lookup — append, in-place replacement, reorder, or field edits
+        src = [
+            ((c.app, c.pmem_dimms, c.dram_limit_gb, c.metrics), c.speedup)
+            for c in self.cells
+        ]
+        if self._index is None or self._index_src != src:
+            self._index = dict(src)
+            self._index_src = src
         try:
             return self._index[(app, pmem, limit_gb, metrics)]
         except KeyError:
@@ -99,6 +112,36 @@ def _cell_task(spec: Tuple[str, int, int, str, int, float]) -> Fig6Cell:
         app=app, pmem_dimms=dimms, dram_limit_gb=limit_gb, metrics=metrics,
         speedup=baseline_time / eco.run.total_time,
     )
+
+
+def _cell_group_task(
+    spec: Tuple[str, int, Tuple[int, ...], Tuple[str, ...], int, float]
+) -> List[Fig6Cell]:
+    """All DRAM-limit x metrics cells of one (app, pmem) pair, fused.
+
+    The what-if path: the group's placements share one profile and one
+    :meth:`~repro.runtime.engine.ExecutionEngine.run_batch` pass, and
+    each cell's speedup is bit-identical to the per-cell
+    :func:`_cell_task` (the retained sequential oracle).
+    """
+    app, dimms, limits_gb, metric_list, seed, baseline_time = spec
+    cells = [
+        EcoCell(dram_limit=limit_gb * GiB,
+                use_stores=(metrics == "loads+stores"))
+        for limit_gb in limits_gb
+        for metrics in metric_list
+    ]
+    batch = run_ecohmem_batch(
+        get_workload(app), _system_for(dimms), cells, seed=seed)
+    return [
+        Fig6Cell(
+            app=app, pmem_dimms=dimms, dram_limit_gb=limit_gb,
+            metrics=metrics,
+            speedup=baseline_time / eco.run.total_time,
+        )
+        for (limit_gb, metrics), eco in zip(
+            ((g, m) for g in limits_gb for m in metric_list), batch)
+    ]
 
 
 def _baseline_rows_task(
@@ -149,17 +192,20 @@ def compute_fig6(
         experiment="fig6/baseline", manifest=manifest,
     )))
 
-    cell_specs = [
-        (app, dimms, limit_gb, metrics, seed, base_time[(app, dimms)])
+    # one what-if group per (app, pmem): the group's DRAM-limit x metrics
+    # placements share a profile and one fused engine pass; flattening in
+    # group order reproduces the per-cell sweep's exact cell order
+    group_specs = [
+        (app, dimms, tuple(dram_limits_gb), tuple(METRIC_CONFIGS),
+         seed, base_time[(app, dimms)])
         for app in apps
         for dimms in dimms_list
-        for limit_gb in dram_limits_gb
-        for metrics in METRIC_CONFIGS
     ]
-    result = Fig6Result(cells=run_sweep_cells(
-        _cell_task, cell_specs, jobs=jobs,
-        experiment="fig6/cells", manifest=manifest,
-    ))
+    groups = run_sweep_cells(
+        _cell_group_task, group_specs, jobs=jobs,
+        experiment="fig6/cell-groups", manifest=manifest,
+    )
+    result = Fig6Result(cells=[cell for group in groups for cell in group])
 
     if include_baseline_rows and 6 in dimms_list:
         row_specs = [(app, seed, base_time[(app, 6)]) for app in apps]

@@ -40,19 +40,22 @@ from repro.pipeline.artifacts import ArtifactStore, resolve_artifact_store
 from repro.pipeline.stages import (
     bandwidth_observer,
     placement_stage,
+    prepare_production,
     profile_stage,
     profile_workload,
     run_stage,
 )
 from repro.profiling.cache import ProfileStore
-from repro.runtime.engine import EngineParams
+from repro.runtime.engine import EngineParams, ExecutionEngine
 from repro.runtime.replay import ReplayResult
 from repro.runtime.stats import RunResult
 
 __all__ = [
+    "EcoCell",
     "EcoHMEMResult",
     "profile_workload",
     "run_ecohmem",
+    "run_ecohmem_batch",
     "run_profdp_best",
     "speedup_table",
 ]
@@ -175,6 +178,129 @@ def run_ecohmem(
         categories=outcome.categories,
         swaps=outcome.swaps,
     )
+
+
+@dataclass(frozen=True)
+class EcoCell:
+    """One configuration of a batched :func:`run_ecohmem_batch` group.
+
+    The fields mirror :func:`run_ecohmem`'s per-cell knobs — everything
+    that may vary *within* one (workload, system) group.  Knobs that
+    change the engine itself (the workload, the memory system, the
+    engine params) define the group, not the cell.
+    """
+
+    dram_limit: int
+    use_stores: bool = True
+    algorithm: str = "density"
+    config: Optional[AdvisorConfig] = None
+    pebs_hz: float = 100.0
+
+
+def run_ecohmem_batch(
+    workload: Workload,
+    system: MemorySystem,
+    cells: "list[EcoCell]",
+    *,
+    stack_format: StackFormat = StackFormat.BOM,
+    engine_params: Optional[EngineParams] = None,
+    seed: int = 11,
+    profile_store: Optional[ProfileStore] = None,
+    extra_models: Optional[list] = None,
+) -> "list[EcoHMEMResult] | tuple[list[EcoHMEMResult], list[RunResult]]":
+    """K ecoHMEM pipelines over one (workload, system), engine runs fused.
+
+    The batched counterpart of calling :func:`run_ecohmem` once per
+    cell: profiling is shared (one memoized profile per distinct
+    ``pebs_hz``), each cell still gets its own advisor placement and
+    FlexMalloc replay (those depend on the cell's DRAM limit and
+    policy), and the K production runs then go through **one**
+    :meth:`~repro.runtime.engine.ExecutionEngine.run_batch` call — one
+    shared segmentation, one traffic packing base, one fused fixed
+    point.  Every returned :class:`EcoHMEMResult` is bit-identical to
+    the sequential :func:`run_ecohmem` result for the same cell (the
+    experiment suite asserts this with ``run_results_identical``).
+
+    ``extra_models`` lets baseline traffic models of the *same*
+    (workload, system) — e.g. a fresh ``TieringTraffic`` — ride the
+    fused pass as ``(model, label)`` pairs with no interposer overhead,
+    exactly as ``engine.run(model, label=label)`` would time them; when
+    given, the return value becomes ``(results, extra_runs)``.
+
+    The artifact store is not consulted — batched groups are built for
+    sweeps that already share everything in process.
+    """
+    engine_params = engine_params or EngineParams()
+    registry = SiteRegistry(workload)
+
+    profiles_by_hz: Dict[float, dict] = {}
+
+    def profiles_for(hz: float) -> dict:
+        cached = profiles_by_hz.get(hz)
+        if cached is None:
+            cached = profile_workload(
+                workload, seed=seed, stack_format=stack_format,
+                pebs_hz=hz, profile_store=profile_store,
+            )
+            profiles_by_hz[hz] = cached
+        return cached
+
+    prepared = []
+    outcomes = []
+    labels = []
+    for cell in cells:
+        advisor_config = cell.config or config_for_system(
+            system, cell.dram_limit, ranks=workload.ranks
+        )
+        advisor_config = advisor_config.with_dram_limit(cell.dram_limit)
+        if not cell.use_stores:
+            advisor_config = advisor_config.loads_only()
+        observe = bandwidth_observer(
+            workload, system, registry,
+            dram_limit=cell.dram_limit, stack_format=stack_format,
+            seed=seed, engine_params=engine_params,
+        )
+        outcome = placement_stage(
+            profiles_for(cell.pebs_hz), system, advisor_config,
+            algorithm=cell.algorithm,
+            stack_format=stack_format,
+            observe=observe,
+        )
+        outcomes.append(outcome)
+        prepared.append(prepare_production(
+            workload, system, registry, outcome.report,
+            dram_limit=cell.dram_limit, stack_format=stack_format,
+            aslr_seed=4000 + seed,
+        ))
+        labels.append(f"ecohmem-{cell.algorithm}"
+                      + ("" if cell.use_stores else "-loads"))
+
+    extras = list(extra_models or [])
+    engine = ExecutionEngine(workload, system, engine_params)
+    runs = engine.run_batch(
+        [p.model for p in prepared] + [model for model, _ in extras],
+        labels=labels + [label for _, label in extras],
+        interposer_overheads_s=[p.overhead_s for p in prepared]
+        + [0.0] * len(extras),
+        interposer_stats=[p.replay.flexmalloc.stats for p in prepared]
+        + [None] * len(extras),
+    )
+    results = [
+        EcoHMEMResult(
+            run=run,
+            placement=outcome.placement,
+            report=outcome.report,
+            replay=prep.replay,
+            site_placement=prep.site_placement,
+            base_placement=outcome.base_placement,
+            categories=outcome.categories,
+            swaps=outcome.swaps,
+        )
+        for run, outcome, prep in zip(runs, outcomes, prepared)
+    ]
+    if extra_models is None:
+        return results
+    return results, runs[len(prepared):]
 
 
 def run_profdp_best(

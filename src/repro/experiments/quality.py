@@ -39,8 +39,8 @@ from typing import List, Optional, Tuple, Union
 from repro.apps.corpus import generate_cell
 from repro.apps.dsl.spec import CorpusSpec, default_corpus_spec, load_corpus_yaml
 from repro.apps.workload import Workload
-from repro.baselines.tiering import run_tiering
-from repro.experiments.harness import run_ecohmem
+from repro.baselines.tiering import TieringTraffic, tiering_effective_dram
+from repro.experiments.harness import EcoCell, run_ecohmem, run_ecohmem_batch
 from repro.experiments.sweep import (
     ResultDB,
     SweepManifest,
@@ -141,12 +141,24 @@ def _quality_cell_task(
     hwm = wl.heap_high_water() * wl.ranks
     system, dram_limit = cell_system(hwm, dram_frac=dram_frac, dimms=dimms)
 
-    eco = run_ecohmem(wl, system, dram_limit=dram_limit, seed=seed)
+    # the what-if path: the advisor placement and the kernel-tiering
+    # contender share one fused engine pass (bit-identical to running
+    # run_ecohmem + run_tiering sequentially); the half-budget probe
+    # runs on its *own* scaled memory system, so it cannot batch here
+    tier_model = TieringTraffic(
+        wl,
+        tiering_effective_dram(system.get("dram").capacity,
+                               system.get("pmem").capacity),
+    )
+    ecos, extra = run_ecohmem_batch(
+        wl, system, [EcoCell(dram_limit=dram_limit)], seed=seed,
+        extra_models=[(tier_model, "kernel-tiering")],
+    )
+    eco, tier = ecos[0], extra[0]
     # same profile (memoized by content fingerprint), half the budget
     half_system, half_limit = cell_system(
         hwm, dram_frac=dram_frac / 2.0, dimms=dimms)
     eco_half = run_ecohmem(wl, half_system, dram_limit=half_limit, seed=seed)
-    tier = run_tiering(wl, system)
 
     advisor_energy = tiering_energy = None
     if cell.energy is not None:

@@ -125,6 +125,12 @@ class MemorySubsystem:
         evaluate the same curve kernels, and the blend collapses exactly to
         the read-only latency where ``write_fraction`` is zero because
         ``ro + (rw - ro) * 0.0 == ro`` for the positive latencies involved.
+
+        Rows are independent, so callers may stack any set of segments —
+        the execution engine's what-if path feeds the fused ``(placements
+        × segments)`` rows of ``ExecutionEngine.run_batch`` through this
+        method in one call, and each row's latency is exactly what a
+        single-placement run would compute for it.
         """
         if not 0.0 < util_cap <= 1.0:
             raise ValueError(f"util_cap out of range: {util_cap}")

@@ -28,13 +28,20 @@ from repro.pipeline.artifacts import (
 from repro.pipeline.stages import (
     PlacementOutcome,
     PlacementSpec,
+    PreparedRun,
     ProfileSpec,
     RunSpec,
     bandwidth_observer,
     placement_stage,
+    prepare_production,
     profile_stage,
     profile_workload,
     run_stage,
+)
+from repro.pipeline.whatif import (
+    evaluate_placements,
+    rank_placements,
+    whatif_batch_size,
 )
 
 __all__ = [
@@ -44,11 +51,16 @@ __all__ = [
     "resolve_artifact_store",
     "PlacementOutcome",
     "PlacementSpec",
+    "PreparedRun",
     "ProfileSpec",
     "RunSpec",
     "bandwidth_observer",
     "placement_stage",
+    "prepare_production",
     "profile_stage",
     "profile_workload",
     "run_stage",
+    "evaluate_placements",
+    "rank_placements",
+    "whatif_batch_size",
 ]

@@ -474,7 +474,27 @@ def placement_stage(
 # -- production run -----------------------------------------------------------
 
 
-def _production_run(
+@dataclass
+class PreparedRun:
+    """A production execution matched and replayed, but not yet timed.
+
+    Everything :meth:`~repro.runtime.engine.ExecutionEngine.run` needs,
+    with the engine call left to the caller — so a group of prepared
+    runs over the same (workload, system) can be timed in one fused
+    :meth:`~repro.runtime.engine.ExecutionEngine.run_batch` pass (the
+    what-if path the batched harness and experiment sweeps use).
+    """
+
+    model: PlacementTraffic
+    replay: ReplayResult
+    #: replayed site -> subsystem mapping, fallback-completed
+    site_placement: Dict[str, str]
+    #: interposer overhead to charge (0.0 when the run is an offline
+    #: observation step)
+    overhead_s: float
+
+
+def prepare_production(
     workload: Workload,
     system: MemorySystem,
     registry: SiteRegistry,
@@ -483,11 +503,17 @@ def _production_run(
     dram_limit: int,
     stack_format: StackFormat,
     aslr_seed: int,
-    engine_params: EngineParams,
-    label: str,
     charge_overhead: bool = True,
-) -> Tuple[RunResult, ReplayResult]:
-    """Match + replay + time one production execution."""
+) -> PreparedRun:
+    """Match + replay one production execution, stopping short of the engine.
+
+    Exactly the pre-engine half of the run stage: matcher + heaps +
+    FlexMalloc replay, the fallback-completed site placement, and the
+    :class:`~repro.runtime.traffic.PlacementTraffic` model carrying the
+    replay's per-instance placements.  Feeding the returned model through
+    ``engine.run`` reproduces the run stage bit-identically; feeding K of
+    them through ``engine.run_batch`` does too, in one fused pass.
+    """
     process = registry.make_process(rank=0, aslr_seed=aslr_seed)
     if stack_format is StackFormat.BOM:
         matcher = BOMMatcher(report, process.space)
@@ -505,14 +531,41 @@ def _production_run(
     model = PlacementTraffic(
         workload, site_placement, instance_placement=replay.instance_placement
     )
+    return PreparedRun(
+        model=model,
+        replay=replay,
+        site_placement=site_placement,
+        overhead_s=replay.overhead_s if charge_overhead else 0.0,
+    )
+
+
+def _production_run(
+    workload: Workload,
+    system: MemorySystem,
+    registry: SiteRegistry,
+    report: PlacementReport,
+    *,
+    dram_limit: int,
+    stack_format: StackFormat,
+    aslr_seed: int,
+    engine_params: EngineParams,
+    label: str,
+    charge_overhead: bool = True,
+) -> Tuple[RunResult, ReplayResult]:
+    """Match + replay + time one production execution."""
+    prepared = prepare_production(
+        workload, system, registry, report,
+        dram_limit=dram_limit, stack_format=stack_format,
+        aslr_seed=aslr_seed, charge_overhead=charge_overhead,
+    )
     engine = ExecutionEngine(workload, system, engine_params)
     run = engine.run(
-        model,
+        prepared.model,
         label=label,
-        interposer_overhead_s=replay.overhead_s if charge_overhead else 0.0,
-        interposer_stats=flex.stats,
+        interposer_overhead_s=prepared.overhead_s,
+        interposer_stats=prepared.replay.flexmalloc.stats,
     )
-    return run, replay
+    return run, prepared.replay
 
 
 def run_stage(

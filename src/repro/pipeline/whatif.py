@@ -1,0 +1,105 @@
+"""The what-if query layer: score K candidate placements in one pass.
+
+Every remaining methodology frontier — online phase-aware re-advisory
+and the learned ranking advisor — reduces to the same hot loop: *score
+many candidate placements of the same workload*.  This module is that
+loop's front door.  :func:`evaluate_placements` feeds a list of
+candidate placements through one shared
+:class:`~repro.runtime.engine.ExecutionEngine`, which evaluates them in
+fused ``(K × segments × subsystems)`` fixed-point passes
+(:meth:`~repro.runtime.engine.ExecutionEngine.predict_times` /
+:meth:`~repro.runtime.engine.ExecutionEngine.run_batch`) instead of K
+independent ``run`` calls.  The returned numbers are **bit-equal** to
+the sequential path — the fixed point is per-row, so fusing rows cannot
+change any row's trajectory (see docs/PERFORMANCE.md §9).
+
+Batches are chunked at :func:`whatif_batch_size` candidates
+(``REPRO_WHATIF_BATCH``, default 64) so a thousand-candidate ranking
+sweep keeps its peak memory proportional to the chunk, not to K.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.apps.workload import Workload
+from repro.memsim.subsystem import MemorySystem
+from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.stats import RunResult
+
+#: a candidate is a plain {site_name: subsystem} mapping or any traffic
+#: model the engine accepts (PlacementTraffic, TieringTraffic, ...)
+Candidate = Union[Dict[str, str], object]
+
+_DEFAULT_BATCH = 64
+
+
+def whatif_batch_size() -> int:
+    """Candidates per fused engine pass (``REPRO_WHATIF_BATCH``).
+
+    The fused fixed point materializes a ``(K * segments, subsystems)``
+    tensor, so the chunk size bounds peak memory; the default of 64 keeps
+    a LULESH-sized trace's working set in cache while amortizing the
+    shared segmentation/packing cost across the chunk.
+    """
+    raw = os.environ.get("REPRO_WHATIF_BATCH")
+    if not raw:
+        return _DEFAULT_BATCH
+    try:
+        value = int(raw)
+    except ValueError:
+        return _DEFAULT_BATCH
+    return value if value > 0 else _DEFAULT_BATCH
+
+
+def evaluate_placements(
+    workload: Workload,
+    system: MemorySystem,
+    placements: Sequence[Candidate],
+    *,
+    labels: Optional[Sequence[Optional[str]]] = None,
+    interposer_overheads_s: Optional[Sequence[float]] = None,
+    engine: Optional[ExecutionEngine] = None,
+    engine_params: Optional[EngineParams] = None,
+    batch_size: Optional[int] = None,
+    full: bool = False,
+) -> "List[float] | List[RunResult]":
+    """Score candidate placements of one workload on one memory system.
+
+    By default returns one predicted total runtime per candidate (the
+    cheap ranking path — no per-object/per-phase assembly); with
+    ``full=True`` returns complete :class:`RunResult`\\ s instead.  Both
+    are bit-identical to evaluating each candidate through a sequential
+    ``engine.run`` call.  Candidates are chunked into fused passes of
+    ``batch_size`` (default :func:`whatif_batch_size`); pass an existing
+    ``engine`` to reuse its segmentation and packing caches across calls.
+    """
+    if engine is None:
+        engine = ExecutionEngine(workload, system, engine_params or EngineParams())
+    K = len(placements)
+    chunk = batch_size or whatif_batch_size()
+    labels = list(labels) if labels is not None else None
+    overheads = (list(interposer_overheads_s)
+                 if interposer_overheads_s is not None else None)
+    out: list = []
+    for lo in range(0, K, chunk):
+        hi = min(lo + chunk, K)
+        part = list(placements[lo:hi])
+        part_over = overheads[lo:hi] if overheads is not None else None
+        if full:
+            out.extend(engine.run_batch(
+                part,
+                labels=labels[lo:hi] if labels is not None else None,
+                interposer_overheads_s=part_over,
+            ))
+        else:
+            out.extend(engine.predict_times(
+                part, interposer_overheads_s=part_over,
+            ))
+    return out
+
+
+def rank_placements(times: Sequence[float]) -> List[int]:
+    """Candidate indices best-first (ties keep submission order)."""
+    return sorted(range(len(times)), key=lambda i: (times[i], i))

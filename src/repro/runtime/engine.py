@@ -32,10 +32,12 @@ from repro.memsim.subsystem import MemorySystem
 from repro.runtime.segments import SegmentArrays, build_segment_arrays
 from repro.runtime.stats import ObjectRunStats, PhaseResult, RunResult
 from repro.runtime.traffic import (
+    PlacementTraffic,
     SegmentTraffic,
     TrafficBatch,
     TrafficModel,
     pack_traffic_batch,
+    pack_traffic_multi,
 )
 
 _NS = 1e-9
@@ -74,6 +76,34 @@ class _Segment:
     @property
     def nominal(self) -> float:
         return self.hi - self.lo
+
+
+@dataclass
+class _AssemblyPlan:
+    """Placement-independent accumulation state, shared by every run.
+
+    Site identities, pair->slot scatter targets, alloc/dealloc event
+    positions and the phase grouping depend only on the workload's
+    segmentation — not on where a placement routes traffic — so they are
+    computed once per engine and reused by :meth:`ExecutionEngine.run`
+    and every lane of :meth:`ExecutionEngine.run_batch`.
+    """
+
+    sid_of_name: Dict[str, int]
+    slot_of_sid: np.ndarray        # site id -> live slot (or -1)
+    n_live: int
+    pair_slot: np.ndarray          # (P,) live-pair -> slot
+    rep_of_slot: List[InstanceSpan]
+    a_seg: np.ndarray              # alloc events: segment, in pair order
+    a_order: np.ndarray            # stable argsort of alloc-event slots
+    a_bounds: np.ndarray           # (n_live + 1,) group boundaries
+    d_seg: np.ndarray              # dealloc events: segment, in pair order
+    d_order: np.ndarray
+    d_bounds: np.ndarray
+    gseg: np.ndarray               # (S,) segment -> phase group id
+    used_gids: np.ndarray          # group ids in first-segment order
+    gfirst: np.ndarray             # first segment of each used group
+    num_gids: int
 
 
 def _majority_subsystem(byte_totals: "Dict[str, float]") -> str:
@@ -205,7 +235,7 @@ class ExecutionEngine:
         return duration, stall_time, lat_by_sub
 
     def _fixed_point_batch(
-        self, batch: TrafficBatch
+        self, batch: TrafficBatch, compute: Optional[np.ndarray] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Run the damped fixed point over all segments simultaneously.
 
@@ -216,12 +246,21 @@ class ExecutionEngine:
         stall terms are folded in the scalar dict's insertion order
         (``order_pos``); absent subsystems contribute an exact ``+0.0``,
         which cannot perturb the running sum.
+
+        ``compute`` defaults to the segmentation's nominal durations; the
+        what-if path passes the K-times-tiled copy so K placements'
+        (placement, segment) rows iterate as one fused system.  Every
+        operation in the loop is per-row (elementwise, or a reduction
+        along the subsystem axis), so a row's trajectory — including its
+        convergence iteration and frozen latency row — is independent of
+        which other rows share the arrays.
         """
         wl = self.workload
         S, K = batch.loads.shape
         subs = [self.system.get(name) for name in batch.subsystems]
         ssf = np.array([sub.store_stall_factor for sub in subs])
-        compute = self._segment_arrays.durations_nominal
+        if compute is None:
+            compute = self._segment_arrays.durations_nominal
         total_bytes = batch.total_bytes
         wf = batch.write_fraction
         extra = batch.extra_latency_ns
@@ -243,10 +282,42 @@ class ExecutionEngine:
         damp = self.params.damping
         duration = compute.copy()
         lat_final = np.zeros((S, K))
+        # While no row has converged yet (tight tolerances keep every row
+        # iterating for most of the schedule), `active` covers all rows and
+        # the per-iteration fancy-index gathers would only copy full
+        # arrays; the full-width branch skips them.  The arithmetic on
+        # each row is identical in both branches, so convergence
+        # trajectories are unchanged.
         active = np.arange(S)
+        full = True
         for _ in range(self.params.fixed_point_iters):
             if active.size == 0:
                 break
+            if full:
+                dur = duration
+                bw = total_bytes / dur[:, None]
+                lat = np.empty_like(bw)
+                for k, sub in enumerate(subs):
+                    lat[:, k] = sub.read_latency_ns_batch(
+                        bw[:, k], wf[:, k], util_cap=cap
+                    )
+                lat = lat + extra
+                lat_final = lat
+                contrib = (
+                    overlapped * lat + stores_rank * (ssf * lat)
+                ) * _NS
+                ordered = np.take_along_axis(contrib, order_cols, axis=1)
+                stall = np.zeros(S)
+                for k in range(K):
+                    stall = stall + ordered[:, k]
+                new = np.maximum(compute + stall, floor)
+                converged = np.abs(new - dur) <= tol * dur
+                duration = np.where(
+                    converged, new, damp * new + (1.0 - damp) * dur
+                )
+                active = active[~converged]
+                full = active.size == S
+                continue
             dur = duration[active]
             bw = total_bytes[active] / dur[:, None]
             lat = np.empty_like(bw)
@@ -293,19 +364,157 @@ class ExecutionEngine:
             batch = pack_traffic_batch(model, wl, sa, names)
 
         durations, lat_final = self._fixed_point_batch(batch)
-        stalls = durations - sa.durations_nominal
-        cum = np.cumsum(durations)
-        starts = np.concatenate(([0.0], cum[:-1]))
-        actual_t = float(cum[-1])
+        return self._assemble(
+            model, batch, durations, lat_final,
+            label=label,
+            interposer_overhead_s=interposer_overhead_s,
+            dram_cache_hit_ratio=dram_cache_hit_ratio,
+            interposer_stats=interposer_stats,
+        )
 
-        pmem_bw_seg = np.zeros(sa.num_segments)
-        if "pmem" in names and "pmem" in batch.subsystems:
-            pc = batch.subsystems.index("pmem")
-            mask = batch.present[:, pc]
-            pmem_bw_seg[mask] = batch.total_bytes[mask, pc] / durations[mask]
+    def run_batch(
+        self,
+        models: Sequence[TrafficModel],
+        *,
+        labels: Optional[Sequence[Optional[str]]] = None,
+        interposer_overheads_s: Optional[Sequence[float]] = None,
+        dram_cache_hit_ratios: Optional[Sequence[Optional[float]]] = None,
+        interposer_stats: Optional[Sequence[Optional[InterposerStats]]] = None,
+    ) -> List[RunResult]:
+        """Evaluate K candidate placements in one fused fixed-point pass.
 
-        # -- per-site identity, in first-live order ------------------------------
+        Each element of ``models`` is a traffic model or a plain
+        ``{site_name: subsystem}`` mapping (wrapped in
+        :class:`PlacementTraffic`).  The K per-placement traffic splits
+        are packed over one shared segmentation (``pack_traffic_multi``),
+        stacked into a ``(K * segments, subsystems)`` tensor, and iterated
+        through one masked damped fixed point; the lanes then unpack into
+        K :class:`RunResult`\\ s **bit-identical** to K sequential
+        :meth:`run` calls — every fixed-point operation is per-row, so
+        fusing rows cannot change any row's trajectory, and the assembly
+        replays the exact scalar accumulation orders per lane.
+
+        The optional keyword sequences carry :meth:`run`'s per-run scalar
+        arguments, one entry per model.
+        """
+        resolved: List[TrafficModel] = []
+        for m in models:
+            if hasattr(m, "segment_traffic") or hasattr(m, "traffic_batch"):
+                resolved.append(m)
+            else:
+                resolved.append(PlacementTraffic(self.workload, m))
+        K = len(resolved)
+
+        def _per_model(seq, default, what):
+            if seq is None:
+                return [default] * K
+            out = list(seq)
+            if len(out) != K:
+                raise SimulationError(
+                    f"run_batch got {len(out)} {what} for {K} models"
+                )
+            return out
+
+        labels = _per_model(labels, None, "labels")
+        overheads = _per_model(interposer_overheads_s, 0.0, "overheads")
+        hit_ratios = _per_model(dram_cache_hit_ratios, None, "hit ratios")
+        istats = _per_model(interposer_stats, None, "interposer stats")
+        if K == 0:
+            return []
+
+        batches, durations, lat_final, S = self._solve_fused(resolved)
+        return [
+            self._assemble(
+                model, batch,
+                durations[k * S:(k + 1) * S],
+                lat_final[k * S:(k + 1) * S],
+                label=labels[k],
+                interposer_overhead_s=overheads[k],
+                dram_cache_hit_ratio=hit_ratios[k],
+                interposer_stats=istats[k],
+            )
+            for k, (model, batch) in enumerate(zip(resolved, batches))
+        ]
+
+    def predict_times(
+        self,
+        models: Sequence[TrafficModel],
+        *,
+        interposer_overheads_s: Optional[Sequence[float]] = None,
+    ) -> List[float]:
+        """Predicted total runtime for K candidates, without result assembly.
+
+        The what-if query path: same shared packing and fused fixed point
+        as :meth:`run_batch`, but each lane only reduces its converged
+        durations to a total time — ``float(np.cumsum(d)[-1])`` plus the
+        interposer overhead, the exact expression :meth:`_assemble` uses —
+        so every returned float is bit-equal to the ``total_time`` of the
+        corresponding sequential :meth:`run` (asserted by the differential
+        suite and ``tools/perf_bench.py``).  Skipping per-object and
+        per-phase assembly is what makes ranking K candidates cheap: only
+        the chosen candidate needs a full :meth:`run`.
+        """
+        resolved: List[TrafficModel] = []
+        for m in models:
+            if hasattr(m, "segment_traffic") or hasattr(m, "traffic_batch"):
+                resolved.append(m)
+            else:
+                resolved.append(PlacementTraffic(self.workload, m))
+        K = len(resolved)
+        if interposer_overheads_s is None:
+            overheads: List[float] = [0.0] * K
+        else:
+            overheads = list(interposer_overheads_s)
+            if len(overheads) != K:
+                raise SimulationError(
+                    f"predict_times got {len(overheads)} overheads"
+                    f" for {K} models"
+                )
+        if K == 0:
+            return []
+        _, durations, _, S = self._solve_fused(resolved)
+        return [
+            float(np.cumsum(durations[k * S:(k + 1) * S])[-1]) + overheads[k]
+            for k in range(K)
+        ]
+
+    def _solve_fused(
+        self, resolved: Sequence[TrafficModel]
+    ) -> Tuple[List[TrafficBatch], np.ndarray, np.ndarray, int]:
+        """Pack K models and run their fused (K*S, subsystems) fixed point."""
+        sa = self._segment_arrays
+        names = self.system.names
+        batches = pack_traffic_multi(resolved, self.workload, sa, names)
+        S = sa.num_segments
+        K = len(batches)
+        fused = TrafficBatch(
+            subsystems=list(names),
+            loads=np.concatenate([b.loads for b in batches]),
+            stores=np.concatenate([b.stores for b in batches]),
+            serial_loads=np.concatenate([b.serial_loads for b in batches]),
+            extra_latency_ns=np.concatenate(
+                [b.extra_latency_ns for b in batches]),
+            present=np.concatenate([b.present for b in batches]),
+            order_pos=np.concatenate([b.order_pos for b in batches]),
+            site_names=[], obj_sub_names=[],
+            obj_seg=np.zeros(0, dtype=np.int64),
+            obj_site=np.zeros(0, dtype=np.int64),
+            obj_sub=np.zeros(0, dtype=np.int64),
+            obj_loads=np.zeros(0), obj_stores=np.zeros(0),
+        )
+        durations, lat_final = self._fixed_point_batch(
+            fused, compute=np.tile(sa.durations_nominal, K)
+        )
+        return batches, durations, lat_final, S
+
+    # -- result assembly -----------------------------------------------------------
+
+    @cached_property
+    def _assembly_plan(self) -> _AssemblyPlan:
+        sa = self._segment_arrays
         instances = sa.instances
+
+        # per-site identity, in first-live order
         sid_of_name: Dict[str, int] = {}
         inst_sid = np.empty(len(instances), dtype=np.int64)
         for n, inst in enumerate(instances):
@@ -313,37 +522,21 @@ class ExecutionEngine:
             if nm not in sid_of_name:
                 sid_of_name[nm] = len(sid_of_name)
             inst_sid[n] = sid_of_name[nm]
-        id_names = list(sid_of_name)
 
         pair_sid = inst_sid[sa.pair_inst] if sa.pair_inst.size else inst_sid[:0]
         uniq_sid, first_pair = np.unique(pair_sid, return_index=True)
         live_order = uniq_sid[np.argsort(first_pair, kind="stable")]
-        slot_of_sid = np.full(len(id_names) + 1, -1, dtype=np.int64)
+        slot_of_sid = np.full(len(sid_of_name) + 1, -1, dtype=np.int64)
         for slot, sid in enumerate(live_order):
             slot_of_sid[sid] = slot
         n_live = live_order.size
         pair_slot = slot_of_sid[pair_sid]
 
         first_pair_of_sid = {int(s): int(f) for s, f in zip(uniq_sid, first_pair)}
-        objects: Dict[str, ObjectRunStats] = {}
-        for sid in live_order:
-            rep = instances[int(sa.pair_inst[first_pair_of_sid[int(sid)]])]
-            objects[id_names[sid]] = ObjectRunStats(
-                site_name=id_names[sid],
-                subsystem="",
-                size=rep.spec.size,
-                alloc_count=rep.spec.alloc_count,
-            )
-        stats_list = list(objects.values())
-
-        # -- live-pair accumulators (scatter-add in scalar pair order) -----------
-        live_time = np.zeros(n_live)
-        exec_bw_w = np.zeros(n_live)
-        exec_tw = np.zeros(n_live)
-        pair_dur = durations[sa.pair_seg]
-        np.add.at(live_time, pair_slot, pair_dur)
-        np.add.at(exec_bw_w, pair_slot, pmem_bw_seg[sa.pair_seg] * pair_dur)
-        np.add.at(exec_tw, pair_slot, pair_dur)
+        rep_of_slot = [
+            instances[int(sa.pair_inst[first_pair_of_sid[int(sid)]])]
+            for sid in live_order
+        ]
 
         # alloc/dealloc events: an instance allocates in its first live
         # segment when that segment starts exactly at the instance's start
@@ -358,72 +551,233 @@ class ExecutionEngine:
         is_dealloc = (p_seg == sa.inst_last_seg[p_inst] - 1) & (
             sa.seg_hi[p_seg] == inst_end[p_inst]
         )
-        alloc_bws: List[List[float]] = [[] for _ in range(n_live)]
-        for p in np.flatnonzero(is_alloc | is_dealloc):
-            slot = int(pair_slot[p])
-            st = stats_list[slot]
-            seg = int(p_seg[p])
-            if is_alloc[p]:
-                alloc_bws[slot].append(float(pmem_bw_seg[seg]))
-                st.alloc_times.append(float(starts[seg]))
-            if is_dealloc[p]:
-                st.dealloc_times.append(float(starts[seg] + durations[seg]))
+        a_pairs = np.flatnonzero(is_alloc)
+        d_pairs = np.flatnonzero(is_dealloc)
+        a_slot = pair_slot[a_pairs]
+        d_slot = pair_slot[d_pairs]
+        a_order = np.argsort(a_slot, kind="stable")
+        d_order = np.argsort(d_slot, kind="stable")
+        a_bounds = np.searchsorted(a_slot[a_order], np.arange(n_live + 1))
+        d_bounds = np.searchsorted(d_slot[d_order], np.arange(n_live + 1))
+
+        # group phase spans by (name, iteration) — the scalar dict key
+        wl = self.workload
+        gid_of_key: Dict[Tuple[str, int], int] = {}
+        gid_of_span = np.empty(len(wl.spans), dtype=np.int64)
+        for i, span in enumerate(wl.spans):
+            key = (span.name, span.iteration)
+            if key not in gid_of_key:
+                gid_of_key[key] = len(gid_of_key)
+            gid_of_span[i] = gid_of_key[key]
+        gseg = gid_of_span[sa.span_idx]
+        used_gids, gfirst = np.unique(gseg, return_index=True)
+        order = np.argsort(gfirst, kind="stable")
+
+        return _AssemblyPlan(
+            sid_of_name=sid_of_name,
+            slot_of_sid=slot_of_sid,
+            n_live=n_live,
+            pair_slot=pair_slot,
+            rep_of_slot=rep_of_slot,
+            a_seg=p_seg[a_pairs], a_order=a_order, a_bounds=a_bounds,
+            d_seg=p_seg[d_pairs], d_order=d_order, d_bounds=d_bounds,
+            gseg=gseg,
+            used_gids=used_gids[order],
+            gfirst=gfirst[order],
+            num_gids=int(gid_of_span.max()) + 1,
+        )
+
+    def _assemble(
+        self,
+        model: TrafficModel,
+        batch: TrafficBatch,
+        durations: np.ndarray,
+        lat_final: np.ndarray,
+        *,
+        label: Optional[str],
+        interposer_overhead_s: float,
+        dram_cache_hit_ratio: Optional[float],
+        interposer_stats: Optional[InterposerStats],
+    ) -> RunResult:
+        """Turn one lane's converged durations/latencies into a RunResult.
+
+        All scatter-adds replay the scalar accumulation order exactly:
+        ``np.bincount`` visits its input sequentially (``out[idx[i]] +=
+        w[i]``), so per-bucket float accumulation sequences equal the
+        scalar dicts' — the same determinism fact ``np.add.at`` rested on,
+        an order of magnitude cheaper.
+        """
+        wl = self.workload
+        sa = self._segment_arrays
+        plan = self._assembly_plan
+        n_live = plan.n_live
+
+        stalls = durations - sa.durations_nominal
+        cum = np.cumsum(durations)
+        starts = np.concatenate(([0.0], cum[:-1]))
+        actual_t = float(cum[-1])
+
+        pmem_bw_seg = np.zeros(sa.num_segments)
+        if "pmem" in self.system.names and "pmem" in batch.subsystems:
+            pc = batch.subsystems.index("pmem")
+            mask = batch.present[:, pc]
+            pmem_bw_seg[mask] = batch.total_bytes[mask, pc] / durations[mask]
+
+        objects: Dict[str, ObjectRunStats] = {}
+        for rep in plan.rep_of_slot:
+            nm = rep.spec.site.name
+            objects[nm] = ObjectRunStats(
+                site_name=nm,
+                subsystem="",
+                size=rep.spec.size,
+                alloc_count=rep.spec.alloc_count,
+            )
+        stats_list = list(objects.values())
+
+        # -- live-pair accumulators (scatter-add in scalar pair order) -----------
+        pair_dur = durations[sa.pair_seg]
+        live_time = np.bincount(plan.pair_slot, weights=pair_dur,
+                                minlength=n_live)
+        exec_bw_w = np.bincount(plan.pair_slot,
+                                weights=pmem_bw_seg[sa.pair_seg] * pair_dur,
+                                minlength=n_live)
+        exec_tw = live_time
+
+        # alloc/dealloc events, grouped per slot in pair order
+        ends = starts + durations
+        a_segs = plan.a_seg[plan.a_order]
+        d_segs = plan.d_seg[plan.d_order]
+        a_bw = pmem_bw_seg[a_segs]
+        a_t = starts[a_segs]
+        d_t = ends[d_segs]
+        alloc_bws: List[List[float]] = []
+        for slot, st in enumerate(stats_list):
+            lo, hi = plan.a_bounds[slot], plan.a_bounds[slot + 1]
+            alloc_bws.append(a_bw[lo:hi].tolist())
+            st.alloc_times = a_t[lo:hi].tolist()
+            lo, hi = plan.d_bounds[slot], plan.d_bounds[slot + 1]
+            st.dealloc_times = d_t[lo:hi].tolist()
 
         # -- per-object traffic accumulators -------------------------------------
-        slot_of_batch_site = np.array(
-            [sid_of_name.get(nm, -1) for nm in batch.site_names], dtype=np.int64
-        )
-        slot_of_batch_site = np.where(
-            slot_of_batch_site >= 0, slot_of_sid[slot_of_batch_site], -1
-        )
-        colmap = {name: k for k, name in enumerate(batch.subsystems)}
-        col_of_obj_sub = np.array(
-            [colmap.get(nm, -1) for nm in batch.obj_sub_names], dtype=np.int64
-        )
-
-        oslot = (
-            slot_of_batch_site[batch.obj_site] if batch.obj_site.size
-            else batch.obj_site
-        )
-        ovalid = oslot >= 0
-        oslot = oslot[ovalid]
-        oseg = batch.obj_seg[ovalid]
-        osub = batch.obj_sub[ovalid]
-        oloads = batch.obj_loads[ovalid]
-        ostores = batch.obj_stores[ovalid]
-        ocol = col_of_obj_sub[osub] if osub.size else osub
-        ocol_safe = np.where(ocol >= 0, ocol, 0)
-        olat = np.where(
-            (ocol >= 0) & batch.present[oseg, ocol_safe],
-            lat_final[oseg, ocol_safe],
-            0.0,
-        )
-
-        load_misses = np.zeros(n_live)
-        store_misses = np.zeros(n_live)
-        bytes_total = np.zeros(n_live)
-        lat_sum = np.zeros(n_live)
-        lat_weight = np.zeros(n_live)
-        obj_bytes = (oloads + 2.0 * ostores) * 64.0
-        np.add.at(load_misses, oslot, oloads)
-        np.add.at(store_misses, oslot, ostores)
-        np.add.at(bytes_total, oslot, obj_bytes)
-        np.add.at(lat_sum, oslot, oloads * olat)
-        np.add.at(lat_weight, oslot, oloads)
-
-        # byte totals per (site, subsystem) in first-touch order, for the
-        # byte-majority subsystem attribution
+        # K candidate lanes over one pack base share the same obj_* arrays
+        # (the placement only picks obj_sub), so everything derived from
+        # the placement-independent columns is memoized keyed on array
+        # identity — the held references pin the ids for the cache's life.
         n_subn = max(len(batch.obj_sub_names), 1)
-        mkey = oslot * n_subn + osub
-        muniq, mfirst, minv = np.unique(mkey, return_index=True, return_inverse=True)
-        mbytes = np.zeros(muniq.size)
-        np.add.at(mbytes, minv, obj_bytes)
-        morder = np.argsort(mfirst, kind="stable")
+        n_cols = len(batch.subsystems)
+        ckey = (
+            id(batch.obj_site), id(batch.obj_seg),
+            id(batch.obj_loads), id(batch.obj_stores),
+            tuple(batch.site_names), n_subn, n_cols,
+        )
+        cached = getattr(self, "_obj_traffic_cache", None)
+        if cached is not None and cached["key"] != ckey:
+            cached = None
+        if cached is None:
+            slot_of_batch_site = np.array(
+                [plan.sid_of_name.get(nm, -1) for nm in batch.site_names],
+                dtype=np.int64,
+            )
+            slot_of_batch_site = np.where(
+                slot_of_batch_site >= 0,
+                plan.slot_of_sid[slot_of_batch_site], -1,
+            )
+            oslot_all = (
+                slot_of_batch_site[batch.obj_site] if batch.obj_site.size
+                else batch.obj_site
+            )
+            ovalid = oslot_all >= 0
+            if ovalid.all():
+                obj_bytes = (batch.obj_loads + 2.0 * batch.obj_stores) * 64.0
+                cached = {
+                    "key": ckey,
+                    "refs": (batch.obj_site, batch.obj_seg,
+                             batch.obj_loads, batch.obj_stores),
+                    "oslot": oslot_all,
+                    "obj_bytes": obj_bytes,
+                    "load_misses": np.bincount(
+                        oslot_all, weights=batch.obj_loads,
+                        minlength=n_live),
+                    "store_misses": np.bincount(
+                        oslot_all, weights=batch.obj_stores,
+                        minlength=n_live),
+                    "bytes_total": np.bincount(
+                        oslot_all, weights=obj_bytes, minlength=n_live),
+                    "mkey_base": oslot_all * n_subn,
+                    "lin_base": batch.obj_seg * n_cols,
+                }
+                self._obj_traffic_cache = cached
+        if cached is not None:
+            oslot = cached["oslot"]
+            oseg = batch.obj_seg
+            osub = batch.obj_sub
+            oloads = batch.obj_loads
+            ostores = batch.obj_stores
+            obj_bytes = cached["obj_bytes"]
+            load_misses = cached["load_misses"]
+            store_misses = cached["store_misses"]
+            bytes_total = cached["bytes_total"]
+            mkey = cached["mkey_base"] + osub
+            lin_base = cached["lin_base"]
+        else:
+            # some batch sites are unknown to the plan: filter them out
+            oslot = oslot_all[ovalid]
+            oseg = batch.obj_seg[ovalid]
+            osub = batch.obj_sub[ovalid]
+            oloads = batch.obj_loads[ovalid]
+            ostores = batch.obj_stores[ovalid]
+            obj_bytes = (oloads + 2.0 * ostores) * 64.0
+            load_misses = np.bincount(oslot, weights=oloads, minlength=n_live)
+            store_misses = np.bincount(oslot, weights=ostores,
+                                       minlength=n_live)
+            bytes_total = np.bincount(oslot, weights=obj_bytes,
+                                      minlength=n_live)
+            mkey = oslot * n_subn + osub
+            lin_base = oseg * n_cols
+
+        # per-row load latency: when the object columns are exactly the
+        # system's subsystem columns (every PlacementTraffic pack), the
+        # column lookup is the identity and the (seg, col) gathers flatten
+        # to one linear index over the contiguous (S, cols) matrices
+        if list(batch.obj_sub_names) == list(batch.subsystems):
+            lin = lin_base + osub
+            olat = np.where(
+                batch.present.ravel()[lin], lat_final.ravel()[lin], 0.0
+            )
+        else:
+            colmap = {name: k for k, name in enumerate(batch.subsystems)}
+            col_of_obj_sub = np.array(
+                [colmap.get(nm, -1) for nm in batch.obj_sub_names],
+                dtype=np.int64,
+            )
+            ocol = col_of_obj_sub[osub] if osub.size else osub
+            ocol_safe = np.where(ocol >= 0, ocol, 0)
+            olat = np.where(
+                (ocol >= 0) & batch.present[oseg, ocol_safe],
+                lat_final[oseg, ocol_safe],
+                0.0,
+            )
+
+        lat_sum = np.bincount(oslot, weights=oloads * olat, minlength=n_live)
+        lat_weight = load_misses  # same bincount, read-only below
+
+        # Byte totals per (site, subsystem) in first-touch order, for the
+        # byte-majority subsystem attribution.  The key domain is tiny
+        # (n_live * n_subn), so dense bincount + a reverse-order scatter
+        # (last write wins => first occurrence survives) replaces the
+        # former np.unique over all object rows.
+        nm_dense = n_live * n_subn
+        mbytes = np.bincount(mkey, weights=obj_bytes, minlength=nm_dense)
+        mfirst = np.full(nm_dense, -1, dtype=np.int64)
+        if mkey.size:
+            mfirst[mkey[::-1]] = np.arange(mkey.size)[::-1]
+        mocc = np.flatnonzero(mfirst >= 0)
+        mocc = mocc[np.argsort(mfirst[mocc], kind="stable")]
         sub_bytes: List[Dict[str, float]] = [{} for _ in range(n_live)]
-        for g in morder:
-            slot = int(muniq[g] // n_subn)
-            sub = batch.obj_sub_names[int(muniq[g] % n_subn)]
-            sub_bytes[slot][sub] = float(mbytes[g])
+        for b in mocc:
+            slot = int(b // n_subn)
+            sub = batch.obj_sub_names[int(b % n_subn)]
+            sub_bytes[slot][sub] = float(mbytes[b])
 
         # -- finalize per-object statistics --------------------------------------
         for slot, st in enumerate(stats_list):
@@ -582,41 +936,33 @@ class ExecutionEngine:
         wl = self.workload
         sa = self._segment_arrays
         S, K = batch.loads.shape
+        plan = self._assembly_plan
+        gseg = plan.gseg
+        used_gids, gfirst = plan.used_gids, plan.gfirst
+        G = plan.num_gids
 
-        # group spans by (name, iteration) — the scalar dict key
-        gid_of_key: Dict[Tuple[str, int], int] = {}
-        gid_of_span = np.empty(len(wl.spans), dtype=np.int64)
-        for i, span in enumerate(wl.spans):
-            key = (span.name, span.iteration)
-            if key not in gid_of_key:
-                gid_of_key[key] = len(gid_of_key)
-            gid_of_span[i] = gid_of_key[key]
-        gseg = gid_of_span[sa.span_idx]
-
-        used_gids, gfirst = np.unique(gseg, return_index=True)
-        order = np.argsort(gfirst, kind="stable")
-        used_gids, gfirst = used_gids[order], gfirst[order]
-        G = int(gid_of_span.max()) + 1
-
-        actual_dur = np.zeros(G)
-        compute_t = np.zeros(G)
-        stall_t = np.zeros(G)
-        np.add.at(actual_dur, gseg, durations)
-        np.add.at(compute_t, gseg, sa.durations_nominal)
-        np.add.at(stall_t, gseg, stalls)
+        actual_dur = np.bincount(gseg, weights=durations, minlength=G)
+        compute_t = np.bincount(gseg, weights=sa.durations_nominal,
+                                minlength=G)
+        stall_t = np.bincount(gseg, weights=stalls, minlength=G)
 
         pres_loads = np.where(batch.present, batch.loads, 0.0)
         pres_stores = np.where(batch.present, batch.stores, 0.0)
         pres_bytes = np.where(batch.present, batch.total_bytes, 0.0)
         pres_lat = np.where(batch.present, lat_final, 0.0) * durations[:, None]
-        g_loads = np.zeros((G, K))
-        g_stores = np.zeros((G, K))
-        g_bytes = np.zeros((G, K))
-        g_lat = np.zeros((G, K))
-        np.add.at(g_loads, gseg, pres_loads)
-        np.add.at(g_stores, gseg, pres_stores)
-        np.add.at(g_bytes, gseg, pres_bytes)
-        np.add.at(g_lat, gseg, pres_lat)
+        g_loads = np.empty((G, K))
+        g_stores = np.empty((G, K))
+        g_bytes = np.empty((G, K))
+        g_lat = np.empty((G, K))
+        for k in range(K):
+            g_loads[:, k] = np.bincount(gseg, weights=pres_loads[:, k],
+                                        minlength=G)
+            g_stores[:, k] = np.bincount(gseg, weights=pres_stores[:, k],
+                                         minlength=G)
+            g_bytes[:, k] = np.bincount(gseg, weights=pres_bytes[:, k],
+                                        minlength=G)
+            g_lat[:, k] = np.bincount(gseg, weights=pres_lat[:, k],
+                                      minlength=G)
         first_touch = np.full((G, K), np.inf)
         np.minimum.at(first_touch, gseg, batch.order_pos)
 

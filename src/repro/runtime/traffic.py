@@ -298,109 +298,264 @@ class PlacementTraffic:
 
         Contributions are scatter-added in the exact (segment, live-order)
         sequence the scalar path uses, so every accumulated float sees the
-        same sequence of additions.
+        same sequence of additions.  Everything that does not depend on the
+        placement — the kept (segment, instance) pairs and their load/store
+        contributions — is computed once per (workload, segmentation) and
+        shared across placements (see :class:`_PlacementPackBase`), which
+        is what makes packing K candidate placements nearly free.
         """
-        wl = self.workload
+        base = _placement_pack_base(self.workload, segments)
         K = len(subsystem_names)
         S = segments.num_segments
         colmap = {name: k for k, name in enumerate(subsystem_names)}
-        instances = segments.instances
-        N = len(instances)
 
-        site_names: List[str] = []
-        site_idx: Dict[str, int] = {}
-        # per-phase-name rate rows, shared across instances of one spec
-        pname_idx: Dict[str, int] = {}
-        pname_of_span = np.empty(len(wl.spans), dtype=np.int64)
-        for i, span in enumerate(wl.spans):
-            if span.name not in pname_idx:
-                pname_idx[span.name] = len(pname_idx)
-            pname_of_span[i] = pname_idx[span.name]
-        U = len(pname_idx)
+        # the only placement-dependent input: each instance's target column
+        site_default = np.array(
+            [colmap[self.placement_of[nm]] for nm in base.site_names],
+            dtype=np.int64,
+        )
+        inst_col = (site_default[base.inst_site] if base.inst_site.size
+                    else np.zeros(0, dtype=np.int64))
+        for okey, sub in self.instance_placement.items():
+            n = base.slot_of_instance.get(okey)
+            if n is not None:
+                inst_col[n] = colmap[sub]
+        kseg = base.kseg
+        kcol = inst_col[base.kinst]
 
-        spec_row: Dict[int, int] = {}
-        rate_load_rows: List[np.ndarray] = []
-        rate_store_rows: List[np.ndarray] = []
-        inst_row = np.empty(N, dtype=np.int64)
-        inst_site = np.empty(N, dtype=np.int64)
-        inst_col = np.empty(N, dtype=np.int64)
-        inst_sf = np.empty(N, dtype=float)
-        for n, inst in enumerate(instances):
-            spec = inst.spec
-            row = spec_row.get(id(spec))
-            if row is None:
-                rl = np.zeros(U)
-                rs = np.zeros(U)
-                for pname, u in pname_idx.items():
-                    stats = spec.access.get(pname)
-                    if stats is not None:
-                        rl[u] = stats.load_rate
-                        rs[u] = stats.store_rate
-                row = len(rate_load_rows)
-                spec_row[id(spec)] = row
-                rate_load_rows.append(rl)
-                rate_store_rows.append(rs)
-            inst_row[n] = row
-            name = spec.site.name
-            if name not in site_idx:
-                site_idx[name] = len(site_names)
-                site_names.append(name)
-            inst_site[n] = site_idx[name]
-            inst_col[n] = colmap[
-                self.instance_placement.get((name, inst.index),
-                                            self.placement_of[name])
-            ]
-            inst_sf[n] = spec.serial_fraction
-        rate_load = np.array(rate_load_rows) if rate_load_rows else np.zeros((0, U))
-        rate_store = np.array(rate_store_rows) if rate_store_rows else np.zeros((0, U))
-
-        pseg = segments.pair_seg
-        pinst = segments.pair_inst
-        dt = segments.durations_nominal
-        seg_pname = pname_of_span[segments.span_idx]
-        ranks = wl.ranks
-        pl = rate_load[inst_row[pinst], seg_pname[pseg]] * dt[pseg] * ranks
-        ps = rate_store[inst_row[pinst], seg_pname[pseg]] * dt[pseg] * ranks
-        keep = (pl != 0.0) | (ps != 0.0)
-        kpos = np.flatnonzero(keep)
-        pl, ps = pl[kpos], ps[kpos]
-        if pl.size and (pl.min() < 0 or ps.min() < 0):
-            raise SimulationError("negative traffic contribution")
-        kseg = pseg[kpos]
-        kinst = pinst[kpos]
-        kcol = inst_col[kinst]
-        pser = pl * inst_sf[kinst]
-
-        loads = np.zeros((S, K))
-        stores = np.zeros((S, K))
-        serial = np.zeros((S, K))
-        order_pos = np.full((S, K), np.inf)
-        np.add.at(loads, (kseg, kcol), pl)
-        np.add.at(stores, (kseg, kcol), ps)
-        np.add.at(serial, (kseg, kcol), pser)
-        np.minimum.at(order_pos, (kseg, kcol), kpos.astype(float))
+        flat = kseg * K + kcol
+        loads = np.bincount(flat, weights=base.pl,
+                            minlength=S * K).reshape(S, K)
+        stores = np.bincount(flat, weights=base.ps,
+                             minlength=S * K).reshape(S, K)
+        serial = np.bincount(flat, weights=base.pser,
+                             minlength=S * K).reshape(S, K)
+        # first-touch position per (segment, column): kpos_f is strictly
+        # increasing, so "min kpos per bucket" == "kpos of the first
+        # occurrence" == the value left standing after a reverse-order
+        # scatter store (fancy assignment keeps the last write).
+        flat_op = np.full(S * K, np.inf)
+        flat_op[flat[::-1]] = base.kpos_f[::-1]
+        order_pos = flat_op.reshape(S, K)
         present = np.isfinite(order_pos)
 
-        # per-(segment, site, subsystem) sums in first-touch order
-        nsites = max(len(site_names), 1)
-        key = (kseg * nsites + inst_site[kinst]) * K + kcol
-        uniq, first_pos, inv = np.unique(key, return_index=True,
-                                         return_inverse=True)
-        gl = np.zeros(uniq.size)
-        gs = np.zeros(uniq.size)
-        np.add.at(gl, inv, pl)
-        np.add.at(gs, inv, ps)
-        order = np.argsort(first_pos, kind="stable")
-        uniq = uniq[order]
+        # Per-(segment, site, subsystem) sums in first-touch order.  The
+        # (segment, site) grouping is placement-independent and precomputed
+        # in the base; a placement only assigns each group a column.  When
+        # every pair in a group lands on the same column (always true
+        # without per-instance overrides), the grouped sums and their
+        # first-touch order are exactly the base's, so the per-placement
+        # work is two small gathers.  Overrides that split a group across
+        # columns fall back to grouping by the combined key.
+        gcol = (kcol[base.bfirst] if base.bfirst.size
+                else np.zeros(0, dtype=np.int64))
+        uniform = True
+        if self.instance_placement:
+            kcol_f = kcol.astype(float)
+            gsum = np.bincount(base.binv, weights=kcol_f,
+                               minlength=gcol.size)
+            gsq = np.bincount(base.binv, weights=kcol_f * kcol_f,
+                              minlength=gcol.size)
+            gc = gcol.astype(float)
+            # zero variance around the first member's column <=> uniform
+            # (columns are small ints, so the float sums are exact)
+            uniform = bool(np.all(gsum == base.gcount_f * gc)
+                           and np.all(gsq == base.gcount_f * gc * gc))
+        nsites = max(len(base.site_names), 1)
+        if uniform:
+            obj_seg = base.obj_seg_ord
+            obj_site = base.obj_site_ord
+            obj_sub = gcol[base.gorder]
+            obj_loads = base.obj_loads_ord
+            obj_stores = base.obj_stores_ord
+        else:
+            key = (kseg * nsites + base.ksite) * K + kcol
+            uniq, first_pos, inv = np.unique(key, return_index=True,
+                                             return_inverse=True)
+            gl = np.bincount(inv, weights=base.pl, minlength=uniq.size)
+            gs = np.bincount(inv, weights=base.ps, minlength=uniq.size)
+            order = np.argsort(first_pos, kind="stable")
+            uniq = uniq[order]
+            obj_seg = (uniq // (nsites * K)).astype(np.int64)
+            obj_site = ((uniq // K) % nsites).astype(np.int64)
+            obj_sub = (uniq % K).astype(np.int64)
+            obj_loads = gl[order]
+            obj_stores = gs[order]
         return TrafficBatch(
             subsystems=list(subsystem_names),
             loads=loads, stores=stores, serial_loads=serial,
             extra_latency_ns=np.zeros((S, K)),
             present=present, order_pos=order_pos,
-            site_names=site_names, obj_sub_names=list(subsystem_names),
-            obj_seg=(uniq // (nsites * K)).astype(np.int64),
-            obj_site=((uniq // K) % nsites).astype(np.int64),
-            obj_sub=(uniq % K).astype(np.int64),
-            obj_loads=gl[order],
-            obj_stores=gs[order],
+            site_names=list(base.site_names),
+            obj_sub_names=list(subsystem_names),
+            obj_seg=obj_seg,
+            obj_site=obj_site,
+            obj_sub=obj_sub,
+            obj_loads=obj_loads,
+            obj_stores=obj_stores,
         )
+
+
+@dataclass
+class _PlacementPackBase:
+    """The placement-independent half of :meth:`PlacementTraffic.traffic_batch`.
+
+    Which (segment, instance) pairs contribute traffic, and how much, is
+    fixed by the workload and the segmentation; a placement only routes
+    those contributions to subsystem columns.  One base therefore serves
+    every candidate placement over the same segmentation — cached on the
+    :class:`SegmentArrays` instance, keyed by workload identity (the
+    workload reference is held alongside, so the id can never be reused
+    while the cache entry is alive).
+    """
+
+    site_names: List[str]
+    inst_site: np.ndarray             # (N,) instance -> site index
+    slot_of_instance: Dict[Tuple[str, int], int]
+    kseg: np.ndarray                  # kept pairs: segment index
+    kinst: np.ndarray                 # kept pairs: instance index
+    ksite: np.ndarray                 # kept pairs: site index
+    kpos_f: np.ndarray                # kept pairs: global first-touch pos
+    pl: np.ndarray                    # kept pairs: load contribution
+    ps: np.ndarray                    # kept pairs: store contribution
+    pser: np.ndarray                  # kept pairs: serialized loads
+    # (segment, site) grouping of the kept pairs — placement-independent
+    binv: np.ndarray                  # kept pairs -> group index
+    bfirst: np.ndarray                # group -> kept index of first member
+    gorder: np.ndarray                # groups in first-touch order
+    gcount_f: np.ndarray              # group sizes (float, for exact sums)
+    obj_seg_ord: np.ndarray           # group segment, first-touch order
+    obj_site_ord: np.ndarray          # group site, first-touch order
+    obj_loads_ord: np.ndarray         # group load sums, first-touch order
+    obj_stores_ord: np.ndarray        # group store sums, first-touch order
+
+
+def _placement_pack_base(
+    workload: Workload, segments: SegmentArrays
+) -> _PlacementPackBase:
+    cached = getattr(segments, "_pack_base", None)
+    if cached is not None and cached[0] is workload:
+        return cached[1]
+    base = _build_placement_pack_base(workload, segments)
+    segments._pack_base = (workload, base)
+    return base
+
+
+def _build_placement_pack_base(
+    wl: Workload, segments: SegmentArrays
+) -> _PlacementPackBase:
+    instances = segments.instances
+    N = len(instances)
+
+    site_names: List[str] = []
+    site_idx: Dict[str, int] = {}
+    # per-phase-name rate rows, shared across instances of one spec
+    pname_idx: Dict[str, int] = {}
+    pname_of_span = np.empty(len(wl.spans), dtype=np.int64)
+    for i, span in enumerate(wl.spans):
+        if span.name not in pname_idx:
+            pname_idx[span.name] = len(pname_idx)
+        pname_of_span[i] = pname_idx[span.name]
+    U = len(pname_idx)
+
+    spec_row: Dict[int, int] = {}
+    rate_load_rows: List[np.ndarray] = []
+    rate_store_rows: List[np.ndarray] = []
+    inst_row = np.empty(N, dtype=np.int64)
+    inst_site = np.empty(N, dtype=np.int64)
+    inst_sf = np.empty(N, dtype=float)
+    slot_of_instance: Dict[Tuple[str, int], int] = {}
+    for n, inst in enumerate(instances):
+        spec = inst.spec
+        row = spec_row.get(id(spec))
+        if row is None:
+            rl = np.zeros(U)
+            rs = np.zeros(U)
+            for pname, u in pname_idx.items():
+                stats = spec.access.get(pname)
+                if stats is not None:
+                    rl[u] = stats.load_rate
+                    rs[u] = stats.store_rate
+            row = len(rate_load_rows)
+            spec_row[id(spec)] = row
+            rate_load_rows.append(rl)
+            rate_store_rows.append(rs)
+        inst_row[n] = row
+        name = spec.site.name
+        if name not in site_idx:
+            site_idx[name] = len(site_names)
+            site_names.append(name)
+        inst_site[n] = site_idx[name]
+        inst_sf[n] = spec.serial_fraction
+        slot_of_instance[(name, inst.index)] = n
+    rate_load = np.array(rate_load_rows) if rate_load_rows else np.zeros((0, U))
+    rate_store = np.array(rate_store_rows) if rate_store_rows else np.zeros((0, U))
+
+    pseg = segments.pair_seg
+    pinst = segments.pair_inst
+    dt = segments.durations_nominal
+    seg_pname = pname_of_span[segments.span_idx]
+    ranks = wl.ranks
+    pl = rate_load[inst_row[pinst], seg_pname[pseg]] * dt[pseg] * ranks
+    ps = rate_store[inst_row[pinst], seg_pname[pseg]] * dt[pseg] * ranks
+    keep = (pl != 0.0) | (ps != 0.0)
+    kpos = np.flatnonzero(keep)
+    pl, ps = pl[kpos], ps[kpos]
+    if pl.size and (pl.min() < 0 or ps.min() < 0):
+        raise SimulationError("negative traffic contribution")
+    kinst = pinst[kpos]
+    kseg = pseg[kpos]
+    ksite = inst_site[kinst]
+    nsites = max(len(site_names), 1)
+    bkey = kseg * nsites + ksite
+    buniq, bfirst, binv = np.unique(bkey, return_index=True,
+                                    return_inverse=True)
+    gorder = np.argsort(bfirst, kind="stable")
+    gl = np.bincount(binv, weights=pl, minlength=buniq.size)
+    gs = np.bincount(binv, weights=ps, minlength=buniq.size)
+    return _PlacementPackBase(
+        site_names=site_names,
+        inst_site=inst_site,
+        slot_of_instance=slot_of_instance,
+        kseg=kseg,
+        kinst=kinst,
+        ksite=ksite,
+        kpos_f=kpos.astype(float),
+        pl=pl,
+        ps=ps,
+        pser=pl * inst_sf[kinst],
+        binv=binv,
+        bfirst=bfirst,
+        gorder=gorder,
+        gcount_f=np.bincount(binv, minlength=buniq.size).astype(float),
+        obj_seg_ord=(buniq // nsites)[gorder].astype(np.int64),
+        obj_site_ord=(buniq % nsites)[gorder].astype(np.int64),
+        obj_loads_ord=gl[gorder],
+        obj_stores_ord=gs[gorder],
+    )
+
+
+def pack_traffic_multi(
+    models: Sequence["TrafficModel"],
+    workload: Workload,
+    segments: SegmentArrays,
+    subsystem_names: Sequence[str],
+) -> List[TrafficBatch]:
+    """Pack several models' traffic over one shared segmentation.
+
+    Models are packed strictly in call order, so stateful models (the
+    baselines' hit-ratio and promotion caches) observe the same
+    ``segment_traffic`` call sequence a sequential loop would produce.
+    ``PlacementTraffic`` models share one :class:`_PlacementPackBase`
+    through the cache on ``segments``, so K placements of the same
+    workload re-walk the (segment, instance) pairs exactly once.
+    """
+    batches: List[TrafficBatch] = []
+    for model in models:
+        if hasattr(model, "traffic_batch"):
+            batches.append(model.traffic_batch(segments, subsystem_names))
+        else:
+            batches.append(
+                pack_traffic_batch(model, workload, segments, subsystem_names)
+            )
+    return batches

@@ -15,6 +15,13 @@ queries* can be answered against *few profiles*:
 - :mod:`~repro.service.reports` — the persistent report store keyed by
   (workload, config, seed).
 
+Besides advisory queries the server answers **what-if** requests
+(:class:`WhatIfRequest`): K candidate placements of one workload scored
+in a single fused fixed-point pass
+(:meth:`~repro.runtime.engine.ExecutionEngine.predict_times`), ranked
+best-first, bit-equal to running each candidate alone
+(:func:`sequential_whatif` is the oracle).
+
 Environment knobs: ``REPRO_SERVICE_WORKERS``,
 ``REPRO_SERVICE_BATCH_WINDOW_MS``, ``REPRO_SERVICE_MAX_BATCH``,
 ``REPRO_SERVICE_REPORT_DIR`` — plus ``REPRO_ARTIFACT_DIR`` for the
@@ -25,15 +32,25 @@ from repro.service.protocol import (
     SERVICE_SYSTEMS,
     AdvisoryReport,
     AdvisoryRequest,
+    WhatIfReport,
+    WhatIfRequest,
     system_for_name,
 )
 from repro.service.reports import ReportStore, resolve_report_store
-from repro.service.server import PlacementServer, ServiceSession, ServiceStats, sequential_advisory
+from repro.service.server import (
+    PlacementServer,
+    ServiceSession,
+    ServiceStats,
+    sequential_advisory,
+    sequential_whatif,
+)
 
 __all__ = [
     "SERVICE_SYSTEMS",
     "AdvisoryReport",
     "AdvisoryRequest",
+    "WhatIfReport",
+    "WhatIfRequest",
     "system_for_name",
     "ReportStore",
     "resolve_report_store",
@@ -41,4 +58,5 @@ __all__ = [
     "ServiceSession",
     "ServiceStats",
     "sequential_advisory",
+    "sequential_whatif",
 ]

@@ -78,6 +78,83 @@ class AdvisoryRequest:
         return replace(self, session=session)
 
 
+@dataclass(frozen=True)
+class WhatIfRequest:
+    """One what-if query: K candidate placements of a workload to score.
+
+    The what-if request kind of the placement server: submit K candidate
+    ``{site_name: subsystem}`` placements for a registered workload on a
+    named memory system, get one predicted total runtime per candidate
+    plus a best-first ranking.  Candidates are evaluated through the
+    engine's fused fixed point
+    (:meth:`~repro.runtime.engine.ExecutionEngine.predict_times`), so
+    every predicted time is bit-equal to a full sequential
+    ``engine.run`` of that placement — :func:`~repro.service.server.sequential_whatif`
+    is the retained per-candidate oracle.
+    """
+
+    workload: str
+    #: tuple of {site_name: subsystem} candidate mappings
+    placements: tuple = ()
+    system: str = "pmem6"
+    session: str = "default"
+
+    def __post_init__(self) -> None:
+        # accept any sequence of mappings; store a canonical tuple so
+        # codec round trips compare equal
+        object.__setattr__(
+            self, "placements",
+            tuple(dict(p) for p in self.placements),
+        )
+
+    def validate(self) -> None:
+        if not self.workload:
+            raise ConfigError("what-if requests need a workload name")
+        if not self.placements:
+            raise ConfigError(
+                "what-if requests need at least one candidate placement"
+            )
+        for i, candidate in enumerate(self.placements):
+            for site, sub in candidate.items():
+                if not isinstance(site, str) or not isinstance(sub, str):
+                    raise ConfigError(
+                        f"candidate {i}: placements map site names to "
+                        f"subsystem names, got {site!r} -> {sub!r}"
+                    )
+        system_for_name(self.system)
+
+    def with_session(self, session: str) -> "WhatIfRequest":
+        return replace(self, session=session)
+
+
+@dataclass
+class WhatIfReport:
+    """The server's answer to one :class:`WhatIfRequest`.
+
+    ``predicted_times[i]`` is the engine's predicted total runtime of
+    candidate ``i`` — bit-equal to ``engine.run`` of that placement
+    alone.  ``ranking`` lists candidate indices best-first, ties kept in
+    submission order.  What-if reports are transient scoring queries:
+    they are not persisted to the report store.
+    """
+
+    request: WhatIfRequest
+    status: str
+    error: Optional[str] = None
+    predicted_times: "list[float]" = field(default_factory=list)
+    #: candidate indices, fastest predicted runtime first
+    ranking: "list[int]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def best(self) -> Optional[int]:
+        """Index of the fastest candidate (None on error/empty)."""
+        return self.ranking[0] if self.ranking else None
+
+
 @dataclass
 class AdvisoryReport:
     """The server's answer to one :class:`AdvisoryRequest`.

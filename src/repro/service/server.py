@@ -47,10 +47,14 @@ from repro.pipeline.stages import (
 from repro.profiling.cache import ProfileStore, _decode_profile, _encode_profile
 from repro.profiling.paramedir import Paramedir
 from repro.profiling.trace import Trace
-from repro.runtime.engine import EngineParams
+from repro.pipeline.whatif import rank_placements
+from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.traffic import PlacementTraffic
 from repro.service.protocol import (
     AdvisoryReport,
     AdvisoryRequest,
+    WhatIfReport,
+    WhatIfRequest,
     system_for_name,
 )
 from repro.service.reports import ReportStore, resolve_report_store
@@ -76,9 +80,23 @@ def _env_float(name: str, default: float) -> float:
         return default
 
 
+def _error_report(request, message: str):
+    """The error report of the right kind for ``request``."""
+    if isinstance(request, WhatIfRequest):
+        return WhatIfReport(request=request, status="error", error=message)
+    return AdvisoryReport(request=request, status="error", error=message)
+
+
 @dataclass
 class ServiceStats:
-    """Counters for one server's lifetime (cold/warm hit accounting)."""
+    """Counters for one server's lifetime (cold/warm hit accounting).
+
+    Counters are updated from the dispatcher thread *and* from
+    ``ThreadPoolExecutor`` workers, so every update goes through
+    :meth:`bump`/:meth:`observe_group` under one lock — a bare
+    ``stats.requests += 1`` is a read-modify-write race that silently
+    drops counts under concurrency (the hammer test pins this down).
+    """
 
     requests: int = 0
     batches: int = 0
@@ -90,6 +108,22 @@ class ServiceStats:
     memo_hits: int = 0
     errors: int = 0
     bw_aware: int = 0
+    #: what-if requests served (candidate scoring, no placement emitted)
+    whatif: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one of the integer counters."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def observe_group(self, size: int) -> None:
+        """Atomically fold one batch group's size into ``max_group``."""
+        with self._lock:
+            if size > self.max_group:
+                self.max_group = size
 
 
 @dataclass
@@ -155,6 +189,10 @@ class PlacementServer:
         self._dispatcher: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._profile_memo: Dict[str, _LoadedProfile] = {}
+        #: (workload, system) -> (engine, per-engine lock) for what-if
+        #: scoring; the lock serializes fused passes sharing one engine
+        self._engine_memo: Dict[Tuple[str, str],
+                                Tuple[ExecutionEngine, threading.Lock]] = {}
         self._memo_lock = threading.Lock()
         #: request-identity -> group key; only the dispatcher touches it
         self._gkey_memo: Dict[tuple, str] = {}
@@ -241,7 +279,7 @@ class PlacementServer:
                         return
                     continue
                 batch.append(nxt)
-            self.stats.batches += 1
+            self.stats.bump("batches")
 
             groups: Dict[str, List[Tuple[AdvisoryRequest, Future]]] = {}
             for request, future in batch:
@@ -250,29 +288,29 @@ class PlacementServer:
                     gkey = self._group_key(request)
                 except Exception as exc:
                     self._resolve(
-                        future,
-                        AdvisoryReport(request=request, status="error",
-                                       error=str(exc)),
-                        request,
+                        future, _error_report(request, str(exc)), request
                     )
                     continue
                 groups.setdefault(gkey, []).append((request, future))
             assert self._executor is not None
             for gkey, items in groups.items():
-                self.stats.max_group = max(self.stats.max_group, len(items))
-                self._executor.submit(self._run_group, gkey, items)
+                self.stats.observe_group(len(items))
+                if gkey.startswith("whatif:"):
+                    self._executor.submit(self._run_whatif_group, gkey, items)
+                else:
+                    self._executor.submit(self._run_group, gkey, items)
 
     def _fail_batch(self, batch, message: str) -> None:
         for request, future in batch:
-            self._resolve(
-                future,
-                AdvisoryReport(request=request, status="error", error=message),
-                request,
-            )
+            self._resolve(future, _error_report(request, message), request)
 
     # -- profile loading -------------------------------------------------------
 
-    def _group_key(self, request: AdvisoryRequest) -> str:
+    def _group_key(self, request) -> str:
+        if isinstance(request, WhatIfRequest):
+            # one engine per (workload, system): every candidate in the
+            # group rides the same fused fixed point
+            return f"whatif:{request.workload}:{request.system}"
         if request.trace is not None:
             return f"trace:{request.trace}"
         # the spec key hashes the workload fingerprint — too slow to
@@ -299,7 +337,7 @@ class PlacementServer:
         with self._memo_lock:
             memo = self._profile_memo.get(gkey)
         if memo is not None:
-            self.stats.memo_hits += 1
+            self.stats.bump("memo_hits")
             return memo
 
         if request.trace is not None:
@@ -323,7 +361,7 @@ class PlacementServer:
                 profiles=profiles, objects=objects, ranks=wl.ranks,
                 profile_key=key, cached=cached, workload=wl,
             )
-        self.stats.profile_loads += 1
+        self.stats.bump("profile_loads")
         with self._memo_lock:
             self._profile_memo[gkey] = loaded
         return loaded
@@ -422,10 +460,65 @@ class PlacementServer:
             report = self._to_report(request, loaded, system, config, placement)
             self._resolve(future, report, request)
 
+    def _whatif_engine(
+        self, request: WhatIfRequest
+    ) -> Tuple[ExecutionEngine, threading.Lock]:
+        key = (request.workload, request.system)
+        with self._memo_lock:
+            entry = self._engine_memo.get(key)
+        if entry is None:
+            wl = get_workload(request.workload)
+            engine = ExecutionEngine(
+                wl, system_for_name(request.system), self.engine_params)
+            with self._memo_lock:
+                entry = self._engine_memo.setdefault(
+                    key, (engine, threading.Lock()))
+        return entry
+
+    def _run_whatif_group(
+        self, gkey: str, items: List[Tuple[WhatIfRequest, Future]]
+    ) -> None:
+        """Score a group's candidates in one fused prediction pass.
+
+        Every request in the group names the same (workload, system), so
+        all their candidates concatenate into a single
+        :meth:`~repro.runtime.engine.ExecutionEngine.predict_times` call;
+        the times vector is then split back per request.  Predictions are
+        bit-equal to running each candidate alone
+        (:func:`sequential_whatif` is the oracle).
+        """
+        self.stats.bump("whatif", len(items))
+        try:
+            engine, lock = self._whatif_engine(items[0][0])
+            wl = engine.workload
+            counts = [len(request.placements) for request, _ in items]
+            models = [
+                PlacementTraffic(wl, dict(candidate))
+                for request, _ in items
+                for candidate in request.placements
+            ]
+            with lock:
+                times = engine.predict_times(models)
+        except Exception as exc:
+            for request, future in items:
+                self._resolve(future, _error_report(request, str(exc)), request)
+            return
+        lo = 0
+        for (request, future), n in zip(items, counts):
+            part = [float(t) for t in times[lo:lo + n]]
+            lo += n
+            report = WhatIfReport(
+                request=request,
+                status="ok",
+                predicted_times=part,
+                ranking=rank_placements(part),
+            )
+            self._resolve(future, report, request)
+
     def _run_bw_aware(
         self, request: AdvisoryRequest, future: Future, loaded: _LoadedProfile
     ) -> None:
-        self.stats.bw_aware += 1
+        self.stats.bump("bw_aware")
         try:
             if loaded.workload is None:
                 raise ReproError(
@@ -484,14 +577,13 @@ class PlacementServer:
             profile_cached=loaded.cached,
         )
 
-    def _resolve(
-        self, future: Future, report: AdvisoryReport, request: AdvisoryRequest
-    ) -> None:
-        self.stats.requests += 1
+    def _resolve(self, future: Future, report, request) -> None:
+        self.stats.bump("requests")
         if report.status == "error":
-            self.stats.errors += 1
+            self.stats.bump("errors")
         else:
-            if self.report_store is not None:
+            # what-if reports are transient scoring queries, never persisted
+            if self.report_store is not None and isinstance(report, AdvisoryReport):
                 self.report_store.put(report)
         with self._session_lock:
             self._session_reports.setdefault(request.session, []).append(report)
@@ -577,3 +669,35 @@ def sequential_advisory(
         )
     except Exception as exc:
         return AdvisoryReport(request=request, status="error", error=str(exc))
+
+
+def sequential_whatif(
+    request: WhatIfRequest,
+    *,
+    engine_params: Optional[EngineParams] = None,
+) -> WhatIfReport:
+    """The retained per-candidate oracle: one fresh engine run per placement.
+
+    Builds a new :class:`~repro.runtime.engine.ExecutionEngine` for every
+    candidate and takes ``engine.run(...).total_time`` — no fused pass,
+    no shared segmentation.  A server answer must compare ``==`` to this,
+    float for float: the bit-identity contract of the what-if path.
+    """
+    try:
+        request.validate()
+        wl = get_workload(request.workload)
+        system = system_for_name(request.system)
+        times: List[float] = []
+        for candidate in request.placements:
+            engine = ExecutionEngine(
+                wl, system, engine_params or EngineParams())
+            run = engine.run(PlacementTraffic(wl, dict(candidate)))
+            times.append(float(run.total_time))
+        return WhatIfReport(
+            request=request,
+            status="ok",
+            predicted_times=times,
+            ranking=rank_placements(times),
+        )
+    except Exception as exc:
+        return WhatIfReport(request=request, status="error", error=str(exc))

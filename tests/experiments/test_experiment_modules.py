@@ -35,6 +35,28 @@ class TestFig6Plumbing:
         with pytest.raises(KeyError):
             r.lookup("x", 2, 12, "loads")
 
+    def test_lookup_sees_in_place_replacement(self):
+        """Regression: the old ``len(cells) != len(index)`` staleness
+        guard missed same-length mutations — a replaced cell kept
+        serving the stale speedup."""
+        r = Fig6Result(cells=[Fig6Cell("x", 6, 12, "loads", 1.5)])
+        assert r.lookup("x", 6, 12, "loads") == 1.5
+        r.cells[0] = Fig6Cell("x", 6, 12, "loads", 2.5)
+        assert r.lookup("x", 6, 12, "loads") == 2.5
+
+    def test_lookup_sees_field_edit_and_reorder(self):
+        a = Fig6Cell("a", 6, 12, "loads", 1.0)
+        b = Fig6Cell("b", 6, 12, "loads", 2.0)
+        r = Fig6Result(cells=[a, b])
+        assert r.lookup("a", 6, 12, "loads") == 1.0
+        a.speedup = 3.0  # in-place field edit, same object identity
+        assert r.lookup("a", 6, 12, "loads") == 3.0
+        # a reorder that also rebinds a key must win over the stale map
+        r.cells.reverse()
+        r.cells.append(Fig6Cell("c", 2, 8, "loads+stores", 4.0))
+        assert r.lookup("c", 2, 8, "loads+stores") == 4.0
+        assert r.lookup("b", 6, 12, "loads") == 2.0
+
     def test_subset_sweep_runs(self):
         """A minimal one-app, one-limit sweep exercises the machinery."""
         result = compute_fig6(apps=["minife"], pmem_configs=(6,),

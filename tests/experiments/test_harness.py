@@ -44,3 +44,59 @@ class TestObservationRunIsolation:
                           algorithm="bw-aware")
         assert res.base_placement is not None
         assert res.placement is not res.base_placement
+
+
+class TestEcoHMEMBatch:
+    """run_ecohmem_batch fuses same-(workload, system) cells into one
+    engine pass; every cell must be bit-identical to its own
+    run_ecohmem call."""
+
+    def _cells(self):
+        from repro.experiments.harness import EcoCell
+
+        return [
+            EcoCell(dram_limit=64 * MiB),
+            EcoCell(dram_limit=16 * MiB),
+            EcoCell(dram_limit=64 * MiB, use_stores=False),
+            EcoCell(dram_limit=64 * MiB, algorithm="bw-aware"),
+        ]
+
+    def test_matches_sequential_run_ecohmem(self, system6):
+        from dataclasses import asdict
+
+        from repro.experiments.harness import run_ecohmem_batch
+        from repro.runtime.stats import run_results_identical
+
+        wl = make_toy_workload()
+        batch = run_ecohmem_batch(wl, system6, self._cells())
+        assert len(batch) == 4
+        for cell, got in zip(self._cells(), batch):
+            want = run_ecohmem(
+                wl, system6, **{k: v for k, v in asdict(cell).items()
+                                if k != "pebs_hz"},
+                profile_store=None,
+            )
+            errs = run_results_identical(got.run, want.run)
+            assert not errs, (cell, errs[:5])
+            assert got.site_placement == want.site_placement
+            assert got.report.dumps() == want.report.dumps()
+
+    def test_extra_models_ride_the_same_pass(self, system6):
+        from repro.baselines.tiering import (
+            TieringTraffic,
+            run_tiering,
+            tiering_effective_dram,
+        )
+        from repro.experiments.harness import EcoCell, run_ecohmem_batch
+        from repro.runtime.stats import run_results_identical
+
+        wl = make_toy_workload()
+        eff = tiering_effective_dram(
+            system6.get("dram").capacity, system6.get("pmem").capacity)
+        ecos, extra = run_ecohmem_batch(
+            wl, system6, [EcoCell(dram_limit=64 * MiB)],
+            extra_models=[(TieringTraffic(wl, eff), "kernel-tiering")],
+        )
+        assert len(ecos) == 1 and len(extra) == 1
+        want = run_tiering(make_toy_workload(), system6)
+        assert run_results_identical(extra[0], want) == []

@@ -338,3 +338,141 @@ class TestEnvKnobs:
     def test_bad_env_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVICE_WORKERS", "many")
         assert PlacementServer().workers == 4
+
+
+def _whatif_request(workload="minife", K=3, system="pmem6", **kw):
+    from repro.apps import get_workload
+    from repro.service import WhatIfRequest
+
+    wl = get_workload(workload)
+    sites = [s.name for s in wl.sites()]
+    names = system_for_name(system).names
+    cands = [
+        {s: names[(i + k) % len(names)] for i, s in enumerate(sites)}
+        for k in range(K)
+    ]
+    return WhatIfRequest(workload=workload, placements=tuple(cands),
+                         system=system, **kw)
+
+
+class TestWhatIf:
+    """The what-if request kind: K candidates per query, one fused pass,
+    bit-equal to scoring each candidate alone."""
+
+    def test_protocol_validation(self):
+        from repro.errors import ConfigError
+        from repro.service import WhatIfRequest
+
+        with pytest.raises(ConfigError):
+            WhatIfRequest(workload="", placements=({"a": "dram"},)).validate()
+        with pytest.raises(ConfigError):
+            WhatIfRequest(workload="minife").validate()
+        with pytest.raises(ConfigError):
+            WhatIfRequest(workload="minife",
+                          placements=({"a": 3},)).validate()
+        with pytest.raises(ConfigError):
+            WhatIfRequest(workload="minife", placements=({"a": "dram"},),
+                          system="optane9").validate()
+        _whatif_request().validate()
+
+    def test_request_roundtrips_through_codec(self):
+        req = _whatif_request(K=2)
+        assert codec.decode(codec.encode(req)) == req
+
+    def test_server_matches_sequential_oracle(self):
+        from repro.service import sequential_whatif
+
+        req = _whatif_request(K=4)
+        oracle = sequential_whatif(req)
+        assert oracle.ok and len(oracle.predicted_times) == 4
+        with PlacementServer(batch_window_ms=1.0) as srv:
+            report = srv.query(req)
+        assert report.ok
+        assert report.predicted_times == oracle.predicted_times
+        assert report.ranking == oracle.ranking
+        assert report.best == oracle.ranking[0]
+        assert codec.decode(codec.encode(report)) == report
+
+    def test_coalesced_group_matches_one_by_one(self):
+        """Concurrent same-(workload, system) queries share one fused
+        pass; the split-back answers must equal solo serving."""
+        reqs = [_whatif_request(K=k + 1) for k in range(4)]
+        with PlacementServer(batch_window_ms=50.0, max_batch=16) as srv:
+            futures = [srv.submit(r) for r in reqs]
+            batched = [f.result() for f in futures]
+        with PlacementServer(batch_window_ms=0.0) as srv:
+            solo = [srv.query(r) for r in reqs]
+        for b, s in zip(batched, solo):
+            assert b.ok and b == s
+        assert all(r.ok for r in batched)
+
+    def test_mixes_with_advisory_requests(self, shared_profile_store):
+        wreq = _whatif_request(K=2)
+        areq = _requests(1)[0]
+        with PlacementServer(batch_window_ms=50.0,
+                             profile_store=shared_profile_store) as srv:
+            wf, af = srv.submit(wreq), srv.submit(areq)
+            wrep, arep = wf.result(), af.result()
+        assert wrep.ok and arep.ok
+        assert arep == sequential_advisory(
+            areq, profile_store=shared_profile_store)
+        assert srv.stats.whatif == 1
+
+    def test_error_isolation_and_no_report_store_writes(self, tmp_path):
+        from repro.service import WhatIfRequest
+
+        store_dir = tmp_path / "reports"
+        bad = WhatIfRequest(workload="nope", placements=({"a": "dram"},))
+        good = _whatif_request(K=2)
+        with PlacementServer(batch_window_ms=50.0,
+                             report_store=str(store_dir)) as srv:
+            gf, bf = srv.submit(good), srv.submit(bad)
+            grep, brep = gf.result(), bf.result()
+        assert grep.ok
+        assert not brep.ok and "nope" in brep.error
+        # what-if reports are transient: nothing persisted for either
+        assert ReportStore(store_dir).identities() == []
+
+    def test_session_scoping(self):
+        with PlacementServer(batch_window_ms=1.0) as srv:
+            ses = srv.session("whatif-run")
+            report = ses.query(_whatif_request(K=2))
+            assert report.ok
+            assert ses.reports() == [report]
+            assert srv.session_reports("default") == []
+
+
+class TestServiceStatsThreadSafety:
+    def test_hammer_loses_no_counts(self):
+        """Unlocked ``stats.requests += 1`` drops counts under
+        contention; the locked bump()/observe_group() must not."""
+        import threading
+
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+        threads, per_thread = 8, 5000
+
+        def hammer(tid):
+            for i in range(per_thread):
+                stats.bump("requests")
+                stats.bump("whatif", 2)
+                stats.observe_group(tid * per_thread + i)
+
+        ts = [threading.Thread(target=hammer, args=(t,))
+              for t in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert stats.requests == threads * per_thread
+        assert stats.whatif == 2 * threads * per_thread
+        assert stats.max_group == threads * per_thread - 1
+
+    def test_whatif_counter_counts_requests(self):
+        reqs = [_whatif_request(K=2), _whatif_request(K=3)]
+        with PlacementServer(batch_window_ms=50.0) as srv:
+            futures = [srv.submit(r) for r in reqs]
+            assert all(f.result().ok for f in futures)
+        assert srv.stats.whatif == 2
+        assert srv.stats.errors == 0

@@ -189,3 +189,80 @@ class TestQueryServe:
         reqs.write_text("\n")
         with pytest.raises(SystemExit, match="no requests"):
             main(["serve", "--requests", str(reqs)])
+
+
+class TestWhatIf:
+    def _candidates(self, tmp_path, entries, jsonl=False):
+        import json
+
+        path = tmp_path / ("cands.jsonl" if jsonl else "cands.json")
+        if jsonl:
+            path.write_text(
+                "\n".join(json.dumps(e) for e in entries) + "\n")
+        else:
+            path.write_text(json.dumps(entries))
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["whatif", "minife", "--candidates", "c.json"])
+        assert args.workload == "minife"
+        assert args.system == "pmem6"
+        assert not args.json
+
+    def test_ranking_table(self, tmp_path, capsys):
+        from repro.apps import get_workload
+
+        wl = get_workload("minife")
+        sites = [s.name for s in wl.sites()]
+        path = self._candidates(tmp_path, [
+            {"label": "all-dram",
+             "placement": {s: "dram" for s in sites}},
+            {s: "pmem" for s in sites},
+        ])
+        assert main(["whatif", "minife", "--candidates", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 candidate(s)" in out
+        assert out.index("all-dram") < out.index("candidate-1")
+        assert "* #1" in out
+
+    def test_round_trip_against_run_ecohmem(self, tmp_path, capsys):
+        """The CLI's predicted time for run_ecohmem's chosen placement is
+        the engine's own score of that placement — exactly."""
+        import json
+
+        from repro.apps import get_workload
+        from repro.experiments.harness import run_ecohmem
+        from repro.memsim.subsystem import pmem6_system
+        from repro.runtime.engine import ExecutionEngine
+        from repro.runtime.traffic import PlacementTraffic
+        from repro.units import GiB
+
+        wl = get_workload("minife")
+        system = pmem6_system()
+        eco = run_ecohmem(wl, system, dram_limit=12 * GiB)
+        path = self._candidates(
+            tmp_path,
+            [{"label": "advisor", "placement": eco.site_placement},
+             {"label": "all-pmem",
+              "placement": {s: "pmem" for s in eco.site_placement}}],
+            jsonl=True,
+        )
+        assert main(["whatif", "minife", "--candidates", path,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        oracle = ExecutionEngine(wl, system).run(
+            PlacementTraffic(wl, eco.site_placement)).total_time
+        idx = payload["labels"].index("advisor")
+        assert payload["predicted_times"][idx] == oracle
+        assert payload["ranking"][0] == idx  # the advisor's pick wins
+
+    def test_unknown_workload_exits(self, tmp_path):
+        path = self._candidates(tmp_path, [{"a": "dram"}])
+        with pytest.raises(SystemExit):
+            main(["whatif", "nope", "--candidates", path])
+
+    def test_empty_candidates_exits(self, tmp_path):
+        path = self._candidates(tmp_path, [])
+        with pytest.raises(SystemExit):
+            main(["whatif", "minife", "--candidates", path])

@@ -535,6 +535,70 @@ def bench_service(quick: bool) -> dict:
     }
 
 
+def bench_whatif(quick: bool) -> dict:
+    """K candidate placements in one fused pass vs K sequential runs.
+
+    The what-if hot loop: score K=16 distinct candidate placements of
+    LULESH (nested size-ordered DRAM prefixes, from nearly-all-PMem to
+    nearly-all-DRAM) on pmem6.  The sequential baseline pays a fresh
+    ``ExecutionEngine.run`` per candidate — what every consumer did
+    before the fused path.  ``run_batch`` shares segmentation, packing
+    and the fixed point; ``predict_times`` additionally skips per-object
+    assembly (the ranking path).  Both are asserted bit-identical to the
+    sequential runs, untimed; the >= 5x predict floor is CI's contract
+    and holds in quick mode too (the acceptance grid names LULESH, so
+    quick mode keeps it).
+    """
+    del quick  # the floor is defined at K=16 on LULESH in every mode
+    wl_name = "lulesh"
+    wl = get_workload(wl_name)
+    system = pmem6_system()
+    K = 16
+    order = sorted(wl.objects, key=lambda o: (-o.size, o.site.name))
+    sites = [o.site.name for o in order]
+    candidates = []
+    for k in range(K):
+        c = max(1, ((k + 1) * len(sites)) // (K + 1))
+        candidates.append({s: ("dram" if i < c else "pmem")
+                           for i, s in enumerate(sites)})
+    assert len({tuple(sorted(c.items())) for c in candidates}) == K
+
+    t0 = time.perf_counter()
+    seq = []
+    for cand in candidates:
+        engine = ExecutionEngine(wl, system)
+        seq.append(engine.run(PlacementTraffic(wl, cand)))
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine = ExecutionEngine(wl, system)
+    batch = engine.run_batch([PlacementTraffic(wl, c) for c in candidates])
+    t_batch = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine = ExecutionEngine(wl, system)
+    times = engine.predict_times(
+        [PlacementTraffic(wl, c) for c in candidates])
+    t_predict = time.perf_counter() - t0
+
+    for k, (b, s) in enumerate(zip(batch, seq)):
+        mism = run_results_identical(b, s)
+        assert mism == [], (
+            f"what-if lane {k} diverged: " + "; ".join(mism[:3]))
+    assert times == [r.total_time for r in batch], \
+        "predict_times diverged from run_batch totals"
+
+    return {
+        "workload": wl_name,
+        "candidates": K,
+        "sequential_s": round(t_seq, 4),
+        "run_batch_s": round(t_batch, 4),
+        "predict_s": round(t_predict, 4),
+        "full_speedup": round(t_seq / t_batch, 2),
+        "speedup": round(t_seq / t_predict, 2),
+    }
+
+
 def bench_corpus(quick: bool, jobs=None) -> dict:
     """Workload-corpus generation + the placement-CI quality sweep.
 
@@ -579,7 +643,7 @@ def bench_corpus(quick: bool, jobs=None) -> dict:
 
 #: section name -> benchmark callable (jobs-aware ones wrapped in main)
 SECTIONS = ("kernel", "profile_cache", "fig6_sweep", "profiling",
-            "engine", "replay", "sweep", "service", "corpus")
+            "engine", "replay", "sweep", "service", "whatif", "corpus")
 
 
 def main(argv=None) -> int:
@@ -678,6 +742,15 @@ def main(argv=None) -> int:
               f"{svc['queries']} queries in {svc['batches']} batch(es), "
               f"{svc['profile_loads']} profile load(s))")
 
+    if "whatif" in want:
+        print("what-if batch engine ...", flush=True)
+        results["whatif"] = bench_whatif(args.quick)
+        wi = results["whatif"]
+        print(f"  {wi['candidates']} candidates sequential "
+              f"{wi['sequential_s']}s -> run_batch {wi['run_batch_s']}s "
+              f"({wi['full_speedup']}x) -> predict {wi['predict_s']}s "
+              f"({wi['speedup']}x)")
+
     if "corpus" in want:
         print("workload corpus ...", flush=True)
         results["corpus"] = bench_corpus(args.quick, jobs=args.jobs)
@@ -707,6 +780,12 @@ def main(argv=None) -> int:
         # the service floor holds in quick mode too: coalescing must
         # beat the naive per-query pipeline by 20x on a warm profile
         print("FAIL: service advisory throughput below 20x naive",
+              file=sys.stderr)
+        return 1
+    if "whatif" in want and results["whatif"]["speedup"] < 5.0:
+        # holds in quick mode too: the fused prediction path must beat
+        # K=16 sequential LULESH runs by 5x (the issue's acceptance floor)
+        print("FAIL: what-if fused prediction below 5x sequential at K=16",
               file=sys.stderr)
         return 1
     if not args.quick:
