@@ -23,6 +23,12 @@ Commands
 ``serve``
     Run the placement server over a JSONL request file, coalescing
     concurrent queries, and write one JSONL report per request.
+``whatif``
+    Score K candidate placements of one workload in one fused engine
+    pass and print the best-first ranking.
+``online``
+    Run the phase-aware online re-advisory loop (incremental delta
+    engine) against the static placement and report the saving.
 """
 
 from __future__ import annotations
@@ -512,6 +518,73 @@ def cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_online(args: argparse.Namespace) -> int:
+    """Run the phase-aware online re-advisory loop against static placement."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.pipeline.online import run_online_pipeline
+    from repro.runtime.online import OnlineParams
+
+    try:
+        outcome = run_online_pipeline(
+            args.workload, args.system,
+            dram_frac=args.dram_frac,
+            params=OnlineParams(
+                epochs=args.epochs,
+                shift_threshold=args.shift_threshold,
+            ),
+            use_incremental=not args.full,
+        )
+    except (ReproError, KeyError) as exc:
+        raise SystemExit(str(exc))
+    report = outcome.report
+
+    if args.json:
+        print(json.dumps({
+            "workload": outcome.workload_name,
+            "system": args.system,
+            "dram_limit": outcome.dram_limit,
+            "static_time": report.static_time,
+            "online_time": report.total_time,
+            "engine_time": report.engine_time,
+            "migration_time": report.migration_total_s,
+            "migrations": report.migrations,
+            "candidate_evaluations": report.candidate_evaluations,
+            "shift_boundaries": report.shift_boundaries,
+            "events": [
+                {
+                    "epoch": e.epoch,
+                    "boundary_seg": e.boundary_seg,
+                    "switch_time": e.switch_time,
+                    "sites_moved": e.sites_moved,
+                    "cost_s": e.cost_s,
+                    "predicted_saving_s": e.predicted_saving_s,
+                }
+                for e in report.events
+            ],
+        }, sort_keys=True))
+        return 0
+
+    print(f"online    : {outcome.workload_name} on {args.system}, "
+          f"DRAM budget {outcome.dram_limit} B/rank")
+    print(f"  static  : {report.static_time:.6f} s")
+    print(f"  online  : {report.total_time:.6f} s "
+          f"({report.engine_time:.6f} s engine + "
+          f"{report.migration_total_s:.6f} s migration)")
+    saved = report.static_time - report.total_time
+    pct = 100.0 * saved / report.static_time if report.static_time else 0.0
+    print(f"  saved   : {saved:.6f} s ({pct:.2f}%)")
+    print(f"  shifts  : {len(report.shift_boundaries)} detected, "
+          f"{report.migrations} migration(s) accepted, "
+          f"{report.candidate_evaluations} candidate(s) evaluated")
+    for e in report.events:
+        print(f"    epoch {e.epoch} @ t={e.switch_time:.3f}s: moved "
+              f"{e.sites_moved} site(s), cost {e.cost_s:.6f} s, "
+              f"saving {e.predicted_saving_s:.6f} s")
+    return 0
+
+
 def _corpus_spec(args: argparse.Namespace):
     from repro.apps.dsl import default_corpus_spec, load_corpus_yaml
 
@@ -715,6 +788,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit one machine-readable JSON object instead "
                             "of the ranking table")
 
+    onl_p = sub.add_parser("online",
+                           help="phase-aware online re-advisory vs the "
+                                "static placement (incremental delta engine)")
+    onl_p.add_argument("workload", help="registered workload name")
+    onl_p.add_argument("--system", default="pmem6",
+                       help="memory system: pmem6, pmem2, hbm-dram-pmem")
+    onl_p.add_argument("--dram-frac", type=float, default=0.25,
+                       help="DRAM budget as a fraction of the heap "
+                            "high-water mark (default 0.25)")
+    onl_p.add_argument("--epochs", type=int, default=8,
+                       help="phase-detector epochs (default 8)")
+    onl_p.add_argument("--shift-threshold", type=float, default=0.10,
+                       help="total-variation shift threshold in [0,1] "
+                            "(default 0.10)")
+    onl_p.add_argument("--full", action="store_true",
+                       help="use the full-recompute oracle path instead of "
+                            "the incremental delta engine (same answers, "
+                            "much slower — for validation)")
+    onl_p.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON object instead "
+                            "of the summary")
+
     cor_p = sub.add_parser("corpus", help="workload-DSL corpus tooling")
     cor_sub = cor_p.add_subparsers(dest="corpus_command", required=True)
 
@@ -768,6 +863,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": cmd_query,
         "serve": cmd_serve,
         "whatif": cmd_whatif,
+        "online": cmd_online,
         "corpus": cmd_corpus,
     }
     return handlers[args.command](args)

@@ -38,6 +38,11 @@ from repro.pipeline.stages import (
     profile_workload,
     run_stage,
 )
+from repro.pipeline.online import (
+    OnlineOutcome,
+    run_online_pipeline,
+    static_placement,
+)
 from repro.pipeline.whatif import (
     evaluate_placements,
     rank_placements,
@@ -60,6 +65,9 @@ __all__ = [
     "profile_stage",
     "profile_workload",
     "run_stage",
+    "OnlineOutcome",
+    "run_online_pipeline",
+    "static_placement",
     "evaluate_placements",
     "rank_placements",
     "whatif_batch_size",

@@ -1,0 +1,287 @@
+"""Incremental delta engine: reuse a converged run across placement patches.
+
+The fused fixed point (:meth:`ExecutionEngine._fixed_point_batch`) is
+row-independent: every operation is elementwise over segments or a
+reduction along the subsystem axis, so a segment row's trajectory —
+its convergence iteration, its frozen final-latency row — depends only
+on that row's traffic and nominal compute.  A placement change that
+takes effect at segment boundary ``s`` therefore cannot perturb any
+row ``< s`` (segmentation, traffic rows, and convergence masks are all
+per-segment), and among rows ``>= s`` only the rows whose traffic
+actually differs need to be re-solved.
+
+This module holds the pieces the engine composes:
+
+- :class:`PatchedPlacementTraffic` — the *scalar* traffic model of a
+  patched run (base placement before ``switch_time``, new placement
+  after).  It deliberately implements only ``segment_traffic``: a
+  from-scratch ``engine.run(patched)`` replays it segment by segment
+  through :func:`pack_traffic_batch`, making it both the honest naive
+  baseline for the perf floor and a genuine differential oracle for
+  :meth:`ExecutionEngine.run_incremental` (a different code path from
+  the composed fast path).
+- :func:`normalize_order_pos` — rewrite a batch's first-touch order
+  matrix into the canonical ``s*K + rank`` scheme shared by every pack
+  path, so prefix rows from one pack and suffix rows from another can
+  be composed into a batch that is bit-equal to a from-scratch pack.
+- :func:`compose_batches` / :func:`changed_suffix_rows` — splice
+  prefix and suffix batches at a segment boundary and find the suffix
+  rows whose fixed point must actually re-run.
+- :class:`DeltaState` — the frozen per-segment solution of a converged
+  run, carried between re-advisory epochs so each patch pays only for
+  the rows it changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.runtime.traffic import PlacementTraffic, SegmentTraffic, TrafficBatch
+
+__all__ = [
+    "PatchedPlacementTraffic",
+    "DeltaState",
+    "normalize_order_pos",
+    "normalize_batch_order",
+    "compose_batches",
+    "changed_suffix_rows",
+    "subbatch_rows",
+]
+
+
+class PatchedPlacementTraffic:
+    """App-direct traffic with a placement switch at ``switch_time``.
+
+    Segments starting before ``switch_time`` see ``base``'s traffic;
+    segments at or after it see the new ``placement_of``.  ``base`` may
+    itself be a :class:`PatchedPlacementTraffic`, so successive online
+    migrations chain naturally.
+
+    Only the scalar ``segment_traffic`` entry point is implemented —
+    **on purpose**.  ``ExecutionEngine.run`` on this model goes through
+    the generic per-segment replay (:func:`pack_traffic_batch`), which
+    is the full-recompute oracle the incremental path is validated
+    against bit for bit.
+    """
+
+    def __init__(self, base, placement_of: Dict[str, str], switch_time: float):
+        self.base = base
+        self.workload = base.workload
+        self.switch_time = float(switch_time)
+        # Validates that the new placement covers every site.
+        self.suffix = PlacementTraffic(self.workload, placement_of)
+        #: final (post-switch) placement; ``_assemble`` consults this for
+        #: zero-traffic sites, matching what a fresh run of the patched
+        #: placement would report.
+        self.placement_of = dict(self.suffix.placement_of)
+
+    @property
+    def label(self) -> str:
+        return getattr(self.base, "label", "app-direct")
+
+    def segment_traffic(self, lo, hi, phase, live) -> SegmentTraffic:
+        src = self.base if lo < self.switch_time else self.suffix
+        return src.segment_traffic(lo, hi, phase, live)
+
+
+def normalize_order_pos(order_pos: np.ndarray) -> np.ndarray:
+    """Rewrite first-touch positions into the canonical ``s*K + rank`` scheme.
+
+    The scalar pack emits ``order_pos[s, j] = s*K + j`` (``j`` = dict
+    insertion rank); ``PlacementTraffic.traffic_batch`` emits globally
+    monotonic kept-pair positions.  Both are lexicographic in
+    ``(segment, within-segment touch order)``, so ranking each row's
+    finite entries and re-basing at ``s*K`` maps either scheme onto the
+    scalar pack's exact values — idempotent on already-normalized input,
+    and order-preserving within every row (all the fixed point and the
+    phase aggregation ever compare).
+    """
+    S, K = order_pos.shape
+    cols = np.argsort(order_pos, axis=1, kind="stable")
+    ranks = np.empty_like(order_pos)
+    np.put_along_axis(
+        ranks, cols,
+        np.broadcast_to(np.arange(K, dtype=float), (S, K)).copy(),
+        axis=1,
+    )
+    base = np.arange(S, dtype=float)[:, None] * K
+    return np.where(np.isfinite(order_pos), base + ranks, np.inf)
+
+
+def normalize_batch_order(batch: TrafficBatch) -> TrafficBatch:
+    """A copy of ``batch`` whose ``order_pos`` uses the canonical scheme."""
+    return TrafficBatch(
+        subsystems=batch.subsystems,
+        loads=batch.loads,
+        stores=batch.stores,
+        serial_loads=batch.serial_loads,
+        extra_latency_ns=batch.extra_latency_ns,
+        present=batch.present,
+        order_pos=normalize_order_pos(batch.order_pos),
+        site_names=batch.site_names,
+        obj_sub_names=batch.obj_sub_names,
+        obj_seg=batch.obj_seg,
+        obj_site=batch.obj_site,
+        obj_sub=batch.obj_sub,
+        obj_loads=batch.obj_loads,
+        obj_stores=batch.obj_stores,
+    )
+
+
+def _merge_names(a: List[str], b: List[str]) -> Tuple[List[str], Optional[np.ndarray]]:
+    """Merge two name tables; returns (merged, remap-for-b or None)."""
+    if a == b:
+        return a, None
+    merged = list(a)
+    index = {name: i for i, name in enumerate(merged)}
+    remap = np.empty(len(b), dtype=np.int64)
+    for j, name in enumerate(b):
+        if name not in index:
+            index[name] = len(merged)
+            merged.append(name)
+        remap[j] = index[name]
+    return merged, remap
+
+
+def _split_obj(batch: TrafficBatch, s0: int, *, suffix: bool) -> slice:
+    """Object-row slice for segments ``< s0`` (prefix) or ``>= s0`` (suffix).
+
+    Every pack path appends object rows in non-decreasing segment order,
+    so one ``searchsorted`` finds the boundary.
+    """
+    cut = int(np.searchsorted(batch.obj_seg, s0, side="left"))
+    return slice(cut, len(batch.obj_seg)) if suffix else slice(0, cut)
+
+
+def compose_batches(prefix: TrafficBatch, suffix: TrafficBatch, s0: int) -> TrafficBatch:
+    """Splice ``prefix`` rows ``< s0`` with ``suffix`` rows ``>= s0``.
+
+    Both batches must already carry canonical (``normalize_order_pos``)
+    order positions and must describe the same segmentation and
+    subsystem columns.  The result is bit-equal to a from-scratch scalar
+    pack of the patched model: row values come verbatim from packs of
+    the respective placements, and the canonical order scheme makes the
+    two packs agree on every cross-row comparison downstream.
+    """
+    if prefix.subsystems != suffix.subsystems:
+        raise SimulationError(
+            "compose_batches: subsystem columns differ "
+            f"({prefix.subsystems} vs {suffix.subsystems})"
+        )
+    if prefix.loads.shape != suffix.loads.shape:
+        raise SimulationError(
+            "compose_batches: segment grids differ "
+            f"({prefix.loads.shape} vs {suffix.loads.shape})"
+        )
+
+    def splice(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.concatenate([a[:s0], b[s0:]], axis=0)
+
+    pre = _split_obj(prefix, s0, suffix=False)
+    suf = _split_obj(suffix, s0, suffix=True)
+
+    site_names, site_remap = _merge_names(prefix.site_names, suffix.site_names)
+    sub_names, sub_remap = _merge_names(prefix.obj_sub_names, suffix.obj_sub_names)
+
+    obj_site_suf = suffix.obj_site[suf]
+    if site_remap is not None:
+        obj_site_suf = site_remap[obj_site_suf]
+    obj_sub_suf = suffix.obj_sub[suf]
+    if sub_remap is not None:
+        obj_sub_suf = sub_remap[obj_sub_suf]
+
+    return TrafficBatch(
+        subsystems=prefix.subsystems,
+        loads=splice(prefix.loads, suffix.loads),
+        stores=splice(prefix.stores, suffix.stores),
+        serial_loads=splice(prefix.serial_loads, suffix.serial_loads),
+        extra_latency_ns=splice(prefix.extra_latency_ns, suffix.extra_latency_ns),
+        present=splice(prefix.present, suffix.present),
+        order_pos=splice(prefix.order_pos, suffix.order_pos),
+        site_names=site_names,
+        obj_sub_names=sub_names,
+        obj_seg=np.concatenate([prefix.obj_seg[pre], suffix.obj_seg[suf]]),
+        obj_site=np.concatenate([prefix.obj_site[pre], obj_site_suf]),
+        obj_sub=np.concatenate([prefix.obj_sub[pre], obj_sub_suf]),
+        obj_loads=np.concatenate([prefix.obj_loads[pre], suffix.obj_loads[suf]]),
+        obj_stores=np.concatenate([prefix.obj_stores[pre], suffix.obj_stores[suf]]),
+    )
+
+
+def changed_suffix_rows(prefix: TrafficBatch, suffix: TrafficBatch, s0: int) -> np.ndarray:
+    """Suffix-row indices whose fixed point must re-run.
+
+    A row ``>= s0`` is unchanged when every input the fixed point reads
+    — loads, stores, serial loads, extra latency, and the canonical
+    first-touch order — is identical between the cached batch and the
+    new placement's pack.  (``present`` marks empty scalar buckets and
+    is never read by the fixed point, so it does not gate reuse.)
+    Unchanged rows keep their frozen duration/latency rows verbatim.
+    """
+    same = (
+        np.all(prefix.loads[s0:] == suffix.loads[s0:], axis=1)
+        & np.all(prefix.stores[s0:] == suffix.stores[s0:], axis=1)
+        & np.all(prefix.serial_loads[s0:] == suffix.serial_loads[s0:], axis=1)
+        & np.all(prefix.extra_latency_ns[s0:] == suffix.extra_latency_ns[s0:], axis=1)
+        & np.all(prefix.order_pos[s0:] == suffix.order_pos[s0:], axis=1)
+    )
+    return np.nonzero(~same)[0] + s0
+
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=float)
+
+
+def subbatch_rows(batch: TrafficBatch, rows: np.ndarray) -> TrafficBatch:
+    """A minimal batch holding only ``rows`` (for the fixed point).
+
+    The fixed point never touches object rows, so they are left empty;
+    per-row arithmetic is identical whether a row sits in a full batch
+    or a gathered one.
+    """
+    return TrafficBatch(
+        subsystems=batch.subsystems,
+        loads=batch.loads[rows],
+        stores=batch.stores[rows],
+        serial_loads=batch.serial_loads[rows],
+        extra_latency_ns=batch.extra_latency_ns[rows],
+        present=batch.present[rows],
+        order_pos=batch.order_pos[rows],
+        site_names=batch.site_names,
+        obj_sub_names=batch.obj_sub_names,
+        obj_seg=_EMPTY_I,
+        obj_site=_EMPTY_I,
+        obj_sub=_EMPTY_I,
+        obj_loads=_EMPTY_F,
+        obj_stores=_EMPTY_F,
+    )
+
+
+@dataclass
+class DeltaState:
+    """The frozen solution of a converged run, ready for suffix patches.
+
+    ``batch`` carries canonical order positions; ``durations`` and
+    ``lat_final`` are the fixed point's converged per-segment outputs.
+    ``result`` is the assembled :class:`~repro.runtime.stats.RunResult`
+    of this state's placement, so an online loop can read the current
+    predicted total without re-assembling.
+    """
+
+    model: object
+    batch: TrafficBatch
+    durations: np.ndarray
+    lat_final: np.ndarray
+    result: object
+    label: Optional[str] = None
+    interposer_overhead_s: float = 0.0
+    dram_cache_hit_ratio: Optional[float] = None
+    interposer_stats: Optional[dict] = None
+
+    @property
+    def placement_of(self) -> Dict[str, str]:
+        return dict(getattr(self.model, "placement_of", {}))

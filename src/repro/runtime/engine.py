@@ -29,6 +29,14 @@ from repro.alloc.interposer import InterposerStats
 from repro.apps.workload import InstanceSpan, PhaseSpan, Workload
 from repro.memsim.bandwidth import BandwidthTimeline
 from repro.memsim.subsystem import MemorySystem
+from repro.runtime.delta import (
+    DeltaState,
+    PatchedPlacementTraffic,
+    changed_suffix_rows,
+    compose_batches,
+    normalize_batch_order,
+    subbatch_rows,
+)
 from repro.runtime.segments import SegmentArrays, build_segment_arrays
 from repro.runtime.stats import ObjectRunStats, PhaseResult, RunResult
 from repro.runtime.traffic import (
@@ -506,6 +514,195 @@ class ExecutionEngine:
             fused, compute=np.tile(sa.durations_nominal, K)
         )
         return batches, durations, lat_final, S
+
+    # -- incremental re-advisory (the delta engine) --------------------------------
+
+    def run_delta(
+        self,
+        model: TrafficModel,
+        *,
+        label: Optional[str] = None,
+        interposer_overhead_s: float = 0.0,
+        dram_cache_hit_ratio: Optional[float] = None,
+        interposer_stats: Optional[InterposerStats] = None,
+    ) -> DeltaState:
+        """:meth:`run`, but return a :class:`DeltaState` for suffix patching.
+
+        The returned state's ``result`` is bit-identical to a plain
+        :meth:`run` of ``model``: the only difference from :meth:`run` is
+        that the batch's first-touch positions are rewritten into the
+        canonical ``s*K + rank`` scheme (:func:`normalize_order_pos`),
+        which preserves every ordering comparison downstream while making
+        the cached rows composable with rows packed by any other path.
+        """
+        wl = self.workload
+        sa = self._segment_arrays
+        names = self.system.names
+        if hasattr(model, "traffic_batch"):
+            batch = model.traffic_batch(sa, names)
+        else:
+            batch = pack_traffic_batch(model, wl, sa, names)
+        batch = normalize_batch_order(batch)
+        durations, lat_final = self._fixed_point_batch(batch)
+        result = self._assemble(
+            model, batch, durations, lat_final,
+            label=label,
+            interposer_overhead_s=interposer_overhead_s,
+            dram_cache_hit_ratio=dram_cache_hit_ratio,
+            interposer_stats=interposer_stats,
+        )
+        return DeltaState(
+            model=model, batch=batch,
+            durations=durations, lat_final=lat_final,
+            result=result, label=label,
+            interposer_overhead_s=interposer_overhead_s,
+            dram_cache_hit_ratio=dram_cache_hit_ratio,
+            interposer_stats=interposer_stats,
+        )
+
+    def _suffix_batch(self, placement_of: Dict[str, str]) -> TrafficBatch:
+        """Canonical-order pack of ``placement_of`` over the shared grid."""
+        suffix = PlacementTraffic(self.workload, placement_of)
+        batch = suffix.traffic_batch(self._segment_arrays, self.system.names)
+        return normalize_batch_order(batch)
+
+    def _check_boundary(self, boundary_seg: int) -> float:
+        S = self._segment_arrays.num_segments
+        if not 0 <= boundary_seg < S:
+            raise SimulationError(
+                f"run_incremental: boundary segment {boundary_seg} outside "
+                f"[0, {S})"
+            )
+        return float(self._segment_arrays.seg_lo[boundary_seg])
+
+    def run_incremental(
+        self,
+        state: DeltaState,
+        placement_of: Dict[str, str],
+        boundary_seg: int,
+        *,
+        label: Optional[str] = None,
+    ) -> DeltaState:
+        """Apply a placement change at a segment boundary, reusing the prefix.
+
+        ``state`` is a converged :meth:`run_delta` /
+        :meth:`run_incremental` output; ``placement_of`` takes effect at
+        the start of segment ``boundary_seg``.  Rows ``< boundary_seg``
+        are provably unaffected (segmentation, traffic rows, and
+        convergence masks are all per-segment) and are reused verbatim;
+        among suffix rows only those whose traffic actually changed are
+        re-solved, as a gathered sub-batch through the same masked damped
+        fixed point.  The assembled result — and the returned state — is
+        **bit-identical** to a from-scratch :meth:`run` of the equivalent
+        :class:`~repro.runtime.delta.PatchedPlacementTraffic` model
+        (enforced by ``tests/runtime/test_online_incremental.py``).
+
+        Scalar run parameters (interposer overhead, cache hit ratio,
+        stats) carry over from ``state`` so totals stay comparable across
+        a chain of patches.
+        """
+        sa = self._segment_arrays
+        switch_time = self._check_boundary(boundary_seg)
+        patched = PatchedPlacementTraffic(state.model, placement_of, switch_time)
+        suffix = self._suffix_batch(patched.placement_of)
+        composed = compose_batches(state.batch, suffix, boundary_seg)
+        changed = changed_suffix_rows(state.batch, suffix, boundary_seg)
+
+        durations = state.durations.copy()
+        lat_final = state.lat_final.copy()
+        if changed.size:
+            sub = subbatch_rows(composed, changed)
+            d, lat = self._fixed_point_batch(
+                sub, compute=sa.durations_nominal[changed]
+            )
+            durations[changed] = d
+            lat_final[changed] = lat
+
+        result = self._assemble(
+            patched, composed, durations, lat_final,
+            label=label if label is not None else state.label,
+            interposer_overhead_s=state.interposer_overhead_s,
+            dram_cache_hit_ratio=state.dram_cache_hit_ratio,
+            interposer_stats=state.interposer_stats,
+        )
+        return DeltaState(
+            model=patched, batch=composed,
+            durations=durations, lat_final=lat_final,
+            result=result,
+            label=label if label is not None else state.label,
+            interposer_overhead_s=state.interposer_overhead_s,
+            dram_cache_hit_ratio=state.dram_cache_hit_ratio,
+            interposer_stats=state.interposer_stats,
+        )
+
+    def predict_times_incremental(
+        self,
+        state: DeltaState,
+        placements: Sequence[Dict[str, str]],
+        boundary_seg: int,
+    ) -> List[float]:
+        """Total times of K candidate re-placements effective at a boundary.
+
+        The online what-if path: all K candidates share ``state``'s
+        frozen prefix rows, their changed suffix rows are gathered into
+        **one** fused fixed-point tensor, and each lane reduces to
+        ``float(np.cumsum(d)[-1])`` plus ``state``'s interposer overhead
+        — the exact total-time expression of :meth:`run_incremental` (and
+        hence of a from-scratch :meth:`run` of the patched model).  No
+        scalar packing, no assembly: cost scales with the number of
+        *changed suffix rows*, not with ``K * segments``.
+        """
+        sa = self._segment_arrays
+        self._check_boundary(boundary_seg)
+        K = len(placements)
+        if K == 0:
+            return []
+        suffixes = [self._suffix_batch(p) for p in placements]
+        changed = [
+            changed_suffix_rows(state.batch, suf, boundary_seg)
+            for suf in suffixes
+        ]
+        rows = [
+            subbatch_rows(suf, ch)
+            for suf, ch in zip(suffixes, changed)
+            if ch.size
+        ]
+        if rows:
+            fused = TrafficBatch(
+                subsystems=list(self.system.names),
+                loads=np.concatenate([b.loads for b in rows]),
+                stores=np.concatenate([b.stores for b in rows]),
+                serial_loads=np.concatenate([b.serial_loads for b in rows]),
+                extra_latency_ns=np.concatenate(
+                    [b.extra_latency_ns for b in rows]),
+                present=np.concatenate([b.present for b in rows]),
+                order_pos=np.concatenate([b.order_pos for b in rows]),
+                site_names=[], obj_sub_names=[],
+                obj_seg=np.zeros(0, dtype=np.int64),
+                obj_site=np.zeros(0, dtype=np.int64),
+                obj_sub=np.zeros(0, dtype=np.int64),
+                obj_loads=np.zeros(0), obj_stores=np.zeros(0),
+            )
+            solved, _ = self._fixed_point_batch(
+                fused,
+                compute=np.concatenate(
+                    [sa.durations_nominal[ch] for ch in changed if ch.size]
+                ),
+            )
+        else:
+            solved = np.zeros(0)
+
+        times: List[float] = []
+        at = 0
+        for ch in changed:
+            durations = state.durations.copy()
+            if ch.size:
+                durations[ch] = solved[at:at + ch.size]
+                at += ch.size
+            times.append(
+                float(np.cumsum(durations)[-1]) + state.interposer_overhead_s
+            )
+        return times
 
     # -- result assembly -----------------------------------------------------------
 

@@ -22,6 +22,14 @@ in a single fused fixed-point pass
 best-first, bit-equal to running each candidate alone
 (:func:`sequential_whatif` is the oracle).
 
+It also answers **online** requests (:class:`OnlineRequest`): one
+static-vs-online re-advisory comparison per request, powered by the
+incremental delta engine
+(:meth:`~repro.runtime.engine.ExecutionEngine.run_incremental`) — the
+phase-aware loop re-places objects at detected shifts with migration
+costs charged, and the report compares ``==`` to
+:func:`sequential_online`, the full-recompute oracle.
+
 Environment knobs: ``REPRO_SERVICE_WORKERS``,
 ``REPRO_SERVICE_BATCH_WINDOW_MS``, ``REPRO_SERVICE_MAX_BATCH``,
 ``REPRO_SERVICE_REPORT_DIR`` — plus ``REPRO_ARTIFACT_DIR`` for the
@@ -32,6 +40,8 @@ from repro.service.protocol import (
     SERVICE_SYSTEMS,
     AdvisoryReport,
     AdvisoryRequest,
+    OnlineReport,
+    OnlineRequest,
     WhatIfReport,
     WhatIfRequest,
     system_for_name,
@@ -42,6 +52,7 @@ from repro.service.server import (
     ServiceSession,
     ServiceStats,
     sequential_advisory,
+    sequential_online,
     sequential_whatif,
 )
 
@@ -49,6 +60,8 @@ __all__ = [
     "SERVICE_SYSTEMS",
     "AdvisoryReport",
     "AdvisoryRequest",
+    "OnlineReport",
+    "OnlineRequest",
     "WhatIfReport",
     "WhatIfRequest",
     "system_for_name",
@@ -58,5 +71,6 @@ __all__ = [
     "ServiceSession",
     "ServiceStats",
     "sequential_advisory",
+    "sequential_online",
     "sequential_whatif",
 ]

@@ -155,6 +155,82 @@ class WhatIfReport:
         return self.ranking[0] if self.ranking else None
 
 
+@dataclass(frozen=True)
+class OnlineRequest:
+    """One online re-advisory run: static vs phase-aware placement.
+
+    The server answers with both totals of one
+    :func:`~repro.pipeline.online.run_online_pipeline` cell — the static
+    ecoHMEM placement left alone, and the online loop that re-advises at
+    detected phase shifts with migration costs charged.  ``dram_frac``
+    sizes the DRAM budget as a fraction of the workload's heap
+    high-water mark; ``epochs`` and ``shift_threshold`` parameterize the
+    phase detector.  The server runs the incremental delta engine;
+    :func:`~repro.service.server.sequential_online` is the
+    full-recompute oracle, and the two reports compare ``==`` — float
+    for float — by the service's correctness contract.
+    """
+
+    workload: str
+    system: str = "pmem6"
+    dram_frac: float = 0.25
+    epochs: int = 8
+    shift_threshold: float = 0.10
+    session: str = "default"
+
+    def validate(self) -> None:
+        if not self.workload:
+            raise ConfigError("online requests need a workload name")
+        if not 0.0 < self.dram_frac <= 1.0:
+            raise ConfigError(
+                f"online: dram_frac must be in (0, 1], got {self.dram_frac}"
+            )
+        if self.epochs < 2:
+            raise ConfigError(f"online: epochs must be >= 2, got {self.epochs}")
+        if not 0.0 <= self.shift_threshold <= 1.0:
+            raise ConfigError(
+                f"online: shift_threshold must be in [0, 1], "
+                f"got {self.shift_threshold}"
+            )
+        system_for_name(self.system)
+
+    def with_session(self, session: str) -> "OnlineRequest":
+        return replace(self, session=session)
+
+
+@dataclass
+class OnlineReport:
+    """The server's answer to one :class:`OnlineRequest`.
+
+    ``online_time`` includes the charged migration costs, so it is
+    directly comparable with ``static_time``; by construction it can
+    never exceed it (moves are only accepted when predicted savings beat
+    the migration cost).  ``shift_boundaries`` are the segment indices
+    where the detector fired; ``migrations`` counts accepted moves.
+    """
+
+    request: OnlineRequest
+    status: str
+    error: Optional[str] = None
+    static_time: float = 0.0
+    online_time: float = 0.0
+    engine_time: float = 0.0
+    migration_time: float = 0.0
+    migrations: int = 0
+    candidate_evaluations: int = 0
+    shift_boundaries: "list[int]" = field(default_factory=list)
+    dram_limit: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def improved(self) -> bool:
+        """Did the online loop strictly beat the static placement?"""
+        return self.ok and self.online_time < self.static_time
+
+
 @dataclass
 class AdvisoryReport:
     """The server's answer to one :class:`AdvisoryRequest`.

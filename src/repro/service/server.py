@@ -47,12 +47,16 @@ from repro.pipeline.stages import (
 from repro.profiling.cache import ProfileStore, _decode_profile, _encode_profile
 from repro.profiling.paramedir import Paramedir
 from repro.profiling.trace import Trace
+from repro.pipeline.online import static_placement
 from repro.pipeline.whatif import rank_placements
 from repro.runtime.engine import EngineParams, ExecutionEngine
+from repro.runtime.online import OnlineParams, run_online
 from repro.runtime.traffic import PlacementTraffic
 from repro.service.protocol import (
     AdvisoryReport,
     AdvisoryRequest,
+    OnlineReport,
+    OnlineRequest,
     WhatIfReport,
     WhatIfRequest,
     system_for_name,
@@ -84,6 +88,8 @@ def _error_report(request, message: str):
     """The error report of the right kind for ``request``."""
     if isinstance(request, WhatIfRequest):
         return WhatIfReport(request=request, status="error", error=message)
+    if isinstance(request, OnlineRequest):
+        return OnlineReport(request=request, status="error", error=message)
     return AdvisoryReport(request=request, status="error", error=message)
 
 
@@ -110,6 +116,8 @@ class ServiceStats:
     bw_aware: int = 0
     #: what-if requests served (candidate scoring, no placement emitted)
     whatif: int = 0
+    #: online re-advisory runs served (incremental delta engine)
+    online: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -297,6 +305,8 @@ class PlacementServer:
                 self.stats.observe_group(len(items))
                 if gkey.startswith("whatif:"):
                     self._executor.submit(self._run_whatif_group, gkey, items)
+                elif gkey.startswith("online:"):
+                    self._executor.submit(self._run_online_group, gkey, items)
                 else:
                     self._executor.submit(self._run_group, gkey, items)
 
@@ -311,6 +321,10 @@ class PlacementServer:
             # one engine per (workload, system): every candidate in the
             # group rides the same fused fixed point
             return f"whatif:{request.workload}:{request.system}"
+        if isinstance(request, OnlineRequest):
+            # same engine memo as what-if: the online loop reuses the
+            # (workload, system) engine and its cached pack base
+            return f"online:{request.workload}:{request.system}"
         if request.trace is not None:
             return f"trace:{request.trace}"
         # the spec key hashes the workload fingerprint — too slow to
@@ -515,6 +529,33 @@ class PlacementServer:
             )
             self._resolve(future, report, request)
 
+    def _run_online_group(
+        self, gkey: str, items: List[Tuple[OnlineRequest, Future]]
+    ) -> None:
+        """Answer a group of online re-advisory runs on one shared engine.
+
+        Every request in the group names the same (workload, system), so
+        they share the memoized engine — and through it the cached
+        segmentation and placement-independent pack base.  Each request
+        still runs its own loop (budgets and detector knobs may differ),
+        under the engine lock.  Reports compare ``==`` to
+        :func:`sequential_online`, the full-recompute oracle.
+        """
+        self.stats.bump("online", len(items))
+        try:
+            engine, lock = self._whatif_engine(items[0][0])
+        except Exception as exc:
+            for request, future in items:
+                self._resolve(future, _error_report(request, str(exc)), request)
+            return
+        for request, future in items:
+            try:
+                with lock:
+                    report = _online_report(request, engine)
+            except Exception as exc:
+                report = _error_report(request, str(exc))
+            self._resolve(future, report, request)
+
     def _run_bw_aware(
         self, request: AdvisoryRequest, future: Future, loaded: _LoadedProfile
     ) -> None:
@@ -701,3 +742,62 @@ def sequential_whatif(
         )
     except Exception as exc:
         return WhatIfReport(request=request, status="error", error=str(exc))
+
+
+def _online_report(
+    request: OnlineRequest,
+    engine: ExecutionEngine,
+    *,
+    use_incremental: bool = True,
+) -> OnlineReport:
+    """Run one online cell on ``engine`` and wrap it as an OnlineReport."""
+    wl = engine.workload
+    system = engine.system
+    dram_limit = max(int(wl.heap_high_water() * request.dram_frac), 1)
+    static = static_placement(wl, system, dram_limit, engine=engine)
+    outcome = run_online(
+        wl, system, static,
+        dram_limit=dram_limit,
+        params=OnlineParams(
+            epochs=request.epochs,
+            shift_threshold=request.shift_threshold,
+        ),
+        engine=engine,
+        use_incremental=use_incremental,
+    )
+    return OnlineReport(
+        request=request,
+        status="ok",
+        static_time=float(outcome.static_time),
+        online_time=float(outcome.total_time),
+        engine_time=float(outcome.engine_time),
+        migration_time=float(outcome.migration_total_s),
+        migrations=outcome.migrations,
+        candidate_evaluations=outcome.candidate_evaluations,
+        shift_boundaries=[int(s) for s in outcome.shift_boundaries],
+        dram_limit=dram_limit,
+    )
+
+
+def sequential_online(
+    request: OnlineRequest,
+    *,
+    engine_params: Optional[EngineParams] = None,
+) -> OnlineReport:
+    """The retained full-recompute oracle for the online path.
+
+    A fresh engine, and ``use_incremental=False``: every candidate is
+    scored and every accepted move applied through per-segment scalar
+    packs of the patched placement — no prefix reuse, no composed
+    batches.  A server answer must compare ``==`` to this, float for
+    float: the incremental delta engine's service-level contract.
+    """
+    try:
+        request.validate()
+        wl = get_workload(request.workload)
+        engine = ExecutionEngine(
+            wl, system_for_name(request.system),
+            engine_params or EngineParams())
+        return _online_report(request, engine, use_incremental=False)
+    except Exception as exc:
+        return OnlineReport(request=request, status="error", error=str(exc))

@@ -1,0 +1,118 @@
+"""The static-vs-online-vs-tiering sweep (repro.experiments.online_compare)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.online_compare import (
+    OnlineCell,
+    OnlineCompareReport,
+    _online_cell_task,
+    check_online_compare,
+    run_online_compare,
+)
+from repro.experiments.sweep import ResultDB, SweepManifest
+
+#: small grid: one registered app + four corpus cells at one tight budget
+SMALL = dict(apps=("minimd",), corpus_cells=4, dram_fracs=(0.1,), epochs=4)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_online_compare(**SMALL)
+
+
+def _cell(**overrides):
+    base = dict(
+        kind="corpus", workload_name="w", corpus_seed=2026, cell_index=0,
+        dimms=6, dram_frac=0.1, dram_limit=1024,
+        static_time=20.0, online_time=18.0, online_engine_time=17.5,
+        migration_time=0.5, migrations=1, shift_count=2,
+        candidate_evaluations=4, tiering_time=25.0,
+    )
+    base.update(overrides)
+    return OnlineCell(**base)
+
+
+class TestOnlineCell:
+    def test_flags(self):
+        c = _cell()
+        assert c.online_not_worse and c.strict_win and c.beats_tiering
+        assert c.online_speedup == pytest.approx(20.0 / 18.0)
+        tie = _cell(online_time=20.0, migrations=0)
+        assert tie.online_not_worse and not tie.strict_win
+        loss = _cell(online_time=21.0)
+        assert not loss.online_not_worse
+
+    def test_codec_serializable(self, report):
+        from repro.experiments.sweep.codec import decode, encode
+
+        cell = report.cells[0]
+        rebuilt = decode(encode(cell))
+        assert rebuilt == cell
+        assert dataclasses.asdict(rebuilt) == dataclasses.asdict(cell)
+
+
+class TestSweep:
+    def test_grid_shape_and_acceptance(self, report):
+        assert len(report.cells) == 5  # 1 app + 4 corpus at 1 frac
+        # acceptance criterion: online >= static on a majority of cells
+        # with migration charged (by construction: on every cell)
+        assert report.not_worse_rate == 1.0
+        for cell in report.cells:
+            assert cell.online_time == pytest.approx(
+                cell.online_engine_time + cell.migration_time, abs=0.0)
+        # the corpus cells' rotating hot sets must actually trigger moves
+        assert report.total_migrations >= 1
+        assert report.strict_win_rate > 0.0
+
+    def test_cell_task_is_deterministic(self, report):
+        corpus = next(c for c in report.cells if c.kind == "corpus")
+        again = _online_cell_task((
+            "corpus", "", corpus.corpus_seed, corpus.cell_index,
+            corpus.dimms, corpus.dram_frac, 4, 0.10))
+        assert again == corpus
+
+    def test_scheduled_matches_serial(self, report):
+        scheduled = run_online_compare(jobs=2, **SMALL)
+        assert scheduled.cells == report.cells
+
+    def test_manifest_resume(self, tmp_path, report):
+        man = SweepManifest(tmp_path / "oc.jsonl")
+        partial = run_online_compare(**dict(SMALL, corpus_cells=2),
+                                     manifest=man)
+        assert partial.cells == [report.cells[0]] + report.cells[1:3]
+        resumed = run_online_compare(manifest=man, **SMALL)
+        assert resumed.cells == report.cells
+        assert len(SweepManifest(man.path).completed()) == 5
+
+    def test_result_db_append(self, tmp_path, report):
+        db = ResultDB(tmp_path / "db")
+        run_online_compare(results=db, **SMALL)
+        record = db.latest("online_compare", seed=11)
+        assert record is not None
+        assert record["params"]["not_worse_rate"] == report.not_worse_rate
+        assert record["params"]["total_migrations"] == report.total_migrations
+        assert len(record["rows"]) == 5
+
+
+class TestGate:
+    def test_passes_on_real_sweep(self, report):
+        assert check_online_compare(report) == []
+
+    def test_empty_report_fails(self):
+        assert check_online_compare(OnlineCompareReport()) == [
+            "no cells were swept"]
+
+    def test_loss_is_named(self):
+        rep = OnlineCompareReport(cells=[
+            _cell(workload_name="leaky", online_time=30.0)])
+        failures = check_online_compare(rep, min_migrations=0)
+        assert len(failures) == 1
+        assert "leaky" in failures[0]
+
+    def test_silent_loop_is_flagged(self):
+        rep = OnlineCompareReport(cells=[_cell(migrations=0,
+                                               online_time=20.0)])
+        failures = check_online_compare(rep)
+        assert any("never fired" in f for f in failures)

@@ -1,0 +1,89 @@
+"""The one-call online pipeline (repro.pipeline.online)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import OnlineOutcome, run_online_pipeline, static_placement
+from repro.runtime.online import OnlineParams
+
+
+class TestRunOnlinePipeline:
+    def test_names_resolve_and_outcome_is_consistent(self):
+        outcome = run_online_pipeline(
+            "minife", "pmem6", dram_frac=0.1,
+            params=OnlineParams(epochs=4, shift_threshold=0.0))
+        assert isinstance(outcome, OnlineOutcome)
+        assert outcome.workload_name == "minife"
+        assert outcome.system_label == "pmem6"
+        assert outcome.dram_limit >= 1
+        assert outcome.online_time == outcome.report.total_time
+        assert outcome.static_time == outcome.report.static_time
+        assert outcome.online_time <= outcome.static_time
+        assert outcome.win  # never worse than static, by construction
+        if outcome.online_time:
+            assert outcome.speedup == pytest.approx(
+                outcome.static_time / outcome.online_time)
+        # the starting placement is the advisor's full-timeline answer
+        assert outcome.static_placement.keys() == {
+            name for name in outcome.report.final_placement}
+
+    def test_workload_and_system_objects_accepted(self):
+        from repro.apps import get_workload
+        from repro.memsim.subsystem import pmem6_system
+
+        wl = get_workload("minife")
+        by_obj = run_online_pipeline(
+            wl, pmem6_system(), dram_frac=0.1,
+            params=OnlineParams(epochs=4, shift_threshold=0.0))
+        by_name = run_online_pipeline(
+            "minife", "pmem6", dram_frac=0.1,
+            params=OnlineParams(epochs=4, shift_threshold=0.0))
+        assert by_obj.static_time == by_name.static_time
+        assert by_obj.online_time == by_name.online_time
+
+    def test_explicit_dram_limit_overrides_frac(self):
+        from repro.apps import get_workload
+
+        wl = get_workload("minife")
+        limit = max(int(wl.heap_high_water() * 0.1), 1)
+        explicit = run_online_pipeline(
+            "minife", "pmem6", dram_limit=limit,
+            params=OnlineParams(epochs=4, shift_threshold=0.0))
+        via_frac = run_online_pipeline(
+            "minife", "pmem6", dram_frac=0.1,
+            params=OnlineParams(epochs=4, shift_threshold=0.0))
+        assert explicit.dram_limit == via_frac.dram_limit == limit
+        assert explicit.online_time == via_frac.online_time
+
+    def test_incremental_matches_full(self):
+        kwargs = dict(dram_frac=0.1,
+                      params=OnlineParams(epochs=4, shift_threshold=0.0))
+        inc = run_online_pipeline("minife", "pmem6",
+                                  use_incremental=True, **kwargs)
+        full = run_online_pipeline("minife", "pmem6",
+                                   use_incremental=False, **kwargs)
+        assert inc.online_time == full.online_time
+        assert inc.report.final_placement == full.report.final_placement
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            run_online_pipeline("no-such-wl", "pmem6")
+        with pytest.raises(ConfigError):
+            run_online_pipeline("minife", "optane9")
+        with pytest.raises(ConfigError):
+            run_online_pipeline("minife", "pmem6", dram_frac=0.0)
+        with pytest.raises(ConfigError):
+            run_online_pipeline("minife", "pmem6", dram_limit=0)
+
+
+class TestStaticPlacement:
+    def test_covers_every_site_with_known_tiers(self):
+        from repro.apps import get_workload
+        from repro.memsim.subsystem import pmem6_system
+
+        wl = get_workload("minife")
+        system = pmem6_system()
+        limit = max(int(wl.heap_high_water() * 0.25), 1)
+        placement = static_placement(wl, system, limit)
+        assert placement.keys() == {s.name for s in wl.sites()}
+        assert set(placement.values()) <= set(system.names)

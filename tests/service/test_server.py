@@ -442,6 +442,82 @@ class TestWhatIf:
             assert srv.session_reports("default") == []
 
 
+class TestOnline:
+    """The online request kind: phase-aware re-advisory served through
+    the dispatcher, bit-equal to the full-recompute sequential oracle."""
+
+    def test_protocol_validation(self):
+        from repro.errors import ConfigError
+        from repro.service import OnlineRequest
+
+        with pytest.raises(ConfigError):
+            OnlineRequest(workload="").validate()
+        with pytest.raises(ConfigError):
+            OnlineRequest(workload="minife", dram_frac=0.0).validate()
+        with pytest.raises(ConfigError):
+            OnlineRequest(workload="minife", dram_frac=1.5).validate()
+        with pytest.raises(ConfigError):
+            OnlineRequest(workload="minife", epochs=1).validate()
+        with pytest.raises(ConfigError):
+            OnlineRequest(workload="minife", shift_threshold=-0.1).validate()
+        with pytest.raises(ConfigError):
+            OnlineRequest(workload="minife", system="optane9").validate()
+        OnlineRequest(workload="minife").validate()
+
+    def test_request_roundtrips_through_codec(self):
+        from repro.service import OnlineRequest
+
+        req = OnlineRequest(workload="minife", dram_frac=0.1, epochs=4)
+        assert codec.decode(codec.encode(req)) == req
+
+    def test_server_matches_sequential_oracle(self):
+        """The served answer uses the incremental delta engine; the
+        oracle recomputes every candidate from scratch.  Every float in
+        the report must still compare exactly equal."""
+        from repro.service import OnlineRequest, sequential_online
+
+        req = OnlineRequest(workload="minife", dram_frac=0.1, epochs=4,
+                            shift_threshold=0.0)
+        oracle = sequential_online(req)
+        assert oracle.ok
+        assert oracle.online_time <= oracle.static_time
+        assert oracle.online_time == (oracle.engine_time
+                                      + oracle.migration_time)
+        with PlacementServer(batch_window_ms=1.0) as srv:
+            report = srv.query(req)
+            assert srv.stats.online == 1
+        assert report.ok
+        assert report == oracle
+        assert codec.decode(codec.encode(report)) == report
+
+    def test_error_isolation_and_counter(self, shared_profile_store):
+        from repro.service import OnlineRequest, sequential_online
+
+        good = OnlineRequest(workload="minife", dram_frac=0.1, epochs=4)
+        bad = OnlineRequest(workload="no-such-wl")
+        areq = _requests(1)[0]
+        with PlacementServer(batch_window_ms=50.0,
+                             profile_store=shared_profile_store) as srv:
+            futures = [srv.submit(r) for r in (good, bad, areq)]
+            grep, brep, arep = [f.result() for f in futures]
+            assert srv.stats.online == 2
+            assert srv.stats.errors == 1
+        assert grep.ok and arep.ok
+        assert not brep.ok and "no-such-wl" in brep.error
+        assert brep == sequential_online(bad)
+
+    def test_session_scoping(self):
+        from repro.service import OnlineRequest
+
+        with PlacementServer(batch_window_ms=1.0) as srv:
+            ses = srv.session("online-run")
+            report = ses.query(OnlineRequest(workload="minife",
+                                             dram_frac=0.1, epochs=4))
+            assert report.ok
+            assert ses.reports() == [report]
+            assert srv.session_reports("default") == []
+
+
 class TestServiceStatsThreadSafety:
     def test_hammer_loses_no_counts(self):
         """Unlocked ``stats.requests += 1`` drops counts under

@@ -266,3 +266,58 @@ class TestWhatIf:
         path = self._candidates(tmp_path, [])
         with pytest.raises(SystemExit):
             main(["whatif", "minife", "--candidates", path])
+
+
+class TestOnlineCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["online", "minife"])
+        assert args.workload == "minife"
+        assert args.system == "pmem6"
+        assert args.dram_frac == 0.25
+        assert args.epochs == 8
+        assert args.shift_threshold == 0.10
+        assert not args.full and not args.json
+
+    def test_human_output(self, capsys):
+        assert main(["online", "minife", "--dram-frac", "0.1",
+                     "--epochs", "4", "--shift-threshold", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "online" in out and "static" in out and "saved" in out
+
+    def test_json_matches_pipeline(self, capsys):
+        import json
+
+        from repro.pipeline import run_online_pipeline
+        from repro.runtime.online import OnlineParams
+
+        assert main(["online", "minife", "--dram-frac", "0.1",
+                     "--epochs", "4", "--shift-threshold", "0.0",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        outcome = run_online_pipeline(
+            "minife", "pmem6", dram_frac=0.1,
+            params=OnlineParams(epochs=4, shift_threshold=0.0))
+        assert payload["workload"] == "minife"
+        assert payload["static_time"] == outcome.static_time
+        assert payload["online_time"] == outcome.online_time
+        assert payload["online_time"] <= payload["static_time"]
+        assert payload["migrations"] == len(payload["events"])
+
+    def test_full_flag_same_answer(self, capsys):
+        import json
+
+        argv = ["online", "minife", "--dram-frac", "0.1", "--epochs", "4",
+                "--shift-threshold", "0.0", "--json"]
+        assert main(argv) == 0
+        fast = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--full"]) == 0
+        slow = json.loads(capsys.readouterr().out)
+        assert fast == slow
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["online", "nope"])
+
+    def test_unknown_system_exits(self):
+        with pytest.raises(SystemExit):
+            main(["online", "minife", "--system", "optane9"])

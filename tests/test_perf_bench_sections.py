@@ -1,0 +1,34 @@
+"""Section selection in tools/perf_bench.py must reject typos loudly.
+
+A typo'd ``--section`` that silently benches nothing is how performance
+floors rot: CI would keep passing while the guarded section never runs.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import perf_bench  # noqa: E402
+
+
+def test_online_section_is_registered():
+    assert "online" in perf_bench.SECTIONS
+    assert "whatif" in perf_bench.SECTIONS
+
+
+def test_unknown_section_exits_loudly(capsys):
+    with pytest.raises(SystemExit) as exc:
+        perf_bench.main(["--quick", "--section", "onlin"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "onlin" in err
+
+
+def test_unknown_section_among_known_still_exits(capsys):
+    with pytest.raises(SystemExit):
+        perf_bench.main(["--quick", "--section", "kernel",
+                         "--section", "not-a-section"])
+    assert "not-a-section" in capsys.readouterr().err

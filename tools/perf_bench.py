@@ -599,6 +599,64 @@ def bench_whatif(quick: bool) -> dict:
     }
 
 
+def bench_online(quick: bool) -> dict:
+    """E-epoch online re-advisory: incremental delta engine vs full recompute.
+
+    Runs the complete phase-aware loop of
+    :func:`repro.runtime.online.run_online` twice on LULESH/pmem6 with a
+    zero shift threshold (every epoch boundary re-advises): once through
+    the incremental path — frozen prefix rows, changed-suffix-rows-only
+    fixed point, all candidates fused — and once through the naive path
+    every consumer would otherwise pay, a per-candidate scalar pack of
+    the patched placement through the generic per-segment replay.  The
+    two runs are asserted to make identical decisions and produce
+    bit-equal totals, untimed; the >= 5x floor is CI's contract and
+    holds in quick mode too (the acceptance grid names the E-epoch loop,
+    so quick mode keeps it).
+    """
+    del quick  # the floor is defined on the full LULESH loop in every mode
+    from repro.pipeline.online import static_placement
+    from repro.runtime.online import OnlineParams, run_online
+
+    wl = get_workload("lulesh")
+    system = pmem6_system()
+    dram_limit = max(int(wl.heap_high_water() * 0.1), 1)
+    params = OnlineParams(epochs=8, shift_threshold=0.0)
+
+    engine = ExecutionEngine(wl, system)
+    static = static_placement(wl, system, dram_limit, engine=engine)
+
+    t0 = time.perf_counter()
+    inc = run_online(wl, system, static, dram_limit=dram_limit,
+                     params=params, engine=engine, use_incremental=True)
+    t_inc = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = run_online(wl, system, static, dram_limit=dram_limit,
+                      params=params, engine=engine, use_incremental=False)
+    t_full = time.perf_counter() - t0
+
+    assert inc.candidate_evaluations == full.candidate_evaluations > 0, \
+        "online bench evaluated no candidates — the loop never fired"
+    assert inc.result.total_time == full.result.total_time, \
+        "incremental and full online paths diverged on the engine total"
+    assert inc.migration_total_s == full.migration_total_s
+    assert ([e.boundary_seg for e in inc.events]
+            == [e.boundary_seg for e in full.events]), \
+        "incremental and full online paths accepted different moves"
+
+    return {
+        "workload": "lulesh",
+        "epochs": params.epochs,
+        "evaluations": inc.candidate_evaluations,
+        "migrations": inc.migrations,
+        "segments": engine._segment_arrays.num_segments,
+        "incremental_s": round(t_inc, 4),
+        "full_s": round(t_full, 4),
+        "speedup": round(t_full / t_inc, 2),
+    }
+
+
 def bench_corpus(quick: bool, jobs=None) -> dict:
     """Workload-corpus generation + the placement-CI quality sweep.
 
@@ -643,7 +701,8 @@ def bench_corpus(quick: bool, jobs=None) -> dict:
 
 #: section name -> benchmark callable (jobs-aware ones wrapped in main)
 SECTIONS = ("kernel", "profile_cache", "fig6_sweep", "profiling",
-            "engine", "replay", "sweep", "service", "whatif", "corpus")
+            "engine", "replay", "sweep", "service", "whatif", "online",
+            "corpus")
 
 
 def main(argv=None) -> int:
@@ -657,6 +716,13 @@ def main(argv=None) -> int:
                              "output JSON is merged over the existing file")
     parser.add_argument("-o", "--output", default="BENCH_pipeline.json")
     args = parser.parse_args(argv)
+    # argparse ``choices`` guards the CLI, but programmatic main(argv)
+    # callers and future SECTIONS edits must fail just as loudly — a
+    # typo'd section silently benching nothing is how floors rot
+    unknown = [s for s in (args.sections or []) if s not in SECTIONS]
+    if unknown:
+        parser.error(
+            f"unknown section(s) {unknown} — choose from {list(SECTIONS)}")
     want = set(args.sections or SECTIONS)
 
     results = {"quick": args.quick}
@@ -751,6 +817,15 @@ def main(argv=None) -> int:
               f"({wi['full_speedup']}x) -> predict {wi['predict_s']}s "
               f"({wi['speedup']}x)")
 
+    if "online" in want:
+        print("online re-advisory (incremental delta engine) ...", flush=True)
+        results["online"] = bench_online(args.quick)
+        onl = results["online"]
+        print(f"  {onl['epochs']}-epoch loop ({onl['evaluations']} "
+              f"evaluations, {onl['segments']} segments) full "
+              f"{onl['full_s']}s -> incremental {onl['incremental_s']}s "
+              f"({onl['speedup']}x)")
+
     if "corpus" in want:
         print("workload corpus ...", flush=True)
         results["corpus"] = bench_corpus(args.quick, jobs=args.jobs)
@@ -786,6 +861,12 @@ def main(argv=None) -> int:
         # holds in quick mode too: the fused prediction path must beat
         # K=16 sequential LULESH runs by 5x (the issue's acceptance floor)
         print("FAIL: what-if fused prediction below 5x sequential at K=16",
+              file=sys.stderr)
+        return 1
+    if "online" in want and results["online"]["speedup"] < 5.0:
+        # holds in quick mode too: the incremental delta engine must beat
+        # the full-recompute re-advisory loop by 5x (the acceptance floor)
+        print("FAIL: incremental online re-advisory below 5x full recompute",
               file=sys.stderr)
         return 1
     if not args.quick:
